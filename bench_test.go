@@ -1,0 +1,221 @@
+// Benchmarks, one per paper table/figure plus the DESIGN.md ablations.
+// Run with: go test -bench=. -benchmem
+//
+//	BenchmarkSessionReplay      Table 1   — full activity-log playback
+//	BenchmarkHackOverhead       Figure 3  — the instrumented logging path
+//	BenchmarkCacheSweep         Figures 5/6 — 56-configuration sweep
+//	BenchmarkDesktopSweep       Figure 7  — desktop-trace sweep
+//	BenchmarkProfilingDispatch  ablation: ROM TrapDispatcher vs native
+//	BenchmarkReplacementPolicy  ablation: LRU vs FIFO vs Random
+//	BenchmarkEmulatorMIPS       raw interpreter speed
+package palmsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"palmsim"
+	"palmsim/internal/cache"
+	"palmsim/internal/dtrace"
+	"palmsim/internal/user"
+)
+
+// benchSession is a compact but representative workload.
+func benchSession() palmsim.Session {
+	return palmsim.Session{Name: "bench", Seed: 77, Script: func(b *user.Builder) {
+		b.IdleSeconds(1)
+		b.WriteMemo("benchmark memo entry")
+		b.IdleSeconds(5)
+		b.PlayPuzzle(6)
+		b.IdleSeconds(2)
+		b.BrowseAddresses(2)
+		b.Notify(1)
+	}}
+}
+
+var (
+	benchOnce  sync.Once
+	benchCol   *palmsim.Collection
+	benchTrace []uint32
+	benchErr   error
+)
+
+// benchSetup collects the session and one replay trace, shared by the
+// cache benchmarks.
+func benchSetup(b *testing.B) (*palmsim.Collection, []uint32) {
+	benchOnce.Do(func() {
+		benchCol, benchErr = palmsim.Collect(benchSession())
+		if benchErr != nil {
+			return
+		}
+		var pb *palmsim.Playback
+		pb, benchErr = palmsim.Replay(benchCol.Initial, benchCol.Log, palmsim.DefaultReplayOptions())
+		if benchErr == nil {
+			benchTrace = pb.Trace
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCol, benchTrace
+}
+
+// BenchmarkSessionReplay measures full activity-log playback (the Table 1
+// pipeline minus collection): machine boot, state restore, synchronized
+// event injection, doze skipping.
+func BenchmarkSessionReplay(b *testing.B) {
+	col, _ := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pb.Stats.Machine.Instructions == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+}
+
+// BenchmarkSessionReplayWithTrace adds reference-trace collection, the
+// configuration the cache case study uses.
+func BenchmarkSessionReplayWithTrace(b *testing.B) {
+	col, _ := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.DefaultReplayOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pb.Trace) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkHackOverhead measures the Figure 3 logging path end to end: a
+// collection run with all five hacks installed, normalized per logged
+// record.
+func BenchmarkHackOverhead(b *testing.B) {
+	b.ReportAllocs()
+	var records int
+	for i := 0; i < b.N; i++ {
+		col, err := palmsim.Collect(benchSession())
+		if err != nil {
+			b.Fatal(err)
+		}
+		records += col.Log.Len()
+	}
+	b.ReportMetric(float64(records)/float64(b.N), "records/op")
+}
+
+// BenchmarkCacheSweep runs the 56-configuration Figures 5/6 sweep over a
+// real replay trace.
+func BenchmarkCacheSweep(b *testing.B) {
+	_, trace := benchSetup(b)
+	cfgs := cache.PaperSweep()
+	b.SetBytes(int64(len(trace) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Sweep(cfgs, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSingle measures one cache configuration (1 KB, 16 B,
+// direct-mapped) in isolation.
+func BenchmarkCacheSingle(b *testing.B) {
+	_, trace := benchSetup(b)
+	cfg := cache.Config{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1, Policy: cache.LRU}
+	b.SetBytes(int64(len(trace) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Simulate(cfg, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesktopSweep is the Figure 7 sweep over the synthetic desktop
+// trace.
+func BenchmarkDesktopSweep(b *testing.B) {
+	cfg := dtrace.DefaultConfig()
+	cfg.Refs = 500_000
+	trace := dtrace.Generate(cfg)
+	cfgs := cache.PaperSweep()
+	b.SetBytes(int64(len(trace) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Sweep(cfgs, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilingDispatch quantifies DESIGN.md ablation 1: the cost of
+// running the real ROM TrapDispatcher (Profiling on, complete traces)
+// versus POSE's native dispatch shortcut.
+func BenchmarkProfilingDispatch(b *testing.B) {
+	col, _ := benchSetup(b)
+	for _, profiling := range []bool{true, false} {
+		name := "native"
+		if profiling {
+			name = "rom-dispatcher"
+		}
+		b.Run(name, func(b *testing.B) {
+			var instr uint64
+			for i := 0; i < b.N; i++ {
+				pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: profiling})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instr = pb.Stats.Machine.Instructions
+			}
+			b.ReportMetric(float64(instr), "emulated-instructions")
+		})
+	}
+}
+
+// BenchmarkReplacementPolicy is DESIGN.md ablation 4: LRU (the paper's
+// choice) versus FIFO and Random at the 8 KB / 32 B / 4-way point.
+func BenchmarkReplacementPolicy(b *testing.B) {
+	_, trace := benchSetup(b)
+	for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.Random} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Ways: 4, Policy: pol}
+			var miss float64
+			b.SetBytes(int64(len(trace) * 4))
+			for i := 0; i < b.N; i++ {
+				r, err := cache.Simulate(cfg, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				miss = r.MissRate()
+			}
+			b.ReportMetric(miss*100, "miss-%")
+		})
+	}
+}
+
+// BenchmarkEmulatorMIPS measures the raw interpreter: emulated
+// instructions per second of host time across a full replay.
+func BenchmarkEmulatorMIPS(b *testing.B) {
+	col, _ := benchSetup(b)
+	b.ResetTimer()
+	var emulated uint64
+	for i := 0; i < b.N; i++ {
+		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emulated += pb.Stats.Machine.Instructions
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(emulated)/sec/1e6, "emulated-MIPS")
+	}
+}

@@ -1,0 +1,110 @@
+// Command cachesweep runs the §4 cache case study over a memory-reference
+// trace: either a .trace file produced by cmd/palmsim, a fresh replay of a
+// built-in session, or the synthetic desktop trace (Figure 7).
+//
+// Usage:
+//
+//	cachesweep -session 1
+//	cachesweep -trace out/session1.trace
+//	cachesweep -desktop
+//	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/dtrace"
+	"palmsim/internal/energy"
+	"palmsim/internal/exp"
+	"palmsim/internal/report"
+	"palmsim/internal/user"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file (from palmsim -out)")
+	dinFile := flag.String("din", "", "Dinero din-format trace file")
+	sessionNum := flag.Int("session", 0, "replay built-in session (1-4) to obtain the trace")
+	desktop := flag.Bool("desktop", false, "use the synthetic desktop trace (Figure 7)")
+	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
+	flag.Parse()
+
+	var pol cache.Policy
+	switch strings.ToUpper(*policy) {
+	case "LRU":
+		pol = cache.LRU
+	case "FIFO":
+		pol = cache.FIFO
+	case "RANDOM":
+		pol = cache.Random
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var trace []uint32
+	switch {
+	case *dinFile != "":
+		data, err := os.ReadFile(*dinFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, _, err = exp.UnmarshalDinero(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d references from %s\n", len(trace), *dinFile)
+	case *traceFile != "":
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = exp.UnmarshalTrace(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d references from %s\n", len(trace), *traceFile)
+	case *desktop:
+		trace = dtrace.Generate(dtrace.DefaultConfig())
+		fmt.Printf("generated %d desktop references\n", len(trace))
+	case *sessionNum >= 1 && *sessionNum <= 4:
+		s := user.PaperSessions()[*sessionNum-1]
+		fmt.Printf("collecting and replaying %s...\n", s.Name)
+		run, err := exp.RunSession(s)
+		if err != nil {
+			fatal(err)
+		}
+		trace = run.Trace
+		fmt.Printf("trace: %d references (%.1f%% flash), no-cache Teff %.3f\n",
+			len(trace),
+			100*float64(run.Row.FlashRefs)/float64(run.Row.RAMRefs+run.Row.FlashRefs),
+			cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs))
+	default:
+		fatal(fmt.Errorf("need one of -trace, -session or -desktop"))
+	}
+
+	cfgs := cache.PaperSweep()
+	for i := range cfgs {
+		cfgs[i].Policy = pol
+	}
+	results, err := cache.Sweep(cfgs, trace)
+	if err != nil {
+		fatal(err)
+	}
+	model := energy.Default()
+	t := report.New(fmt.Sprintf("56-configuration sweep (%s)", pol),
+		"config", "miss rate", "Teff (Eq.2)", "Teff exact", "mem energy saved")
+	for _, r := range results {
+		t.Addf("%s\t%s\t%.3f\t%.3f\t%s", r.Config, report.Pct(r.MissRate()),
+			r.TeffPaper(), r.TeffExact(), report.Pct(model.MemorySaving(r)))
+	}
+	fmt.Print(t)
+	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesweep:", err)
+	os.Exit(1)
+}

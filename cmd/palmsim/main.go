@@ -1,0 +1,115 @@
+// Command palmsim drives the full collect-and-replay pipeline from the
+// command line: it records one of the built-in sessions on an instrumented
+// simulated handheld, writes the initial state and activity log to disk,
+// replays them on a second machine, validates both correlations, and
+// prints the run statistics — the whole §2+§3 methodology in one go.
+//
+// Usage:
+//
+//	palmsim -session 1 -out ./out
+//	palmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"palmsim"
+	"palmsim/internal/exp"
+	"palmsim/internal/validate"
+)
+
+func main() {
+	sessionNum := flag.Int("session", 1, "built-in session number (1-4)")
+	outDir := flag.String("out", "", "directory for state/log/trace artifacts (omit to skip writing)")
+	list := flag.Bool("list", false, "list built-in sessions and exit")
+	withTrace := flag.Bool("trace", true, "collect a memory-reference trace during replay")
+	screenshot := flag.Bool("screenshot", false, "write the final display as a PGM image (with -out)")
+	dinero := flag.Bool("dinero", false, "also write the trace in Dinero din format (with -out)")
+	flag.Parse()
+
+	sessions := palmsim.PaperSessions()
+	if *list {
+		for i, s := range sessions {
+			fmt.Printf("%d: %s (seed %d)\n", i+1, s.Name, s.Seed)
+		}
+		return
+	}
+	if *sessionNum < 1 || *sessionNum > len(sessions) {
+		fatal(fmt.Errorf("session %d out of range 1-%d", *sessionNum, len(sessions)))
+	}
+	s := sessions[*sessionNum-1]
+
+	fmt.Printf("collecting %s on the instrumented device...\n", s.Name)
+	col, err := palmsim.Collect(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d activity log records over %s\n",
+		col.Log.Len(), palmsim.FormatElapsed(col.Stats.ElapsedSeconds))
+	fmt.Printf("  collection: %s\n", col.Stats.Bus.String())
+
+	fmt.Println("replaying on a fresh machine (hacks installed for validation)...")
+	pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{
+		Profiling:    true,
+		WithHacks:    true,
+		CollectTrace: *withTrace,
+		CollectKinds: *dinero,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  replay: %s\n", pb.Stats.Bus.String())
+	fmt.Printf("  instructions executed: %d (%.1f%% of emulated time dozing)\n",
+		pb.Stats.Machine.Instructions,
+		100*float64(pb.Stats.Machine.SkippedCycles)/
+			float64(pb.Stats.Machine.SkippedCycles+pb.Stats.Machine.ActiveCycles))
+
+	logRep := validate.CorrelateLogs(col.Log, pb.Log)
+	fmt.Printf("  log correlation (§3.3): %s -> %v\n", logRep, okStr(logRep.OK()))
+	stRep := validate.CorrelateStates(col.Final, pb.Final)
+	fmt.Printf("  state correlation (§3.4): %s -> %v\n", stRep, okStr(stRep.OK()))
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		write := func(name string, data []byte) {
+			path := filepath.Join(*outDir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s (%d bytes)\n", path, len(data))
+		}
+		write(s.Name+".initial.palmstate", col.Initial.Marshal())
+		write(s.Name+".final.palmstate", col.Final.Marshal())
+		write(s.Name+".palmlog", col.Log.Marshal())
+		if *withTrace {
+			write(s.Name+".trace", exp.MarshalTrace(pb.Trace))
+		}
+		if *screenshot {
+			write(s.Name+".pgm", pb.M.ScreenPGM())
+		}
+		if *dinero {
+			din, err := exp.MarshalDinero(pb.Trace, pb.TraceKinds)
+			if err != nil {
+				fatal(err)
+			}
+			write(s.Name+".din", din)
+		}
+	}
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAILED"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "palmsim:", err)
+	os.Exit(1)
+}

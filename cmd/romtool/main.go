@@ -1,0 +1,117 @@
+// Command romtool builds and inspects the synthetic Palm OS flash image:
+// its size, entry point, symbol table, and the initial trap dispatch
+// table. It can also write the raw image to a file (the ROMTransfer.prc
+// role of §2.2).
+//
+// Usage:
+//
+//	romtool                 summary
+//	romtool -symbols        full symbol table
+//	romtool -traps          trap table with handler symbols
+//	romtool -o rom.bin      write the flash image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/m68k"
+	"palmsim/internal/palmos"
+	"palmsim/internal/rom"
+)
+
+func main() {
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	traps := flag.Bool("traps", false, "print the trap dispatch table")
+	disasm := flag.Bool("disasm", false, "disassemble the ROM code sections")
+	out := flag.String("o", "", "write the flash image to a file")
+	flag.Parse()
+
+	img, err := rom.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romtool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ROM image: %d bytes at %#08x, boot entry %#08x\n",
+		len(img.Data), uint32(bus.ROMBase), img.Entry())
+
+	if *symbols {
+		names := make([]string, 0, len(img.Symbols))
+		for n := range img.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return img.Symbols[names[i]] < img.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("  %08x  %s\n", img.Symbols[n], n)
+		}
+	}
+
+	if *traps {
+		inittab := img.Symbols["inittab"]
+		rev := map[uint32]string{}
+		for n, a := range img.Symbols {
+			rev[a] = n
+		}
+		for i := 0; i < palmos.NumTraps; i++ {
+			off := inittab - bus.ROMBase + uint32(i)*4
+			addr := uint32(img.Data[off])<<24 | uint32(img.Data[off+1])<<16 |
+				uint32(img.Data[off+2])<<8 | uint32(img.Data[off+3])
+			name := rev[addr]
+			fmt.Printf("  trap %#04x %-22s -> %08x %s\n", i, palmos.TrapName(i), addr, name)
+		}
+	}
+
+	if *disasm {
+		disassemble(img)
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, img.Data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "romtool:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// imgBus adapts the flash image to the CPU's bus interface so the
+// disassembler can walk it.
+type imgBus struct{ data []byte }
+
+func (b *imgBus) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	off := addr - bus.ROMBase
+	var v uint32
+	for i := uint32(0); i < uint32(size); i++ {
+		var c byte
+		if int(off+i) < len(b.data) {
+			c = b.data[off+i]
+		}
+		v = v<<8 | uint32(c)
+	}
+	return v
+}
+
+func (b *imgBus) Write(addr uint32, size m68k.Size, v uint32) {}
+
+func disassemble(img *rom.Image) {
+	rev := map[uint32]string{}
+	for n, a := range img.Symbols {
+		rev[a] = n
+	}
+	b := &imgBus{data: img.Data}
+	end, ok := img.Symbol("apps_end")
+	if !ok {
+		end = bus.ROMBase + uint32(len(img.Data))
+	}
+	for addr := uint32(bus.ROMBase); addr < end; {
+		if name, ok := rev[addr]; ok {
+			fmt.Printf("%s:\n", name)
+		}
+		text, size := m68k.Disassemble(b, addr)
+		fmt.Printf("  %08x  %s\n", addr, text)
+		addr += size
+	}
+}

@@ -1,0 +1,47 @@
+// Overhead reproduces the §2.3.3 measurements: the pen-sampling check (the
+// hack must keep up with the digitizer's 50 samples/second) and the
+// Figure 3 sweep of per-call hack overhead against activity-log size,
+// which grows linearly because the OS memory manager scans the record
+// index on every insert.
+//
+//	go run ./examples/overhead
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"palmsim/internal/exp"
+)
+
+func main() {
+	// Pen sampling with the EvtEnqueuePenPoint hack installed.
+	pen, err := exp.PenSampling(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stylus held for %.0f s: %d pen points logged = %.1f samples/s (paper: 50.0)\n\n",
+		pen.Seconds, pen.PenRecords, pen.Rate)
+
+	// Figure 3: per-call overhead vs. database size for all five hacks.
+	fmt.Println("per-call hack overhead vs. activity log size (paper Figure 3):")
+	points, err := exp.HackOverhead([]int{0, 10000, 20000, 30000, 40000, 50000, 60000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	current := ""
+	for _, p := range points {
+		if p.Hack != current {
+			current = p.Hack
+			fmt.Printf("\n  %s:\n", p.Hack)
+		}
+		bar := ""
+		for i := 0; i < int(p.MillisPer); i++ {
+			bar += "#"
+		}
+		fmt.Printf("    %6d records: %6.2f ms/call %s\n", p.Records, p.MillisPer, bar)
+	}
+	fmt.Println("\nThe paper reports ~6.4 ms/call averaged over 0-10k records and ~15.5 ms")
+	fmt.Println("at 50-60k records; limiting sessions to 2-3 days keeps logs below 30k")
+	fmt.Println("records and the overhead imperceptible.")
+}

@@ -1,0 +1,3 @@
+module palmsim
+
+go 1.22

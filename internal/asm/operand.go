@@ -1,0 +1,355 @@
+package asm
+
+import (
+	"strings"
+
+	"palmsim/internal/m68k"
+)
+
+// opKind classifies a parsed operand's syntax.
+type opKind int
+
+const (
+	opDataReg opKind = iota
+	opAddrReg
+	opIndirect // (an)
+	opPostInc  // (an)+
+	opPreDec   // -(an)
+	opDisp     // expr(an)
+	opIndex    // expr(an,xn.w/.l)
+	opPCDisp   // expr(pc)
+	opPCIndex  // expr(pc,xn.w/.l)
+	opAbs      // expr, expr.w, expr.l
+	opImm      // #expr
+	opRegList  // d0-d2/a5 ...
+	opSR
+	opCCR
+	opUSP
+)
+
+// opnd is one parsed operand. Expressions are kept as text and evaluated at
+// encode time so pass 2 sees final symbol values.
+type opnd struct {
+	kind    opKind
+	reg     int    // An/Dn number for register-based modes
+	expr    string // displacement / absolute / immediate expression
+	idxReg  int    // index register number (0-7 data, 8-15 address)
+	idxLong bool   // .l index
+	forceW  bool   // absolute short forced with .w
+	forceL  bool   // absolute long forced with .l
+	regMask uint16 // for opRegList (bit 0 = D0 .. bit 15 = A7)
+	src     string // original text, for diagnostics
+}
+
+// parseReg recognizes d0-d7/a0-a7/sp and returns 0-7 data, 8-15 address.
+func parseReg(s string) (int, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return 15, true
+	case "fp":
+		return 14, true
+	case "pc":
+		return -1, false
+	}
+	if len(s) != 2 || s[1] < '0' || s[1] > '7' {
+		return 0, false
+	}
+	n := int(s[1] - '0')
+	switch s[0] {
+	case 'd':
+		return n, true
+	case 'a':
+		return n + 8, true
+	}
+	return 0, false
+}
+
+// parseOperand parses a single operand string.
+func (a *assembler) parseOperand(s string) (*opnd, error) {
+	s = strings.TrimSpace(s)
+	o := &opnd{src: s}
+	low := strings.ToLower(s)
+
+	switch low {
+	case "sr":
+		o.kind = opSR
+		return o, nil
+	case "ccr":
+		o.kind = opCCR
+		return o, nil
+	case "usp":
+		o.kind = opUSP
+		return o, nil
+	}
+
+	if r, ok := parseReg(low); ok {
+		if r < 8 {
+			o.kind, o.reg = opDataReg, r
+		} else {
+			o.kind, o.reg = opAddrReg, r-8
+		}
+		return o, nil
+	}
+
+	// Register list for MOVEM: any '/' or a '-' between two registers.
+	if mask, ok := parseRegList(low); ok {
+		o.kind, o.regMask = opRegList, mask
+		return o, nil
+	}
+
+	if strings.HasPrefix(s, "#") {
+		o.kind = opImm
+		o.expr = s[1:]
+		return o, nil
+	}
+
+	if low == "-(sp)" || (strings.HasPrefix(low, "-(") && strings.HasSuffix(low, ")")) {
+		if r, ok := parseReg(low[2 : len(low)-1]); ok && r >= 8 {
+			o.kind, o.reg = opPreDec, r-8
+			return o, nil
+		}
+	}
+
+	if strings.HasSuffix(low, ")+") && strings.HasPrefix(low, "(") {
+		if r, ok := parseReg(low[1 : len(low)-2]); ok && r >= 8 {
+			o.kind, o.reg = opPostInc, r-8
+			return o, nil
+		}
+	}
+
+	// expr(...) or (...) forms.
+	if strings.HasSuffix(low, ")") {
+		open := strings.LastIndex(low, "(")
+		if open >= 0 {
+			inside := low[open+1 : len(low)-1]
+			prefix := strings.TrimSpace(s[:open])
+			parts := strings.Split(inside, ",")
+			switch len(parts) {
+			case 1:
+				if parts[0] == "pc" {
+					o.kind = opPCDisp
+					o.expr = defaultExpr(prefix)
+					return o, nil
+				}
+				if r, ok := parseReg(parts[0]); ok && r >= 8 {
+					if prefix == "" {
+						o.kind, o.reg = opIndirect, r-8
+					} else {
+						o.kind, o.reg = opDisp, r-8
+						o.expr = prefix
+					}
+					return o, nil
+				}
+			case 2:
+				idx, idxLong, ok := parseIndexReg(parts[1])
+				if !ok {
+					return nil, a.errf("bad index register in %q", s)
+				}
+				if strings.TrimSpace(parts[0]) == "pc" {
+					o.kind = opPCIndex
+					o.expr = defaultExpr(prefix)
+					o.idxReg, o.idxLong = idx, idxLong
+					return o, nil
+				}
+				if r, ok := parseReg(parts[0]); ok && r >= 8 {
+					o.kind, o.reg = opIndex, r-8
+					o.expr = defaultExpr(prefix)
+					o.idxReg, o.idxLong = idx, idxLong
+					return o, nil
+				}
+			}
+			return nil, a.errf("unrecognized addressing mode %q", s)
+		}
+	}
+
+	// Absolute, with optional .w/.l suffix.
+	o.kind = opAbs
+	o.expr = s
+	if strings.HasSuffix(low, ".w") {
+		o.forceW = true
+		o.expr = s[:len(s)-2]
+	} else if strings.HasSuffix(low, ".l") {
+		o.forceL = true
+		o.expr = s[:len(s)-2]
+	}
+	return o, nil
+}
+
+func defaultExpr(s string) string {
+	if strings.TrimSpace(s) == "" {
+		return "0"
+	}
+	return s
+}
+
+// parseIndexReg parses "d3", "d3.w", "a2.l" into (0-15, long?, ok).
+func parseIndexReg(s string) (int, bool, bool) {
+	s = strings.TrimSpace(s)
+	long := false
+	if strings.HasSuffix(s, ".l") {
+		long = true
+		s = s[:len(s)-2]
+	} else {
+		s = strings.TrimSuffix(s, ".w")
+	}
+	r, ok := parseReg(s)
+	return r, long, ok
+}
+
+// parseRegList parses MOVEM register lists like "d0-d3/a0/a5-a6".
+func parseRegList(s string) (uint16, bool) {
+	if !strings.ContainsAny(s, "/-") {
+		return 0, false
+	}
+	var mask uint16
+	for _, group := range strings.Split(s, "/") {
+		if r := strings.SplitN(group, "-", 2); len(r) == 2 {
+			lo, ok1 := parseReg(r[0])
+			hi, ok2 := parseReg(r[1])
+			if !ok1 || !ok2 || lo > hi || (lo < 8) != (hi < 8) {
+				return 0, false
+			}
+			for i := lo; i <= hi; i++ {
+				mask |= 1 << i
+			}
+		} else {
+			reg, ok := parseReg(group)
+			if !ok {
+				return 0, false
+			}
+			mask |= 1 << reg
+		}
+	}
+	return mask, true
+}
+
+// encodeEA resolves an operand to its 6-bit EA field and extension words.
+// extOffset is the byte offset from the opcode word to this operand's first
+// extension word (PC-relative displacements are based there).
+func (a *assembler) encodeEA(o *opnd, size m68k.Size, extOffset uint32) (int, []uint16, error) {
+	switch o.kind {
+	case opDataReg:
+		return m68k.ModeDataReg<<3 | o.reg, nil, nil
+	case opAddrReg:
+		return m68k.ModeAddrReg<<3 | o.reg, nil, nil
+	case opIndirect:
+		return m68k.ModeIndirect<<3 | o.reg, nil, nil
+	case opPostInc:
+		return m68k.ModePostInc<<3 | o.reg, nil, nil
+	case opPreDec:
+		return m68k.ModePreDec<<3 | o.reg, nil, nil
+	case opDisp:
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		if a.pass == 2 && int32(v) != int32(int16(v)) {
+			return 0, nil, a.errf("displacement %d out of 16-bit range in %q", int32(v), o.src)
+		}
+		return m68k.ModeDisp16<<3 | o.reg, []uint16{uint16(v)}, nil
+	case opIndex:
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		if a.pass == 2 && int32(v) != int32(int8(v)) {
+			return 0, nil, a.errf("displacement %d out of 8-bit range in %q", int32(v), o.src)
+		}
+		return m68k.ModeIndex<<3 | o.reg, []uint16{indexWord(o, v)}, nil
+	case opPCDisp:
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		disp := v - (a.pc + extOffset)
+		if a.pass == 2 && int32(disp) != int32(int16(disp)) {
+			return 0, nil, a.errf("PC displacement out of range in %q", o.src)
+		}
+		return m68k.ModeOther<<3 | m68k.RegPCDisp, []uint16{uint16(disp)}, nil
+	case opPCIndex:
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		disp := v - (a.pc + extOffset)
+		if a.pass == 2 && int32(disp) != int32(int8(disp)) {
+			return 0, nil, a.errf("PC index displacement out of range in %q", o.src)
+		}
+		return m68k.ModeOther<<3 | m68k.RegPCIndex, []uint16{indexWord(o, disp)}, nil
+	case opAbs:
+		// Sizing must be identical in both passes: choose the short form
+		// only for pure literals that fit in a sign-extended word, or when
+		// forced with .w.
+		if o.forceW {
+			v, err := a.eval(o.expr)
+			if err != nil {
+				return 0, nil, err
+			}
+			return m68k.ModeOther<<3 | m68k.RegAbsWord, []uint16{uint16(v)}, nil
+		}
+		if !o.forceL {
+			if v, lit := a.evalLiteralOnly(o.expr); lit && int32(v) == int32(int16(v)) {
+				return m68k.ModeOther<<3 | m68k.RegAbsWord, []uint16{uint16(v)}, nil
+			}
+		}
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		return m68k.ModeOther<<3 | m68k.RegAbsLong, []uint16{uint16(v >> 16), uint16(v)}, nil
+	case opImm:
+		v, err := a.eval(o.expr)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch size {
+		case m68k.Byte:
+			return m68k.ModeOther<<3 | m68k.RegImmediate, []uint16{uint16(v & 0xFF)}, nil
+		case m68k.Word:
+			return m68k.ModeOther<<3 | m68k.RegImmediate, []uint16{uint16(v)}, nil
+		default:
+			return m68k.ModeOther<<3 | m68k.RegImmediate, []uint16{uint16(v >> 16), uint16(v)}, nil
+		}
+	}
+	return 0, nil, a.errf("operand %q not usable as an effective address", o.src)
+}
+
+func indexWord(o *opnd, disp uint32) uint16 {
+	w := uint16(disp & 0xFF)
+	w |= uint16(o.idxReg&15) << 12
+	if o.idxLong {
+		w |= 0x0800
+	}
+	return w
+}
+
+// eaClass mirrors m68k EA-class checking for assembly-time diagnostics.
+func eaClass(o *opnd) byte {
+	switch o.kind {
+	case opDataReg:
+		return 'd'
+	case opAddrReg:
+		return 'a'
+	case opIndirect, opPostInc, opPreDec, opDisp, opIndex, opAbs:
+		return 'm'
+	case opPCDisp, opPCIndex:
+		return 'p'
+	case opImm:
+		return 'i'
+	}
+	return 0
+}
+
+func classOK(o *opnd, class string) bool {
+	return strings.IndexByte(class, eaClass(o)) >= 0
+}
+
+// controlOK reports whether the operand is a control addressing mode.
+func controlOK(o *opnd) bool {
+	switch o.kind {
+	case opIndirect, opDisp, opIndex, opAbs, opPCDisp, opPCIndex:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,339 @@
+// Package bus implements the memory system of the simulated Palm m515: a
+// 16 MB RAM, a 4 MB flash ROM and the Dragonball register window, with
+// reference classification and optional tracing on every access.
+//
+// The memory map mirrors the shape of the real device:
+//
+//	0x0000_0000 .. 0x00FF_FFFF   RAM (dynamic + storage heaps)
+//	0x1000_0000 .. 0x103F_FFFF   flash ROM (the OS and applications)
+//	0xFFFF_F000 .. 0xFFFF_FFFF   Dragonball MC68VZ328 registers
+//
+// Every CPU access is classified as a RAM, flash or I/O reference; the
+// counts drive Table 1 of the paper (REF_RAM, REF_flash, average effective
+// memory access cycles) and the optional Tracer receives the full stream
+// for the cache case study. The Dragonball requires one cycle for RAM
+// accesses and three for flash accesses, which the bus charges through the
+// WaitStates hook so the CPU's cycle counter reflects memory latency.
+package bus
+
+import (
+	"fmt"
+
+	"palmsim/internal/m68k"
+)
+
+// Physical layout constants for the simulated Palm m515.
+const (
+	RAMBase = 0x00000000
+	RAMSize = 16 << 20
+	ROMBase = 0x10000000
+	ROMSize = 4 << 20
+	IOBase  = 0xFFFFF000
+	IOSize  = 0x1000
+
+	// Memory latencies in CPU cycles (paper §4.2: "The Dragonball
+	// MC68VZ328 requires one cycle for RAM accesses and three cycles for
+	// flash accesses").
+	RAMCycles   = 1
+	FlashCycles = 3
+)
+
+// Region classifies where an address landed.
+type Region uint8
+
+// Regions.
+const (
+	RegionRAM Region = iota
+	RegionFlash
+	RegionIO
+	RegionOpen // unmapped
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionRAM:
+		return "ram"
+	case RegionFlash:
+		return "flash"
+	case RegionIO:
+		return "io"
+	default:
+		return "open"
+	}
+}
+
+// Classify maps an address to its region.
+func Classify(addr uint32) Region {
+	switch {
+	case addr < RAMSize:
+		return RegionRAM
+	case addr >= ROMBase && addr < ROMBase+ROMSize:
+		return RegionFlash
+	case addr >= IOBase:
+		return RegionIO
+	default:
+		return RegionOpen
+	}
+}
+
+// Ref is one memory reference as seen by the trace collector.
+type Ref struct {
+	Addr   uint32
+	Size   m68k.Size
+	Kind   m68k.Access
+	Region Region
+}
+
+// Tracer consumes the reference stream during playback. Implementations
+// must be fast; the hot path calls Ref for every CPU access.
+type Tracer interface {
+	Ref(r Ref)
+}
+
+// Device is a memory-mapped peripheral occupying the I/O window.
+type Device interface {
+	ReadReg(offset uint32, size m68k.Size) uint32
+	WriteReg(offset uint32, size m68k.Size, v uint32)
+}
+
+// Stats accumulates the per-region reference counts that Table 1 reports.
+type Stats struct {
+	RAMRefs     uint64
+	FlashRefs   uint64
+	IORefs      uint64
+	OpenRefs    uint64
+	Fetches     uint64
+	Reads       uint64
+	Writes      uint64
+	FlashWrites uint64 // attempted writes to ROM (always discarded)
+
+	// OddAccesses counts misaligned word/long accesses. A real 68000
+	// raises an address-error exception for these; the synthetic ROM and
+	// the hack stubs must never produce one, so a nonzero count flags a
+	// code-generation bug.
+	OddAccesses uint64
+}
+
+// TotalRefs returns RAM + flash references (I/O and open bus excluded, as
+// in the paper's REF_total).
+func (s *Stats) TotalRefs() uint64 { return s.RAMRefs + s.FlashRefs }
+
+// AvgMemCycles computes Equation 3 of the paper: the average effective
+// memory access time, in cycles, of the cacheless hierarchy.
+func (s *Stats) AvgMemCycles() float64 {
+	total := s.TotalRefs()
+	if total == 0 {
+		return 0
+	}
+	return (float64(s.RAMRefs)*RAMCycles + float64(s.FlashRefs)*FlashCycles) / float64(total)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("ram=%d flash=%d io=%d avg=%.3f cycles",
+		s.RAMRefs, s.FlashRefs, s.IORefs, s.AvgMemCycles())
+}
+
+// Bus is the m68k.Bus implementation wiring RAM, flash and the peripheral
+// window together.
+type Bus struct {
+	RAM   []byte
+	Flash []byte
+
+	device Device
+
+	// Tracer, when non-nil, receives every CPU reference.
+	Tracer Tracer
+
+	// Stats counts references by region and kind.
+	Stats Stats
+
+	// ChargeCycles, when non-nil, is called with the wait-state cost of
+	// each access so the machine clock reflects memory latency.
+	ChargeCycles func(cycles uint64)
+
+	// TraceNative controls whether Peek/Poke-style native OS accesses to
+	// record data are fed to the tracer (see ReadTraced/WriteTraced).
+	TraceNative bool
+}
+
+// New creates a bus with fresh RAM and flash arrays.
+func New(device Device) *Bus {
+	return &Bus{
+		RAM:    make([]byte, RAMSize),
+		Flash:  make([]byte, ROMSize),
+		device: device,
+	}
+}
+
+// LoadROM copies an assembled image into flash at the given offset.
+func (b *Bus) LoadROM(offset uint32, data []byte) error {
+	if int(offset)+len(data) > len(b.Flash) {
+		return fmt.Errorf("bus: ROM image of %d bytes does not fit at offset %#x", len(data), offset)
+	}
+	copy(b.Flash[offset:], data)
+	return nil
+}
+
+// Read implements m68k.Bus.
+func (b *Bus) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	region := Classify(addr)
+	b.account(addr, size, kind, region)
+	switch region {
+	case RegionRAM:
+		return readBE(b.RAM, addr, size)
+	case RegionFlash:
+		return readBE(b.Flash, addr-ROMBase, size)
+	case RegionIO:
+		if b.device != nil {
+			return b.device.ReadReg(addr-IOBase, size)
+		}
+		return 0
+	default:
+		// Open bus: mimic a floating data bus with all-ones, which is
+		// loud enough to notice in tests without halting the machine.
+		return size.Mask()
+	}
+}
+
+// Write implements m68k.Bus.
+func (b *Bus) Write(addr uint32, size m68k.Size, v uint32) {
+	region := Classify(addr)
+	b.account(addr, size, m68k.Write, region)
+	switch region {
+	case RegionRAM:
+		writeBE(b.RAM, addr, size, v)
+	case RegionFlash:
+		b.Stats.FlashWrites++ // ROM: discard
+	case RegionIO:
+		if b.device != nil {
+			b.device.WriteReg(addr-IOBase, size, v)
+		}
+	}
+}
+
+func (b *Bus) account(addr uint32, size m68k.Size, kind m68k.Access, region Region) {
+	if size != m68k.Byte && addr&1 != 0 {
+		b.Stats.OddAccesses++
+	}
+	switch region {
+	case RegionRAM:
+		b.Stats.RAMRefs++
+	case RegionFlash:
+		b.Stats.FlashRefs++
+	case RegionIO:
+		b.Stats.IORefs++
+	default:
+		b.Stats.OpenRefs++
+	}
+	switch kind {
+	case m68k.Fetch:
+		b.Stats.Fetches++
+	case m68k.Read:
+		b.Stats.Reads++
+	default:
+		b.Stats.Writes++
+	}
+	if b.ChargeCycles != nil {
+		switch region {
+		case RegionRAM:
+			b.ChargeCycles(RAMCycles)
+		case RegionFlash:
+			b.ChargeCycles(FlashCycles)
+		}
+	}
+	if b.Tracer != nil {
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: kind, Region: region})
+	}
+}
+
+// Peek reads memory without tracing, accounting or device side effects —
+// the host-side view used by snapshot export and debugging.
+func (b *Bus) Peek(addr uint32, size m68k.Size) uint32 {
+	switch Classify(addr) {
+	case RegionRAM:
+		return readBE(b.RAM, addr, size)
+	case RegionFlash:
+		return readBE(b.Flash, addr-ROMBase, size)
+	}
+	return 0
+}
+
+// Poke writes memory without tracing or accounting. Pokes to flash are
+// allowed (this is how ROM transfer lays down the image).
+func (b *Bus) Poke(addr uint32, size m68k.Size, v uint32) {
+	switch Classify(addr) {
+	case RegionRAM:
+		writeBE(b.RAM, addr, size, v)
+	case RegionFlash:
+		writeBE(b.Flash, addr-ROMBase, size, v)
+	}
+}
+
+// ReadTraced reads like the CPU would (counted + traced as a data read)
+// when TraceNative is set; otherwise it behaves like Peek. Native OS
+// services use it for record data so that, like POSE with Profiling
+// enabled, OS work contributes to the reference stream.
+func (b *Bus) ReadTraced(addr uint32, size m68k.Size) uint32 {
+	if b.TraceNative {
+		return b.Read(addr, size, m68k.Read)
+	}
+	return b.Peek(addr, size)
+}
+
+// WriteTraced writes like the CPU would when TraceNative is set.
+func (b *Bus) WriteTraced(addr uint32, size m68k.Size, v uint32) {
+	if b.TraceNative {
+		b.Write(addr, size, v)
+		return
+	}
+	b.Poke(addr, size, v)
+}
+
+// PeekBytes copies n bytes starting at addr without tracing.
+func (b *Bus) PeekBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(b.Peek(addr+uint32(i), m68k.Byte))
+	}
+	return out
+}
+
+// PokeBytes writes raw bytes without tracing.
+func (b *Bus) PokeBytes(addr uint32, data []byte) {
+	for i, v := range data {
+		b.Poke(addr+uint32(i), m68k.Byte, uint32(v))
+	}
+}
+
+func readBE(mem []byte, addr uint32, size m68k.Size) uint32 {
+	if int(addr)+int(size) > len(mem) {
+		return 0
+	}
+	switch size {
+	case m68k.Byte:
+		return uint32(mem[addr])
+	case m68k.Word:
+		return uint32(mem[addr])<<8 | uint32(mem[addr+1])
+	default:
+		return uint32(mem[addr])<<24 | uint32(mem[addr+1])<<16 |
+			uint32(mem[addr+2])<<8 | uint32(mem[addr+3])
+	}
+}
+
+func writeBE(mem []byte, addr uint32, size m68k.Size, v uint32) {
+	if int(addr)+int(size) > len(mem) {
+		return
+	}
+	switch size {
+	case m68k.Byte:
+		mem[addr] = byte(v)
+	case m68k.Word:
+		mem[addr] = byte(v >> 8)
+		mem[addr+1] = byte(v)
+	default:
+		mem[addr] = byte(v >> 24)
+		mem[addr+1] = byte(v >> 16)
+		mem[addr+2] = byte(v >> 8)
+		mem[addr+3] = byte(v)
+	}
+}

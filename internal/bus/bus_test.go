@@ -1,0 +1,223 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"palmsim/internal/m68k"
+)
+
+// fakeDevice records register accesses.
+type fakeDevice struct {
+	lastRead  uint32
+	lastWrite uint32
+	lastVal   uint32
+	readVal   uint32
+}
+
+func (d *fakeDevice) ReadReg(off uint32, size m68k.Size) uint32 {
+	d.lastRead = off
+	return d.readVal
+}
+
+func (d *fakeDevice) WriteReg(off uint32, size m68k.Size, v uint32) {
+	d.lastWrite, d.lastVal = off, v
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		want Region
+	}{
+		{0, RegionRAM},
+		{RAMSize - 1, RegionRAM},
+		{RAMSize, RegionOpen},
+		{ROMBase, RegionFlash},
+		{ROMBase + ROMSize - 1, RegionFlash},
+		{ROMBase + ROMSize, RegionOpen},
+		{IOBase, RegionIO},
+		{0xFFFFFFFF, RegionIO},
+		{0x08000000, RegionOpen},
+	}
+	for _, c := range cases {
+		if got := Classify(c.addr); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRAMReadWrite(t *testing.T) {
+	b := New(nil)
+	b.Write(0x1000, m68k.Long, 0xDEADBEEF)
+	if got := b.Read(0x1000, m68k.Long, m68k.Read); got != 0xDEADBEEF {
+		t.Errorf("long = %#x", got)
+	}
+	if got := b.Read(0x1000, m68k.Byte, m68k.Read); got != 0xDE {
+		t.Errorf("big-endian byte = %#x, want 0xDE", got)
+	}
+	if got := b.Read(0x1002, m68k.Word, m68k.Read); got != 0xBEEF {
+		t.Errorf("word = %#x", got)
+	}
+}
+
+func TestROMIsReadOnly(t *testing.T) {
+	b := New(nil)
+	if err := b.LoadROM(0, []byte{0x12, 0x34}); err != nil {
+		t.Fatal(err)
+	}
+	b.Write(ROMBase, m68k.Word, 0xFFFF)
+	if got := b.Read(ROMBase, m68k.Word, m68k.Read); got != 0x1234 {
+		t.Errorf("ROM modified by bus write: %#x", got)
+	}
+	if b.Stats.FlashWrites != 1 {
+		t.Errorf("flash write not counted")
+	}
+	// Poke bypasses the protection (ROM transfer).
+	b.Poke(ROMBase, m68k.Word, 0xABCD)
+	if got := b.Read(ROMBase, m68k.Word, m68k.Read); got != 0xABCD {
+		t.Errorf("Poke to flash failed: %#x", got)
+	}
+}
+
+func TestLoadROMBounds(t *testing.T) {
+	b := New(nil)
+	if err := b.LoadROM(ROMSize-1, []byte{1, 2}); err == nil {
+		t.Error("oversized ROM load accepted")
+	}
+}
+
+func TestDeviceDispatch(t *testing.T) {
+	d := &fakeDevice{readVal: 0x55}
+	b := New(d)
+	if got := b.Read(IOBase+0x610, m68k.Word, m68k.Read); got != 0x55 {
+		t.Errorf("device read = %#x", got)
+	}
+	if d.lastRead != 0x610 {
+		t.Errorf("device saw offset %#x", d.lastRead)
+	}
+	b.Write(IOBase+0x60E, m68k.Word, 3)
+	if d.lastWrite != 0x60E || d.lastVal != 3 {
+		t.Errorf("device write off=%#x v=%d", d.lastWrite, d.lastVal)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	b := New(nil)
+	b.LoadROM(0, []byte{0, 0, 0, 0})
+	b.Read(0x100, m68k.Word, m68k.Fetch)
+	b.Read(ROMBase, m68k.Word, m68k.Fetch)
+	b.Read(0x200, m68k.Long, m68k.Read)
+	b.Write(0x300, m68k.Byte, 1)
+	if b.Stats.RAMRefs != 3 || b.Stats.FlashRefs != 1 {
+		t.Errorf("region counts: ram=%d flash=%d", b.Stats.RAMRefs, b.Stats.FlashRefs)
+	}
+	if b.Stats.Fetches != 2 || b.Stats.Reads != 1 || b.Stats.Writes != 1 {
+		t.Errorf("kind counts: %+v", b.Stats)
+	}
+	if b.Stats.TotalRefs() != 4 {
+		t.Errorf("total = %d", b.Stats.TotalRefs())
+	}
+}
+
+func TestAvgMemCycles(t *testing.T) {
+	s := Stats{RAMRefs: 1, FlashRefs: 2}
+	want := (1.0*1 + 2.0*3) / 3
+	if got := s.AvgMemCycles(); got != want {
+		t.Errorf("avg = %f, want %f", got, want)
+	}
+	empty := Stats{}
+	if empty.AvgMemCycles() != 0 {
+		t.Error("empty stats should produce 0")
+	}
+}
+
+func TestChargeCycles(t *testing.T) {
+	b := New(nil)
+	b.LoadROM(0, []byte{0, 0})
+	var charged uint64
+	b.ChargeCycles = func(c uint64) { charged += c }
+	b.Read(0x100, m68k.Word, m68k.Read)   // RAM: 1
+	b.Read(ROMBase, m68k.Word, m68k.Read) // flash: 3
+	if charged != RAMCycles+FlashCycles {
+		t.Errorf("charged %d cycles, want %d", charged, RAMCycles+FlashCycles)
+	}
+}
+
+type countTracer struct{ refs []Ref }
+
+func (c *countTracer) Ref(r Ref) { c.refs = append(c.refs, r) }
+
+func TestTracerSeesEverything(t *testing.T) {
+	b := New(nil)
+	tr := &countTracer{}
+	b.Tracer = tr
+	b.Read(0x10, m68k.Word, m68k.Fetch)
+	b.Write(0x20, m68k.Byte, 7)
+	if len(tr.refs) != 2 {
+		t.Fatalf("tracer saw %d refs", len(tr.refs))
+	}
+	if tr.refs[0].Kind != m68k.Fetch || tr.refs[1].Kind != m68k.Write {
+		t.Error("kinds wrong")
+	}
+	if tr.refs[0].Region != RegionRAM {
+		t.Error("region wrong")
+	}
+}
+
+func TestTraceNativeSwitch(t *testing.T) {
+	b := New(nil)
+	tr := &countTracer{}
+	b.Tracer = tr
+	b.TraceNative = false
+	b.WriteTraced(0x10, m68k.Byte, 1)
+	if len(tr.refs) != 0 {
+		t.Error("untraced native write reached the tracer")
+	}
+	if b.Peek(0x10, m68k.Byte) != 1 {
+		t.Error("native write lost")
+	}
+	b.TraceNative = true
+	b.WriteTraced(0x11, m68k.Byte, 2)
+	if len(tr.refs) != 1 {
+		t.Error("traced native write missed the tracer")
+	}
+}
+
+func TestPeekBytesAndPokeBytes(t *testing.T) {
+	b := New(nil)
+	b.PokeBytes(0x40, []byte("palm"))
+	if got := string(b.PeekBytes(0x40, 4)); got != "palm" {
+		t.Errorf("round trip = %q", got)
+	}
+	if b.Stats.TotalRefs() != 0 {
+		t.Error("Peek/Poke must not count references")
+	}
+}
+
+func TestOpenBusReadsAllOnes(t *testing.T) {
+	b := New(nil)
+	if got := b.Read(0x02000000, m68k.Word, m68k.Read); got != 0xFFFF {
+		t.Errorf("open bus = %#x, want 0xFFFF", got)
+	}
+	if b.Stats.OpenRefs != 1 {
+		t.Error("open-bus access not counted")
+	}
+}
+
+// Property: any aligned value written to RAM reads back at every size.
+func TestRAMRoundTripQuick(t *testing.T) {
+	b := New(nil)
+	f := func(addr uint32, v uint32) bool {
+		addr = addr % (RAMSize - 4) &^ 3
+		b.Write(addr, m68k.Long, v)
+		if b.Read(addr, m68k.Long, m68k.Read) != v {
+			return false
+		}
+		hi := b.Read(addr, m68k.Word, m68k.Read)
+		lo := b.Read(addr+2, m68k.Word, m68k.Read)
+		return hi<<16|lo == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package cache implements the trace-driven cache simulator of the
+// paper's §4 case study: set-associative caches with LRU replacement (plus
+// FIFO and random as ablation extensions), driven by the memory-reference
+// traces the emulator collects, producing the miss rates of Figure 5 and
+// the average effective memory access times of Figure 6 (Equations 1-3).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"palmsim/internal/bus"
+)
+
+// Policy selects the replacement algorithm.
+type Policy uint8
+
+// Replacement policies. The paper uses LRU exclusively; FIFO and Random
+// exist for the ablation benchmark.
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	default:
+		return "Random"
+	}
+}
+
+// Config describes one cache configuration.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Policy    Policy
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dKB/%dB/%d-way/%s", c.SizeBytes/1024, c.LineBytes, c.Ways, c.Policy)
+}
+
+// Validate checks the configuration for coherence.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive parameter in %v", c)
+	case bits.OnesCount(uint(c.SizeBytes)) != 1:
+		return fmt.Errorf("cache: size %d not a power of two", c.SizeBytes)
+	case bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case bits.OnesCount(uint(c.Ways)) != 1:
+		return fmt.Errorf("cache: associativity %d not a power of two", c.Ways)
+	case c.SizeBytes < c.LineBytes*c.Ways:
+		return fmt.Errorf("cache: %v has fewer than one set", c)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// PaperSweep returns the 56 configurations of the case study: cache sizes
+// 1-64 KB, line sizes 16 and 32 bytes, associativities 1-8, LRU.
+func PaperSweep() []Config {
+	var out []Config
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		for _, line := range []int{16, 32} {
+			for _, ways := range []int{1, 2, 4, 8} {
+				out = append(out, Config{SizeBytes: size, LineBytes: line, Ways: ways, Policy: LRU})
+			}
+		}
+	}
+	return out
+}
+
+// Memory latencies in CPU cycles (§4.2).
+const (
+	THit       = 1.0
+	TRAMMiss   = float64(bus.RAMCycles)
+	TFlashMiss = float64(bus.FlashCycles)
+)
+
+// Result summarizes one simulation.
+type Result struct {
+	Config Config
+
+	Accesses    uint64
+	Misses      uint64
+	RAMRefs     uint64
+	FlashRefs   uint64
+	RAMMisses   uint64
+	FlashMisses uint64
+}
+
+// MissRate returns misses/accesses.
+func (r Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// TeffPaper computes Equation 2 of the paper: the average effective memory
+// access time using a single global miss rate weighted by the RAM/flash
+// reference mix, with T_hit = 1, T_RAMmiss = 1 and T_flashmiss = 3.
+func (r Result) TeffPaper() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	mr := r.MissRate()
+	fRAM := float64(r.RAMRefs) / float64(r.Accesses)
+	fFlash := float64(r.FlashRefs) / float64(r.Accesses)
+	return THit + fRAM*mr*TRAMMiss + fFlash*mr*TFlashMiss
+}
+
+// TeffExact computes the access time from the per-region miss counts (an
+// extension: the paper's Equation 2 assumes the miss rate is uniform
+// across regions).
+func (r Result) TeffExact() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return THit + (float64(r.RAMMisses)*TRAMMiss+float64(r.FlashMisses)*TFlashMiss)/float64(r.Accesses)
+}
+
+// NoCacheTeff computes Equation 3 — the cacheless average access time —
+// from a reference mix.
+func NoCacheTeff(ramRefs, flashRefs uint64) float64 {
+	total := ramRefs + flashRefs
+	if total == 0 {
+		return 0
+	}
+	return (float64(ramRefs)*TRAMMiss + float64(flashRefs)*TFlashMiss) / float64(total)
+}
+
+// Cache is one simulated cache instance.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint32
+	tags      []uint32 // sets*ways entries
+	valid     []bool
+	order     []uint8 // per-line LRU/FIFO rank (0 = most recent / newest)
+	ways      int
+	randState uint32
+	res       Result
+}
+
+// New creates a cache for the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint32(sets - 1),
+		tags:      make([]uint32, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		order:     make([]uint8, sets*cfg.Ways),
+		ways:      cfg.Ways,
+		randState: 0x2005,
+	}
+	// Ranks form a permutation within each set; promote preserves that
+	// invariant, so initialize it here.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.order[s*cfg.Ways+w] = uint8(w)
+		}
+	}
+	c.res.Config = cfg
+	return c, nil
+}
+
+// Result returns the statistics accumulated so far.
+func (c *Cache) Result() Result { return c.res }
+
+// Access performs one reference. It returns true on a hit.
+func (c *Cache) Access(addr uint32) bool {
+	isFlash := bus.Classify(addr) == bus.RegionFlash
+	c.res.Accesses++
+	if isFlash {
+		c.res.FlashRefs++
+	} else {
+		c.res.RAMRefs++
+	}
+
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> bits.TrailingZeros32(c.setMask+1)
+	base := set * c.ways
+
+	// Probe.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			if c.cfg.Policy == LRU {
+				c.promote(base, w)
+			}
+			return true
+		}
+	}
+
+	// Miss: pick a victim.
+	c.res.Misses++
+	if isFlash {
+		c.res.FlashMisses++
+	} else {
+		c.res.RAMMisses++
+	}
+	victim := c.victim(base)
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.promote(base, victim) // new line is most recent / newest
+	return false
+}
+
+// promote marks way w most-recent within the set (rank 0), aging others.
+func (c *Cache) promote(base, w int) {
+	old := c.order[base+w]
+	for i := 0; i < c.ways; i++ {
+		if c.order[base+i] < old {
+			c.order[base+i]++
+		}
+	}
+	c.order[base+w] = 0
+}
+
+// victim selects the way to replace in the set.
+func (c *Cache) victim(base int) int {
+	// An invalid way always wins.
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case Random:
+		c.randState = c.randState*1103515245 + 12345
+		return int(c.randState>>16) % c.ways
+	default: // LRU and FIFO both evict the highest rank; they differ in
+		// whether hits refresh the rank (see Access).
+		worst := 0
+		for w := 1; w < c.ways; w++ {
+			if c.order[base+w] > c.order[base+worst] {
+				worst = w
+			}
+		}
+		return worst
+	}
+}
+
+// Simulate runs a whole address trace through a fresh cache.
+func Simulate(cfg Config, trace []uint32) (Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, addr := range trace {
+		c.Access(addr)
+	}
+	return c.Result(), nil
+}
+
+// Sweep simulates the trace over every configuration. All caches advance
+// in lockstep over a single pass of the trace, so the trace is read once.
+func Sweep(cfgs []Config, trace []uint32) ([]Result, error) {
+	caches := make([]*Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	for _, addr := range trace {
+		for _, c := range caches {
+			c.Access(addr)
+		}
+	}
+	out := make([]Result, len(caches))
+	for i, c := range caches {
+		out[i] = c.Result()
+	}
+	return out, nil
+}

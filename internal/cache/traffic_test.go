@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+
+	"palmsim/internal/m68k"
+)
+
+func kindsOf(writes ...bool) []uint8 {
+	out := make([]uint8, len(writes))
+	for i, w := range writes {
+		if w {
+			out[i] = uint8(m68k.Write)
+		} else {
+			out[i] = uint8(m68k.Read)
+		}
+	}
+	return out
+}
+
+func TestTrafficBasics(t *testing.T) {
+	cfg := Config{SizeBytes: 32, LineBytes: 16, Ways: 2, Policy: LRU}
+	// Read A, write A (dirty), read B, read C (evicts A: writeback).
+	trace := []uint32{0x000, 0x004, 0x100, 0x200}
+	kinds := kindsOf(false, true, false, false)
+	res, err := SimulateTraffic(cfg, trace, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 1 {
+		t.Errorf("writes = %d", res.Writes)
+	}
+	if res.Fills != 3 {
+		t.Errorf("fills = %d, want 3 (A, B, C)", res.Fills)
+	}
+	if res.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1 (dirty A evicted)", res.Writebacks)
+	}
+	// WT: 3 fills * 16 + 1 write * 2 = 50; WB: (3+1)*16 = 64.
+	if res.WriteThroughBytes() != 50 {
+		t.Errorf("WT bytes = %d, want 50", res.WriteThroughBytes())
+	}
+	if res.WriteBackBytes() != 64 {
+		t.Errorf("WB bytes = %d, want 64", res.WriteBackBytes())
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	cfg := Config{SizeBytes: 16, LineBytes: 16, Ways: 1, Policy: LRU}
+	trace := []uint32{0x000, 0x100, 0x200}
+	res, err := SimulateTraffic(cfg, trace, kindsOf(false, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks != 0 {
+		t.Errorf("writebacks = %d for read-only trace", res.Writebacks)
+	}
+}
+
+func TestWriteBackWinsForWriteHotLine(t *testing.T) {
+	// Many writes to the same resident line: write-through pays per
+	// write, write-back pays one eventual writeback.
+	cfg := Config{SizeBytes: 1024, LineBytes: 16, Ways: 1, Policy: LRU}
+	var trace []uint32
+	var kinds []uint8
+	for i := 0; i < 1000; i++ {
+		trace = append(trace, 0x40)
+		kinds = append(kinds, uint8(m68k.Write))
+	}
+	res, err := SimulateTraffic(cfg, trace, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteBackBytes() >= res.WriteThroughBytes() {
+		t.Errorf("WB %d >= WT %d on a write-hot line", res.WriteBackBytes(), res.WriteThroughBytes())
+	}
+}
+
+func TestTrafficMatchesPlainSimulation(t *testing.T) {
+	// The base statistics must agree with the kind-blind simulator.
+	cfg := Config{SizeBytes: 512, LineBytes: 16, Ways: 2, Policy: LRU}
+	var trace []uint32
+	var kinds []uint8
+	for i := 0; i < 5000; i++ {
+		trace = append(trace, uint32(i*13%2048))
+		kinds = append(kinds, uint8(m68k.Read))
+	}
+	plain, err := Simulate(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic, err := SimulateTraffic(cfg, trace, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Misses != traffic.Misses || plain.Accesses != traffic.Accesses {
+		t.Errorf("traffic wrapper diverged: misses %d vs %d", traffic.Misses, plain.Misses)
+	}
+	if traffic.Fills != plain.Misses {
+		t.Errorf("fills %d != misses %d", traffic.Fills, plain.Misses)
+	}
+}
+
+func TestTrafficRejectsRandomPolicy(t *testing.T) {
+	cfg := Config{SizeBytes: 64, LineBytes: 16, Ways: 2, Policy: Random}
+	if _, err := SimulateTraffic(cfg, []uint32{0}, []uint8{0}); err == nil {
+		t.Error("random policy accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package dtrace
+
+import "testing"
+
+func TestGenerateLength(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Refs = 10000
+	trace := Generate(cfg)
+	if len(trace) != 10000 {
+		t.Fatalf("length = %d, want 10000", len(trace))
+	}
+	if Generate(Config{Refs: 0}) != nil {
+		t.Error("zero refs should produce nil")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Refs = 5000
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+	cfg.Seed = 999
+	c := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Refs = 100000
+	trace := Generate(cfg)
+	var code, heap, stack int
+	for _, a := range trace {
+		switch {
+		case a >= codeBase && a < codeBase+uint32(cfg.CodeBytes)+4:
+			code++
+		case a >= heapBase && a < heapBase+uint32(cfg.HeapBytes):
+			heap++
+		case a >= stackBase-(1<<20):
+			stack++
+		default:
+			t.Fatalf("address %#x outside any region", a)
+		}
+	}
+	// Instruction fetches dominate, with a meaningful data mix.
+	if code < len(trace)/2 {
+		t.Errorf("code refs = %d of %d, want majority", code, len(trace))
+	}
+	if heap == 0 || stack == 0 {
+		t.Errorf("heap=%d stack=%d, want both nonzero", heap, stack)
+	}
+}
+
+func TestLocalityKnob(t *testing.T) {
+	hot := DefaultConfig()
+	hot.Refs = 200000
+	hot.HotFraction = 0.95
+	cold := hot
+	cold.HotFraction = 0.0
+
+	unique := func(trace []uint32) int {
+		seen := map[uint32]bool{}
+		for _, a := range trace {
+			if a >= heapBase && a < heapBase+uint32(hot.HeapBytes) {
+				seen[a>>6] = true // 64-byte granules
+			}
+		}
+		return len(seen)
+	}
+	uh := unique(Generate(hot))
+	uc := unique(Generate(cold))
+	if uh >= uc {
+		t.Errorf("hot working set (%d granules) not smaller than cold (%d)", uh, uc)
+	}
+}

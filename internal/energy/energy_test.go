@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"palmsim/internal/cache"
+)
+
+func TestNoCacheBreakdown(t *testing.T) {
+	m := Default()
+	e := m.NoCache(1_000_000, 2_000_000, 33_000_000, 10)
+	wantMem := (1e6*m.RAMAccessNJ + 2e6*m.FlashAccessNJ) * 1e-9
+	if math.Abs(e.MemoryJ-wantMem) > 1e-9 {
+		t.Errorf("memory = %f, want %f", e.MemoryJ, wantMem)
+	}
+	wantCore := 33e6 * m.CPUCycleNJ * 1e-9
+	if math.Abs(e.CoreJ-wantCore) > 1e-9 {
+		t.Errorf("core = %f, want %f", e.CoreJ, wantCore)
+	}
+	wantDoze := 10 * m.DozeMW * 1e-3
+	if math.Abs(e.DozeJ-wantDoze) > 1e-9 {
+		t.Errorf("doze = %f, want %f", e.DozeJ, wantDoze)
+	}
+	if math.Abs(e.TotalJ()-(wantMem+wantCore+wantDoze)) > 1e-9 {
+		t.Error("total mismatch")
+	}
+}
+
+func TestCacheSavesFlashEnergy(t *testing.T) {
+	m := Default()
+	// A 2:1 flash:RAM mix with a 5% miss rate.
+	r := cache.Result{
+		Accesses:    3_000_000,
+		Misses:      150_000,
+		RAMRefs:     1_000_000,
+		FlashRefs:   2_000_000,
+		RAMMisses:   50_000,
+		FlashMisses: 100_000,
+	}
+	saving := m.MemorySaving(r)
+	if saving < 0.5 {
+		t.Errorf("memory energy saving = %.2f, want > 50%% for a 95%% hit rate", saving)
+	}
+	if saving >= 1 {
+		t.Errorf("saving %.2f impossible", saving)
+	}
+}
+
+func TestAllMissCacheWastesEnergy(t *testing.T) {
+	m := Default()
+	r := cache.Result{
+		Accesses:  1000,
+		Misses:    1000,
+		RAMRefs:   1000,
+		RAMMisses: 1000,
+	}
+	if s := m.MemorySaving(r); s >= 0 {
+		t.Errorf("an always-missing cache should cost energy, saving = %.3f", s)
+	}
+}
+
+func TestZeroRunIsZero(t *testing.T) {
+	m := Default()
+	if m.NoCache(0, 0, 0, 0).TotalJ() != 0 {
+		t.Error("empty run nonzero")
+	}
+	if m.MemorySaving(cache.Result{}) != 0 {
+		t.Error("empty result nonzero saving")
+	}
+}
+
+func TestBiggerCacheSavesMore(t *testing.T) {
+	m := Default()
+	low := cache.Result{Accesses: 1e6, RAMRefs: 3e5, FlashRefs: 7e5, RAMMisses: 6e4, FlashMisses: 14e4}
+	high := cache.Result{Accesses: 1e6, RAMRefs: 3e5, FlashRefs: 7e5, RAMMisses: 6e3, FlashMisses: 14e3}
+	if m.MemorySaving(high) <= m.MemorySaving(low) {
+		t.Error("lower miss rate should save more energy")
+	}
+}

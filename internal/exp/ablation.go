@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"palmsim/internal/cache"
+	"palmsim/internal/energy"
+	"palmsim/internal/sim"
+	"palmsim/internal/user"
+)
+
+// --- Profiling-completeness ablation (§2.4.2) ------------------------------
+
+// ProfilingAblation quantifies the paper's argument for enabling POSE's
+// Profiling mode: "If Profiling were not enabled, the emulator will have
+// skipped executing several instructions that a physical device would
+// have, invalidating the collected data." We replay the same session with
+// the ROM TrapDispatcher executing (profiling on — complete traces) and
+// with the native dispatch shortcut (profiling off — truncated traces),
+// and compare both the trace sizes and the cache results they produce.
+type ProfilingAblation struct {
+	OnRefs  int
+	OffRefs int
+	// Results are indexed identically over the paper sweep.
+	On  []cache.Result
+	Off []cache.Result
+}
+
+// RunProfilingAblation collects a session once and replays it both ways.
+func RunProfilingAblation(s user.Session) (*ProfilingAblation, error) {
+	col, err := sim.Collect(s)
+	if err != nil {
+		return nil, err
+	}
+	on, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: true, CollectTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	off, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: false, CollectTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	cfgs := cache.PaperSweep()
+	rOn, err := cache.Sweep(cfgs, on.Trace)
+	if err != nil {
+		return nil, err
+	}
+	rOff, err := cache.Sweep(cfgs, off.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return &ProfilingAblation{
+		OnRefs:  len(on.Trace),
+		OffRefs: len(off.Trace),
+		On:      rOn,
+		Off:     rOff,
+	}, nil
+}
+
+// --- Energy study (§4.4's battery-consumption claim) -----------------------
+
+// EnergyRow is one cache configuration's energy estimate for a session.
+type EnergyRow struct {
+	Config        cache.Config
+	MemorySaving  float64 // fraction of memory-system energy saved
+	TotalNoCacheJ float64
+	TotalCachedJ  float64
+}
+
+// EnergyStudy estimates per-configuration energy for a session: the
+// paper's closing claim is that a small cache "can greatly reduce the
+// average effective memory access time and potentially reduce the battery
+// consumption".
+func EnergyStudy(s user.Session) ([]EnergyRow, error) {
+	run, results, err := CacheStudy(s)
+	if err != nil {
+		return nil, err
+	}
+	model := energy.Default()
+	active := run.Play.Stats.Machine.ActiveCycles
+	doze := float64(run.Play.Stats.Machine.SkippedCycles) / 33e6
+	var out []EnergyRow
+	for _, r := range results {
+		base := model.NoCache(r.RAMRefs, r.FlashRefs, active, doze)
+		with := model.WithCache(r, active, doze)
+		out = append(out, EnergyRow{
+			Config:        r.Config,
+			MemorySaving:  model.MemorySaving(r),
+			TotalNoCacheJ: base.TotalJ(),
+			TotalCachedJ:  with.TotalJ(),
+		})
+	}
+	return out, nil
+}
+
+// --- Write-policy extension -------------------------------------------------
+
+// WritePolicyRow compares write-through and write-back memory traffic for
+// one configuration over a session's kind-aware trace.
+type WritePolicyRow struct {
+	Config            cache.Config
+	MissRate          float64
+	WriteThroughBytes uint64
+	WriteBackBytes    uint64
+}
+
+// WritePolicyStudy replays a session with access kinds recorded and
+// evaluates both write policies over a representative subset of the sweep
+// (direct-mapped and 4-way at each size, 32-byte lines).
+func WritePolicyStudy(s user.Session) ([]WritePolicyRow, error) {
+	col, err := sim.Collect(s)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		Profiling:    true,
+		CollectTrace: true,
+		CollectKinds: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []WritePolicyRow
+	for _, size := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+		for _, ways := range []int{1, 4} {
+			cfg := cache.Config{SizeBytes: size, LineBytes: 32, Ways: ways, Policy: cache.LRU}
+			res, err := cache.SimulateTraffic(cfg, pb.Trace, pb.TraceKinds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, WritePolicyRow{
+				Config:            cfg,
+				MissRate:          res.MissRate(),
+				WriteThroughBytes: res.WriteThroughBytes(),
+				WriteBackBytes:    res.WriteBackBytes(),
+			})
+		}
+	}
+	return out, nil
+}

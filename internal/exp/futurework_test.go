@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"testing"
+
+	"palmsim/internal/palmos"
+	"palmsim/internal/sim"
+	"palmsim/internal/user"
+	"palmsim/internal/validate"
+)
+
+// serialSession mixes serial/IrDA reception and battery polling into an
+// interactive workload — the inputs the paper's §5.1 left to future work.
+func serialSession() user.Session {
+	return user.Session{Name: "serial", Seed: 55, Script: func(b *user.Builder) {
+		b.IdleSeconds(2)
+		b.SerialReceive([]byte("BEGIN:VCARD"))
+		b.IdleSeconds(1)
+		b.Tap(30, 40) // launch memo (its event loop drains notifications)
+		b.IdleSeconds(1)
+		b.SerialReceive([]byte("FN:Ada Lovelace"))
+		b.IdleSeconds(2)
+		b.Home()
+		// The launcher polls battery+buttons on every pen-up.
+		b.Tap(30, 40)
+		b.Home()
+		b.IdleHours(4) // battery drains measurably
+		b.Tap(110, 40)
+		b.Home()
+		b.Notify(1)
+	}}
+}
+
+// TestSerialActivityLogsAndReplays: serial bytes flow through SrmEnqueue,
+// get logged, and replay to an identical serial buffer — the future-work
+// item "replay activity logs that involve ... serial port activity".
+func TestSerialActivityLogsAndReplays(t *testing.T) {
+	col, err := sim.Collect(serialSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The log contains the serial bytes.
+	var serialRecs []byte
+	for _, r := range col.Log.Records {
+		if int(r.Trap) == palmos.TrapSrmEnqueue {
+			serialRecs = append(serialRecs, byte(r.A))
+		}
+	}
+	want := "BEGIN:VCARDFN:Ada Lovelace"
+	if string(serialRecs) != want {
+		t.Fatalf("logged serial bytes %q, want %q", serialRecs, want)
+	}
+	if string(col.M.Kernel.SerialBuffer()) != want {
+		t.Fatalf("device serial buffer %q", col.M.Kernel.SerialBuffer())
+	}
+
+	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		Profiling: true,
+		WithHacks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb.M.Kernel.SerialBuffer()) != want {
+		t.Errorf("replayed serial buffer %q, want %q", pb.M.Kernel.SerialBuffer(), want)
+	}
+	logRep := validate.CorrelateLogs(col.Log, pb.Log)
+	if !logRep.OK() {
+		t.Errorf("log correlation: %s %v", logRep, logRep.Problems)
+	}
+	stRep := validate.CorrelateStates(col.Final, pb.Final)
+	if !stRep.OK() {
+		t.Errorf("state correlation: %s %v", stRep, stRep.UnexpectedDiffs())
+	}
+}
+
+// TestBatteryLoggingAndReplayOverride: the battery gauge is time-derived,
+// so logged readings drain over the session; replay serves queries from
+// the logged queue exactly as KeyCurrentState is handled (§2.4.2 pattern).
+func TestBatteryLoggingAndReplayOverride(t *testing.T) {
+	col, err := sim.Collect(serialSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readings []uint16
+	for _, r := range col.Log.Records {
+		if int(r.Trap) == palmos.TrapSysBatteryInfo {
+			readings = append(readings, r.B)
+		}
+	}
+	if len(readings) < 2 {
+		t.Fatalf("only %d battery readings logged", len(readings))
+	}
+	// The 4-hour idle drains about 12 percent.
+	first, last := readings[0], readings[len(readings)-1]
+	if first <= last {
+		t.Errorf("battery did not drain: %d -> %d", first, last)
+	}
+	if first > 100 || last < 5 {
+		t.Errorf("battery readings out of range: %d, %d", first, last)
+	}
+
+	// Replay queue coverage: queue built from the log.
+	replay := col.Log.ToReplay()
+	if len(replay.Battery) != len(readings) {
+		t.Errorf("battery queue %d entries, want %d", len(replay.Battery), len(readings))
+	}
+}

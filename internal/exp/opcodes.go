@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"sort"
+	"strings"
+
+	"palmsim/internal/m68k"
+)
+
+// OpcodeStat is one row of the §2.4.2 opcode-usage statistic.
+type OpcodeStat struct {
+	Opcode   uint16
+	Mnemonic string
+	Count    uint64
+}
+
+// opcodeBus feeds the disassembler a single opcode followed by zeroed
+// extension words, enough to recover the mnemonic and addressing shape.
+type opcodeBus struct{ op uint16 }
+
+func (b *opcodeBus) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	if addr == 0 {
+		if size == m68k.Word {
+			return uint32(b.op)
+		}
+		return uint32(b.op) << 16
+	}
+	return 0
+}
+
+func (b *opcodeBus) Write(addr uint32, size m68k.Size, v uint32) {}
+
+// Mnemonic returns the instruction mnemonic (without operands) for an
+// opcode.
+func Mnemonic(op uint16) string {
+	text, _ := m68k.Disassemble(&opcodeBus{op: op}, 0)
+	if i := strings.IndexByte(text, '\t'); i >= 0 {
+		return text[:i]
+	}
+	return text
+}
+
+// TopOpcodes ranks the opcode histogram and groups it by mnemonic,
+// returning the n most-executed instruction forms.
+func TopOpcodes(hist []uint64, n int) []OpcodeStat {
+	byMnemonic := map[string]*OpcodeStat{}
+	for op, count := range hist {
+		if count == 0 {
+			continue
+		}
+		m := Mnemonic(uint16(op))
+		if s, ok := byMnemonic[m]; ok {
+			s.Count += count
+		} else {
+			byMnemonic[m] = &OpcodeStat{Opcode: uint16(op), Mnemonic: m, Count: count}
+		}
+	}
+	out := make([]OpcodeStat, 0, len(byMnemonic))
+	for _, s := range byMnemonic {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Mnemonic < out[j].Mnemonic
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

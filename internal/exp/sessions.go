@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/sim"
+	"palmsim/internal/user"
+	"palmsim/internal/validate"
+)
+
+// --- E3: Table 1 — volunteer user session data -----------------------------
+
+// SessionRow is one Table 1 line: events, reference counts, elapsed time
+// and the cacheless average effective memory access time (Equation 3).
+type SessionRow struct {
+	Name           string
+	Events         int
+	RAMRefs        uint64
+	FlashRefs      uint64
+	ElapsedSeconds float64
+	AvgMemCycles   float64
+}
+
+// SessionRun bundles a collection and its trace-producing replay.
+type SessionRun struct {
+	Row   SessionRow
+	Col   *sim.Collection
+	Play  *sim.Playback
+	Trace []uint32
+}
+
+// RunSession collects one session and replays it with trace collection —
+// the full §2 pipeline for one Table 1 row.
+func RunSession(s user.Session) (*SessionRun, error) {
+	col, err := sim.Collect(s)
+	if err != nil {
+		return nil, fmt.Errorf("collect %s: %w", s.Name, err)
+	}
+	play, err := sim.Replay(col.Initial, col.Log, sim.DefaultReplayOptions())
+	if err != nil {
+		return nil, fmt.Errorf("replay %s: %w", s.Name, err)
+	}
+	elapsed := float64(col.Log.ElapsedTicks()) / 100.0
+	row := SessionRow{
+		Name:           s.Name,
+		Events:         col.Log.Len(),
+		RAMRefs:        play.Stats.Bus.RAMRefs,
+		FlashRefs:      play.Stats.Bus.FlashRefs,
+		ElapsedSeconds: elapsed,
+		AvgMemCycles:   play.Stats.Bus.AvgMemCycles(),
+	}
+	return &SessionRun{Row: row, Col: col, Play: play, Trace: play.Trace}, nil
+}
+
+// Table1 runs all four paper sessions.
+func Table1() ([]*SessionRun, error) {
+	var out []*SessionRun
+	for _, s := range user.PaperSessions() {
+		run, err := RunSession(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// --- E4/E5: Figures 5 and 6 — the cache case study -------------------------
+
+// CacheStudy replays one session and sweeps the 56 paper configurations
+// over its memory-reference trace.
+func CacheStudy(s user.Session) (*SessionRun, []cache.Result, error) {
+	run, err := RunSession(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := cache.Sweep(cache.PaperSweep(), run.Trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, results, nil
+}
+
+// --- E7/E8: §3 validation ---------------------------------------------------
+
+// ValidationResult bundles both §3 correlations for one session.
+type ValidationResult struct {
+	Session user.Session
+	Log     validate.LogReport
+	State   validate.StateReport
+}
+
+// ValidateSession collects a session, replays it with hacks installed, and
+// runs the §3.3 activity-log correlation and §3.4 final-state correlation.
+func ValidateSession(s user.Session) (*ValidationResult, error) {
+	col, err := sim.Collect(s)
+	if err != nil {
+		return nil, err
+	}
+	play, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		Profiling: true,
+		WithHacks: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ValidationResult{
+		Session: s,
+		Log:     validate.CorrelateLogs(col.Log, play.Log),
+		State:   validate.CorrelateStates(col.Final, play.Final),
+	}, nil
+}
+
+// ValidateChain reproduces the paper's §3.1 setup exactly: the three test
+// workloads run in sequence, each starting from the previous workload's
+// final state ("the initial state of the second test workload is the same
+// as the final state for the first"), and each is replayed and validated
+// independently.
+func ValidateChain(workloads []user.Session) ([]*ValidationResult, error) {
+	var prior *sim.State
+	var out []*ValidationResult
+	for _, w := range workloads {
+		col, err := sim.CollectFrom(prior, w)
+		if err != nil {
+			return nil, fmt.Errorf("collect %s: %w", w.Name, err)
+		}
+		play, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+			Profiling: true,
+			WithHacks: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replay %s: %w", w.Name, err)
+		}
+		out = append(out, &ValidationResult{
+			Session: w,
+			Log:     validate.CorrelateLogs(col.Log, play.Log),
+			State:   validate.CorrelateStates(col.Final, play.Final),
+		})
+		prior = col.Final
+	}
+	return out, nil
+}
+
+// ValidationWorkloads returns the §3.2 three test workloads: two scripted
+// sessions and a game of Puzzle. Each workload's initial state is the
+// previous one's final state in the paper; ValidateChain reproduces that.
+func ValidationWorkloads() []user.Session {
+	return []user.Session{
+		{Name: "workload1-script", Seed: 11, Script: func(b *user.Builder) {
+			b.IdleSeconds(2)
+			b.WriteMemo("first scripted workload")
+			b.IdleSeconds(5)
+			b.BrowseAddresses(3)
+			b.IdleSeconds(2)
+			b.Notify(1)
+		}},
+		{Name: "workload2-script", Seed: 22, Script: func(b *user.Builder) {
+			b.IdleSeconds(2)
+			b.WriteMemo("second scripted workload with more text to enter")
+			b.IdleSeconds(3)
+			b.WriteMemo("and a second memo")
+			b.IdleSeconds(2)
+			b.Notify(1)
+		}},
+		{Name: "workload3-puzzle", Seed: 33, Script: func(b *user.Builder) {
+			b.IdleSeconds(2)
+			b.PlayPuzzle(12)
+			b.IdleSeconds(2)
+			b.Notify(1)
+		}},
+	}
+}
+
+// ReplayWithOpcodes collects a session and replays it with the opcode
+// histogram enabled (the §2.4.2 opcode statistic).
+func ReplayWithOpcodes(s user.Session) (*sim.Playback, error) {
+	col, err := sim.Collect(s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		Profiling:    true,
+		CountOpcodes: true,
+	})
+}

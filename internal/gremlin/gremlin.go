@@ -1,0 +1,93 @@
+// Package gremlin implements the Palm OS Emulator's "Gremlins" feature: a
+// seeded storm of pseudo-random user input (taps, strokes, Graffiti,
+// button presses) used to stress-test applications. POSE — the emulator
+// the paper builds on (§2.4.1) — shipped Gremlins as its flagship testing
+// tool; here a gremlin session doubles as a fuzzer for the entire
+// simulator stack, since any storm must collect, replay and validate like
+// a human session.
+package gremlin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"palmsim/internal/palmos"
+	"palmsim/internal/user"
+)
+
+// Config shapes a gremlin storm.
+type Config struct {
+	// Seed makes the storm reproducible, exactly as POSE gremlin numbers
+	// did.
+	Seed int64
+	// Events is the approximate number of input actions to generate.
+	Events int
+	// MaxThinkTicks bounds the random gap between actions.
+	MaxThinkTicks int
+}
+
+// DefaultConfig returns a moderate storm.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Events: 200, MaxThinkTicks: 100}
+}
+
+// Session wraps a storm as a replayable user session named after its seed
+// (POSE called these "gremlin #N").
+func Session(cfg Config) user.Session {
+	return user.Session{
+		Name: fmt.Sprintf("gremlin-%d", cfg.Seed),
+		Seed: cfg.Seed,
+		Script: func(b *user.Builder) {
+			run(cfg, b)
+		},
+	}
+}
+
+// run emits the storm into a builder.
+func run(cfg Config, b *user.Builder) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6772656D)) // "grem"
+	if cfg.Events <= 0 {
+		cfg.Events = 200
+	}
+	if cfg.MaxThinkTicks <= 0 {
+		cfg.MaxThinkTicks = 100
+	}
+	b.IdleSeconds(1)
+	for i := 0; i < cfg.Events; i++ {
+		switch rng.Intn(20) {
+		case 0, 1, 2, 3, 4, 5, 6, 7: // tap anywhere on the LCD
+			b.Tap(rng.Intn(palmos.ScreenWidth), rng.Intn(palmos.ScreenHeight))
+		case 8, 9, 10: // stroke
+			b.Stroke(rng.Intn(160), rng.Intn(160), rng.Intn(160), rng.Intn(160))
+		case 11, 12, 13, 14: // random printable character via Graffiti
+			b.Graffiti(byte(32 + rng.Intn(95)))
+		case 15: // backspace
+			b.Key(palmos.KeyBackspace)
+		case 16: // hardware buttons
+			b.Buttons(uint16(rng.Intn(16)))
+		case 17: // notify broadcast
+			b.Notify(uint16(rng.Intn(8)))
+		case 18: // home, card edges or serial bytes
+			switch rng.Intn(4) {
+			case 0:
+				b.InsertCard(byte(rng.Intn(2)))
+			case 1:
+				b.RemoveCard(byte(rng.Intn(2)))
+			case 2:
+				n := 1 + rng.Intn(6)
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte(32 + rng.Intn(95))
+				}
+				b.SerialReceive(data)
+			default:
+				b.Home()
+			}
+		default: // think pause
+			b.Idle(uint32(rng.Intn(cfg.MaxThinkTicks) + 1))
+		}
+		b.Idle(uint32(rng.Intn(cfg.MaxThinkTicks) + 1))
+	}
+	// Settle with a final notify so the log's span covers the storm.
+	b.Notify(0)
+}

@@ -1,0 +1,106 @@
+package gremlin
+
+import (
+	"testing"
+
+	"palmsim/internal/sim"
+	"palmsim/internal/validate"
+)
+
+func TestStormIsDeterministic(t *testing.T) {
+	s := Session(DefaultConfig(7))
+	a := s.Build(100)
+	b := s.Build(100)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic storm")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("input %d differs", i)
+		}
+	}
+	if len(a) < 100 {
+		t.Errorf("storm produced only %d inputs", len(a))
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Session(DefaultConfig(1)).Build(0)
+	b := Session(DefaultConfig(2)).Build(0)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different gremlin seeds produced identical storms")
+		}
+	}
+}
+
+// TestGremlinFuzzSurvivesAndValidates is the big one: random input storms
+// must never crash the simulated OS, and — the deterministic state machine
+// property — their replays must correlate perfectly. This fuzzes the
+// entire stack: CPU, ROM, dispatcher, hacks, event queue, apps.
+func TestGremlinFuzzSurvivesAndValidates(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := DefaultConfig(seed)
+		cfg.Events = 120
+		s := Session(cfg)
+		col, err := sim.Collect(s)
+		if err != nil {
+			t.Fatalf("gremlin %d: collect: %v", seed, err)
+		}
+		if col.Log.Len() == 0 {
+			t.Fatalf("gremlin %d: empty log", seed)
+		}
+		pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+			Profiling: true,
+			WithHacks: true,
+		})
+		if err != nil {
+			t.Fatalf("gremlin %d: replay: %v", seed, err)
+		}
+		logRep := validate.CorrelateLogs(col.Log, pb.Log)
+		if !logRep.OK() {
+			t.Errorf("gremlin %d: log correlation failed: %s %v", seed, logRep, logRep.Problems)
+		}
+		stRep := validate.CorrelateStates(col.Final, pb.Final)
+		if !stRep.OK() {
+			t.Errorf("gremlin %d: state correlation failed: %s %v", seed, stRep, stRep.UnexpectedDiffs())
+		}
+	}
+}
+
+// TestGremlinMarathon is the long fuzz: ten storms of 200 events each must
+// survive and validate. Skipped under -short.
+func TestGremlinMarathon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for seed := int64(10); seed < 20; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Events = 200
+		col, err := sim.Collect(Session(cfg))
+		if err != nil {
+			t.Fatalf("gremlin %d: %v", seed, err)
+		}
+		pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: true, WithHacks: true})
+		if err != nil {
+			t.Fatalf("gremlin %d replay: %v", seed, err)
+		}
+		if rep := validate.CorrelateLogs(col.Log, pb.Log); !rep.OK() {
+			t.Errorf("gremlin %d: %s %v", seed, rep, rep.Problems)
+		}
+		if rep := validate.CorrelateStates(col.Final, pb.Final); !rep.OK() {
+			t.Errorf("gremlin %d state: %s %v", seed, rep, rep.UnexpectedDiffs())
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package hack implements the paper's instrumentation mechanism (§2.3.2):
+// a hack is 68k code installed in RAM whose address is patched into the
+// trap dispatch table "in addition to or in lieu of the standard Palm OS
+// routines". The five hacks of the paper wrap EvtEnqueueKey,
+// EvtEnqueuePenPoint, KeyCurrentState, SysNotifyBroadcast and SysRandom;
+// each logs one 16-byte record (current tick counter, real-time clock,
+// event type, data) into a common database — ActivityLogDB — and then
+// calls the original routine.
+//
+// Stubs are generated as assembly source per trap, assembled with
+// internal/asm at install time, and written into a reserved RAM region, so
+// installation works exactly like an X-Master hack load: read the current
+// table entry, point the table at the stub, embed the old entry as the
+// chain target.
+package hack
+
+import (
+	"fmt"
+	"strings"
+
+	"palmsim/internal/asm"
+	"palmsim/internal/emu"
+	"palmsim/internal/m68k"
+	"palmsim/internal/palmos"
+	"palmsim/internal/pdb"
+)
+
+// StubRegion is where hack code lives in RAM (below the app code region).
+const StubRegion = 0x30000
+
+// PaperTraps lists the five system calls the paper instruments.
+var PaperTraps = []int{
+	palmos.TrapEvtEnqueueKey,
+	palmos.TrapEvtEnqueuePenPoint,
+	palmos.TrapKeyCurrentState,
+	palmos.TrapSysNotifyBroadcast,
+	palmos.TrapSysRandom,
+}
+
+// FutureWorkTraps lists the inputs the paper left to future work (§5.1)
+// that this reproduction additionally instruments: serial/IrDA receive
+// bytes and battery-gauge queries.
+var FutureWorkTraps = []int{
+	palmos.TrapSrmEnqueue,
+	palmos.TrapSysBatteryInfo,
+}
+
+// Hack records one installed patch.
+type Hack struct {
+	Trap     int
+	Addr     uint32 // stub address in RAM
+	Original uint32 // chained previous table entry
+	Size     int    // stub bytes
+}
+
+// Manager installs and removes hacks on a machine — the X-Master role.
+type Manager struct {
+	M         *emu.Machine
+	installed map[int]*Hack
+	next      uint32
+}
+
+// NewManager creates a hack manager for the machine.
+func NewManager(m *emu.Machine) *Manager {
+	return &Manager{M: m, installed: make(map[int]*Hack), next: StubRegion}
+}
+
+// Installed returns the hack for a trap, if present.
+func (mgr *Manager) Installed(trap int) (*Hack, bool) {
+	h, ok := mgr.installed[trap]
+	return h, ok
+}
+
+// PrepareDevice performs the paper's §3.1 device preparation: create the
+// common activity-log database and set the backup bit on every database so
+// the initial-state HotSync captures them.
+func (mgr *Manager) PrepareDevice() error {
+	if _, ok := mgr.M.Store.Lookup(palmos.ActivityLogDB); !ok {
+		if _, err := mgr.M.Store.Create(palmos.ActivityLogDB, fourCC("aLog"), fourCC("hack")); err != nil {
+			return err
+		}
+	}
+	mgr.M.Store.SetBackupBits()
+	return nil
+}
+
+// InstallPaperHacks installs all five hacks from the paper.
+func (mgr *Manager) InstallPaperHacks() error {
+	if err := mgr.PrepareDevice(); err != nil {
+		return err
+	}
+	for _, trap := range PaperTraps {
+		if err := mgr.Install(trap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallAllHacks installs the paper's five hacks plus the future-work
+// instrumentation (serial and battery).
+func (mgr *Manager) InstallAllHacks() error {
+	if err := mgr.InstallPaperHacks(); err != nil {
+		return err
+	}
+	for _, trap := range FutureWorkTraps {
+		if err := mgr.Install(trap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func tableEntryAddr(trap int) uint32 {
+	return palmos.AddrTrapTable + uint32(trap)*4
+}
+
+// Install builds and installs the stub for one trap.
+func (mgr *Manager) Install(trap int) error {
+	if trap <= 0 || trap >= palmos.NumTraps {
+		return fmt.Errorf("hack: trap %#x out of range", trap)
+	}
+	if _, dup := mgr.installed[trap]; dup {
+		return fmt.Errorf("hack: trap %#x already hacked", trap)
+	}
+	original := mgr.M.Bus.Peek(tableEntryAddr(trap), m68k.Long)
+	if original == 0 {
+		return fmt.Errorf("hack: trap %#x has no handler to chain to", trap)
+	}
+	src, err := stubSource(trap, original)
+	if err != nil {
+		return err
+	}
+	img, err := asm.Assemble(mgr.next, src)
+	if err != nil {
+		return fmt.Errorf("hack: assembling stub for trap %#x: %w", trap, err)
+	}
+	mgr.M.Bus.PokeBytes(mgr.next, img.Data)
+	h := &Hack{Trap: trap, Addr: mgr.next, Original: original, Size: len(img.Data)}
+	// Patch the dispatch table: this single write is the whole
+	// installation, as on real hardware.
+	mgr.M.Bus.Poke(tableEntryAddr(trap), m68k.Long, h.Addr)
+	mgr.next += uint32(len(img.Data)+15) &^ 15
+	mgr.installed[trap] = h
+	return nil
+}
+
+// InstallIsolated installs a hack whose chain to the original routine is
+// eliminated: the stub logs and returns. This is the paper's §2.3.3
+// measurement configuration ("the test eliminated the call to the
+// original system routine to isolate the overhead associated with the
+// hack") — useful only for measurement, since the system call itself never
+// runs.
+func (mgr *Manager) InstallIsolated(trap int) error {
+	if trap <= 0 || trap >= palmos.NumTraps {
+		return fmt.Errorf("hack: trap %#x out of range", trap)
+	}
+	if _, dup := mgr.installed[trap]; dup {
+		return fmt.Errorf("hack: trap %#x already hacked", trap)
+	}
+	original := mgr.M.Bus.Peek(tableEntryAddr(trap), m68k.Long)
+	src, err := stubSource(trap, original)
+	if err != nil {
+		return err
+	}
+	// Replace the chain jump with a plain return.
+	src = strings.Replace(src, "\tjmp\toriginal\n", "\trts\n", 1)
+	src = strings.Replace(src, "\tjsr\toriginal\n", "\tmoveq\t#0,d0\n", 1)
+	img, err := asm.Assemble(mgr.next, src)
+	if err != nil {
+		return fmt.Errorf("hack: assembling isolated stub for trap %#x: %w", trap, err)
+	}
+	mgr.M.Bus.PokeBytes(mgr.next, img.Data)
+	h := &Hack{Trap: trap, Addr: mgr.next, Original: original, Size: len(img.Data)}
+	mgr.M.Bus.Poke(tableEntryAddr(trap), m68k.Long, h.Addr)
+	mgr.next += uint32(len(img.Data)+15) &^ 15
+	mgr.installed[trap] = h
+	return nil
+}
+
+// Uninstall restores the original table entry. Stub memory is leaked
+// (matching on-device behaviour until reboot), which is harmless here.
+func (mgr *Manager) Uninstall(trap int) error {
+	h, ok := mgr.installed[trap]
+	if !ok {
+		return fmt.Errorf("hack: trap %#x not installed", trap)
+	}
+	mgr.M.Bus.Poke(tableEntryAddr(trap), m68k.Long, h.Original)
+	delete(mgr.installed, trap)
+	return nil
+}
+
+// stubSource generates the stub for a trap. Argument offsets: at the gate,
+// the stack holds [saved d0-d1/a0-a1 (16)][saved SR (2)][return (4)][args],
+// so the original arguments start at 22(sp).
+func stubSource(trap int, original uint32) (string, error) {
+	head := fmt.Sprintf(`
+kHackBuf	equ	$%X
+original	equ	$%X
+logop	equ	$%X
+`, palmos.AddrHackBuf, original, 0xF000|palmos.GateHackLog|trap)
+
+	const prologue = `
+stub:
+	move.w	sr,-(sp)
+	ori	#$0700,sr	; log atomically
+	movem.l	d0-d1/a0-a1,-(sp)
+`
+	const epilogue = `
+	dc.w	logop
+	movem.l	(sp)+,d0-d1/a0-a1
+	move.w	(sp)+,sr
+	jmp	original
+`
+	var body string
+	switch trap {
+	case palmos.TrapEvtEnqueueKey:
+		// EvtEnqueueKey(ascii.w, keyCode.w, modifiers.w)
+		body = `
+	move.w	22(sp),kHackBuf.w
+	move.w	24(sp),kHackBuf+2.w
+	move.w	26(sp),kHackBuf+4.w
+`
+	case palmos.TrapEvtEnqueuePenPoint:
+		// EvtEnqueuePenPoint(PointType *pt): dereference for x,y.
+		body = `
+	move.l	22(sp),a0
+	move.w	(a0),kHackBuf.w
+	move.w	2(a0),kHackBuf+2.w
+	clr.w	kHackBuf+4.w
+`
+	case palmos.TrapSysNotifyBroadcast, palmos.TrapSrmEnqueue:
+		// Single word argument (notify type / received serial byte).
+		body = `
+	move.w	22(sp),kHackBuf.w
+	clr.w	kHackBuf+2.w
+	clr.w	kHackBuf+4.w
+`
+	case palmos.TrapSysRandom:
+		// SysRandom(seed.l): log the seed (A=hi, B=lo).
+		body = `
+	move.l	22(sp),d0
+	move.w	d0,kHackBuf+2.w
+	swap	d0
+	move.w	d0,kHackBuf.w
+	clr.w	kHackBuf+4.w
+`
+	case palmos.TrapKeyCurrentState, palmos.TrapSysBatteryInfo:
+		// Result-logging form: run the original first, then log D0.
+		src := head + `
+stub:
+	jsr	original
+	move.w	sr,-(sp)
+	ori	#$0700,sr
+	movem.l	d0-d1/a0-a1,-(sp)
+	move.w	d0,kHackBuf+2.w
+	swap	d0
+	move.w	d0,kHackBuf.w
+	clr.w	kHackBuf+4.w
+	dc.w	logop
+	movem.l	(sp)+,d0-d1/a0-a1
+	move.w	(sp)+,sr
+	rts
+`
+		return src, nil
+	default:
+		// Generic argument-less logger for any other trap (useful for
+		// experiments beyond the paper's five).
+		body = `
+	clr.w	kHackBuf.w
+	clr.w	kHackBuf+2.w
+	clr.w	kHackBuf+4.w
+`
+	}
+	return head + prologue + body + epilogue, nil
+}
+
+func fourCC(s string) uint32 {
+	return pdb.FourCC(s)
+}

@@ -1,0 +1,340 @@
+package hack
+
+import (
+	"testing"
+
+	"palmsim/internal/alog"
+	"palmsim/internal/emu"
+	"palmsim/internal/hw"
+	"palmsim/internal/m68k"
+	"palmsim/internal/palmos"
+)
+
+func booted(t *testing.T) *emu.Machine {
+	t.Helper()
+	m, err := emu.New(emu.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInstallPatchesTable(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	entry := palmos.AddrTrapTable + uint32(palmos.TrapEvtEnqueueKey)*4
+	before := m.Bus.Peek(entry, m68k.Long)
+	if err := mgr.InstallPaperHacks(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Bus.Peek(entry, m68k.Long)
+	if after == before {
+		t.Fatal("trap table entry unchanged after install")
+	}
+	h, ok := mgr.Installed(palmos.TrapEvtEnqueueKey)
+	if !ok || h.Original != before || h.Addr != after {
+		t.Fatalf("hack bookkeeping wrong: %+v (before=%#x after=%#x)", h, before, after)
+	}
+	if _, ok := m.Store.Lookup(palmos.ActivityLogDB); !ok {
+		t.Fatal("ActivityLogDB not created by PrepareDevice")
+	}
+	if err := mgr.Uninstall(palmos.TrapEvtEnqueueKey); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bus.Peek(entry, m68k.Long); got != before {
+		t.Fatalf("uninstall did not restore entry: %#x != %#x", got, before)
+	}
+}
+
+func TestDoubleInstallFails(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.Install(palmos.TrapSysRandom); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Install(palmos.TrapSysRandom); err == nil {
+		t.Fatal("double install succeeded")
+	}
+}
+
+// runInputs schedules a small interactive burst and runs it to idle.
+func runInputs(t *testing.T, m *emu.Machine) {
+	t.Helper()
+	tick := m.Ticks() + 10
+	// Launch memo and type two characters.
+	must(t, m.Schedule(tick, hw.InputEvent{Type: hw.EvKey, A: '1'}))
+	must(t, m.Schedule(tick+20, hw.InputEvent{Type: hw.EvKey, A: 'h'}))
+	must(t, m.Schedule(tick+40, hw.InputEvent{Type: hw.EvKey, A: 'i'}))
+	// A pen stroke: down, two moves, up.
+	must(t, m.Schedule(tick+60, hw.InputEvent{Type: hw.EvPen, A: 50, B: 60}))
+	must(t, m.Schedule(tick+62, hw.InputEvent{Type: hw.EvPen, A: 51, B: 61}))
+	must(t, m.Schedule(tick+64, hw.InputEvent{Type: hw.EvPen, A: 52, B: 62}))
+	must(t, m.Schedule(tick+66, hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp}))
+	// A notify broadcast.
+	must(t, m.Schedule(tick+80, hw.InputEvent{Type: hw.EvNotify, A: 7}))
+	if err := m.RunUntilIdle(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHacksLogInputs(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.InstallPaperHacks(); err != nil {
+		t.Fatal(err)
+	}
+	runInputs(t, m)
+
+	exported, err := m.Store.Export(palmos.ActivityLogDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := alog.FromDatabase(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no activity log records")
+	}
+	byTrap := map[uint16]int{}
+	for _, r := range log.Records {
+		byTrap[r.Trap]++
+	}
+	if byTrap[palmos.TrapEvtEnqueueKey] != 3 {
+		t.Errorf("EvtEnqueueKey records = %d, want 3", byTrap[palmos.TrapEvtEnqueueKey])
+	}
+	if byTrap[palmos.TrapEvtEnqueuePenPoint] != 4 {
+		t.Errorf("EvtEnqueuePenPoint records = %d, want 4 (3 points + pen up)", byTrap[palmos.TrapEvtEnqueuePenPoint])
+	}
+	if byTrap[palmos.TrapSysNotifyBroadcast] != 1 {
+		t.Errorf("SysNotifyBroadcast records = %d, want 1", byTrap[palmos.TrapSysNotifyBroadcast])
+	}
+
+	// Pen coordinates must round-trip exactly (§3.3: "Each pen event
+	// recorded in the original activity log also appeared ... with the
+	// same coordinates").
+	var pens []alog.Record
+	for _, r := range log.Records {
+		if int(r.Trap) == palmos.TrapEvtEnqueuePenPoint {
+			pens = append(pens, r)
+		}
+	}
+	wantX := []uint16{50, 51, 52, hw.PenUp}
+	for i, p := range pens {
+		if p.A != wantX[i] {
+			t.Errorf("pen record %d: x = %d, want %d", i, p.A, wantX[i])
+		}
+	}
+
+	// Ticks must be nondecreasing.
+	for i := 1; i < log.Len(); i++ {
+		if log.Records[i].Tick < log.Records[i-1].Tick {
+			t.Fatalf("record %d tick regressed", i)
+		}
+	}
+}
+
+func TestKeyCurrentStateHackLogsResult(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.InstallPaperHacks(); err != nil {
+		t.Fatal(err)
+	}
+	tick := m.Ticks() + 10
+	// Set the hardware buttons, then cause a pen-up in the puzzle app,
+	// which polls KeyCurrentState.
+	must(t, m.Schedule(tick, hw.InputEvent{Type: hw.EvKey, A: '2'})) // launch puzzle
+	must(t, m.Schedule(tick+20, hw.InputEvent{Type: hw.EvButtons, A: 0x0005}))
+	must(t, m.Schedule(tick+30, hw.InputEvent{Type: hw.EvPen, A: 50, B: 50}))
+	must(t, m.Schedule(tick+33, hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp}))
+	if err := m.RunUntilIdle(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	exported, err := m.Store.Export(palmos.ActivityLogDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := alog.FromDatabase(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range log.Records {
+		if int(r.Trap) == palmos.TrapKeyCurrentState && r.B == 0x0005 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no KeyCurrentState record carrying the button bits 0x0005")
+	}
+}
+
+func TestSysRandomHackLogsNonZeroSeeds(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.InstallPaperHacks(); err != nil {
+		t.Fatal(err)
+	}
+	tick := m.Ticks() + 10
+	// Launching puzzle seeds SysRandom with TimGetTicks (non-zero).
+	must(t, m.Schedule(tick, hw.InputEvent{Type: hw.EvKey, A: '2'}))
+	if err := m.RunUntilIdle(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	exported, err := m.Store.Export(palmos.ActivityLogDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := alog.FromDatabase(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := log.ToReplay()
+	if len(replay.Seeds) == 0 {
+		t.Fatal("no SysRandom seeds logged by the puzzle shuffle")
+	}
+	// The seed is the tick value at seeding time: sanity-bound it.
+	if replay.Seeds[0] == 0 {
+		t.Error("zero seed recorded in the seed queue")
+	}
+	// The 32 zero-seed shuffle calls must NOT be in the seed queue but
+	// must appear as records.
+	randCalls := 0
+	for _, r := range log.Records {
+		if int(r.Trap) == palmos.TrapSysRandom {
+			randCalls++
+		}
+	}
+	if randCalls < 65 {
+		t.Errorf("SysRandom records = %d, want >= 65 (1 seed + 64 shuffle calls)", randCalls)
+	}
+	if len(replay.Seeds) >= randCalls {
+		t.Error("seed queue should exclude zero-seed calls")
+	}
+}
+
+// TestHackOverheadGrowsWithDatabaseSize reproduces the Figure 3 mechanism:
+// the per-call cost of a hack grows roughly linearly with the number of
+// records already in the activity log database.
+func TestHackOverheadGrowsWithDatabaseSize(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.InstallPaperHacks(); err != nil {
+		t.Fatal(err)
+	}
+
+	costAt := func(prefill int) uint64 {
+		db, _ := m.Store.Lookup(palmos.ActivityLogDB)
+		for db.NumRecords() < prefill {
+			_, _, err := db.NewRecord(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Measure one keyboard event end to end (active cycles only:
+		// dozed/skipped time is not overhead).
+		start := m.Stats.ActiveCycles
+		tick := m.Ticks() + 5
+		must(t, m.Schedule(tick, hw.InputEvent{Type: hw.EvKey, A: 'x'}))
+		if err := m.RunUntilIdle(500_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.ActiveCycles - start
+	}
+
+	small := costAt(0)
+	large := costAt(50000)
+	if large <= small {
+		t.Fatalf("cost at 50k records (%d) not larger than at ~0 (%d)", large, small)
+	}
+	ratio := float64(large) / float64(small)
+	// Figure 3: ~6.4 ms at small vs ~15.5 ms at 50-60k records (≈2.4x).
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("overhead growth ratio = %.2f, want in the Figure 3 neighbourhood (~2.4)", ratio)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallIsolated verifies the §2.3.3 measurement configuration: the
+// isolated hack logs but never invokes the original routine, so the hacked
+// system call has no effect beyond the log record.
+func TestInstallIsolated(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	must(t, mgr.PrepareDevice())
+	must(t, mgr.Install(palmos.TrapEvtEnqueuePenPoint)) // normal pen hack
+	must(t, mgr.InstallIsolated(palmos.TrapEvtEnqueueKey))
+
+	tick := m.Ticks() + 10
+	must(t, m.Schedule(tick, hw.InputEvent{Type: hw.EvKey, A: '1'}))
+	must(t, m.RunUntilIdle(100_000_000))
+
+	// The key call was logged...
+	exported, err := m.Store.Export(palmos.ActivityLogDB)
+	must(t, err)
+	log, err := alog.FromDatabase(exported)
+	must(t, err)
+	keys := 0
+	for _, r := range log.Records {
+		if int(r.Trap) == palmos.TrapEvtEnqueueKey {
+			keys++
+		}
+	}
+	if keys != 1 {
+		t.Fatalf("isolated hack logged %d key calls, want 1", keys)
+	}
+	// ...but the original EvtEnqueueKey never ran: no app launch happened.
+	if app := m.Bus.Peek(palmos.AddrCurrentApp, m68k.Word); app != palmos.AppLauncher {
+		t.Errorf("original routine ran despite isolation: app=%d", app)
+	}
+	if m.Kernel.Stats.EventsQueued != 0 {
+		t.Errorf("%d events queued; the isolated hack must swallow the call", m.Kernel.Stats.EventsQueued)
+	}
+}
+
+// TestFutureWorkHacksInstall checks the serial and battery stubs assemble
+// and patch cleanly.
+func TestFutureWorkHacksInstall(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	must(t, mgr.InstallAllHacks())
+	for _, trap := range append(append([]int{}, PaperTraps...), FutureWorkTraps...) {
+		if _, ok := mgr.Installed(trap); !ok {
+			t.Errorf("trap %#x not installed", trap)
+		}
+	}
+	// All stubs fit in the reserved region below the app code.
+	for trap := range map[int]bool{} {
+		_ = trap
+	}
+	h, _ := mgr.Installed(palmos.TrapSysBatteryInfo)
+	if h.Addr < StubRegion || h.Addr >= palmos.AddrAppCode {
+		t.Errorf("stub at %#x outside the hack region", h.Addr)
+	}
+}
+
+// TestUninstallMissing covers the error path.
+func TestUninstallMissing(t *testing.T) {
+	m := booted(t)
+	mgr := NewManager(m)
+	if err := mgr.Uninstall(palmos.TrapSysRandom); err == nil {
+		t.Error("uninstall of missing hack succeeded")
+	}
+	if err := mgr.Install(0); err == nil {
+		t.Error("install of trap 0 succeeded")
+	}
+	if err := mgr.Install(palmos.NumTraps); err == nil {
+		t.Error("install of out-of-range trap succeeded")
+	}
+	// Trap with a zero/fatal handler... unused traps point at fatal (valid
+	// nonzero), so chaining works; trap 0 is rejected above.
+}

@@ -1,0 +1,226 @@
+// Package hw models the Motorola Dragonball MC68VZ328 peripherals the
+// simulator needs: the system tick clock and real-time clock, a one-shot
+// wake timer used for dozing, the digitizer/keyboard input FIFO, the button
+// port backing KeyCurrentState, and a level-6 autovectored interrupt line.
+//
+// The register window sits at bus.IOBase (0xFFFFF000); offsets below are
+// relative to that base. The kernel assembly in internal/rom reads and
+// writes these registers exactly as firmware would.
+package hw
+
+import "palmsim/internal/m68k"
+
+// Register offsets inside the I/O window.
+const (
+	RegTick     = 0x600 // long, ro: tick counter (ticks of 1/100 s)
+	RegRTC      = 0x604 // long, ro: seconds since the Palm epoch (1904-01-01)
+	RegWakeCmp  = 0x608 // long, rw: one-shot wake when tick >= value; 0 disables
+	RegIntStat  = 0x60C // word, ro: pending interrupt sources
+	RegIntAck   = 0x60E // word, wo: acknowledge sources (write 1s to clear)
+	RegFifoCnt  = 0x610 // word, ro: input events pending in the FIFO
+	RegFifoType = 0x612 // word, ro: head event type
+	RegFifoA    = 0x614 // word, ro: head event operand A
+	RegFifoB    = 0x616 // word, ro: head event operand B
+	RegFifoC    = 0x618 // word, ro: head event operand C
+	RegFifoPop  = 0x61A // word, wo: any write pops the head event
+	RegButtons  = 0x61C // word, ro: current hardware button bit field
+	RegIdle     = 0x61E // word, wo: diagnostic; kernel writes before STOP
+	RegBattery  = 0x620 // word, ro: battery charge percentage (decays with time)
+)
+
+// Interrupt source bits in RegIntStat.
+const (
+	IntInput = 1 << 0 // input FIFO became non-empty
+	IntWake  = 1 << 1 // wake timer expired
+)
+
+// IRQLevel is the autovector level the Dragonball raises for its sources.
+const IRQLevel = 6
+
+// Input event types carried through the FIFO.
+const (
+	EvPen     = 1 // A=x, B=y (0xFFFF,0xFFFF = pen up)
+	EvKey     = 2 // A=ascii/char code, B=key code, C=modifiers
+	EvButtons = 3 // A=new button bit field (updates RegButtons, no enqueue)
+	EvNotify  = 4 // A=notify type (SysNotifyBroadcast)
+	EvCard    = 5 // A=card notify code (insertion/removal detection, §2.3.1)
+	EvSerial  = 6 // A=received byte (serial/IrDA input, the paper's future work)
+)
+
+// PenUp is the coordinate value representing a lifted stylus.
+const PenUp = 0xFFFF
+
+// InputEvent is one entry in the hardware input FIFO.
+type InputEvent struct {
+	Type uint16
+	A    uint16
+	B    uint16
+	C    uint16
+}
+
+// Clock parameters of the Palm m515.
+const (
+	CPUHz         = 33_000_000 // 33 MHz Dragonball MC68VZ328
+	TicksPerSec   = 100        // Palm OS 68k tick rate
+	CyclesPerTick = CPUHz / TicksPerSec
+)
+
+// PalmEpochOffset is a plausible RTC base (seconds since 1904-01-01) for
+// session start; sessions add tick-derived seconds to it. The exact value
+// only matters for reproducibility, so it is a fixed constant.
+const PalmEpochOffset = 3_187_296_000 // 2005-01-01 00:00:00
+
+// Dragonball is the peripheral block. It implements bus.Device.
+type Dragonball struct {
+	// CyclesFn reports the CPU cycle counter; ticks derive from it.
+	CyclesFn func() uint64
+
+	// RaiseIRQ asserts (level) or deasserts (0) the CPU interrupt line.
+	RaiseIRQ func(level uint8)
+
+	fifo    []InputEvent
+	buttons uint16
+	wakeCmp uint32
+	intStat uint16
+	rtcBase uint32
+
+	// IdleMarks counts kernel idle-register writes (doze entries).
+	IdleMarks uint64
+}
+
+// New returns a peripheral block wired to the given cycle source and
+// interrupt line.
+func New(cycles func() uint64, raise func(level uint8)) *Dragonball {
+	return &Dragonball{CyclesFn: cycles, RaiseIRQ: raise, rtcBase: PalmEpochOffset}
+}
+
+// Ticks returns the current tick count (1/100 s units).
+func (d *Dragonball) Ticks() uint32 {
+	return uint32(d.CyclesFn() / CyclesPerTick)
+}
+
+// RTCSeconds returns the real-time clock value derived from the tick
+// counter, so replay is exactly deterministic (the paper's POSE had to
+// approximate the RTC from host time; see DESIGN.md).
+func (d *Dragonball) RTCSeconds() uint32 {
+	return d.rtcBase + d.Ticks()/TicksPerSec
+}
+
+// SetRTCBase overrides the RTC epoch offset (initial-state restore).
+func (d *Dragonball) SetRTCBase(v uint32) { d.rtcBase = v }
+
+// RTCBase returns the RTC epoch offset.
+func (d *Dragonball) RTCBase() uint32 { return d.rtcBase }
+
+// Buttons returns the current hardware button bit field.
+func (d *Dragonball) Buttons() uint16 { return d.buttons }
+
+// BatteryPercent models the battery gauge: starting full and draining
+// about one percent per twenty minutes of uptime, floored at five. It is
+// derived from the tick counter, so it is exactly reproducible — but note
+// that a replay whose timing differs slightly would read a different
+// value, which is precisely why battery queries must be logged and
+// replayed from the queue (the paper's §5.1 future work, implemented
+// here).
+func (d *Dragonball) BatteryPercent() uint16 {
+	drained := d.Ticks() / (20 * 60 * TicksPerSec)
+	if drained >= 95 {
+		return 5
+	}
+	return uint16(100 - drained)
+}
+
+// WakeAt returns the current wake-compare tick (0 = disabled).
+func (d *Dragonball) WakeAt() uint32 { return d.wakeCmp }
+
+// FifoLen returns the number of input events waiting in the FIFO.
+func (d *Dragonball) FifoLen() int { return len(d.fifo) }
+
+// Push appends an input event to the FIFO and raises the input interrupt.
+// EvButtons events update the button register immediately and do not
+// occupy FIFO space (the port has no queue on real hardware).
+func (d *Dragonball) Push(ev InputEvent) {
+	if ev.Type == EvButtons {
+		d.buttons = ev.A
+		// A button edge still wakes the processor so KeyCurrentState
+		// pollers observe it promptly.
+		d.setInt(IntInput)
+		return
+	}
+	d.fifo = append(d.fifo, ev)
+	d.setInt(IntInput)
+}
+
+// Sync checks time-derived interrupt conditions; the machine calls it
+// after every CPU step and after skipping cycles during doze.
+func (d *Dragonball) Sync() {
+	if d.wakeCmp != 0 && d.Ticks() >= d.wakeCmp {
+		d.wakeCmp = 0
+		d.setInt(IntWake)
+	}
+}
+
+func (d *Dragonball) setInt(bit uint16) {
+	d.intStat |= bit
+	if d.RaiseIRQ != nil {
+		d.RaiseIRQ(IRQLevel)
+	}
+}
+
+// ReadReg implements bus.Device.
+func (d *Dragonball) ReadReg(off uint32, size m68k.Size) uint32 {
+	switch off {
+	case RegTick:
+		return d.Ticks()
+	case RegTick + 2: // word access to the low half
+		return d.Ticks() & 0xFFFF
+	case RegRTC:
+		return d.RTCSeconds()
+	case RegWakeCmp:
+		return d.wakeCmp
+	case RegIntStat:
+		return uint32(d.intStat)
+	case RegFifoCnt:
+		return uint32(len(d.fifo))
+	case RegFifoType:
+		if len(d.fifo) > 0 {
+			return uint32(d.fifo[0].Type)
+		}
+	case RegFifoA:
+		if len(d.fifo) > 0 {
+			return uint32(d.fifo[0].A)
+		}
+	case RegFifoB:
+		if len(d.fifo) > 0 {
+			return uint32(d.fifo[0].B)
+		}
+	case RegFifoC:
+		if len(d.fifo) > 0 {
+			return uint32(d.fifo[0].C)
+		}
+	case RegButtons:
+		return uint32(d.buttons)
+	case RegBattery:
+		return uint32(d.BatteryPercent())
+	}
+	return 0
+}
+
+// WriteReg implements bus.Device.
+func (d *Dragonball) WriteReg(off uint32, size m68k.Size, v uint32) {
+	switch off {
+	case RegWakeCmp:
+		d.wakeCmp = v
+	case RegIntAck:
+		d.intStat &^= uint16(v)
+		if d.intStat == 0 && d.RaiseIRQ != nil {
+			d.RaiseIRQ(0)
+		}
+	case RegFifoPop:
+		if len(d.fifo) > 0 {
+			d.fifo = d.fifo[1:]
+		}
+	case RegIdle:
+		d.IdleMarks++
+	}
+}

@@ -1,0 +1,145 @@
+package hw
+
+import (
+	"testing"
+
+	"palmsim/internal/m68k"
+)
+
+type harness struct {
+	d      *Dragonball
+	cycles uint64
+	irq    uint8
+}
+
+func newHarness() *harness {
+	h := &harness{}
+	h.d = New(func() uint64 { return h.cycles }, func(l uint8) { h.irq = l })
+	return h
+}
+
+func TestTickDerivesFromCycles(t *testing.T) {
+	h := newHarness()
+	if h.d.Ticks() != 0 {
+		t.Fatal("nonzero ticks at cycle 0")
+	}
+	h.cycles = CyclesPerTick*5 + 1
+	if h.d.Ticks() != 5 {
+		t.Errorf("ticks = %d, want 5", h.d.Ticks())
+	}
+	if got := h.d.ReadReg(RegTick, m68k.Long); got != 5 {
+		t.Errorf("RegTick = %d", got)
+	}
+}
+
+func TestRTCDerivesFromTicks(t *testing.T) {
+	h := newHarness()
+	base := h.d.RTCSeconds()
+	h.cycles = uint64(CyclesPerTick) * TicksPerSec * 90 // 90 seconds
+	if got := h.d.RTCSeconds(); got != base+90 {
+		t.Errorf("RTC advanced %d, want 90", got-base)
+	}
+	h.d.SetRTCBase(1000)
+	if h.d.ReadReg(RegRTC, m68k.Long) != 1000+90 {
+		t.Error("RTC base override failed")
+	}
+}
+
+func TestFifoPushReadPop(t *testing.T) {
+	h := newHarness()
+	h.d.Push(InputEvent{Type: EvPen, A: 10, B: 20})
+	h.d.Push(InputEvent{Type: EvKey, A: 'x'})
+	if h.irq != IRQLevel {
+		t.Fatalf("irq = %d, want %d", h.irq, IRQLevel)
+	}
+	if h.d.ReadReg(RegFifoCnt, m68k.Word) != 2 {
+		t.Fatalf("count = %d", h.d.ReadReg(RegFifoCnt, m68k.Word))
+	}
+	if h.d.ReadReg(RegFifoType, m68k.Word) != EvPen ||
+		h.d.ReadReg(RegFifoA, m68k.Word) != 10 ||
+		h.d.ReadReg(RegFifoB, m68k.Word) != 20 {
+		t.Error("head event wrong")
+	}
+	h.d.WriteReg(RegFifoPop, m68k.Word, 1)
+	if h.d.ReadReg(RegFifoType, m68k.Word) != EvKey {
+		t.Error("pop did not advance")
+	}
+	h.d.WriteReg(RegFifoPop, m68k.Word, 1)
+	if h.d.ReadReg(RegFifoCnt, m68k.Word) != 0 {
+		t.Error("fifo not drained")
+	}
+	h.d.WriteReg(RegFifoPop, m68k.Word, 1) // pop empty: harmless
+}
+
+func TestButtonsRegister(t *testing.T) {
+	h := newHarness()
+	h.d.Push(InputEvent{Type: EvButtons, A: 0x0009})
+	if h.d.FifoLen() != 0 {
+		t.Error("button event occupied FIFO space")
+	}
+	if h.d.ReadReg(RegButtons, m68k.Word) != 0x0009 {
+		t.Error("button register not updated")
+	}
+	if h.irq != IRQLevel {
+		t.Error("button edge should raise the interrupt")
+	}
+}
+
+func TestInterruptAcknowledge(t *testing.T) {
+	h := newHarness()
+	h.d.Push(InputEvent{Type: EvKey, A: 'a'})
+	if h.d.ReadReg(RegIntStat, m68k.Word)&IntInput == 0 {
+		t.Fatal("input bit not set")
+	}
+	h.d.WriteReg(RegIntAck, m68k.Word, IntInput)
+	if h.d.ReadReg(RegIntStat, m68k.Word) != 0 {
+		t.Error("ack did not clear")
+	}
+	if h.irq != 0 {
+		t.Error("irq line not deasserted after ack")
+	}
+}
+
+func TestWakeTimer(t *testing.T) {
+	h := newHarness()
+	h.d.WriteReg(RegWakeCmp, m68k.Long, 100)
+	h.cycles = CyclesPerTick * 50
+	h.d.Sync()
+	if h.irq != 0 {
+		t.Fatal("wake fired early")
+	}
+	h.cycles = CyclesPerTick * 100
+	h.d.Sync()
+	if h.irq != IRQLevel {
+		t.Fatal("wake did not fire at the compare tick")
+	}
+	if h.d.ReadReg(RegIntStat, m68k.Word)&IntWake == 0 {
+		t.Error("wake bit not set")
+	}
+	if h.d.WakeAt() != 0 {
+		t.Error("wake compare not one-shot")
+	}
+	// Re-sync must not re-fire.
+	h.d.WriteReg(RegIntAck, m68k.Word, IntWake)
+	h.irq = 0
+	h.d.Sync()
+	if h.irq != 0 {
+		t.Error("cleared wake re-fired")
+	}
+}
+
+func TestIdleMarkCounter(t *testing.T) {
+	h := newHarness()
+	h.d.WriteReg(RegIdle, m68k.Word, 1)
+	h.d.WriteReg(RegIdle, m68k.Word, 1)
+	if h.d.IdleMarks != 2 {
+		t.Errorf("idle marks = %d", h.d.IdleMarks)
+	}
+}
+
+func TestUnknownRegisterReadsZero(t *testing.T) {
+	h := newHarness()
+	if got := h.d.ReadReg(0x123, m68k.Word); got != 0 {
+		t.Errorf("unknown register = %#x", got)
+	}
+}

@@ -1,0 +1,155 @@
+package m68k
+
+// dispatch decodes and executes one opcode. Decoding follows the 68000's
+// natural grouping by the top four bits; each group handler pattern-matches
+// the remaining fields and falls back to the illegal-instruction exception.
+func (c *CPU) dispatch(opcode uint16) {
+	switch opcode >> 12 {
+	case 0x0:
+		c.execGroup0(opcode)
+	case 0x1:
+		c.execMove(opcode, Byte)
+	case 0x2:
+		c.execMove(opcode, Long)
+	case 0x3:
+		c.execMove(opcode, Word)
+	case 0x4:
+		c.execGroup4(opcode)
+	case 0x5:
+		c.execGroup5(opcode)
+	case 0x6:
+		c.execBranch(opcode)
+	case 0x7:
+		c.execMoveq(opcode)
+	case 0x8:
+		c.execGroup8(opcode)
+	case 0x9:
+		c.execSub(opcode)
+	case 0xA:
+		c.execLineA(opcode)
+	case 0xB:
+		c.execGroupB(opcode)
+	case 0xC:
+		c.execGroupC(opcode)
+	case 0xD:
+		c.execAdd(opcode)
+	case 0xE:
+		c.execShift(opcode)
+	default: // 0xF
+		c.execLineF(opcode)
+	}
+}
+
+func (c *CPU) execLineA(opcode uint16) {
+	if c.OnLineA != nil && c.OnLineA(opcode) {
+		c.Cycles += 4
+		return
+	}
+	c.PC -= 2
+	c.Exception(VecLineA)
+}
+
+func (c *CPU) execLineF(opcode uint16) {
+	if c.OnLineF != nil && c.OnLineF(opcode) {
+		c.Cycles += 4
+		return
+	}
+	c.PC -= 2
+	c.Exception(VecLineF)
+}
+
+// testCond evaluates conditional test cc (0..15) against the flags.
+func (c *CPU) testCond(cc int) bool {
+	cf, vf, zf, nf := c.flag(FlagC), c.flag(FlagV), c.flag(FlagZ), c.flag(FlagN)
+	switch cc {
+	case 0x0: // T
+		return true
+	case 0x1: // F
+		return false
+	case 0x2: // HI
+		return !cf && !zf
+	case 0x3: // LS
+		return cf || zf
+	case 0x4: // CC
+		return !cf
+	case 0x5: // CS
+		return cf
+	case 0x6: // NE
+		return !zf
+	case 0x7: // EQ
+		return zf
+	case 0x8: // VC
+		return !vf
+	case 0x9: // VS
+		return vf
+	case 0xA: // PL
+		return !nf
+	case 0xB: // MI
+		return nf
+	case 0xC: // GE
+		return nf == vf
+	case 0xD: // LT
+		return nf != vf
+	case 0xE: // GT
+		return !zf && nf == vf
+	default: // LE
+		return zf || nf != vf
+	}
+}
+
+// setNZ sets N and Z from a result and clears V and C — the pattern shared
+// by moves and logical operations.
+func (c *CPU) setNZ(v uint32, size Size) {
+	v &= size.Mask()
+	c.setFlag(FlagN, v&size.MSB() != 0)
+	c.setFlag(FlagZ, v == 0)
+	c.setFlag(FlagV, false)
+	c.setFlag(FlagC, false)
+}
+
+// addFlags computes X/N/Z/V/C for dst+src=res at the given size.
+func (c *CPU) addFlags(src, dst, res uint32, size Size) {
+	m := size.MSB()
+	res &= size.Mask()
+	carry := ((src&dst)|(^res&(src|dst)))&m != 0
+	over := (^(src^dst)&(src^res))&m != 0
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagX, carry)
+	c.setFlag(FlagV, over)
+	c.setFlag(FlagZ, res == 0)
+	c.setFlag(FlagN, res&m != 0)
+}
+
+// subFlags computes X/N/Z/V/C for dst-src=res at the given size.
+func (c *CPU) subFlags(src, dst, res uint32, size Size) {
+	m := size.MSB()
+	res &= size.Mask()
+	borrow := ((src&^dst)|(res&(src|^dst)))&m != 0
+	over := ((src^dst)&(res^dst))&m != 0
+	c.setFlag(FlagC, borrow)
+	c.setFlag(FlagX, borrow)
+	c.setFlag(FlagV, over)
+	c.setFlag(FlagZ, res == 0)
+	c.setFlag(FlagN, res&m != 0)
+}
+
+// cmpFlags is subFlags without touching X (CMP semantics).
+func (c *CPU) cmpFlags(src, dst, res uint32, size Size) {
+	x := c.flag(FlagX)
+	c.subFlags(src, dst, res, size)
+	c.setFlag(FlagX, x)
+}
+
+// opSize decodes the common 2-bit size field (00=byte 01=word 10=long);
+// ok is false for the reserved value 11.
+func opSize(bits uint16) (Size, bool) {
+	switch bits {
+	case 0:
+		return Byte, true
+	case 1:
+		return Word, true
+	case 2:
+		return Long, true
+	}
+	return 0, false
+}

@@ -1,0 +1,537 @@
+package m68k
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassembler support: used by the ROM inspection tool, by failing-test
+// diagnostics, and to label the opcode-usage histogram the simulator
+// collects during playback (§2.4.2).
+
+// Word reader over a Bus starting at an address.
+type codeReader struct {
+	bus  Bus
+	addr uint32
+}
+
+func (r *codeReader) word() uint16 {
+	v := uint16(r.bus.Read(r.addr, Word, Read))
+	r.addr += 2
+	return v
+}
+
+func (r *codeReader) long() uint32 {
+	v := r.bus.Read(r.addr, Long, Read)
+	r.addr += 4
+	return v
+}
+
+// Disassemble decodes the instruction at addr and returns its mnemonic
+// text and length in bytes. Unknown encodings return "dc.w $XXXX".
+func Disassemble(bus Bus, addr uint32) (string, uint32) {
+	r := &codeReader{bus: bus, addr: addr}
+	op := r.word()
+	text := disasmOp(op, r)
+	return text, r.addr - addr
+}
+
+func sizeLetter(bits uint16) string {
+	switch bits {
+	case 0:
+		return "b"
+	case 1:
+		return "w"
+	default:
+		return "l"
+	}
+}
+
+var ccNames = [16]string{
+	"t", "f", "hi", "ls", "cc", "cs", "ne", "eq",
+	"vc", "vs", "pl", "mi", "ge", "lt", "gt", "le",
+}
+
+// eaText renders an effective address, consuming extension words.
+func eaText(mode, reg int, size Size, r *codeReader) string {
+	switch mode {
+	case ModeDataReg:
+		return fmt.Sprintf("d%d", reg)
+	case ModeAddrReg:
+		return fmt.Sprintf("a%d", reg)
+	case ModeIndirect:
+		return fmt.Sprintf("(a%d)", reg)
+	case ModePostInc:
+		return fmt.Sprintf("(a%d)+", reg)
+	case ModePreDec:
+		return fmt.Sprintf("-(a%d)", reg)
+	case ModeDisp16:
+		return fmt.Sprintf("%d(a%d)", int16(r.word()), reg)
+	case ModeIndex:
+		return indexText(fmt.Sprintf("a%d", reg), r)
+	default:
+		switch reg {
+		case RegAbsWord:
+			return fmt.Sprintf("$%X.w", uint32(int32(int16(r.word())))) // sign-extended
+		case RegAbsLong:
+			return fmt.Sprintf("$%X.l", r.long())
+		case RegPCDisp:
+			base := r.addr
+			return fmt.Sprintf("$%X(pc)", base+uint32(int32(int16(r.word()))))
+		case RegPCIndex:
+			return indexText("pc", r)
+		case RegImmediate:
+			switch size {
+			case Byte:
+				return fmt.Sprintf("#$%X", r.word()&0xFF)
+			case Word:
+				return fmt.Sprintf("#$%X", r.word())
+			default:
+				return fmt.Sprintf("#$%X", r.long())
+			}
+		}
+	}
+	return "?"
+}
+
+func indexText(base string, r *codeReader) string {
+	ext := r.word()
+	idx := fmt.Sprintf("d%d", ext>>12&7)
+	if ext&0x8000 != 0 {
+		idx = fmt.Sprintf("a%d", ext>>12&7)
+	}
+	sz := ".w"
+	if ext&0x0800 != 0 {
+		sz = ".l"
+	}
+	return fmt.Sprintf("%d(%s,%s%s)", int8(ext), base, idx, sz)
+}
+
+// disasmOp is the decoder mirror of CPU.dispatch.
+func disasmOp(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	szBits := op >> 6 & 3
+
+	switch op >> 12 {
+	case 0x0:
+		return disasmGroup0(op, r)
+	case 0x1, 0x2, 0x3:
+		var size Size
+		var letter string
+		switch op >> 12 {
+		case 0x1:
+			size, letter = Byte, "b"
+		case 0x2:
+			size, letter = Long, "l"
+		default:
+			size, letter = Word, "w"
+		}
+		src := eaText(mode, reg, size, r)
+		dstMode := int(op >> 6 & 7)
+		dstReg := int(op >> 9 & 7)
+		if dstMode == ModeAddrReg {
+			return fmt.Sprintf("movea.%s\t%s,a%d", letter, src, dstReg)
+		}
+		dst := eaText(dstMode, dstReg, size, r)
+		return fmt.Sprintf("move.%s\t%s,%s", letter, src, dst)
+	case 0x4:
+		return disasmGroup4(op, r)
+	case 0x5:
+		if op&0x00C0 == 0x00C0 {
+			cc := ccNames[op>>8&0xF]
+			if mode == ModeAddrReg {
+				disp := int16(r.word())
+				return fmt.Sprintf("db%s\td%d,$%X", dbName(cc), reg, uint32(int32(r.addr)+int32(disp)-2))
+			}
+			return fmt.Sprintf("s%s\t%s", cc, eaText(mode, reg, Byte, r))
+		}
+		q := op >> 9 & 7
+		if q == 0 {
+			q = 8
+		}
+		name := "addq"
+		if op&0x0100 != 0 {
+			name = "subq"
+		}
+		return fmt.Sprintf("%s.%s\t#%d,%s", name, sizeLetter(szBits), q, eaText(mode, reg, sizeFor(szBits), r))
+	case 0x6:
+		cc := int(op >> 8 & 0xF)
+		disp := int32(int8(op))
+		base := r.addr
+		suffix := ".s"
+		if disp == 0 {
+			disp = int32(int16(r.word()))
+			suffix = ".w"
+		}
+		target := uint32(int32(base) + disp)
+		switch cc {
+		case 0:
+			return fmt.Sprintf("bra%s\t$%X", suffix, target)
+		case 1:
+			return fmt.Sprintf("bsr%s\t$%X", suffix, target)
+		default:
+			return fmt.Sprintf("b%s%s\t$%X", ccNames[cc], suffix, target)
+		}
+	case 0x7:
+		return fmt.Sprintf("moveq\t#%d,d%d", int8(op), op>>9&7)
+	case 0x8:
+		return disasmALU(op, "or", 0x80C0, "divu", "divs", r)
+	case 0x9:
+		return disasmAddSub(op, "sub", r)
+	case 0xA:
+		return fmt.Sprintf("dc.w\t$%04X\t; line-A system trap %d", op, op&0x0FFF)
+	case 0xB:
+		return disasmGroupB(op, r)
+	case 0xC:
+		return disasmGroupC(op, r)
+	case 0xD:
+		return disasmAddSub(op, "add", r)
+	case 0xE:
+		return disasmShift(op, r)
+	default:
+		return fmt.Sprintf("dc.w\t$%04X\t; line-F native gate %d", op, op&0x0FFF)
+	}
+}
+
+func sizeFor(bits uint16) Size {
+	switch bits {
+	case 0:
+		return Byte
+	case 1:
+		return Word
+	default:
+		return Long
+	}
+}
+
+func dbName(cc string) string {
+	if cc == "f" {
+		return "ra"
+	}
+	return cc
+}
+
+var bitOpNames = [4]string{"btst", "bchg", "bclr", "bset"}
+
+func disasmGroup0(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	szBits := op >> 6 & 3
+
+	if op&0x0100 != 0 { // dynamic bit op or MOVEP
+		if mode == ModeAddrReg {
+			letter := "w"
+			if op&0x0040 != 0 {
+				letter = "l"
+			}
+			disp := int16(r.word())
+			dn := op >> 9 & 7
+			if op&0x0080 != 0 {
+				return fmt.Sprintf("movep.%s\td%d,%d(a%d)", letter, dn, disp, reg)
+			}
+			return fmt.Sprintf("movep.%s\t%d(a%d),d%d", letter, disp, reg, dn)
+		}
+		size := Byte
+		if mode == ModeDataReg {
+			size = Long
+		}
+		return fmt.Sprintf("%s\td%d,%s", bitOpNames[op>>6&3], op>>9&7, eaText(mode, reg, size, r))
+	}
+	switch op >> 9 & 7 {
+	case 4: // static bit op
+		n := r.word()
+		size := Byte
+		if mode == ModeDataReg {
+			size = Long
+		}
+		return fmt.Sprintf("%s\t#%d,%s", bitOpNames[op>>6&3], n, eaText(mode, reg, size, r))
+	case 0, 1, 2, 3, 5, 6:
+		names := map[uint16]string{0: "ori", 1: "andi", 2: "subi", 3: "addi", 5: "eori", 6: "cmpi"}
+		name := names[op>>9&7]
+		if szBits == 3 {
+			return fmt.Sprintf("dc.w\t$%04X", op)
+		}
+		size := sizeFor(szBits)
+		var imm string
+		if size == Long {
+			imm = fmt.Sprintf("#$%X", r.long())
+		} else {
+			imm = fmt.Sprintf("#$%X", r.word()&uint16(size.Mask()))
+		}
+		if mode == ModeOther && reg == RegImmediate {
+			if size == Byte {
+				return fmt.Sprintf("%s\t%s,ccr", name, imm)
+			}
+			return fmt.Sprintf("%s\t%s,sr", name, imm)
+		}
+		return fmt.Sprintf("%s.%s\t%s,%s", name, size, imm, eaText(mode, reg, size, r))
+	}
+	return fmt.Sprintf("dc.w\t$%04X", op)
+}
+
+func disasmGroup4(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	switch {
+	case op == 0x4AFC:
+		return "illegal"
+	case op&0xFFF0 == 0x4E40:
+		return fmt.Sprintf("trap\t#%d", op&0xF)
+	case op&0xFFF8 == 0x4E50:
+		return fmt.Sprintf("link\ta%d,#%d", reg, int16(r.word()))
+	case op&0xFFF8 == 0x4E58:
+		return fmt.Sprintf("unlk\ta%d", reg)
+	case op&0xFFF8 == 0x4E60:
+		return fmt.Sprintf("move\ta%d,usp", reg)
+	case op&0xFFF8 == 0x4E68:
+		return fmt.Sprintf("move\tusp,a%d", reg)
+	case op == 0x4E70:
+		return "reset"
+	case op == 0x4E71:
+		return "nop"
+	case op == 0x4E72:
+		return fmt.Sprintf("stop\t#$%X", r.word())
+	case op == 0x4E73:
+		return "rte"
+	case op == 0x4E75:
+		return "rts"
+	case op == 0x4E76:
+		return "trapv"
+	case op == 0x4E77:
+		return "rtr"
+	case op&0xFFC0 == 0x4E80:
+		return fmt.Sprintf("jsr\t%s", eaText(mode, reg, Long, r))
+	case op&0xFFC0 == 0x4EC0:
+		return fmt.Sprintf("jmp\t%s", eaText(mode, reg, Long, r))
+	case op&0xFFC0 == 0x40C0:
+		return fmt.Sprintf("move\tsr,%s", eaText(mode, reg, Word, r))
+	case op&0xFFC0 == 0x44C0:
+		return fmt.Sprintf("move\t%s,ccr", eaText(mode, reg, Word, r))
+	case op&0xFFC0 == 0x46C0:
+		return fmt.Sprintf("move\t%s,sr", eaText(mode, reg, Word, r))
+	case op&0xFFC0 == 0x4800:
+		return fmt.Sprintf("nbcd\t%s", eaText(mode, reg, Byte, r))
+	case op&0xFFF8 == 0x4840:
+		return fmt.Sprintf("swap\td%d", reg)
+	case op&0xFFC0 == 0x4840:
+		return fmt.Sprintf("pea\t%s", eaText(mode, reg, Long, r))
+	case op&0xFFB8 == 0x4880 && mode == ModeDataReg:
+		if op&0x0040 == 0 {
+			return fmt.Sprintf("ext.w\td%d", reg)
+		}
+		return fmt.Sprintf("ext.l\td%d", reg)
+	case op&0xFB80 == 0x4880:
+		return disasmMovem(op, r)
+	case op&0xFFC0 == 0x4AC0:
+		return fmt.Sprintf("tas\t%s", eaText(mode, reg, Byte, r))
+	case op&0xFF00 == 0x4A00:
+		sz := op >> 6 & 3
+		return fmt.Sprintf("tst.%s\t%s", sizeLetter(sz), eaText(mode, reg, sizeFor(sz), r))
+	case op&0xFF00 == 0x4000, op&0xFF00 == 0x4200, op&0xFF00 == 0x4400, op&0xFF00 == 0x4600:
+		names := map[uint16]string{0x40: "negx", 0x42: "clr", 0x44: "neg", 0x46: "not"}
+		sz := op >> 6 & 3
+		if sz == 3 {
+			return fmt.Sprintf("dc.w\t$%04X", op)
+		}
+		return fmt.Sprintf("%s.%s\t%s", names[op>>8], sizeLetter(sz), eaText(mode, reg, sizeFor(sz), r))
+	case op&0xF1C0 == 0x41C0:
+		return fmt.Sprintf("lea\t%s,a%d", eaText(mode, reg, Long, r), op>>9&7)
+	case op&0xF1C0 == 0x4180:
+		return fmt.Sprintf("chk\t%s,d%d", eaText(mode, reg, Word, r), op>>9&7)
+	}
+	return fmt.Sprintf("dc.w\t$%04X", op)
+}
+
+func disasmMovem(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	letter := "w"
+	size := Word
+	if op&0x0040 != 0 {
+		letter, size = "l", Long
+	}
+	mask := r.word()
+	if op&0x0400 != 0 { // mem -> regs
+		return fmt.Sprintf("movem.%s\t%s,%s", letter, eaText(mode, reg, size, r), regListText(mask, false))
+	}
+	reversed := mode == ModePreDec
+	return fmt.Sprintf("movem.%s\t%s,%s", letter, regListText(mask, reversed), eaText(mode, reg, size, r))
+}
+
+// regListText renders a MOVEM mask as d0-d7/a0-a7 ranges.
+func regListText(mask uint16, reversed bool) string {
+	names := func(i int) string {
+		if i < 8 {
+			return fmt.Sprintf("d%d", i)
+		}
+		return fmt.Sprintf("a%d", i-8)
+	}
+	var parts []string
+	i := 0
+	for i < 16 {
+		bit := i
+		if reversed {
+			bit = 15 - i
+		}
+		if mask&(1<<bit) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < 16 {
+			nb := j + 1
+			if reversed {
+				nb = 15 - (j + 1)
+			}
+			if (i < 8) != (j+1 < 8) || mask&(1<<nb) == 0 {
+				break
+			}
+			j++
+		}
+		if j > i {
+			parts = append(parts, names(i)+"-"+names(j))
+		} else {
+			parts = append(parts, names(i))
+		}
+		i = j + 1
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, "/")
+}
+
+func disasmAddSub(op uint16, name string, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	dn := int(op >> 9 & 7)
+	switch {
+	case op&0x00C0 == 0x00C0: // adda/suba
+		letter, size := "w", Word
+		if op&0x0100 != 0 {
+			letter, size = "l", Long
+		}
+		return fmt.Sprintf("%sa.%s\t%s,a%d", name, letter, eaText(mode, reg, size, r), dn)
+	case op&0x0130 == 0x0100: // addx/subx
+		sz := sizeLetter(op >> 6 & 3)
+		if op&0x0008 != 0 {
+			return fmt.Sprintf("%sx.%s\t-(a%d),-(a%d)", name, sz, reg, dn)
+		}
+		return fmt.Sprintf("%sx.%s\td%d,d%d", name, sz, reg, dn)
+	default:
+		sz := op >> 6 & 3
+		ea := eaText(mode, reg, sizeFor(sz), r)
+		if op&0x0100 != 0 {
+			return fmt.Sprintf("%s.%s\td%d,%s", name, sizeLetter(sz), dn, ea)
+		}
+		return fmt.Sprintf("%s.%s\t%s,d%d", name, sizeLetter(sz), ea, dn)
+	}
+}
+
+func disasmALU(op uint16, name string, divBase uint16, divU, divS string, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	dn := int(op >> 9 & 7)
+	switch {
+	case op&0x01C0 == 0x00C0:
+		return fmt.Sprintf("%s\t%s,d%d", divU, eaText(mode, reg, Word, r), dn)
+	case op&0x01C0 == 0x01C0:
+		return fmt.Sprintf("%s\t%s,d%d", divS, eaText(mode, reg, Word, r), dn)
+	case op&0x01F0 == 0x0100: // SBCD
+		if op&0x0008 != 0 {
+			return fmt.Sprintf("sbcd\t-(a%d),-(a%d)", reg, dn)
+		}
+		return fmt.Sprintf("sbcd\td%d,d%d", reg, dn)
+	default:
+		sz := op >> 6 & 3
+		if sz == 3 {
+			return fmt.Sprintf("dc.w\t$%04X", op)
+		}
+		ea := eaText(mode, reg, sizeFor(sz), r)
+		if op&0x0100 != 0 {
+			return fmt.Sprintf("%s.%s\td%d,%s", name, sizeLetter(sz), dn, ea)
+		}
+		return fmt.Sprintf("%s.%s\t%s,d%d", name, sizeLetter(sz), ea, dn)
+	}
+}
+
+func disasmGroupB(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	dn := int(op >> 9 & 7)
+	switch {
+	case op&0x00C0 == 0x00C0:
+		letter, size := "w", Word
+		if op&0x0100 != 0 {
+			letter, size = "l", Long
+		}
+		return fmt.Sprintf("cmpa.%s\t%s,a%d", letter, eaText(mode, reg, size, r), dn)
+	case op&0x0100 == 0:
+		sz := op >> 6 & 3
+		return fmt.Sprintf("cmp.%s\t%s,d%d", sizeLetter(sz), eaText(mode, reg, sizeFor(sz), r), dn)
+	case op&0x0038 == 0x0008:
+		sz := sizeLetter(op >> 6 & 3)
+		return fmt.Sprintf("cmpm.%s\t(a%d)+,(a%d)+", sz, reg, dn)
+	default:
+		sz := op >> 6 & 3
+		return fmt.Sprintf("eor.%s\td%d,%s", sizeLetter(sz), dn, eaText(mode, reg, sizeFor(sz), r))
+	}
+}
+
+func disasmGroupC(op uint16, r *codeReader) string {
+	mode := int(op >> 3 & 7)
+	reg := int(op & 7)
+	dn := int(op >> 9 & 7)
+	switch {
+	case op&0x01C0 == 0x00C0:
+		return fmt.Sprintf("mulu\t%s,d%d", eaText(mode, reg, Word, r), dn)
+	case op&0x01C0 == 0x01C0:
+		return fmt.Sprintf("muls\t%s,d%d", eaText(mode, reg, Word, r), dn)
+	case op&0x01F0 == 0x0100: // ABCD
+		if op&0x0008 != 0 {
+			return fmt.Sprintf("abcd\t-(a%d),-(a%d)", reg, dn)
+		}
+		return fmt.Sprintf("abcd\td%d,d%d", reg, dn)
+	case op&0x01F8 == 0x0140:
+		return fmt.Sprintf("exg\td%d,d%d", dn, reg)
+	case op&0x01F8 == 0x0148:
+		return fmt.Sprintf("exg\ta%d,a%d", dn, reg)
+	case op&0x01F8 == 0x0188:
+		return fmt.Sprintf("exg\td%d,a%d", dn, reg)
+	default:
+		sz := op >> 6 & 3
+		if sz == 3 {
+			return fmt.Sprintf("dc.w\t$%04X", op)
+		}
+		ea := eaText(mode, reg, sizeFor(sz), r)
+		if op&0x0100 != 0 {
+			return fmt.Sprintf("and.%s\td%d,%s", sizeLetter(sz), dn, ea)
+		}
+		return fmt.Sprintf("and.%s\t%s,d%d", sizeLetter(sz), ea, dn)
+	}
+}
+
+var shiftNames = [4]string{"as", "ls", "rox", "ro"}
+
+func disasmShift(op uint16, r *codeReader) string {
+	dir := "r"
+	if op&0x0100 != 0 {
+		dir = "l"
+	}
+	if op&0x00C0 == 0x00C0 { // memory form
+		typ := shiftNames[op>>9&3]
+		return fmt.Sprintf("%s%s\t%s", typ, dir, eaText(int(op>>3&7), int(op&7), Word, r))
+	}
+	typ := shiftNames[op>>3&3]
+	sz := sizeLetter(op >> 6 & 3)
+	reg := op & 7
+	if op&0x0020 != 0 {
+		return fmt.Sprintf("%s%s.%s\td%d,d%d", typ, dir, sz, op>>9&7, reg)
+	}
+	count := op >> 9 & 7
+	if count == 0 {
+		count = 8
+	}
+	return fmt.Sprintf("%s%s.%s\t#%d,d%d", typ, dir, sz, count, reg)
+}

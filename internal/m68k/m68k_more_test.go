@@ -1,0 +1,431 @@
+package m68k
+
+import "testing"
+
+// Additional instruction-form coverage: memory-destination ALU ops, memory
+// shifts, Scc on memory, static bit ops on memory, CCR/SR immediate forms,
+// division signs, and illegal encodings.
+
+func TestAddToMemory(t *testing.T) {
+	c, b := newTestCPU(0xD150) // ADD.W D0,(A0)
+	c.D[0] = 5
+	c.A[0] = 0x2000
+	b.put16(0x2000, 10)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 15 {
+		t.Errorf("mem = %d, want 15", got)
+	}
+}
+
+func TestSubFromMemory(t *testing.T) {
+	c, b := newTestCPU(0x9150) // SUB.W D0,(A0)
+	c.D[0] = 3
+	c.A[0] = 0x2000
+	b.put16(0x2000, 10)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 7 {
+		t.Errorf("mem = %d, want 7", got)
+	}
+}
+
+func TestAndOrToMemory(t *testing.T) {
+	c, b := newTestCPU(0xC150, 0x8150) // AND.W D0,(A0) ; OR.W D0,(A0)
+	c.D[0] = 0x0F0F
+	c.A[0] = 0x2000
+	b.put16(0x2000, 0xFFFF)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 0x0F0F {
+		t.Fatalf("AND to mem = %#x", got)
+	}
+	b.put16(0x2000, 0xF000)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 0xFF0F {
+		t.Errorf("OR to mem = %#x", got)
+	}
+}
+
+func TestEorToMemory(t *testing.T) {
+	c, b := newTestCPU(0xB150) // EOR.W D0,(A0)
+	c.D[0] = 0xFFFF
+	c.A[0] = 0x2000
+	b.put16(0x2000, 0xAAAA)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 0x5555 {
+		t.Errorf("EOR to mem = %#x", got)
+	}
+}
+
+func TestMemoryShiftByOne(t *testing.T) {
+	// LSL (A0): 1110 001 1 11 010 000 = 0xE3D0
+	c, b := newTestCPU(0xE3D0)
+	c.A[0] = 0x2000
+	b.put16(0x2000, 0x4001)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 0x8002 {
+		t.Errorf("LSL mem = %#x, want 0x8002", got)
+	}
+	// ASR (A0): 1110 000 0 11 010 000 = 0xE0D0
+	c, b = newTestCPU(0xE0D0)
+	c.A[0] = 0x2000
+	b.put16(0x2000, 0x8002)
+	c.Step()
+	if got := b.Read(0x2000, Word, Read); got != 0xC001 {
+		t.Errorf("ASR mem = %#x, want 0xC001", got)
+	}
+}
+
+func TestSccOnMemory(t *testing.T) {
+	c, b := newTestCPU(0x57D0) // SEQ (A0)
+	c.A[0] = 0x2000
+	c.setFlag(FlagZ, true)
+	c.Step()
+	if got := b.Read(0x2000, Byte, Read); got != 0xFF {
+		t.Errorf("SEQ (A0) = %#x", got)
+	}
+}
+
+func TestStaticBitOpsOnMemory(t *testing.T) {
+	// BCLR #1,(A0) then BCHG #0,(A0)
+	c, b := newTestCPU(0x0890, 0x0001, 0x0850, 0x0000)
+	c.A[0] = 0x2000
+	b.mem[0x2000] = 0x03
+	runSteps(c, 2)
+	if b.mem[0x2000] != 0x00 {
+		t.Errorf("mem = %#x, want 0 after BCLR+BCHG... got", b.mem[0x2000])
+	}
+}
+
+func TestMoveToCCR(t *testing.T) {
+	c, _ := newTestCPU(0x44C0) // MOVE D0,CCR
+	c.D[0] = uint32(FlagZ | FlagC)
+	c.Step()
+	if !c.flag(FlagZ) || !c.flag(FlagC) {
+		t.Error("CCR not loaded")
+	}
+	if !c.Supervisor() {
+		t.Error("MOVE to CCR must not touch S")
+	}
+}
+
+func TestOriAndiToCCR(t *testing.T) {
+	c, _ := newTestCPU(0x003C, 0x0001, 0x023C, 0x00FE) // ORI #1,CCR ; ANDI #$FE,CCR
+	c.Step()
+	if !c.flag(FlagC) {
+		t.Fatal("ORI to CCR failed")
+	}
+	c.Step()
+	if c.flag(FlagC) {
+		t.Error("ANDI to CCR failed")
+	}
+}
+
+func TestEoriToCCR(t *testing.T) {
+	c, _ := newTestCPU(0x0A3C, 0x0004) // EORI #Z,CCR
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("EORI to CCR failed to toggle Z")
+	}
+}
+
+func TestOriToSRPrivileged(t *testing.T) {
+	// Drop to user mode, then ORI #...,SR must trap.
+	c, _ := newTestCPU(0x46FC, 0x0000, 0x007C, 0x0700)
+	runSteps(c, 2)
+	if c.PC != testHaltVec {
+		t.Error("ORI to SR in user mode did not raise privilege violation")
+	}
+}
+
+func TestDivsNegativeOperands(t *testing.T) {
+	cases := []struct {
+		dividend int32
+		divisor  int16
+		quot     int16
+		rem      int16
+	}{
+		{7, 2, 3, 1},
+		{-7, 2, -3, -1},
+		{7, -2, -3, 1},
+		{-7, -2, 3, -1},
+	}
+	for _, tc := range cases {
+		c, _ := newTestCPU(0x81C1) // DIVS D1,D0
+		c.D[0] = uint32(tc.dividend)
+		c.D[1] = uint32(uint16(tc.divisor))
+		c.Step()
+		if int16(c.D[0]) != tc.quot || int16(c.D[0]>>16) != tc.rem {
+			t.Errorf("%d/%d = q%d r%d, want q%d r%d",
+				tc.dividend, tc.divisor, int16(c.D[0]), int16(c.D[0]>>16), tc.quot, tc.rem)
+		}
+	}
+}
+
+func TestMulsNegative(t *testing.T) {
+	c, _ := newTestCPU(0xC1C1) // MULS D1,D0
+	var m300, m200 int16 = -300, -200
+	c.D[0] = uint32(uint16(m300))
+	c.D[1] = uint32(uint16(m200))
+	c.Step()
+	if int32(c.D[0]) != 60000 {
+		t.Errorf("(-300)*(-200) = %d", int32(c.D[0]))
+	}
+}
+
+func TestCmpByteOnlyComparesLowByte(t *testing.T) {
+	c, _ := newTestCPU(0xB001) // CMP.B D1,D0
+	c.D[0] = 0xFF05
+	c.D[1] = 0x0005
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("byte compare should ignore upper bytes")
+	}
+}
+
+func TestMovemControlModeStore(t *testing.T) {
+	// MOVEM.W D0-D1,(A0): 0x4890 mask 0x0003
+	c, b := newTestCPU(0x4890, 0x0003)
+	c.A[0] = 0x2000
+	c.D[0] = 0x1111
+	c.D[1] = 0x2222
+	c.Step()
+	if b.Read(0x2000, Word, Read) != 0x1111 || b.Read(0x2002, Word, Read) != 0x2222 {
+		t.Error("MOVEM to (An) wrong layout")
+	}
+	if c.A[0] != 0x2000 {
+		t.Error("control-mode MOVEM must not update An")
+	}
+}
+
+func TestMovemLoadSignExtendsWords(t *testing.T) {
+	// MOVEM.W (A0),D0: word 0x8000 loads as 0xFFFF8000.
+	c, b := newTestCPU(0x4C90, 0x0001)
+	c.A[0] = 0x2000
+	b.put16(0x2000, 0x8000)
+	c.Step()
+	if c.D[0] != 0xFFFF8000 {
+		t.Errorf("D0 = %#x, want sign-extended", c.D[0])
+	}
+}
+
+func TestIllegalEncodingsTrap(t *testing.T) {
+	cases := []uint16{
+		0x1008, // MOVE.B A0,D0 — byte moves from An are invalid
+		0x4AC8, // TAS A0 — address register direct not alterable-memory
+	}
+	for _, op := range cases {
+		c, _ := newTestCPU(op)
+		c.Step()
+		if c.PC != testHaltVec {
+			t.Errorf("opcode %04X did not raise illegal instruction (PC=%#x)", op, c.PC)
+		}
+	}
+}
+
+func TestChkNegativeTraps(t *testing.T) {
+	c, _ := newTestCPU(0x4181)      // CHK D1,D0
+	c.D[0] = uint32(uint16(0x8000)) // negative word
+	c.D[1] = 100
+	c.Step()
+	if c.PC != testHaltVec {
+		t.Error("CHK with negative value must trap")
+	}
+	if !c.flag(FlagN) {
+		t.Error("CHK below zero sets N")
+	}
+}
+
+func TestNotSetsFlags(t *testing.T) {
+	c, _ := newTestCPU(0x4640) // NOT.W D0
+	c.D[0] = 0xFFFF
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("NOT of 0xFFFF should set Z")
+	}
+	if c.D[0]&0xFFFF != 0 {
+		t.Errorf("NOT = %#x", c.D[0])
+	}
+}
+
+func TestSwapSetsFlagsFromResult(t *testing.T) {
+	c, _ := newTestCPU(0x4840) // SWAP D0
+	c.D[0] = 0x00008000
+	c.Step()
+	if !c.flag(FlagN) {
+		t.Error("SWAP result 0x80000000 should set N")
+	}
+}
+
+func TestPostIncByteOnNormalRegister(t *testing.T) {
+	c, _ := newTestCPU(0x1018) // MOVE.B (A0)+,D0
+	c.A[0] = 0x2000
+	c.Step()
+	if c.A[0] != 0x2001 {
+		t.Errorf("A0 = %#x, byte post-increment should be 1 for A0", c.A[0])
+	}
+}
+
+func TestAddressRegisterIndirectIndexLong(t *testing.T) {
+	// MOVE.W 0(A0,D1.L),D2 with a large D1 requiring .L.
+	c, b := newTestCPU(0x3430, 0x1800) // ext: D1.L, disp 0
+	c.A[0] = 0x1000
+	c.D[1] = 0x1000
+	b.put16(0x2000, 0xBEEF)
+	c.Step()
+	if c.D[2]&0xFFFF != 0xBEEF {
+		t.Errorf("indexed long access failed: %#x", c.D[2])
+	}
+}
+
+func TestRunStopsWhenHalted(t *testing.T) {
+	c, b := newTestCPU(0x4AFC) // ILLEGAL with zero vector → halt
+	b.put32(uint32(VecIllegal)*4, 0)
+	spent := c.Run(100000)
+	if !c.Halted() {
+		t.Fatal("not halted")
+	}
+	if spent > 1000 {
+		t.Errorf("Run consumed %d cycles after halt", spent)
+	}
+}
+
+func TestTraceDoesNotFireInsideException(t *testing.T) {
+	// With T set, each instruction traces; the handler itself runs with T
+	// cleared (set by Exception).
+	c, b := newTestCPU(0x7001, 0x7002)
+	b.put32(uint32(VecTrace)*4, 0x5000)
+	b.put16(0x5000, 0x7003) // MOVEQ #3,D0 inside handler
+	b.put16(0x5002, 0x4E73) // RTE
+	c.SetSR(c.SR() | FlagT)
+	c.Step() // MOVEQ #1 + trace exception
+	c.Step() // handler MOVEQ #3 — must NOT re-trace
+	if c.D[0] != 3 {
+		t.Fatalf("handler did not run: D0=%d", c.D[0])
+	}
+	if c.PC == 0x5000 {
+		t.Fatal("trace re-fired inside the handler")
+	}
+}
+
+func TestAbcd(t *testing.T) {
+	c, _ := newTestCPU(0xC101) // ABCD D1,D0
+	c.D[0] = 0x45
+	c.D[1] = 0x38
+	c.setFlag(FlagX, false)
+	c.setFlag(FlagZ, true)
+	c.Step()
+	if c.D[0]&0xFF != 0x83 {
+		t.Errorf("45+38 BCD = %02X, want 83", c.D[0]&0xFF)
+	}
+	if c.flag(FlagC) {
+		t.Error("no decimal carry expected")
+	}
+	// Carry out.
+	c, _ = newTestCPU(0xC101)
+	c.D[0] = 0x99
+	c.D[1] = 0x02
+	c.Step()
+	if c.D[0]&0xFF != 0x01 || !c.flag(FlagC) || !c.flag(FlagX) {
+		t.Errorf("99+02 BCD = %02X C=%v", c.D[0]&0xFF, c.flag(FlagC))
+	}
+}
+
+func TestSbcd(t *testing.T) {
+	c, _ := newTestCPU(0x8101) // SBCD D1,D0
+	c.D[0] = 0x45
+	c.D[1] = 0x38
+	c.Step()
+	if c.D[0]&0xFF != 0x07 {
+		t.Errorf("45-38 BCD = %02X, want 07", c.D[0]&0xFF)
+	}
+	// Borrow.
+	c, _ = newTestCPU(0x8101)
+	c.D[0] = 0x10
+	c.D[1] = 0x20
+	c.Step()
+	if c.D[0]&0xFF != 0x90 || !c.flag(FlagC) {
+		t.Errorf("10-20 BCD = %02X C=%v, want 90 with borrow", c.D[0]&0xFF, c.flag(FlagC))
+	}
+}
+
+func TestAbcdMemoryForm(t *testing.T) {
+	c, b := newTestCPU(0xC109) // ABCD -(A1),-(A0)
+	b.mem[0x2000] = 0x25
+	b.mem[0x3000] = 0x17
+	c.A[0] = 0x2001
+	c.A[1] = 0x3001
+	c.Step()
+	if b.mem[0x2000] != 0x42 {
+		t.Errorf("25+17 BCD = %02X, want 42", b.mem[0x2000])
+	}
+	if c.A[0] != 0x2000 || c.A[1] != 0x3000 {
+		t.Error("predecrement side effects wrong")
+	}
+}
+
+func TestNbcd(t *testing.T) {
+	c, _ := newTestCPU(0x4800) // NBCD D0
+	c.D[0] = 0x42
+	c.Step()
+	if c.D[0]&0xFF != 0x58 {
+		t.Errorf("NBCD 42 = %02X, want 58 (100-42)", c.D[0]&0xFF)
+	}
+	if !c.flag(FlagC) {
+		t.Error("NBCD of nonzero sets carry")
+	}
+}
+
+func TestMovepWordRoundTrip(t *testing.T) {
+	// MOVEP.W D0,2(A0): 0000 000 110 001 000 = 0x0188
+	c, b := newTestCPU(0x0188, 0x0002)
+	c.D[0] = 0xABCD
+	c.A[0] = 0x2000
+	c.Step()
+	if b.mem[0x2002] != 0xAB || b.mem[0x2004] != 0xCD {
+		t.Fatalf("MOVEP.W wrote % X % X", b.mem[0x2002], b.mem[0x2004])
+	}
+	if b.mem[0x2003] != 0 {
+		t.Error("MOVEP must skip alternate bytes")
+	}
+	// Read it back: MOVEP.W 2(A0),D1: 0000 001 100 001 000 = 0x0308
+	c2, b2 := newTestCPU(0x0308, 0x0002)
+	b2.mem[0x2002] = 0xAB
+	b2.mem[0x2004] = 0xCD
+	c2.A[0] = 0x2000
+	c2.Step()
+	if c2.D[1]&0xFFFF != 0xABCD {
+		t.Errorf("MOVEP.W read = %04X", c2.D[1]&0xFFFF)
+	}
+}
+
+func TestMovepLong(t *testing.T) {
+	// MOVEP.L D2,0(A1): 0000 010 111 001 001 = 0x05C9
+	c, b := newTestCPU(0x05C9, 0x0000)
+	c.D[2] = 0x12345678
+	c.A[1] = 0x2000
+	c.Step()
+	want := []byte{0x12, 0x34, 0x56, 0x78}
+	for i, w := range want {
+		if b.mem[0x2000+i*2] != w {
+			t.Errorf("byte %d = %02X, want %02X", i, b.mem[0x2000+i*2], w)
+		}
+	}
+}
+
+// Property: BCD addition matches decimal arithmetic for valid BCD operands.
+func TestBcdAddProperty(t *testing.T) {
+	for a := 0; a < 100; a++ {
+		for bb := 0; bb < 100; bb++ {
+			da := uint32(a/10<<4 | a%10)
+			db := uint32(bb/10<<4 | bb%10)
+			res, carry := bcdAdd(da, db, 0)
+			sum := a + bb
+			wantCarry := sum >= 100
+			sum %= 100
+			want := uint32(sum/10<<4 | sum%10)
+			if res != want || carry != wantCarry {
+				t.Fatalf("%d+%d: got %02X carry=%v, want %02X carry=%v",
+					a, bb, res, carry, want, wantCarry)
+			}
+		}
+	}
+}

@@ -1,0 +1,1165 @@
+package m68k
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResetLoadsVectors(t *testing.T) {
+	c, _ := newTestCPU()
+	if c.A[7] != testStackTop {
+		t.Errorf("SSP = %#x, want %#x", c.A[7], testStackTop)
+	}
+	if c.PC != testCodeBase {
+		t.Errorf("PC = %#x, want %#x", c.PC, testCodeBase)
+	}
+	if !c.Supervisor() {
+		t.Error("not in supervisor state after reset")
+	}
+	if c.IntMask() != 7 {
+		t.Errorf("interrupt mask = %d, want 7", c.IntMask())
+	}
+}
+
+func TestMoveq(t *testing.T) {
+	c, _ := newTestCPU(0x7005) // MOVEQ #5,D0
+	c.Step()
+	if c.D[0] != 5 {
+		t.Errorf("D0 = %d, want 5", c.D[0])
+	}
+	if c.flag(FlagZ) || c.flag(FlagN) {
+		t.Error("Z or N set for positive result")
+	}
+
+	c, _ = newTestCPU(0x70FF) // MOVEQ #-1,D0
+	c.Step()
+	if c.D[0] != 0xFFFFFFFF {
+		t.Errorf("D0 = %#x, want 0xFFFFFFFF (sign extension)", c.D[0])
+	}
+	if !c.flag(FlagN) {
+		t.Error("N clear for negative result")
+	}
+
+	c, _ = newTestCPU(0x7000) // MOVEQ #0,D0
+	c.D[0] = 123
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("Z clear for zero result")
+	}
+}
+
+func TestMoveRegisterToRegister(t *testing.T) {
+	c, _ := newTestCPU(0x2401) // MOVE.L D1,D2
+	c.D[1] = 0xDEADBEEF
+	c.Step()
+	if c.D[2] != 0xDEADBEEF {
+		t.Errorf("D2 = %#x, want 0xDEADBEEF", c.D[2])
+	}
+	if !c.flag(FlagN) {
+		t.Error("N should be set (MSB of result is 1)")
+	}
+}
+
+func TestMoveByteOnlyTouchesLowByte(t *testing.T) {
+	c, _ := newTestCPU(0x1401) // MOVE.B D1,D2
+	c.D[1] = 0x000000AA
+	c.D[2] = 0x11223344
+	c.Step()
+	if c.D[2] != 0x112233AA {
+		t.Errorf("D2 = %#x, want 0x112233AA", c.D[2])
+	}
+}
+
+func TestMoveMemoryModes(t *testing.T) {
+	// MOVE.W #0x1234,(A0); MOVE.W (A0)+,D1
+	c, b := newTestCPU(0x30BC, 0x1234, 0x3218)
+	c.A[0] = 0x2000
+	runSteps(c, 2)
+	if got := b.Read(0x2000, Word, Read); got != 0x1234 {
+		t.Errorf("mem[0x2000] = %#x, want 0x1234", got)
+	}
+	if c.D[1]&0xFFFF != 0x1234 {
+		t.Errorf("D1 = %#x, want low word 0x1234", c.D[1])
+	}
+	if c.A[0] != 0x2002 {
+		t.Errorf("A0 = %#x, want 0x2002 after post-increment", c.A[0])
+	}
+}
+
+func TestMovePreDecrement(t *testing.T) {
+	c, b := newTestCPU(0x3100) // MOVE.W D0,-(A0)
+	c.D[0] = 0xBEEF
+	c.A[0] = 0x2002
+	c.Step()
+	if c.A[0] != 0x2000 {
+		t.Errorf("A0 = %#x, want 0x2000", c.A[0])
+	}
+	if got := b.Read(0x2000, Word, Read); got != 0xBEEF {
+		t.Errorf("mem = %#x, want 0xBEEF", got)
+	}
+}
+
+func TestByteOnA7KeepsAlignment(t *testing.T) {
+	c, _ := newTestCPU(0x1F00) // MOVE.B D0,-(A7)
+	sp := c.A[7]
+	c.Step()
+	if c.A[7] != sp-2 {
+		t.Errorf("A7 moved by %d, want 2", sp-c.A[7])
+	}
+}
+
+func TestMoveDisplacementAndIndex(t *testing.T) {
+	// MOVE.W 4(A0),D0 ; MOVE.W 2(A0,D1.W),D2
+	c, b := newTestCPU(0x3028, 0x0004, 0x3430, 0x1002)
+	c.A[0] = 0x3000
+	c.D[1] = 4
+	b.put16(0x3004, 0xAAAA)
+	b.put16(0x3006, 0xBBBB)
+	runSteps(c, 2)
+	if c.D[0]&0xFFFF != 0xAAAA {
+		t.Errorf("d16(An): D0 = %#x, want 0xAAAA", c.D[0])
+	}
+	if c.D[2]&0xFFFF != 0xBBBB {
+		t.Errorf("d8(An,Xn): D2 = %#x, want 0xBBBB", c.D[2])
+	}
+}
+
+func TestMoveAbsoluteAndPCRelative(t *testing.T) {
+	// MOVE.W $4000.W,D0 ; MOVE.W 6(PC),D1 ; data word
+	c, b := newTestCPU(0x3038, 0x4000, 0x323A, 0x0004, 0x4E4F, 0xCAFE)
+	b.put16(0x4000, 0x5678)
+	runSteps(c, 2)
+	if c.D[0]&0xFFFF != 0x5678 {
+		t.Errorf("abs.W: D0 = %#x, want 0x5678", c.D[0])
+	}
+	// PC-relative: extension word at testCodeBase+6, so base PC =
+	// testCodeBase+6, displacement 4 -> testCodeBase+10 = the 0xCAFE word.
+	if c.D[1]&0xFFFF != 0xCAFE {
+		t.Errorf("d16(PC): D1 = %#x, want 0xCAFE", c.D[1])
+	}
+}
+
+func TestMoveaSignExtendsWord(t *testing.T) {
+	c, _ := newTestCPU(0x3040) // MOVEA.W D0,A0
+	c.D[0] = 0x8000
+	c.Step()
+	if c.A[0] != 0xFFFF8000 {
+		t.Errorf("A0 = %#x, want sign-extended 0xFFFF8000", c.A[0])
+	}
+	if c.flag(FlagN) || c.flag(FlagZ) {
+		t.Error("MOVEA must not touch flags")
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		d0, d1      uint32
+		want        uint32
+		n, z, v, cf bool
+	}{
+		{1, 2, 3, false, false, false, false},
+		{0xFFFFFFFF, 1, 0, false, true, false, true},
+		{0x7FFFFFFF, 1, 0x80000000, true, false, true, false},
+		{0x80000000, 0x80000000, 0, false, true, true, true},
+	}
+	for _, tc := range cases {
+		c, _ := newTestCPU(0xD081) // ADD.L D1,D0
+		c.D[0] = tc.d0
+		c.D[1] = tc.d1
+		c.Step()
+		if c.D[0] != tc.want {
+			t.Errorf("%#x+%#x = %#x, want %#x", tc.d0, tc.d1, c.D[0], tc.want)
+		}
+		if c.flag(FlagN) != tc.n || c.flag(FlagZ) != tc.z ||
+			c.flag(FlagV) != tc.v || c.flag(FlagC) != tc.cf {
+			t.Errorf("%#x+%#x flags NZVC=%v%v%v%v want %v%v%v%v",
+				tc.d0, tc.d1, c.flag(FlagN), c.flag(FlagZ), c.flag(FlagV), c.flag(FlagC),
+				tc.n, tc.z, tc.v, tc.cf)
+		}
+		if c.flag(FlagX) != tc.cf {
+			t.Error("X should track C for ADD")
+		}
+	}
+}
+
+func TestSubAndCmpFlags(t *testing.T) {
+	c, _ := newTestCPU(0x9081) // SUB.L D1,D0
+	c.D[0] = 5
+	c.D[1] = 7
+	c.Step()
+	if c.D[0] != 0xFFFFFFFE {
+		t.Errorf("5-7 = %#x, want 0xFFFFFFFE", c.D[0])
+	}
+	if !c.flag(FlagC) || !c.flag(FlagN) {
+		t.Error("borrow/negative flags wrong for 5-7")
+	}
+
+	// CMP leaves X alone.
+	c, _ = newTestCPU(0xB081) // CMP.L D1,D0
+	c.setFlag(FlagX, true)
+	c.D[0] = 1
+	c.D[1] = 1
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("Z clear after comparing equal values")
+	}
+	if !c.flag(FlagX) {
+		t.Error("CMP must not clear X")
+	}
+	if c.D[0] != 1 {
+		t.Error("CMP must not modify destination")
+	}
+}
+
+func TestAddqSubq(t *testing.T) {
+	c, _ := newTestCPU(0x5240, 0x5380) // ADDQ.W #1,D0 ; SUBQ.L #1,D0
+	c.D[0] = 0x0000FFFF
+	c.Step()
+	if c.D[0] != 0x00000000 {
+		t.Errorf("ADDQ.W wrapped to %#x, want 0 in low word", c.D[0])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("Z clear after word wrap to zero")
+	}
+	c.Step()
+	if c.D[0] != 0xFFFFFFFF {
+		t.Errorf("SUBQ.L: D0 = %#x, want 0xFFFFFFFF", c.D[0])
+	}
+}
+
+func TestAddqToAddressRegisterSkipsFlags(t *testing.T) {
+	c, _ := newTestCPU(0x5488) // ADDQ.L #2,A0
+	c.A[0] = 10
+	c.setFlag(FlagZ, true)
+	c.Step()
+	if c.A[0] != 12 {
+		t.Errorf("A0 = %d, want 12", c.A[0])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("ADDQ to An must not touch flags")
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	c, _ := newTestCPU(0xC081) // AND.L D1,D0
+	c.D[0] = 0xF0F0F0F0
+	c.D[1] = 0xFF00FF00
+	c.Step()
+	if c.D[0] != 0xF000F000 {
+		t.Errorf("AND = %#x", c.D[0])
+	}
+	c, _ = newTestCPU(0x8081) // OR.L D1,D0
+	c.D[0] = 0x0F00
+	c.D[1] = 0x00F0
+	c.Step()
+	if c.D[0] != 0x0FF0 {
+		t.Errorf("OR = %#x", c.D[0])
+	}
+	c, _ = newTestCPU(0xB380) // EOR.L D1,D0
+	c.D[0] = 0xFFFF0000
+	c.D[1] = 0xFF00FF00
+	c.Step()
+	if c.D[0] != 0x00FFFF00 {
+		t.Errorf("EOR = %#x", c.D[0])
+	}
+	if c.flag(FlagV) || c.flag(FlagC) {
+		t.Error("logical ops must clear V and C")
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	// ANDI.B #$F0,D0 ; ORI.W #$000F,D1 ; EORI.L #$FFFFFFFF,D2 ; ADDI.W #5,D3 ; SUBI.W #3,D3 ; CMPI.W #2,D3
+	c, _ := newTestCPU(
+		0x0200, 0x00F0,
+		0x0041, 0x000F,
+		0x0A82, 0xFFFF, 0xFFFF,
+		0x0643, 0x0005,
+		0x0443, 0x0003,
+		0x0C43, 0x0002,
+	)
+	c.D[0] = 0xAB
+	c.D[2] = 0x12345678
+	runSteps(c, 6)
+	if c.D[0] != 0xA0 {
+		t.Errorf("ANDI: D0 = %#x, want 0xA0", c.D[0])
+	}
+	if c.D[1]&0xFFFF != 0x000F {
+		t.Errorf("ORI: D1 = %#x", c.D[1])
+	}
+	if c.D[2] != 0xEDCBA987 {
+		t.Errorf("EORI: D2 = %#x", c.D[2])
+	}
+	if c.D[3]&0xFFFF != 2 {
+		t.Errorf("ADDI/SUBI: D3 = %#x, want 2", c.D[3])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("CMPI #2 vs 2: Z should be set")
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	// BTST #3,D0 ; BSET #4,D0 ; BCLR #0,D0 ; BCHG #1,D0
+	c, _ := newTestCPU(
+		0x0800, 0x0003,
+		0x08C0, 0x0004,
+		0x0880, 0x0000,
+		0x0840, 0x0001,
+	)
+	c.D[0] = 0x01
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("BTST #3 of 0x01: Z should be set (bit clear)")
+	}
+	c.Step()
+	if c.D[0] != 0x11 {
+		t.Errorf("BSET: D0 = %#x, want 0x11", c.D[0])
+	}
+	c.Step()
+	if c.D[0] != 0x10 {
+		t.Errorf("BCLR: D0 = %#x, want 0x10", c.D[0])
+	}
+	if c.flag(FlagZ) {
+		t.Error("BCLR of set bit: Z should be clear")
+	}
+	c.Step()
+	if c.D[0] != 0x12 {
+		t.Errorf("BCHG: D0 = %#x, want 0x12", c.D[0])
+	}
+}
+
+func TestBitOpsOnMemoryAreByteSized(t *testing.T) {
+	c, b := newTestCPU(0x08D0, 0x0009) // BSET #9,(A0) -> bit 1 of the byte
+	c.A[0] = 0x2000
+	c.Step()
+	if got := b.Read(0x2000, Byte, Read); got != 0x02 {
+		t.Errorf("mem byte = %#x, want 0x02 (bit number mod 8)", got)
+	}
+}
+
+func TestDynamicBitOp(t *testing.T) {
+	c, _ := newTestCPU(0x0341) // BTST D1,D1? no: BCHG D1,D1 -- use BTST D1,D0: 0x0300
+	_ = c
+	c2, _ := newTestCPU(0x0300) // BTST D1,D0
+	c2.D[0] = 0x100
+	c2.D[1] = 8
+	c2.Step()
+	if c2.flag(FlagZ) {
+		t.Error("BTST D1,D0 with bit 8 set: Z should be clear")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c, _ := newTestCPU(0xE388) // LSL.L #1,D0
+	c.D[0] = 0x80000001
+	c.Step()
+	if c.D[0] != 2 {
+		t.Errorf("LSL: D0 = %#x, want 2", c.D[0])
+	}
+	if !c.flag(FlagC) || !c.flag(FlagX) {
+		t.Error("LSL out of MSB should set C and X")
+	}
+
+	c, _ = newTestCPU(0xE441) // ASR.W #2,D1
+	c.D[1] = 0x8004
+	c.Step()
+	if c.D[1]&0xFFFF != 0xE001 {
+		t.Errorf("ASR: D1 = %#x, want 0xE001", c.D[1])
+	}
+
+	c, _ = newTestCPU(0xE259) // ROR.W #1,D1? encode: ROR.W #1,D1 = 1110 001 0 01 0 11 001 = 0xE259
+	c.D[1] = 0x0001
+	c.Step()
+	if c.D[1]&0xFFFF != 0x8000 {
+		t.Errorf("ROR: D1 = %#x, want 0x8000", c.D[1])
+	}
+	if !c.flag(FlagC) {
+		t.Error("ROR of LSB should set C")
+	}
+
+	c, _ = newTestCPU(0xE188) // ASL.L #?: 1110 000 1 10 0 01 000: LSL.L #8,D0
+	c.D[0] = 0x00000001
+	c.Step()
+	if c.D[0] != 0x100 {
+		t.Errorf("LSL.L #8: D0 = %#x, want 0x100", c.D[0])
+	}
+
+	// Register-count shift.
+	c, _ = newTestCPU(0xE2A8) // LSR.L D1,D0: 1110 001 0 10 1 01 000
+	c.D[0] = 0x8000
+	c.D[1] = 15
+	c.Step()
+	if c.D[0] != 1 {
+		t.Errorf("LSR.L D1,D0 = %#x, want 1", c.D[0])
+	}
+
+	// ASL overflow: sign change sets V.
+	c, _ = newTestCPU(0xE180) // ASL.L #8,D0
+	c.D[0] = 0x01000000
+	c.Step()
+	if !c.flag(FlagV) {
+		t.Error("ASL that changes sign should set V")
+	}
+}
+
+func TestRoxThroughX(t *testing.T) {
+	c, _ := newTestCPU(0xE350) // ROXL.W #1,D0: 1110 001 1 01 0 10 000
+	c.D[0] = 0x8000
+	c.setFlag(FlagX, false)
+	c.Step()
+	if c.D[0]&0xFFFF != 0 {
+		t.Errorf("ROXL: D0 = %#x, want 0", c.D[0])
+	}
+	if !c.flag(FlagX) || !c.flag(FlagC) {
+		t.Error("ROXL should move MSB into X and C")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	c, _ := newTestCPU(0xC0C1) // MULU D1,D0
+	c.D[0] = 300
+	c.D[1] = 400
+	c.Step()
+	if c.D[0] != 120000 {
+		t.Errorf("MULU: %d, want 120000", c.D[0])
+	}
+
+	c, _ = newTestCPU(0xC1C1) // MULS D1,D0
+	c.D[0] = 0xFFFF           // -1 as word
+	c.D[1] = 5
+	c.Step()
+	if int32(c.D[0]) != -5 {
+		t.Errorf("MULS: %d, want -5", int32(c.D[0]))
+	}
+
+	c, _ = newTestCPU(0x80C1) // DIVU D1,D0
+	c.D[0] = 100003
+	c.D[1] = 10
+	c.Step()
+	if c.D[0]&0xFFFF != 10000 {
+		t.Errorf("DIVU quotient = %d, want 10000", c.D[0]&0xFFFF)
+	}
+	if c.D[0]>>16 != 3 {
+		t.Errorf("DIVU remainder = %d, want 3", c.D[0]>>16)
+	}
+
+	c, _ = newTestCPU(0x81C1) // DIVS D1,D0
+	var minus7 int32 = -7
+	c.D[0] = uint32(minus7)
+	c.D[1] = 2
+	c.Step()
+	if int16(c.D[0]) != -3 {
+		t.Errorf("DIVS quotient = %d, want -3", int16(c.D[0]))
+	}
+	if int16(c.D[0]>>16) != -1 {
+		t.Errorf("DIVS remainder = %d, want -1", int16(c.D[0]>>16))
+	}
+}
+
+func TestDivideByZeroRaisesException(t *testing.T) {
+	c, _ := newTestCPU(0x80C1) // DIVU D1,D0
+	c.D[1] = 0
+	c.Step()
+	if c.PC != testHaltVec {
+		t.Errorf("PC = %#x, want zero-divide vector target %#x", c.PC, testHaltVec)
+	}
+}
+
+func TestDivuOverflowSetsV(t *testing.T) {
+	c, _ := newTestCPU(0x80C1)
+	c.D[0] = 0x10000
+	c.D[1] = 1
+	c.Step()
+	if !c.flag(FlagV) {
+		t.Error("DIVU overflow should set V")
+	}
+	if c.D[0] != 0x10000 {
+		t.Error("DIVU overflow must leave Dn unchanged")
+	}
+}
+
+func TestBranching(t *testing.T) {
+	// MOVEQ #0,D0 ; BRA.S +2 (skip the ADDQ) ; ADDQ.W #1,D0 ; NOP
+	c, _ := newTestCPU(0x7000, 0x6002, 0x5240, 0x4E71)
+	runSteps(c, 2)
+	if c.PC != testCodeBase+6 {
+		t.Errorf("PC = %#x after BRA.S, want %#x", c.PC, testCodeBase+6)
+	}
+	if c.D[0] != 0 {
+		t.Error("branch target wrong: ADDQ executed")
+	}
+}
+
+func TestConditionalBranch(t *testing.T) {
+	// CMPI.W #5,D0 ; BEQ.S +2 ; MOVEQ #1,D1 ; MOVEQ #2,D2
+	prog := []uint16{0x0C40, 0x0005, 0x6702, 0x7201, 0x7402}
+	c, _ := newTestCPU(prog...)
+	c.D[0] = 5
+	runSteps(c, 3)
+	if c.D[1] != 0 || c.D[2] != 2 {
+		t.Errorf("taken-branch state: D1=%d D2=%d, want 0,2", c.D[1], c.D[2])
+	}
+
+	c, _ = newTestCPU(prog...)
+	c.D[0] = 4
+	runSteps(c, 4)
+	if c.D[1] != 1 || c.D[2] != 2 {
+		t.Errorf("fallthrough state: D1=%d D2=%d, want 1,2", c.D[1], c.D[2])
+	}
+}
+
+func TestBranchWord(t *testing.T) {
+	// BRA.W +4: displacement counted from after opcode word.
+	c, _ := newTestCPU(0x6000, 0x0004, 0x4E71, 0x7007)
+	c.Step()
+	if c.PC != testCodeBase+6 {
+		t.Errorf("PC = %#x, want %#x", c.PC, testCodeBase+6)
+	}
+}
+
+func TestBsrRts(t *testing.T) {
+	// BSR.S +4 ; MOVEQ #1,D1 ; TRAP#15 | sub: MOVEQ #2,D2 ; RTS
+	c, _ := newTestCPU(0x6104, 0x7201, 0x4E4F, 0x7402, 0x4E75)
+	c.Step() // BSR
+	if c.PC != testCodeBase+6 {
+		t.Fatalf("BSR target = %#x, want %#x", c.PC, testCodeBase+6)
+	}
+	runSteps(c, 2) // MOVEQ #2,D2 ; RTS
+	if c.D[2] != 2 {
+		t.Error("subroutine body didn't run")
+	}
+	if c.PC != testCodeBase+2 {
+		t.Errorf("RTS returned to %#x, want %#x", c.PC, testCodeBase+2)
+	}
+}
+
+func TestJsrJmp(t *testing.T) {
+	c, _ := newTestCPU(0x4EB9, 0x0000, 0x2000) // JSR $2000.L
+	c.Step()
+	if c.PC != 0x2000 {
+		t.Errorf("JSR: PC = %#x, want 0x2000", c.PC)
+	}
+	if got := c.bus.Read(c.A[7], Long, Read); got != testCodeBase+6 {
+		t.Errorf("return address = %#x, want %#x", got, testCodeBase+6)
+	}
+
+	c, _ = newTestCPU(0x4ED0) // JMP (A0)
+	c.A[0] = 0x3000
+	c.Step()
+	if c.PC != 0x3000 {
+		t.Errorf("JMP: PC = %#x, want 0x3000", c.PC)
+	}
+}
+
+func TestDbraLoop(t *testing.T) {
+	// MOVEQ #4,D0 ; loop: ADDQ.W #1,D1 ; DBRA D0,loop
+	c, _ := newTestCPU(0x7004, 0x5241, 0x51C8, 0xFFFC)
+	for i := 0; i < 32 && c.PC != testCodeBase+8; i++ {
+		c.Step()
+	}
+	if c.D[1] != 5 {
+		t.Errorf("loop body ran %d times, want 5", c.D[1])
+	}
+	if c.D[0]&0xFFFF != 0xFFFF {
+		t.Errorf("D0 = %#x, want 0xFFFF after DBRA exhaustion", c.D[0])
+	}
+}
+
+func TestDbccConditionStopsLoop(t *testing.T) {
+	// DBEQ with Z set: condition true, loop exits immediately, D0 untouched.
+	c, _ := newTestCPU(0x57C8, 0xFFFE) // DBEQ D0,-2
+	c.D[0] = 5
+	c.setFlag(FlagZ, true)
+	c.Step()
+	if c.D[0] != 5 {
+		t.Error("DBcc with true condition must not decrement the counter")
+	}
+	if c.PC != testCodeBase+4 {
+		t.Error("DBcc with true condition must fall through")
+	}
+}
+
+func TestScc(t *testing.T) {
+	c, _ := newTestCPU(0x57C0) // SEQ D0
+	c.setFlag(FlagZ, true)
+	c.D[0] = 0x11223300
+	c.Step()
+	if c.D[0] != 0x112233FF {
+		t.Errorf("SEQ: D0 = %#x, want low byte 0xFF", c.D[0])
+	}
+	c, _ = newTestCPU(0x56C0) // SNE D0
+	c.setFlag(FlagZ, true)
+	c.D[0] = 0xFF
+	c.Step()
+	if c.D[0]&0xFF != 0 {
+		t.Errorf("SNE with Z: D0 low byte = %#x, want 0", c.D[0]&0xFF)
+	}
+}
+
+func TestClrNegNotTst(t *testing.T) {
+	c, _ := newTestCPU(0x4240, 0x4441, 0x4682, 0x4A83)
+	c.D[0] = 0xFFFFFFFF
+	c.D[1] = 5
+	c.D[2] = 0x0F0F0F0F
+	c.D[3] = 0
+	c.Step() // CLR.W D0
+	if c.D[0] != 0xFFFF0000 {
+		t.Errorf("CLR.W: D0 = %#x", c.D[0])
+	}
+	c.Step() // NEG.W D1
+	if c.D[1]&0xFFFF != 0xFFFB {
+		t.Errorf("NEG.W: D1 = %#x, want 0xFFFB", c.D[1]&0xFFFF)
+	}
+	if !c.flag(FlagC) {
+		t.Error("NEG of nonzero sets C")
+	}
+	c.Step() // NOT.L D2
+	if c.D[2] != 0xF0F0F0F0 {
+		t.Errorf("NOT.L: D2 = %#x", c.D[2])
+	}
+	c.Step() // TST.L D3
+	if !c.flag(FlagZ) {
+		t.Error("TST.L of zero should set Z")
+	}
+}
+
+func TestExtSwapExg(t *testing.T) {
+	c, _ := newTestCPU(0x4880, 0x48C0) // EXT.W D0 ; EXT.L D0
+	c.D[0] = 0x000000F0
+	c.Step()
+	if c.D[0]&0xFFFF != 0xFFF0 {
+		t.Errorf("EXT.W: %#x", c.D[0])
+	}
+	c.Step()
+	if c.D[0] != 0xFFFFFFF0 {
+		t.Errorf("EXT.L: %#x", c.D[0])
+	}
+
+	c, _ = newTestCPU(0x4840) // SWAP D0
+	c.D[0] = 0x12345678
+	c.Step()
+	if c.D[0] != 0x56781234 {
+		t.Errorf("SWAP: %#x", c.D[0])
+	}
+
+	c, _ = newTestCPU(0xC141) // EXG D0,D1
+	c.D[0], c.D[1] = 1, 2
+	c.Step()
+	if c.D[0] != 2 || c.D[1] != 1 {
+		t.Errorf("EXG: D0=%d D1=%d", c.D[0], c.D[1])
+	}
+}
+
+func TestLeaPea(t *testing.T) {
+	c, _ := newTestCPU(0x43E8, 0x0010) // LEA 16(A0),A1
+	c.A[0] = 0x2000
+	c.Step()
+	if c.A[1] != 0x2010 {
+		t.Errorf("LEA: A1 = %#x, want 0x2010", c.A[1])
+	}
+
+	c, b := newTestCPU(0x4850) // PEA (A0)
+	c.A[0] = 0x1234
+	c.Step()
+	if got := b.Read(c.A[7], Long, Read); got != 0x1234 {
+		t.Errorf("PEA pushed %#x, want 0x1234", got)
+	}
+}
+
+func TestLinkUnlk(t *testing.T) {
+	c, _ := newTestCPU(0x4E56, 0xFFF8, 0x4E5E) // LINK A6,#-8 ; UNLK A6
+	origSP := c.A[7]
+	c.A[6] = 0xAAAA
+	c.Step()
+	if c.A[6] != origSP-4 {
+		t.Errorf("LINK: A6 = %#x, want %#x", c.A[6], origSP-4)
+	}
+	if c.A[7] != origSP-12 {
+		t.Errorf("LINK: SP = %#x, want %#x", c.A[7], origSP-12)
+	}
+	c.Step()
+	if c.A[7] != origSP || c.A[6] != 0xAAAA {
+		t.Errorf("UNLK: SP=%#x A6=%#x, want %#x,0xAAAA", c.A[7], c.A[6], origSP)
+	}
+}
+
+func TestMovemRoundTrip(t *testing.T) {
+	// MOVEM.L D0-D2/A0,-(A7) ; CLR.L D0 ... ; MOVEM.L (A7)+,D0-D2/A0
+	c, _ := newTestCPU(
+		0x48E7, 0xE080, // MOVEM.L D0-D2/A0,-(SP)
+		0x4280, 0x4281, 0x4282, 0x91C8, // CLR.L D0/D1/D2 ; SUBA.L A0,A0
+		0x4CDF, 0x0107, // MOVEM.L (SP)+,D0-D2/A0
+	)
+	c.D[0], c.D[1], c.D[2], c.A[0] = 0x11, 0x22, 0x33, 0x44
+	sp := c.A[7]
+	c.Step()
+	if c.A[7] != sp-16 {
+		t.Fatalf("MOVEM push moved SP by %d, want 16", sp-c.A[7])
+	}
+	runSteps(c, 4)
+	if c.D[0] != 0 || c.A[0] != 0 {
+		t.Fatal("clears didn't run")
+	}
+	c.Step()
+	if c.D[0] != 0x11 || c.D[1] != 0x22 || c.D[2] != 0x33 || c.A[0] != 0x44 {
+		t.Errorf("MOVEM restore: D0=%#x D1=%#x D2=%#x A0=%#x", c.D[0], c.D[1], c.D[2], c.A[0])
+	}
+	if c.A[7] != sp {
+		t.Errorf("SP = %#x, want %#x", c.A[7], sp)
+	}
+}
+
+func TestMovemMemoryOrderIsAscendingRegisterNumber(t *testing.T) {
+	c, b := newTestCPU(0x48E7, 0xC000) // MOVEM.L D0-D1,-(SP)
+	c.D[0], c.D[1] = 0xAAAA, 0xBBBB
+	c.Step()
+	// Lower address holds D0 (written last in predecrement order).
+	if got := b.Read(c.A[7], Long, Read); got != 0xAAAA {
+		t.Errorf("first = %#x, want D0", got)
+	}
+	if got := b.Read(c.A[7]+4, Long, Read); got != 0xBBBB {
+		t.Errorf("second = %#x, want D1", got)
+	}
+}
+
+func TestCmpm(t *testing.T) {
+	c, b := newTestCPU(0xB308) // CMPM.B (A0)+,(A1)+
+	b.mem[0x2000] = 5
+	b.mem[0x3000] = 5
+	c.A[0] = 0x2000
+	c.A[1] = 0x3000
+	c.Step()
+	if !c.flag(FlagZ) {
+		t.Error("CMPM equal bytes: Z should be set")
+	}
+	if c.A[0] != 0x2001 || c.A[1] != 0x3001 {
+		t.Error("CMPM must post-increment both registers")
+	}
+}
+
+func TestAddxSubxStickyZ(t *testing.T) {
+	c, _ := newTestCPU(0xD181) // ADDX.L D1,D0
+	c.D[0] = 0
+	c.D[1] = 0
+	c.setFlag(FlagX, false)
+	c.setFlag(FlagZ, false)
+	c.Step()
+	if c.flag(FlagZ) {
+		t.Error("ADDX zero result must not SET Z (sticky semantics)")
+	}
+
+	c, _ = newTestCPU(0xD181)
+	c.D[0] = 1
+	c.D[1] = 0
+	c.setFlag(FlagX, true)
+	c.Step()
+	if c.D[0] != 2 {
+		t.Errorf("ADDX with X: %d, want 2", c.D[0])
+	}
+
+	c, _ = newTestCPU(0x9181) // SUBX.L D1,D0
+	c.D[0] = 5
+	c.D[1] = 2
+	c.setFlag(FlagX, true)
+	c.Step()
+	if c.D[0] != 2 {
+		t.Errorf("SUBX with X: %d, want 2", c.D[0])
+	}
+}
+
+func TestAddaSuba(t *testing.T) {
+	c, _ := newTestCPU(0xD3C0) // ADDA.L D0,A1
+	c.D[0] = 16
+	c.A[1] = 0x1000
+	c.setFlag(FlagZ, true)
+	c.Step()
+	if c.A[1] != 0x1010 {
+		t.Errorf("ADDA: %#x", c.A[1])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("ADDA must not touch flags")
+	}
+
+	c, _ = newTestCPU(0xD0FC, 0x8000) // ADDA.W #$8000,A0 (sign-extends)
+	c.A[0] = 0x10000
+	c.Step()
+	if c.A[0] != 0x8000 {
+		t.Errorf("ADDA.W sign extension: A0 = %#x, want 0x8000", c.A[0])
+	}
+}
+
+func TestTrapDispatch(t *testing.T) {
+	c, b := newTestCPU(0x4E42) // TRAP #2
+	b.put32(uint32(VecTrapBase+2)*4, 0x5000)
+	b.put16(0x5000, 0x4E73) // RTE
+	c.Step()
+	if c.PC != 0x5000 {
+		t.Fatalf("TRAP: PC = %#x, want 0x5000", c.PC)
+	}
+	if !c.Supervisor() {
+		t.Fatal("TRAP must enter supervisor state")
+	}
+	c.Step() // RTE
+	if c.PC != testCodeBase+2 {
+		t.Errorf("RTE returned to %#x, want %#x", c.PC, testCodeBase+2)
+	}
+}
+
+func TestIllegalInstructionException(t *testing.T) {
+	c, _ := newTestCPU(0x4AFC) // ILLEGAL
+	c.Step()
+	if c.PC != testHaltVec {
+		t.Errorf("PC = %#x, want illegal vector target", c.PC)
+	}
+}
+
+func TestPrivilegeViolation(t *testing.T) {
+	// Drop to user mode via MOVE #0,SR then try STOP.
+	c, _ := newTestCPU(0x46FC, 0x0000, 0x4E72, 0x2000)
+	c.Step() // now user mode
+	if c.Supervisor() {
+		t.Fatal("still supervisor after clearing S")
+	}
+	c.Step() // STOP -> privilege violation
+	if c.PC != testHaltVec {
+		t.Errorf("PC = %#x, want privilege vector target", c.PC)
+	}
+	if !c.Supervisor() {
+		t.Error("exception must re-enter supervisor state")
+	}
+}
+
+func TestUserSupervisorStackSwap(t *testing.T) {
+	c, _ := newTestCPU(0x46FC, 0x0000, 0x4E71) // MOVE #0,SR ; NOP
+	ssp := c.A[7]
+	c.SetUSP(0x7000)
+	c.Step()
+	if c.A[7] != 0x7000 {
+		t.Errorf("user SP = %#x, want 0x7000", c.A[7])
+	}
+	if c.SSP() != ssp {
+		t.Errorf("SSP = %#x, want %#x preserved", c.SSP(), ssp)
+	}
+}
+
+func TestMoveUSP(t *testing.T) {
+	c, _ := newTestCPU(0x4E60, 0x4E69) // MOVE A0,USP ; MOVE USP,A1
+	c.A[0] = 0x6000
+	runSteps(c, 2)
+	if c.A[1] != 0x6000 {
+		t.Errorf("USP round trip = %#x, want 0x6000", c.A[1])
+	}
+}
+
+func TestStopAndInterrupt(t *testing.T) {
+	c, b := newTestCPU(0x4E72, 0x2000, 0x4E71) // STOP #$2000 ; NOP
+	b.put32(uint32(VecAutovector+3)*4, 0x5000)
+	b.put16(0x5000, 0x4E73) // RTE
+	c.Step()
+	if !c.Stopped() {
+		t.Fatal("not stopped after STOP")
+	}
+	c.Step()
+	if !c.Stopped() {
+		t.Fatal("spuriously woke up")
+	}
+	c.SetIRQ(3)
+	c.Step()
+	if c.Stopped() {
+		t.Fatal("interrupt did not wake STOP")
+	}
+	if c.PC != 0x5000 {
+		t.Fatalf("PC = %#x, want autovector handler", c.PC)
+	}
+	if c.IntMask() != 3 {
+		t.Errorf("interrupt mask = %d, want 3", c.IntMask())
+	}
+	c.Step() // RTE
+	if c.PC != testCodeBase+4 {
+		t.Errorf("resumed at %#x, want after STOP", c.PC)
+	}
+}
+
+func TestInterruptMasking(t *testing.T) {
+	c, b := newTestCPU(0x4E71, 0x4E71, 0x4E71) // NOPs at mask 7
+	b.put32(uint32(VecAutovector+2)*4, 0x5000)
+	c.SetIRQ(2)
+	c.Step()
+	if c.PC == 0x5000 {
+		t.Fatal("level-2 interrupt taken at mask 7")
+	}
+	c.SetSR(c.SR()&^0x0700 | 0x0100) // mask 1
+	c.Step()                         // should take the IRQ now
+	if c.PC != 0x5000 {
+		t.Errorf("PC = %#x, want handler after unmasking", c.PC)
+	}
+}
+
+func TestLevel7NotMaskable(t *testing.T) {
+	c, b := newTestCPU(0x4E71)
+	b.put32(uint32(VecAutovector+7)*4, 0x5000)
+	c.SetIRQ(7)
+	c.Step()
+	if c.PC != 0x5000 {
+		t.Errorf("NMI not taken at mask 7: PC=%#x", c.PC)
+	}
+}
+
+func TestLineAHook(t *testing.T) {
+	c, _ := newTestCPU(0xA123, 0x7001) // line-A ; MOVEQ #1,D0
+	var got uint16
+	c.OnLineA = func(op uint16) bool {
+		got = op
+		return true
+	}
+	runSteps(c, 2)
+	if got != 0xA123 {
+		t.Errorf("hook saw %#x, want 0xA123", got)
+	}
+	if c.D[0] != 1 {
+		t.Error("execution did not continue after handled line-A")
+	}
+}
+
+func TestLineAExceptionWithoutHook(t *testing.T) {
+	c, b := newTestCPU(0xA123)
+	b.put32(uint32(VecLineA)*4, 0x5000)
+	b.put16(0x5000, 0x4E73)
+	c.Step()
+	if c.PC != 0x5000 {
+		t.Fatalf("PC = %#x, want line-A vector", c.PC)
+	}
+	// The stacked PC must point at the A-line opcode so the handler can
+	// decode it — this is what the Palm OS trap dispatcher relies on.
+	stacked := c.bus.Read(c.A[7]+2, Long, Read)
+	if stacked != testCodeBase {
+		t.Errorf("stacked PC = %#x, want %#x (the opcode itself)", stacked, testCodeBase)
+	}
+}
+
+func TestLineFHook(t *testing.T) {
+	c, _ := newTestCPU(0xF042)
+	called := false
+	c.OnLineF = func(op uint16) bool { called = op == 0xF042; return true }
+	c.Step()
+	if !called {
+		t.Error("line-F hook not called with opcode")
+	}
+}
+
+func TestChk(t *testing.T) {
+	c, _ := newTestCPU(0x4181) // CHK D1,D0
+	c.D[0] = 5
+	c.D[1] = 10
+	c.Step()
+	if c.PC != testCodeBase+2 {
+		t.Error("CHK within bounds must not trap")
+	}
+
+	c, _ = newTestCPU(0x4181)
+	c.D[0] = 11
+	c.D[1] = 10
+	c.Step()
+	if c.PC != testHaltVec {
+		t.Error("CHK above bound must raise exception")
+	}
+}
+
+func TestTas(t *testing.T) {
+	c, b := newTestCPU(0x4AD0) // TAS (A0)
+	c.A[0] = 0x2000
+	b.mem[0x2000] = 0x00
+	c.Step()
+	if b.mem[0x2000] != 0x80 {
+		t.Errorf("TAS: mem = %#x, want 0x80", b.mem[0x2000])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("TAS of zero sets Z")
+	}
+}
+
+func TestNegx(t *testing.T) {
+	c, _ := newTestCPU(0x4080) // NEGX.L D0
+	c.D[0] = 5
+	c.setFlag(FlagX, true)
+	c.Step()
+	if int32(c.D[0]) != -6 {
+		t.Errorf("NEGX: %d, want -6", int32(c.D[0]))
+	}
+}
+
+func TestRtr(t *testing.T) {
+	// Push a CCR and return address manually, then RTR.
+	c, _ := newTestCPU(0x4E77)
+	c.push32(0x4000)
+	c.push16(FlagZ | FlagC)
+	c.Step()
+	if c.PC != 0x4000 {
+		t.Errorf("RTR: PC = %#x, want 0x4000", c.PC)
+	}
+	if !c.flag(FlagZ) || !c.flag(FlagC) {
+		t.Error("RTR did not restore CCR")
+	}
+	if !c.Supervisor() {
+		t.Error("RTR must not change the S bit")
+	}
+}
+
+func TestTraceException(t *testing.T) {
+	c, b := newTestCPU(0x7001, 0x7002) // MOVEQ #1,D0 ; MOVEQ #2,D1
+	b.put32(uint32(VecTrace)*4, 0x5000)
+	b.put16(0x5000, 0x4E73) // RTE
+	c.SetSR(c.SR() | FlagT)
+	c.Step() // executes MOVEQ then traces
+	if c.D[0] != 1 {
+		t.Fatal("traced instruction did not execute")
+	}
+	if c.PC != 0x5000 {
+		t.Fatalf("PC = %#x, want trace handler", c.PC)
+	}
+}
+
+func TestCycleCountingMonotonic(t *testing.T) {
+	c, _ := newTestCPU(0x7001, 0xD081, 0x4E71)
+	last := c.Cycles
+	for i := 0; i < 3; i++ {
+		spent := c.Step()
+		if spent == 0 {
+			t.Fatalf("instruction %d consumed no cycles", i)
+		}
+		if c.Cycles != last+spent {
+			t.Fatalf("cycle accounting inconsistent")
+		}
+		last = c.Cycles
+	}
+}
+
+func TestInstructionCounter(t *testing.T) {
+	c, _ := newTestCPU(0x4E71, 0x4E71)
+	runSteps(c, 2)
+	if c.Instructions != 2 {
+		t.Errorf("Instructions = %d, want 2", c.Instructions)
+	}
+}
+
+// Property: ADD.L D1,D0 matches Go uint32 addition and its flags match the
+// mathematical definitions, for arbitrary operands.
+func TestAddPropertyQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c, _ := newTestCPU(0xD081)
+		c.D[0] = a
+		c.D[1] = b
+		c.Step()
+		sum := a + b
+		if c.D[0] != sum {
+			return false
+		}
+		wantC := uint64(a)+uint64(b) > 0xFFFFFFFF
+		wantV := (int64(int32(a))+int64(int32(b)) > 0x7FFFFFFF) ||
+			(int64(int32(a))+int64(int32(b)) < -0x80000000)
+		return c.flag(FlagC) == wantC && c.flag(FlagV) == wantV &&
+			c.flag(FlagZ) == (sum == 0) && c.flag(FlagN) == (int32(sum) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SUB.L flags match mathematical borrow/overflow definitions.
+func TestSubPropertyQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c, _ := newTestCPU(0x9081) // SUB.L D1,D0
+		c.D[0] = a
+		c.D[1] = b
+		c.Step()
+		diff := a - b
+		if c.D[0] != diff {
+			return false
+		}
+		wantC := b > a
+		d := int64(int32(a)) - int64(int32(b))
+		wantV := d > 0x7FFFFFFF || d < -0x80000000
+		return c.flag(FlagC) == wantC && c.flag(FlagV) == wantV &&
+			c.flag(FlagZ) == (diff == 0) && c.flag(FlagN) == (int32(diff) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MULU result equals native 16x16->32 multiplication.
+func TestMuluPropertyQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		c, _ := newTestCPU(0xC0C1)
+		c.D[0] = uint32(a)
+		c.D[1] = uint32(b)
+		c.Step()
+		return c.D[0] == uint32(a)*uint32(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LSL then LSR by the same in-range count preserves the low bits
+// that survive the round trip.
+func TestShiftRoundTripQuick(t *testing.T) {
+	f := func(v uint32, n uint8) bool {
+		count := uint32(n%15) + 1
+		c, _ := newTestCPU(0xE3A8, 0xE2A8) // LSL.L D1,D0 ; LSR.L D1,D0
+		c.D[0] = v
+		c.D[1] = count
+		runSteps(c, 2)
+		want := v << count >> count
+		return c.D[0] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaltOnCorruptVectorTable(t *testing.T) {
+	c, b := newTestCPU(0x4AFC) // ILLEGAL with a zeroed vector
+	b.put32(uint32(VecIllegal)*4, 0)
+	c.Step()
+	if !c.Halted() {
+		t.Fatal("CPU should halt on zero exception vector")
+	}
+	if c.Err() == nil {
+		t.Fatal("halt should record an error")
+	}
+	if c.Step() != 0 {
+		t.Error("halted CPU must not consume cycles")
+	}
+}
+
+func TestRunAdvancesAtLeastRequestedCycles(t *testing.T) {
+	// An infinite loop of NOPs: BRA.S -2 preceded by NOP.
+	c, _ := newTestCPU(0x4E71, 0x60FC)
+	spent := c.Run(1000)
+	if spent < 1000 {
+		t.Errorf("Run consumed %d cycles, want >= 1000", spent)
+	}
+}
+
+func TestFetchAccessKindIsReported(t *testing.T) {
+	c, b := newTestCPU(0x3028, 0x0004) // MOVE.W 4(A0),D0
+	c.A[0] = 0x2000
+	b.record = true
+	b.accesses = nil
+	c.Step()
+	var fetches, reads int
+	for _, a := range b.accesses {
+		switch a.kind {
+		case Fetch:
+			fetches++
+		case Read:
+			reads++
+		}
+	}
+	if fetches != 2 {
+		t.Errorf("fetches = %d, want 2 (opcode + extension)", fetches)
+	}
+	if reads != 1 {
+		t.Errorf("data reads = %d, want 1", reads)
+	}
+}

@@ -1,0 +1,340 @@
+package m68k
+
+// Groups 0x8 (OR/DIVU/DIVS/SBCD), 0x9 (SUB/SUBA/SUBX), 0xB
+// (CMP/CMPA/CMPM/EOR), 0xC (AND/MULU/MULS/EXG/ABCD) and 0xD
+// (ADD/ADDA/ADDX). BCD arithmetic lives in ops_bcd.go.
+
+// execDnEA is the common frame for OR/AND/ADD/SUB: direction 0 computes
+// Dn op EA into Dn, direction 1 computes EA op Dn into EA.
+func (c *CPU) execDnEA(opcode uint16, f func(s, d uint32, size Size) uint32) {
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	dn := int(opcode >> 9 & 7)
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	toEA := opcode&0x0100 != 0
+
+	if toEA {
+		if !validEA(mode, reg, "m") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, size)
+		d := c.loadOp(dst, size)
+		res := f(c.D[dn], d, size)
+		c.storeOp(dst, size, res)
+		c.Cycles += 8
+		if size == Long {
+			c.Cycles += 4
+		}
+		c.eaTiming(mode, reg, size)
+		return
+	}
+	class := "dmpi"
+	if mode == ModeAddrReg && size != Byte {
+		class = "dampi" // ADD/SUB allow An sources at word/long
+	}
+	if !validEA(mode, reg, class) {
+		c.illegalOp()
+		return
+	}
+	src := c.resolveEA(mode, reg, size)
+	s := c.loadOp(src, size)
+	res := f(s, c.D[dn], size)
+	c.D[dn] = c.D[dn]&^size.Mask() | res&size.Mask()
+	c.Cycles += 4
+	if size == Long {
+		c.Cycles += 4
+	}
+	c.eaTiming(mode, reg, size)
+}
+
+// execAddrOp implements ADDA/SUBA/CMPA: word sources are sign-extended and
+// the operation is always 32 bits wide.
+func (c *CPU) execAddrOp(opcode uint16, op byte) {
+	size := Word
+	if opcode&0x0100 != 0 {
+		size = Long
+	}
+	an := int(opcode >> 9 & 7)
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !validEA(mode, reg, "dampi") {
+		c.illegalOp()
+		return
+	}
+	src := c.resolveEA(mode, reg, size)
+	s := signExtend(c.loadOp(src, size), size)
+	switch op {
+	case '+':
+		c.A[an] += s
+	case '-':
+		c.A[an] -= s
+	case '?':
+		d := c.A[an]
+		c.cmpFlags(s, d, d-s, Long)
+	}
+	c.Cycles += 8
+	c.eaTiming(mode, reg, size)
+}
+
+func (c *CPU) execGroup8(opcode uint16) {
+	switch {
+	case opcode&0x01C0 == 0x00C0: // DIVU
+		c.execDiv(opcode, false)
+	case opcode&0x01C0 == 0x01C0: // DIVS
+		c.execDiv(opcode, true)
+	case opcode&0x01F0 == 0x0100: // SBCD
+		c.execAbcdSbcd(opcode, false)
+	default: // OR
+		c.execDnEA(opcode, func(s, d uint32, size Size) uint32 {
+			res := s | d
+			c.setNZ(res, size)
+			return res
+		})
+	}
+}
+
+func (c *CPU) execGroupC(opcode uint16) {
+	switch {
+	case opcode&0x01C0 == 0x00C0: // MULU
+		c.execMul(opcode, false)
+	case opcode&0x01C0 == 0x01C0: // MULS
+		c.execMul(opcode, true)
+	case opcode&0x01F0 == 0x0100: // ABCD
+		c.execAbcdSbcd(opcode, true)
+	case opcode&0x01F8 == 0x0140: // EXG Dn,Dn
+		x, y := int(opcode>>9&7), int(opcode&7)
+		c.D[x], c.D[y] = c.D[y], c.D[x]
+		c.Cycles += 6
+	case opcode&0x01F8 == 0x0148: // EXG An,An
+		x, y := int(opcode>>9&7), int(opcode&7)
+		c.A[x], c.A[y] = c.A[y], c.A[x]
+		c.Cycles += 6
+	case opcode&0x01F8 == 0x0188: // EXG Dn,An
+		x, y := int(opcode>>9&7), int(opcode&7)
+		c.D[x], c.A[y] = c.A[y], c.D[x]
+		c.Cycles += 6
+	default: // AND
+		c.execDnEA(opcode, func(s, d uint32, size Size) uint32 {
+			res := s & d
+			c.setNZ(res, size)
+			return res
+		})
+	}
+}
+
+func (c *CPU) execAdd(opcode uint16) {
+	switch {
+	case opcode&0x00C0 == 0x00C0: // ADDA
+		c.execAddrOp(opcode, '+')
+	case opcode&0x0130 == 0x0100: // ADDX
+		c.execAddSubX(opcode, true)
+	default:
+		c.execDnEA(opcode, func(s, d uint32, size Size) uint32 {
+			res := d + s
+			c.addFlags(s, d, res, size)
+			return res
+		})
+	}
+}
+
+func (c *CPU) execSub(opcode uint16) {
+	switch {
+	case opcode&0x00C0 == 0x00C0: // SUBA
+		c.execAddrOp(opcode, '-')
+	case opcode&0x0130 == 0x0100: // SUBX
+		c.execAddSubX(opcode, false)
+	default:
+		c.execDnEA(opcode, func(s, d uint32, size Size) uint32 {
+			res := d - s
+			c.subFlags(s, d, res, size)
+			return res
+		})
+	}
+}
+
+func (c *CPU) execGroupB(opcode uint16) {
+	switch {
+	case opcode&0x00C0 == 0x00C0: // CMPA
+		c.execAddrOp(opcode, '?')
+	case opcode&0x0100 == 0: // CMP
+		size, _ := opSize(opcode >> 6 & 3)
+		dn := int(opcode >> 9 & 7)
+		mode := int(opcode >> 3 & 7)
+		reg := int(opcode & 7)
+		class := "dmpi"
+		if mode == ModeAddrReg && size != Byte {
+			class = "dampi"
+		}
+		if !validEA(mode, reg, class) {
+			c.illegalOp()
+			return
+		}
+		src := c.resolveEA(mode, reg, size)
+		s := c.loadOp(src, size)
+		d := c.D[dn] & size.Mask()
+		c.cmpFlags(s, d, d-s, size)
+		c.Cycles += 4
+		if size == Long {
+			c.Cycles += 2
+		}
+		c.eaTiming(mode, reg, size)
+	case opcode&0x0038 == 0x0008: // CMPM (Ay)+,(Ax)+
+		size, ok := opSize(opcode >> 6 & 3)
+		if !ok {
+			c.illegalOp()
+			return
+		}
+		ay := int(opcode & 7)
+		ax := int(opcode >> 9 & 7)
+		s := c.read(c.A[ay], size, Read)
+		c.A[ay] += uint32(size)
+		d := c.read(c.A[ax], size, Read)
+		c.A[ax] += uint32(size)
+		c.cmpFlags(s, d, d-s, size)
+		c.Cycles += 12
+	default: // EOR Dn,<ea>
+		size, ok := opSize(opcode >> 6 & 3)
+		if !ok {
+			c.illegalOp()
+			return
+		}
+		dn := int(opcode >> 9 & 7)
+		mode := int(opcode >> 3 & 7)
+		reg := int(opcode & 7)
+		if !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, size)
+		res := c.loadOp(dst, size) ^ c.D[dn]
+		c.storeOp(dst, size, res)
+		c.setNZ(res, size)
+		c.Cycles += 8
+		c.eaTiming(mode, reg, size)
+	}
+}
+
+// execAddSubX implements ADDX/SUBX in both register and -(An) forms, with
+// the sticky Z flag.
+func (c *CPU) execAddSubX(opcode uint16, isAdd bool) {
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	rx := int(opcode >> 9 & 7)
+	ry := int(opcode & 7)
+	memForm := opcode&0x0008 != 0
+
+	var s, d uint32
+	var store func(uint32)
+	if memForm {
+		c.A[ry] -= uint32(size)
+		s = c.read(c.A[ry], size, Read)
+		c.A[rx] -= uint32(size)
+		addr := c.A[rx]
+		d = c.read(addr, size, Read)
+		store = func(v uint32) { c.write(addr, size, v&size.Mask()) }
+		c.Cycles += 18
+	} else {
+		s = c.D[ry] & size.Mask()
+		d = c.D[rx] & size.Mask()
+		store = func(v uint32) { c.D[rx] = c.D[rx]&^size.Mask() | v&size.Mask() }
+		c.Cycles += 4
+	}
+	x := uint32(0)
+	if c.flag(FlagX) {
+		x = 1
+	}
+	z := c.flag(FlagZ)
+	var res uint32
+	if isAdd {
+		res = d + s + x
+		c.addFlags(s, d, res, size)
+	} else {
+		res = d - s - x
+		c.subFlags(s+x, d, res, size)
+	}
+	if res&size.Mask() == 0 {
+		c.setFlag(FlagZ, z) // sticky Z
+	}
+	store(res)
+}
+
+// execMul implements MULU/MULS: 16x16 -> 32 into Dn.
+func (c *CPU) execMul(opcode uint16, signed bool) {
+	dn := int(opcode >> 9 & 7)
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !validEA(mode, reg, "dmpi") {
+		c.illegalOp()
+		return
+	}
+	src := c.resolveEA(mode, reg, Word)
+	s := c.loadOp(src, Word)
+	d := c.D[dn] & 0xFFFF
+	var res uint32
+	if signed {
+		res = uint32(int32(int16(s)) * int32(int16(d)))
+	} else {
+		res = s * d
+	}
+	c.D[dn] = res
+	c.setNZ(res, Long)
+	c.Cycles += 54
+	c.eaTiming(mode, reg, Word)
+}
+
+// execDiv implements DIVU/DIVS: Dn(32) / <ea>(16) -> quotient in the low
+// word of Dn, remainder in the high word. Division by zero raises the
+// zero-divide exception; overflow sets V and leaves Dn unchanged.
+func (c *CPU) execDiv(opcode uint16, signed bool) {
+	dn := int(opcode >> 9 & 7)
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !validEA(mode, reg, "dmpi") {
+		c.illegalOp()
+		return
+	}
+	src := c.resolveEA(mode, reg, Word)
+	s := c.loadOp(src, Word)
+	if s == 0 {
+		c.Exception(VecZeroDivide)
+		return
+	}
+	d := c.D[dn]
+	if signed {
+		div := int32(d) / int32(int16(s))
+		rem := int32(d) % int32(int16(s))
+		if div > 0x7FFF || div < -0x8000 {
+			c.setFlag(FlagV, true)
+			c.setFlag(FlagN, true)
+			c.Cycles += 142
+			return
+		}
+		c.D[dn] = uint32(rem)<<16 | uint32(div)&0xFFFF
+		c.setFlag(FlagN, div < 0)
+		c.setFlag(FlagZ, div == 0)
+	} else {
+		div := d / s
+		rem := d % s
+		if div > 0xFFFF {
+			c.setFlag(FlagV, true)
+			c.setFlag(FlagN, true)
+			c.Cycles += 140
+			return
+		}
+		c.D[dn] = rem<<16 | div&0xFFFF
+		c.setFlag(FlagN, div&0x8000 != 0)
+		c.setFlag(FlagZ, div == 0)
+	}
+	c.setFlag(FlagV, false)
+	c.setFlag(FlagC, false)
+	c.Cycles += 140
+	c.eaTiming(mode, reg, Word)
+}

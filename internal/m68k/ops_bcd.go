@@ -1,0 +1,141 @@
+package m68k
+
+// Binary-coded decimal arithmetic (ABCD, SBCD, NBCD) and MOVEP. Palm OS
+// applications used BCD rarely (serial-number math, mostly), but the
+// instructions complete the 68000 integer ISA; MOVEP mattered for byte-wide
+// peripherals on a 16-bit bus.
+
+// execAbcdSbcd implements ABCD (add=true) and SBCD in register and
+// -(An),-(An) forms.
+func (c *CPU) execAbcdSbcd(opcode uint16, add bool) {
+	ry := int(opcode & 7)
+	rx := int(opcode >> 9 & 7)
+	memForm := opcode&0x0008 != 0
+
+	var s, d uint32
+	var store func(uint32)
+	if memForm {
+		c.A[ry]--
+		s = c.read(c.A[ry], Byte, Read)
+		c.A[rx]--
+		addr := c.A[rx]
+		d = c.read(addr, Byte, Read)
+		store = func(v uint32) { c.write(addr, Byte, v&0xFF) }
+		c.Cycles += 18
+	} else {
+		s = c.D[ry] & 0xFF
+		d = c.D[rx] & 0xFF
+		store = func(v uint32) { c.D[rx] = c.D[rx]&^uint32(0xFF) | v&0xFF }
+		c.Cycles += 6
+	}
+	x := uint32(0)
+	if c.flag(FlagX) {
+		x = 1
+	}
+	var res uint32
+	var carry bool
+	if add {
+		res, carry = bcdAdd(d, s, x)
+	} else {
+		res, carry = bcdSub(d, s, x)
+	}
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagX, carry)
+	if res&0xFF != 0 {
+		c.setFlag(FlagZ, false) // sticky Z, like ADDX/SUBX
+	}
+	store(res)
+}
+
+// execNbcd implements NBCD <ea>: 0 - dst - X in BCD.
+func (c *CPU) execNbcd(opcode uint16) {
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	dst := c.resolveEA(mode, reg, Byte)
+	d := c.loadOp(dst, Byte)
+	x := uint32(0)
+	if c.flag(FlagX) {
+		x = 1
+	}
+	res, carry := bcdSub(0, d, x)
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagX, carry)
+	if res&0xFF != 0 {
+		c.setFlag(FlagZ, false)
+	}
+	c.storeOp(dst, Byte, res)
+	c.Cycles += 6
+	c.eaTiming(mode, reg, Byte)
+}
+
+// bcdAdd adds two packed-BCD bytes plus the extend bit.
+func bcdAdd(d, s, x uint32) (uint32, bool) {
+	lo := (d & 0xF) + (s & 0xF) + x
+	hi := (d >> 4 & 0xF) + (s >> 4 & 0xF)
+	if lo > 9 {
+		lo -= 10
+		hi++
+	}
+	carry := false
+	if hi > 9 {
+		hi -= 10
+		carry = true
+	}
+	return hi<<4 | lo, carry
+}
+
+// bcdSub computes d - s - x in packed BCD.
+func bcdSub(d, s, x uint32) (uint32, bool) {
+	lo := int32(d&0xF) - int32(s&0xF) - int32(x)
+	hi := int32(d>>4&0xF) - int32(s>>4&0xF)
+	if lo < 0 {
+		lo += 10
+		hi--
+	}
+	borrow := false
+	if hi < 0 {
+		hi += 10
+		borrow = true
+	}
+	return uint32(hi)<<4 | uint32(lo), borrow
+}
+
+// execMovep implements MOVEP: transfers between a data register and
+// alternating bytes in memory (d16(An) addressing only).
+func (c *CPU) execMovep(opcode uint16) {
+	dn := int(opcode >> 9 & 7)
+	an := int(opcode & 7)
+	mode := opcode >> 6 & 7 // 100=w m->r, 101=l m->r, 110=w r->m, 111=l r->m
+	disp := uint32(int32(int16(c.fetch16())))
+	addr := c.A[an] + disp
+
+	switch mode {
+	case 4: // MOVEP.W (d16,An),Dn
+		v := c.read(addr, Byte, Read)<<8 | c.read(addr+2, Byte, Read)
+		c.D[dn] = c.D[dn]&0xFFFF0000 | v&0xFFFF
+		c.Cycles += 16
+	case 5: // MOVEP.L (d16,An),Dn
+		v := c.read(addr, Byte, Read)<<24 | c.read(addr+2, Byte, Read)<<16 |
+			c.read(addr+4, Byte, Read)<<8 | c.read(addr+6, Byte, Read)
+		c.D[dn] = v
+		c.Cycles += 24
+	case 6: // MOVEP.W Dn,(d16,An)
+		v := c.D[dn]
+		c.write(addr, Byte, v>>8&0xFF)
+		c.write(addr+2, Byte, v&0xFF)
+		c.Cycles += 16
+	case 7: // MOVEP.L Dn,(d16,An)
+		v := c.D[dn]
+		c.write(addr, Byte, v>>24&0xFF)
+		c.write(addr+2, Byte, v>>16&0xFF)
+		c.write(addr+4, Byte, v>>8&0xFF)
+		c.write(addr+6, Byte, v&0xFF)
+		c.Cycles += 24
+	default:
+		c.illegalOp()
+	}
+}

@@ -1,0 +1,198 @@
+package m68k
+
+// Group 0x0: immediate arithmetic/logic (ORI, ANDI, SUBI, ADDI, EORI, CMPI,
+// including the CCR/SR forms) and the bit-manipulation instructions BTST,
+// BCHG, BCLR and BSET in both dynamic (register count) and static
+// (immediate count) forms, plus MOVEP dispatch (implemented in
+// ops_bcd.go alongside the other rarely used instructions).
+
+func (c *CPU) execGroup0(opcode uint16) {
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+
+	if opcode&0x0100 != 0 { // dynamic bit ops or MOVEP
+		if mode == ModeAddrReg { // MOVEP
+			c.execMovep(opcode)
+			return
+		}
+		bitnum := c.D[opcode>>9&7]
+		c.execBitOp(int(opcode>>6&3), mode, reg, bitnum)
+		return
+	}
+
+	switch opcode >> 9 & 7 {
+	case 0: // ORI
+		c.execImmLogic(opcode, func(d, s uint32) uint32 { return d | s })
+	case 1: // ANDI
+		c.execImmLogic(opcode, func(d, s uint32) uint32 { return d & s })
+	case 2: // SUBI
+		c.execImmArith(opcode, false)
+	case 3: // ADDI
+		c.execImmArith(opcode, true)
+	case 4: // static bit ops
+		bitnum := uint32(c.fetch16())
+		c.execBitOp(int(opcode>>6&3), mode, reg, bitnum)
+	case 5: // EORI
+		c.execImmLogic(opcode, func(d, s uint32) uint32 { return d ^ s })
+	case 6: // CMPI
+		size, ok := opSize(opcode >> 6 & 3)
+		if !ok || !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		imm := c.resolveEA(ModeOther, RegImmediate, size)
+		dst := c.resolveEA(mode, reg, size)
+		d := c.loadOp(dst, size)
+		s := imm.imm & size.Mask()
+		c.cmpFlags(s, d, d-s, size)
+		c.Cycles += 8
+		c.eaTiming(mode, reg, size)
+	default:
+		c.illegalOp()
+	}
+}
+
+// execImmLogic handles ORI/ANDI/EORI including the to-CCR and to-SR forms.
+func (c *CPU) execImmLogic(opcode uint16, f func(d, s uint32) uint32) {
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+
+	// ORI/ANDI/EORI #imm,CCR (byte) and ,SR (word) are encoded with the
+	// immediate addressing mode in the EA field.
+	if mode == ModeOther && reg == RegImmediate {
+		switch size {
+		case Byte:
+			imm := uint16(c.fetch16() & 0xFF)
+			c.SetCCR(uint16(f(uint32(c.CCR()), uint32(imm))))
+			c.Cycles += 20
+		case Word:
+			if !c.Supervisor() {
+				c.privilegeViolation()
+				return
+			}
+			imm := c.fetch16()
+			c.SetSR(uint16(f(uint32(c.sr), uint32(imm))))
+			c.Cycles += 20
+		default:
+			c.illegalOp()
+		}
+		return
+	}
+
+	if !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	imm := c.resolveEA(ModeOther, RegImmediate, size)
+	dst := c.resolveEA(mode, reg, size)
+	d := c.loadOp(dst, size)
+	res := f(d, imm.imm)
+	c.storeOp(dst, size, res)
+	c.setNZ(res, size)
+	if dst.kind == eaDataReg {
+		c.Cycles += 8
+		if size == Long {
+			c.Cycles += 8
+		}
+	} else {
+		c.Cycles += 12
+		if size == Long {
+			c.Cycles += 8
+		}
+	}
+	c.eaTiming(mode, reg, size)
+}
+
+// execImmArith handles ADDI and SUBI.
+func (c *CPU) execImmArith(opcode uint16, isAdd bool) {
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	imm := c.resolveEA(ModeOther, RegImmediate, size)
+	dst := c.resolveEA(mode, reg, size)
+	d := c.loadOp(dst, size)
+	s := imm.imm & size.Mask()
+	var res uint32
+	if isAdd {
+		res = d + s
+		c.addFlags(s, d, res, size)
+	} else {
+		res = d - s
+		c.subFlags(s, d, res, size)
+	}
+	c.storeOp(dst, size, res)
+	if dst.kind == eaDataReg {
+		c.Cycles += 8
+	} else {
+		c.Cycles += 12
+	}
+	if size == Long {
+		c.Cycles += 8
+	}
+	c.eaTiming(mode, reg, size)
+}
+
+// execBitOp executes BTST(0)/BCHG(1)/BCLR(2)/BSET(3). On a data register
+// the operation is long-sized (bit number mod 32); on memory it is
+// byte-sized (mod 8). BTST additionally allows PC-relative and immediate
+// sources; the others need an alterable destination.
+func (c *CPU) execBitOp(op, mode, reg int, bitnum uint32) {
+	if mode == ModeAddrReg {
+		c.illegalOp()
+		return
+	}
+	if op == 0 {
+		if !validEA(mode, reg, "dmpi") {
+			c.illegalOp()
+			return
+		}
+	} else if !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	if mode == ModeDataReg {
+		bit := uint32(1) << (bitnum & 31)
+		v := c.D[reg]
+		c.setFlag(FlagZ, v&bit == 0)
+		switch op {
+		case 1:
+			c.D[reg] = v ^ bit
+		case 2:
+			c.D[reg] = v &^ bit
+		case 3:
+			c.D[reg] = v | bit
+		}
+		c.Cycles += 6
+		if op == 2 {
+			c.Cycles += 4
+		}
+		return
+	}
+	dst := c.resolveEA(mode, reg, Byte)
+	bit := uint32(1) << (bitnum & 7)
+	v := c.loadOp(dst, Byte)
+	c.setFlag(FlagZ, v&bit == 0)
+	switch op {
+	case 1:
+		c.storeOp(dst, Byte, v^bit)
+	case 2:
+		c.storeOp(dst, Byte, v&^bit)
+	case 3:
+		c.storeOp(dst, Byte, v|bit)
+	}
+	c.Cycles += 8
+	c.eaTiming(mode, reg, Byte)
+}

@@ -1,0 +1,119 @@
+package m68k
+
+// Group 0x5 (ADDQ, SUBQ, Scc, DBcc) and group 0x6 (BRA, BSR, Bcc).
+
+func (c *CPU) execGroup5(opcode uint16) {
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+
+	if opcode&0x00C0 == 0x00C0 { // Scc / DBcc
+		cc := int(opcode >> 8 & 0xF)
+		if mode == ModeAddrReg { // DBcc Dn,disp
+			disp := uint32(int32(int16(c.fetch16())))
+			base := c.PC - 2
+			if c.testCond(cc) {
+				c.Cycles += 12
+				return
+			}
+			cnt := uint16(c.D[reg]) - 1
+			c.D[reg] = c.D[reg]&0xFFFF0000 | uint32(cnt)
+			if cnt != 0xFFFF {
+				c.PC = base + disp
+				c.Cycles += 10
+			} else {
+				c.Cycles += 14
+			}
+			return
+		}
+		// Scc <ea>
+		if !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Byte)
+		var v uint32
+		if c.testCond(cc) {
+			v = 0xFF
+		}
+		c.storeOp(dst, Byte, v)
+		c.Cycles += 4
+		if dst.kind == eaMemory {
+			c.Cycles += 4
+		}
+		c.eaTiming(mode, reg, Byte)
+		return
+	}
+
+	// ADDQ / SUBQ
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	q := uint32(opcode >> 9 & 7)
+	if q == 0 {
+		q = 8
+	}
+	isSub := opcode&0x0100 != 0
+	if mode == ModeAddrReg {
+		if size == Byte {
+			c.illegalOp()
+			return
+		}
+		// Address register forms affect the whole register and no flags.
+		if isSub {
+			c.A[reg] -= q
+		} else {
+			c.A[reg] += q
+		}
+		c.Cycles += 8
+		return
+	}
+	if !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	dst := c.resolveEA(mode, reg, size)
+	d := c.loadOp(dst, size)
+	var res uint32
+	if isSub {
+		res = d - q
+		c.subFlags(q, d, res, size)
+	} else {
+		res = d + q
+		c.addFlags(q, d, res, size)
+	}
+	c.storeOp(dst, size, res)
+	c.Cycles += 4
+	if dst.kind == eaMemory {
+		c.Cycles += 4
+	}
+	if size == Long {
+		c.Cycles += 4
+	}
+	c.eaTiming(mode, reg, size)
+}
+
+// execBranch handles BRA (cc=0), BSR (cc=1) and Bcc. An 8-bit displacement
+// of zero selects a 16-bit displacement word.
+func (c *CPU) execBranch(opcode uint16) {
+	cc := int(opcode >> 8 & 0xF)
+	disp := uint32(int32(int8(opcode)))
+	base := c.PC
+	if disp == 0 {
+		disp = uint32(int32(int16(c.fetch16())))
+	}
+	switch cc {
+	case 1: // BSR
+		c.push32(c.PC)
+		c.PC = base + disp
+		c.Cycles += 18
+	default:
+		if c.testCond(cc) {
+			c.PC = base + disp
+			c.Cycles += 10
+		} else {
+			c.Cycles += 8
+		}
+	}
+}

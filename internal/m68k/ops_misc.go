@@ -1,0 +1,391 @@
+package m68k
+
+// Group 0x4: the miscellaneous instructions — single-operand arithmetic
+// (NEGX/CLR/NEG/NOT/TST/TAS), register massaging (EXT/SWAP/EXG lives in C),
+// stack and flow control (PEA/LEA/LINK/UNLK/JSR/JMP/RTS/RTE/RTR), system
+// control (TRAP/STOP/RESET/NOP/MOVE USP/MOVE to-from SR/CCR, CHK, TRAPV,
+// ILLEGAL) and MOVEM.
+
+func (c *CPU) execGroup4(opcode uint16) {
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+
+	switch {
+	case opcode&0xF1C0 == 0x41C0: // LEA <ea>,An (hot path: blitters)
+		if !controlEA(mode, reg) {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Long)
+		c.A[opcode>>9&7] = dst.addr
+		c.Cycles += 4
+
+	case opcode == 0x4AFC: // ILLEGAL
+		c.illegalOp()
+
+	case opcode&0xFFF0 == 0x4E40: // TRAP #v
+		c.Exception(VecTrapBase + int(opcode&0xF))
+		c.Cycles += 4
+
+	case opcode&0xFFF8 == 0x4E50: // LINK An,#d16
+		d := uint32(int32(int16(c.fetch16())))
+		c.push32(c.A[reg])
+		c.A[reg] = c.A[7]
+		c.A[7] += d
+		c.Cycles += 16
+
+	case opcode&0xFFF8 == 0x4E58: // UNLK An
+		c.A[7] = c.A[reg]
+		c.A[reg] = c.pop32()
+		c.Cycles += 12
+
+	case opcode&0xFFF8 == 0x4E60: // MOVE An,USP
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		c.SetUSP(c.A[reg])
+		c.Cycles += 4
+
+	case opcode&0xFFF8 == 0x4E68: // MOVE USP,An
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		c.A[reg] = c.USP()
+		c.Cycles += 4
+
+	case opcode == 0x4E70: // RESET
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		if c.OnReset != nil {
+			c.OnReset()
+		}
+		c.Cycles += 132
+
+	case opcode == 0x4E71: // NOP
+		c.Cycles += 4
+
+	case opcode == 0x4E72: // STOP #imm
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		c.SetSR(c.fetch16())
+		c.stopped = true
+		c.Cycles += 4
+
+	case opcode == 0x4E73: // RTE
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		sr := c.pop16()
+		pc := c.pop32()
+		c.SetSR(sr)
+		c.PC = pc
+		c.Cycles += 20
+
+	case opcode == 0x4E75: // RTS
+		c.PC = c.pop32()
+		c.Cycles += 16
+
+	case opcode == 0x4E76: // TRAPV
+		if c.flag(FlagV) {
+			c.Exception(VecTRAPV)
+		}
+		c.Cycles += 4
+
+	case opcode == 0x4E77: // RTR
+		ccr := c.pop16()
+		c.SetCCR(ccr)
+		c.PC = c.pop32()
+		c.Cycles += 20
+
+	case opcode&0xFFC0 == 0x4E80: // JSR <ea>
+		if !controlEA(mode, reg) {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Long)
+		c.push32(c.PC)
+		c.PC = dst.addr
+		c.Cycles += 16
+
+	case opcode&0xFFC0 == 0x4EC0: // JMP <ea>
+		if !controlEA(mode, reg) {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Long)
+		c.PC = dst.addr
+		c.Cycles += 8
+
+	case opcode&0xFFC0 == 0x40C0: // MOVE SR,<ea>
+		if !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Word)
+		c.storeOp(dst, Word, uint32(c.sr))
+		c.Cycles += 6
+		c.eaTiming(mode, reg, Word)
+
+	case opcode&0xFFC0 == 0x44C0: // MOVE <ea>,CCR
+		if !validEA(mode, reg, "dmpi") {
+			c.illegalOp()
+			return
+		}
+		src := c.resolveEA(mode, reg, Word)
+		c.SetCCR(uint16(c.loadOp(src, Word)))
+		c.Cycles += 12
+		c.eaTiming(mode, reg, Word)
+
+	case opcode&0xFFC0 == 0x46C0: // MOVE <ea>,SR
+		if !c.Supervisor() {
+			c.privilegeViolation()
+			return
+		}
+		if !validEA(mode, reg, "dmpi") {
+			c.illegalOp()
+			return
+		}
+		src := c.resolveEA(mode, reg, Word)
+		c.SetSR(uint16(c.loadOp(src, Word)))
+		c.Cycles += 12
+		c.eaTiming(mode, reg, Word)
+
+	case opcode&0xFFC0 == 0x4800: // NBCD <ea>
+		c.execNbcd(opcode)
+
+	case opcode&0xFFF8 == 0x4840: // SWAP Dn
+		v := c.D[reg]
+		v = v>>16 | v<<16
+		c.D[reg] = v
+		c.setNZ(v, Long)
+		c.Cycles += 4
+
+	case opcode&0xFFC0 == 0x4840: // PEA <ea>
+		if !controlEA(mode, reg) {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Long)
+		c.push32(dst.addr)
+		c.Cycles += 12
+
+	case opcode&0xFFB8 == 0x4880 && mode == ModeDataReg: // EXT.W / EXT.L
+		if opcode&0x0040 == 0 { // EXT.W: byte -> word
+			v := signExtend(c.D[reg], Byte)
+			c.D[reg] = c.D[reg]&0xFFFF0000 | v&0xFFFF
+			c.setNZ(v, Word)
+		} else { // EXT.L: word -> long
+			v := signExtend(c.D[reg], Word)
+			c.D[reg] = v
+			c.setNZ(v, Long)
+		}
+		c.Cycles += 4
+
+	case opcode&0xFB80 == 0x4880: // MOVEM
+		c.execMovem(opcode)
+
+	case opcode&0xFFC0 == 0x4AC0: // TAS <ea>
+		if !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Byte)
+		v := c.loadOp(dst, Byte)
+		c.setNZ(v, Byte)
+		c.storeOp(dst, Byte, v|0x80)
+		c.Cycles += 14
+
+	case opcode&0xFF00 == 0x4A00: // TST
+		size, ok := opSize(opcode >> 6 & 3)
+		if !ok || !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		src := c.resolveEA(mode, reg, size)
+		c.setNZ(c.loadOp(src, size), size)
+		c.Cycles += 4
+		c.eaTiming(mode, reg, size)
+
+	case opcode&0xFF00 == 0x4000: // NEGX
+		c.execNegNot(opcode, func(d uint32, size Size) uint32 {
+			x := uint32(0)
+			if c.flag(FlagX) {
+				x = 1
+			}
+			res := 0 - d - x
+			z := c.flag(FlagZ)
+			c.subFlags(d+x, 0, res, size)
+			// NEGX's Z flag is sticky: cleared by a nonzero result,
+			// unchanged otherwise.
+			if res&size.Mask() == 0 {
+				c.setFlag(FlagZ, z)
+			}
+			return res
+		})
+
+	case opcode&0xFF00 == 0x4200: // CLR
+		size, ok := opSize(opcode >> 6 & 3)
+		if !ok || !validEA(mode, reg, "dm") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, size)
+		c.storeOp(dst, size, 0)
+		c.setNZ(0, size)
+		c.Cycles += 4
+		if dst.kind == eaMemory {
+			c.Cycles += 4
+		}
+		c.eaTiming(mode, reg, size)
+
+	case opcode&0xFF00 == 0x4400: // NEG
+		c.execNegNot(opcode, func(d uint32, size Size) uint32 {
+			res := 0 - d
+			c.subFlags(d, 0, res, size)
+			return res
+		})
+
+	case opcode&0xFF00 == 0x4600: // NOT
+		c.execNegNot(opcode, func(d uint32, size Size) uint32 {
+			res := ^d
+			c.setNZ(res, size)
+			return res
+		})
+
+	case opcode&0xF1C0 == 0x4180: // CHK <ea>,Dn (word)
+		if !validEA(mode, reg, "dmpi") {
+			c.illegalOp()
+			return
+		}
+		src := c.resolveEA(mode, reg, Word)
+		bound := int16(c.loadOp(src, Word))
+		v := int16(c.D[opcode>>9&7])
+		c.Cycles += 10
+		if v < 0 {
+			c.setFlag(FlagN, true)
+			c.Exception(VecCHK)
+		} else if v > bound {
+			c.setFlag(FlagN, false)
+			c.Exception(VecCHK)
+		}
+
+	default:
+		c.illegalOp()
+	}
+}
+
+// execNegNot factors the shared EA plumbing of NEGX/NEG/NOT.
+func (c *CPU) execNegNot(opcode uint16, f func(d uint32, size Size) uint32) {
+	size, ok := opSize(opcode >> 6 & 3)
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	if !ok || !validEA(mode, reg, "dm") {
+		c.illegalOp()
+		return
+	}
+	dst := c.resolveEA(mode, reg, size)
+	res := f(c.loadOp(dst, size), size)
+	c.storeOp(dst, size, res)
+	c.Cycles += 4
+	if dst.kind == eaMemory {
+		c.Cycles += 4
+	}
+	c.eaTiming(mode, reg, size)
+}
+
+// execMovem implements MOVEM in both directions and both sizes. In the
+// register-to-memory predecrement form the mask is bit-reversed (bit 0 is
+// A7); in every other form bit 0 is D0.
+func (c *CPU) execMovem(opcode uint16) {
+	mode := int(opcode >> 3 & 7)
+	reg := int(opcode & 7)
+	size := Word
+	if opcode&0x0040 != 0 {
+		size = Long
+	}
+	toRegs := opcode&0x0400 != 0
+	mask := c.fetch16()
+
+	regVal := func(i int) uint32 {
+		if i < 8 {
+			return c.D[i]
+		}
+		return c.A[i-8]
+	}
+	setReg := func(i int, v uint32) {
+		if i < 8 {
+			c.D[i] = v
+		} else {
+			c.A[i-8] = v
+		}
+	}
+
+	if toRegs { // MOVEM <ea>,regs
+		valid := controlEA(mode, reg) || mode == ModePostInc
+		if !valid {
+			c.illegalOp()
+			return
+		}
+		var addr uint32
+		if mode == ModePostInc {
+			addr = c.A[reg]
+		} else {
+			op := c.resolveEA(mode, reg, size)
+			addr = op.addr
+		}
+		for i := 0; i < 16; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			v := c.read(addr, size, Read)
+			setReg(i, signExtend(v, size))
+			addr += uint32(size)
+			c.Cycles += 4 * uint64(size) / 2
+		}
+		if mode == ModePostInc {
+			c.A[reg] = addr
+		}
+		c.Cycles += 12
+		return
+	}
+
+	// MOVEM regs,<ea>
+	if mode == ModePreDec {
+		addr := c.A[reg]
+		for i := 0; i < 16; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			// Bit-reversed: bit 0 = A7, bit 15 = D0.
+			j := 15 - i
+			addr -= uint32(size)
+			c.write(addr, size, regVal(j)&size.Mask())
+			c.Cycles += 4 * uint64(size) / 2
+		}
+		c.A[reg] = addr
+		c.Cycles += 8
+		return
+	}
+	if !controlEA(mode, reg) || mode == ModeOther && (reg == RegPCDisp || reg == RegPCIndex) {
+		c.illegalOp()
+		return
+	}
+	op := c.resolveEA(mode, reg, size)
+	addr := op.addr
+	for i := 0; i < 16; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		c.write(addr, size, regVal(i)&size.Mask())
+		addr += uint32(size)
+		c.Cycles += 4 * uint64(size) / 2
+	}
+	c.Cycles += 8
+}

@@ -1,0 +1,62 @@
+package m68k
+
+// MOVE (groups 0x1-0x3), MOVEA and MOVEQ (group 0x7).
+
+// execMove handles MOVE and MOVEA. In the opcode the destination EA is
+// encoded with mode and register fields swapped relative to the source.
+func (c *CPU) execMove(opcode uint16, size Size) {
+	srcMode := int(opcode >> 3 & 7)
+	srcReg := int(opcode & 7)
+	dstReg := int(opcode >> 9 & 7)
+	dstMode := int(opcode >> 6 & 7)
+
+	if !validEA(srcMode, srcReg, "dampi") {
+		c.illegalOp()
+		return
+	}
+	if srcMode == ModeAddrReg && size == Byte {
+		c.illegalOp()
+		return
+	}
+
+	src := c.resolveEA(srcMode, srcReg, size)
+	v := c.loadOp(src, size)
+
+	if dstMode == ModeAddrReg { // MOVEA
+		if size == Byte {
+			c.illegalOp()
+			return
+		}
+		c.A[dstReg] = signExtend(v, size)
+		c.Cycles += 4
+		c.eaTiming(srcMode, srcReg, size)
+		return
+	}
+	if !validEA(dstMode, dstReg, "dm") {
+		c.illegalOp()
+		return
+	}
+	dst := c.resolveEA(dstMode, dstReg, size)
+	c.storeOp(dst, size, v)
+	c.setNZ(v, size)
+	c.Cycles += 4
+	if dst.kind == eaMemory {
+		c.Cycles += 4
+		if size == Long {
+			c.Cycles += 4
+		}
+	}
+	c.eaTiming(srcMode, srcReg, size)
+}
+
+// execMoveq handles MOVEQ #d8,Dn.
+func (c *CPU) execMoveq(opcode uint16) {
+	if opcode&0x0100 != 0 {
+		c.illegalOp()
+		return
+	}
+	v := uint32(int32(int8(opcode)))
+	c.D[opcode>>9&7] = v
+	c.setNZ(v, Long)
+	c.Cycles += 4
+}

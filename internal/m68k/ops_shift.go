@@ -1,0 +1,138 @@
+package m68k
+
+// Group 0xE: shifts and rotates — ASL/ASR, LSL/LSR, ROL/ROR, ROXL/ROXR in
+// register form (immediate or register count, any size) and memory form
+// (word, shift by one). Semantics are implemented bit-by-bit, which keeps
+// the awkward flag rules (ASL overflow accumulation, ROX through X) exact;
+// shift counts on the 68000 are at most 63 and almost always tiny.
+
+func (c *CPU) execShift(opcode uint16) {
+	if opcode&0x00C0 == 0x00C0 { // memory form: <op> <ea> (word, by 1)
+		typ := int(opcode >> 9 & 3)
+		left := opcode&0x0100 != 0
+		mode := int(opcode >> 3 & 7)
+		reg := int(opcode & 7)
+		if !validEA(mode, reg, "m") {
+			c.illegalOp()
+			return
+		}
+		dst := c.resolveEA(mode, reg, Word)
+		v := c.loadOp(dst, Word)
+		res := c.shiftValue(typ, left, v, 1, Word)
+		c.storeOp(dst, Word, res)
+		c.Cycles += 8
+		c.eaTiming(mode, reg, Word)
+		return
+	}
+
+	size, ok := opSize(opcode >> 6 & 3)
+	if !ok {
+		c.illegalOp()
+		return
+	}
+	typ := int(opcode >> 3 & 3)
+	left := opcode&0x0100 != 0
+	reg := int(opcode & 7)
+	var count uint32
+	if opcode&0x0020 != 0 { // count in register, mod 64
+		count = c.D[opcode>>9&7] & 63
+	} else {
+		count = uint32(opcode >> 9 & 7)
+		if count == 0 {
+			count = 8
+		}
+	}
+	v := c.D[reg] & size.Mask()
+	res := c.shiftValue(typ, left, v, count, size)
+	c.D[reg] = c.D[reg]&^size.Mask() | res&size.Mask()
+	c.Cycles += 6 + 2*uint64(count)
+	if size == Long {
+		c.Cycles += 2
+	}
+}
+
+// shiftValue applies shift type typ (0=arithmetic, 1=logical, 2=rotate with
+// extend, 3=rotate) for count steps and sets the flags.
+func (c *CPU) shiftValue(typ int, left bool, v, count uint32, size Size) uint32 {
+	msb := size.MSB()
+	v &= size.Mask()
+	overflow := false
+	carry := false
+	carrySet := false
+
+	for i := uint32(0); i < count; i++ {
+		switch {
+		case left:
+			out := v&msb != 0
+			switch typ {
+			case 0: // ASL
+				v = v << 1 & size.Mask()
+				if out != (v&msb != 0) {
+					overflow = true
+				}
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			case 1: // LSL
+				v = v << 1 & size.Mask()
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			case 2: // ROXL
+				x := c.flag(FlagX)
+				v = v << 1 & size.Mask()
+				if x {
+					v |= 1
+				}
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			default: // ROL
+				v = v << 1 & size.Mask()
+				if out {
+					v |= 1
+				}
+				carry, carrySet = out, true
+			}
+		default:
+			out := v&1 != 0
+			switch typ {
+			case 0: // ASR
+				sign := v & msb
+				v = v>>1 | sign
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			case 1: // LSR
+				v >>= 1
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			case 2: // ROXR
+				x := c.flag(FlagX)
+				v >>= 1
+				if x {
+					v |= msb
+				}
+				carry, carrySet = out, true
+				c.setFlag(FlagX, out)
+			default: // ROR
+				v >>= 1
+				if out {
+					v |= msb
+				}
+				carry, carrySet = out, true
+			}
+		}
+	}
+
+	if carrySet {
+		c.setFlag(FlagC, carry)
+	} else {
+		// Zero count: C cleared (except ROX, where C = X), X unaffected.
+		if typ == 2 {
+			c.setFlag(FlagC, c.flag(FlagX))
+		} else {
+			c.setFlag(FlagC, false)
+		}
+	}
+	c.setFlag(FlagV, typ == 0 && overflow)
+	c.setFlag(FlagN, v&msb != 0)
+	c.setFlag(FlagZ, v == 0)
+	return v
+}

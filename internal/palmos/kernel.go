@@ -1,0 +1,621 @@
+package palmos
+
+import (
+	"palmsim/internal/bus"
+	"palmsim/internal/hw"
+	"palmsim/internal/m68k"
+	"palmsim/internal/storage"
+)
+
+// Stats counts kernel-level activity during a run.
+type Stats struct {
+	TrapDispatches uint64 // native (profiling-off) dispatches
+	EventsQueued   uint64
+	EventsDropped  uint64
+	NilEvents      uint64
+	EventsPopped   uint64
+	SerialBytes    uint64
+	HackRecords    uint64
+	Dozes          uint64
+}
+
+// KeyStateSample is one logged KeyCurrentState result (§2.4.2: a queue of
+// key bit fields consumed by tick timestamp during replay).
+type KeyStateSample struct {
+	Tick uint32
+	Bits uint32
+}
+
+// ReplayQueues carries the §2.4.2 per-call override queues used during
+// playback: KeyCurrentState bit fields and SysRandom seeds, plus (our §5.1
+// future-work implementation) battery-gauge samples.
+type ReplayQueues struct {
+	KeyStates []KeyStateSample
+	Seeds     []uint32
+	Battery   []KeyStateSample // battery percentage by tick
+
+	ki, si, bi int
+}
+
+// BatteryAt returns the logged battery reading in effect at the tick.
+func (r *ReplayQueues) BatteryAt(tick uint32) (uint32, bool) {
+	for r.bi+1 < len(r.Battery) && r.Battery[r.bi+1].Tick <= tick {
+		r.bi++
+	}
+	if r.bi < len(r.Battery) && r.Battery[r.bi].Tick <= tick {
+		return r.Battery[r.bi].Bits, true
+	}
+	return 0, false
+}
+
+// KeyStateAt returns the logged key bit field in effect at the given tick:
+// the last sample whose timestamp is <= tick.
+func (r *ReplayQueues) KeyStateAt(tick uint32) (uint32, bool) {
+	for r.ki+1 < len(r.KeyStates) && r.KeyStates[r.ki+1].Tick <= tick {
+		r.ki++
+	}
+	if r.ki < len(r.KeyStates) && r.KeyStates[r.ki].Tick <= tick {
+		return r.KeyStates[r.ki].Bits, true
+	}
+	return 0, false
+}
+
+// NextSeed pops the next logged SysRandom seed.
+func (r *ReplayQueues) NextSeed() (uint32, bool) {
+	if r.si >= len(r.Seeds) {
+		return 0, false
+	}
+	v := r.Seeds[r.si]
+	r.si++
+	return v, true
+}
+
+// Kernel is the native half of the simulated Palm OS: it implements the
+// line-F gates the synthetic ROM calls into and (when Profiling is
+// disabled) the line-A dispatch shortcut.
+type Kernel struct {
+	CPU   *m68k.CPU
+	Bus   *bus.Bus
+	HW    *hw.Dragonball
+	Store *storage.Manager
+
+	// Replay, when non-nil, enables the playback overrides for
+	// KeyCurrentState and SysRandom.
+	Replay *ReplayQueues
+
+	// Profiling mirrors POSE's Profiling switch: when true, A-line traps
+	// take the real exception path through the ROM TrapDispatcher; when
+	// false HandleLineA short-circuits dispatch natively (§2.4.2).
+	Profiling bool
+
+	Stats Stats
+
+	queue         []Event
+	serial        []byte // serial/IrDA receive buffer (SrmEnqueue)
+	penDown       bool
+	penInGraffiti bool
+	evtDeadline   uint32 // 0 = no deadline armed
+	handles       []*storage.DB
+	bootDone      bool
+
+	// OnHackRecord, if set, observes every hack log record as it is
+	// written (used by tests and by the session recorder).
+	OnHackRecord func(rec HackRecord)
+}
+
+// HackRecord is the decoded form of one 16-byte activity-log record.
+type HackRecord struct {
+	Tick uint32
+	RTC  uint32
+	Trap uint16
+	A    uint16
+	B    uint16
+	C    uint16
+}
+
+const (
+	eventQueueCap   = 32
+	serialBufferCap = 512
+)
+
+// SerialBuffer returns a copy of the accumulated serial receive buffer.
+func (k *Kernel) SerialBuffer() []byte {
+	return append([]byte(nil), k.serial...)
+}
+
+// NewKernel wires the native kernel to the machine's parts.
+func NewKernel(cpu *m68k.CPU, b *bus.Bus, dragonball *hw.Dragonball, store *storage.Manager) *Kernel {
+	return &Kernel{CPU: cpu, Bus: b, HW: dragonball, Store: store, Profiling: true}
+}
+
+// BootDone reports whether the ROM finished its boot sequence.
+func (k *Kernel) BootDone() bool { return k.bootDone }
+
+// ResetState clears the kernel's volatile native state for a soft reset:
+// the event queue, pen tracking and serial buffer evaporate with the
+// dynamic heap, while the storage manager (databases in the storage heap)
+// survives, as on real hardware (§2.2).
+func (k *Kernel) ResetState() {
+	k.queue = nil
+	k.serial = nil
+	k.penDown = false
+	k.penInGraffiti = false
+	k.evtDeadline = 0
+	k.handles = nil
+	k.bootDone = false
+}
+
+// QueueLen returns the number of events waiting in the OS event queue.
+func (k *Kernel) QueueLen() int { return len(k.queue) }
+
+// EnqueueEvent appends to the OS event queue (dropping when full, like the
+// real fixed-size queue).
+func (k *Kernel) EnqueueEvent(ev Event) {
+	if len(k.queue) >= eventQueueCap {
+		k.Stats.EventsDropped++
+		return
+	}
+	ev.Tick = k.HW.Ticks()
+	k.queue = append(k.queue, ev)
+	k.Stats.EventsQueued++
+}
+
+// --- argument access -----------------------------------------------------
+
+// Gates execute inside a trap routine whose stack is [return.l][args...];
+// args therefore start at SP+4.
+func (k *Kernel) argW(off uint32) uint16 {
+	return uint16(k.Bus.ReadTraced(k.CPU.A[7]+4+off, m68k.Word))
+}
+
+func (k *Kernel) argL(off uint32) uint32 {
+	return k.Bus.ReadTraced(k.CPU.A[7]+4+off, m68k.Long)
+}
+
+// readCString reads a NUL-terminated name from RAM (bounded).
+func (k *Kernel) readCString(addr uint32) string {
+	var out []byte
+	for i := uint32(0); i < 64; i++ {
+		c := byte(k.Bus.ReadTraced(addr+i, m68k.Byte))
+		if c == 0 {
+			break
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func (k *Kernel) writeEvent(addr uint32, ev Event) {
+	k.Bus.WriteTraced(addr+0, m68k.Word, uint32(ev.Type))
+	k.Bus.WriteTraced(addr+2, m68k.Word, uint32(ev.X))
+	k.Bus.WriteTraced(addr+4, m68k.Word, uint32(ev.Y))
+	k.Bus.WriteTraced(addr+6, m68k.Word, uint32(ev.Chr))
+	k.Bus.WriteTraced(addr+8, m68k.Word, uint32(ev.KeyCode))
+	k.Bus.WriteTraced(addr+10, m68k.Word, uint32(ev.Modifiers))
+	k.Bus.WriteTraced(addr+12, m68k.Long, ev.Tick)
+}
+
+// --- line-A dispatch (profiling off) --------------------------------------
+
+// HandleLineA implements the POSE native shortcut: look the trap up in the
+// RAM dispatch table and jump there directly, skipping the ROM
+// TrapDispatcher's instructions. Returns false (raise the exception, run
+// the ROM dispatcher) when Profiling is enabled.
+func (k *Kernel) HandleLineA(op uint16) bool {
+	if k.Profiling {
+		return false
+	}
+	trap := int(op & 0x0FFF)
+	if trap >= NumTraps {
+		return false
+	}
+	target := k.Bus.Peek(AddrTrapTable+uint32(trap)*4, m68k.Long)
+	if target == 0 {
+		return false
+	}
+	// Push the return address (PC already points past the opcode) and
+	// jump. The stack write is a real reference the device would make.
+	k.CPU.A[7] -= 4
+	k.Bus.Write(k.CPU.A[7], m68k.Long, k.CPU.PC)
+	k.CPU.PC = target
+	k.Stats.TrapDispatches++
+	return true
+}
+
+// --- line-F gates ----------------------------------------------------------
+
+// HandleLineF dispatches a native gate. It returns true when the opcode
+// was handled (execution continues after it).
+func (k *Kernel) HandleLineF(op uint16) bool {
+	gate := int(op & 0x0FFF)
+	if gate >= GateHackLog {
+		k.gateHackLog(uint16(gate - GateHackLog))
+		return true
+	}
+	switch gate {
+	case GateEvtPop:
+		k.gateEvtPop()
+	case GateEvtEnqueueKey:
+		chr := k.argW(0)
+		if chr == KeyHome {
+			// The Home silkscreen button: the system switches back to
+			// the launcher rather than delivering a key event.
+			k.Bus.WriteTraced(AddrNextApp, m68k.Word, AppLauncher)
+			k.EnqueueEvent(Event{Type: EvtAppStop})
+			k.CPU.D[0] = 0
+			break
+		}
+		k.EnqueueEvent(Event{
+			Type:      EvtKeyDown,
+			Chr:       chr,
+			KeyCode:   k.argW(2),
+			Modifiers: k.argW(4),
+		})
+		k.CPU.D[0] = 0
+	case GateEvtEnqueuePen:
+		k.gateEvtEnqueuePen()
+	case GateKeyCurrentState:
+		k.gateKeyCurrentState()
+	case GateSysRandom:
+		k.gateSysRandom()
+	case GateSysNotify:
+		k.EnqueueEvent(Event{Type: EvtNotify, KeyCode: k.argW(0)})
+		k.CPU.D[0] = 0
+	case GateSysAppLaunch:
+		app := k.argW(0)
+		k.Bus.WriteTraced(AddrNextApp, m68k.Word, uint32(app))
+		k.EnqueueEvent(Event{Type: EvtAppStop})
+		k.CPU.D[0] = 0
+	case GateBootDone:
+		k.gateBootDone()
+	case GateSysTaskDelay:
+		ticks := k.argL(0)
+		k.HW.WriteReg(hw.RegWakeCmp, m68k.Long, k.HW.Ticks()+ticks)
+		k.CPU.D[0] = 0
+	case GateSrmEnqueue:
+		// Serial/IrDA byte received (the paper's §5.1 future work): buffer
+		// it and notify applications that data is waiting.
+		b := byte(k.argW(0))
+		if len(k.serial) < serialBufferCap {
+			k.serial = append(k.serial, b)
+		}
+		k.Stats.SerialBytes++
+		k.EnqueueEvent(Event{Type: EvtNotify, KeyCode: NotifySerialData})
+		k.CPU.D[0] = 0
+	case GateSysBattery:
+		if k.Replay != nil {
+			if v, ok := k.Replay.BatteryAt(k.HW.Ticks()); ok {
+				k.CPU.D[0] = v
+				break
+			}
+		}
+		k.CPU.D[0] = uint32(k.HW.BatteryPercent())
+	case GateDmCreate:
+		k.gateDmCreate()
+	case GateDmOpen:
+		k.gateDmOpen()
+	case GateDmClose:
+		k.gateDmClose()
+	case GateDmNewRecord:
+		k.gateDmNewRecord()
+	case GateDmWrite:
+		k.gateDmWrite()
+	case GateDmNumRecords:
+		k.gateDmNumRecords()
+	case GateDmGetRecord:
+		k.gateDmGetRecord()
+	case GateDmDelete:
+		name := k.readCString(k.argL(0))
+		if err := k.Store.Delete(name); err != nil {
+			k.CPU.D[0] = 1
+		} else {
+			k.CPU.D[0] = 0
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// gateEvtPop is the native half of EvtGetEvent: pop an event or arrange a
+// doze. Args: eventPtr.l, timeout.l (EvtWaitForever = no timeout).
+// Returns D0=1 when an event was written, 0 when the ROM should doze.
+func (k *Kernel) gateEvtPop() {
+	evPtr := k.argL(0)
+	timeout := k.argL(4)
+	now := k.HW.Ticks()
+
+	if len(k.queue) > 0 {
+		ev := k.queue[0]
+		k.queue = k.queue[1:]
+		k.writeEvent(evPtr, ev)
+		k.evtDeadline = 0
+		k.Stats.EventsPopped++
+		k.CPU.D[0] = 1
+		return
+	}
+	if timeout == 0 || (k.evtDeadline != 0 && now >= k.evtDeadline) {
+		k.writeEvent(evPtr, Event{Type: EvtNil, Tick: now})
+		k.evtDeadline = 0
+		k.Stats.NilEvents++
+		k.CPU.D[0] = 1
+		return
+	}
+	if timeout != EvtWaitForever && k.evtDeadline == 0 {
+		k.evtDeadline = now + timeout
+	}
+	if k.evtDeadline != 0 {
+		k.HW.WriteReg(hw.RegWakeCmp, m68k.Long, k.evtDeadline)
+	}
+	k.Stats.Dozes++
+	k.CPU.D[0] = 0
+}
+
+// gateEvtEnqueuePen reads the PointType the ISR built and translates the
+// raw point into penDown/penMove/penUp, tracking stylus state.
+func (k *Kernel) gateEvtEnqueuePen() {
+	pt := k.argL(0)
+	x := uint16(k.Bus.ReadTraced(pt, m68k.Word))
+	y := uint16(k.Bus.ReadTraced(pt+2, m68k.Word))
+	switch {
+	case x == hw.PenUp:
+		k.penDown = false
+		if !k.penInGraffiti {
+			k.EnqueueEvent(Event{Type: EvtPenUp})
+		}
+		k.penInGraffiti = false
+	case !k.penDown:
+		k.penDown = true
+		// Strokes starting in the Graffiti area are consumed by the
+		// recognizer; applications never see them.
+		k.penInGraffiti = y >= GraffitiTop
+		if !k.penInGraffiti {
+			k.EnqueueEvent(Event{Type: EvtPenDown, X: x, Y: y})
+		}
+	default:
+		if !k.penInGraffiti {
+			k.EnqueueEvent(Event{Type: EvtPenMove, X: x, Y: y})
+		}
+	}
+	k.CPU.D[0] = 0
+}
+
+func (k *Kernel) gateKeyCurrentState() {
+	if k.Replay != nil {
+		if bits, ok := k.Replay.KeyStateAt(k.HW.Ticks()); ok {
+			k.CPU.D[0] = bits
+			return
+		}
+	}
+	k.CPU.D[0] = uint32(k.HW.Buttons())
+}
+
+// gateSysRandom implements SysRandom(seed): non-zero seed reseeds the
+// generator (during replay the seed is overwritten from the logged queue,
+// §2.4.2); the LCG state lives in RAM so its accesses are traced.
+func (k *Kernel) gateSysRandom() {
+	seed := k.argL(0)
+	if k.Replay != nil && seed != 0 {
+		if s, ok := k.Replay.NextSeed(); ok {
+			seed = s
+		}
+	}
+	if seed != 0 {
+		k.Bus.WriteTraced(AddrRandState, m68k.Long, seed)
+	}
+	state := k.Bus.ReadTraced(AddrRandState, m68k.Long)
+	state = state*1103515245 + 12345
+	k.Bus.WriteTraced(AddrRandState, m68k.Long, state)
+	k.CPU.D[0] = state >> 16 & 0x7FFF
+}
+
+// gateBootDone finishes the boot sequence: create the system databases the
+// way a factory-fresh device would have them.
+func (k *Kernel) gateBootDone() {
+	if !k.bootDone {
+		k.ensureSystemDatabases()
+		k.bootDone = true
+	}
+	k.CPU.D[0] = 0
+}
+
+func (k *Kernel) ensureSystemDatabases() {
+	type sys struct {
+		name string
+		typ  string
+	}
+	for _, s := range []sys{
+		{LaunchDB, "data"},
+		{MemoDB, "data"},
+		{PuzzleDB, "data"},
+		{AddressDB, "data"},
+	} {
+		if _, ok := k.Store.Lookup(s.name); ok {
+			continue
+		}
+		db, err := k.Store.Create(s.name, fourCC(s.typ), fourCC("psys"))
+		if err != nil {
+			continue
+		}
+		if s.name == LaunchDB {
+			// The launch database records the launchable applications;
+			// its format is unpublished (§3.4), so this is simply a
+			// plausible one: a record per app with id + name.
+			names := []string{"Launcher", "Memo", "Puzzle", "Address"}
+			for id, nm := range names {
+				rec := make([]byte, 16)
+				rec[0] = byte(id >> 8)
+				rec[1] = byte(id)
+				copy(rec[2:], nm)
+				idx, _, err := db.NewRecord(uint32(len(rec)))
+				if err == nil {
+					_ = db.Write(idx, 0, rec)
+				}
+			}
+		}
+	}
+}
+
+func fourCC(s string) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		var c byte = ' '
+		if i < len(s) {
+			c = s[i]
+		}
+		v = v<<8 | uint32(c)
+	}
+	return v
+}
+
+// gateHackLog appends one activity-log record for the given trap. The hack
+// stub stored the data words at AddrHackBuf; this gate stamps tick, RTC and
+// trap number, inserts the record into ActivityLogDB with the full Palm OS
+// open/insert/close cost (the Figure 3 overhead model), and notifies any
+// observer.
+func (k *Kernel) gateHackLog(trap uint16) {
+	a := uint16(k.Bus.Peek(AddrHackBuf+0, m68k.Word))
+	b := uint16(k.Bus.Peek(AddrHackBuf+2, m68k.Word))
+	c := uint16(k.Bus.Peek(AddrHackBuf+4, m68k.Word))
+	rec := HackRecord{
+		Tick: k.HW.Ticks(),
+		RTC:  k.HW.RTCSeconds(),
+		Trap: trap,
+		A:    a,
+		B:    b,
+		C:    c,
+	}
+
+	db, err := k.Store.Open(ActivityLogDB) // charges CostOpen
+	if err == nil {
+		idx, _, err := db.NewRecord(16) // charges base + linear scan
+		if err == nil {
+			buf := make([]byte, 16)
+			be32(buf[0:], rec.Tick)
+			be32(buf[4:], rec.RTC)
+			be16(buf[8:], rec.Trap)
+			be16(buf[10:], rec.A)
+			be16(buf[12:], rec.B)
+			be16(buf[14:], rec.C)
+			_ = db.Write(idx, 0, buf)
+			k.Stats.HackRecords++
+		}
+		k.Store.Close(db) // charges CostClose
+	}
+	if k.OnHackRecord != nil {
+		k.OnHackRecord(rec)
+	}
+	k.CPU.D[0] = 0
+}
+
+func be16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func be32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// --- data-manager gates ----------------------------------------------------
+
+func (k *Kernel) gateDmCreate() {
+	name := k.readCString(k.argL(0))
+	typ := k.argL(4)
+	creator := k.argL(8)
+	if _, err := k.Store.Create(name, typ, creator); err != nil {
+		k.CPU.D[0] = 1
+		return
+	}
+	k.CPU.D[0] = 0
+}
+
+func (k *Kernel) gateDmOpen() {
+	name := k.readCString(k.argL(0))
+	db, err := k.Store.Open(name)
+	if err != nil {
+		k.CPU.D[0] = 0
+		return
+	}
+	k.handles = append(k.handles, db)
+	k.CPU.D[0] = uint32(len(k.handles)) // handle = index+1
+}
+
+func (k *Kernel) handleDB(h uint32) *storage.DB {
+	if h == 0 || int(h) > len(k.handles) {
+		return nil
+	}
+	return k.handles[h-1]
+}
+
+func (k *Kernel) gateDmClose() {
+	if db := k.handleDB(uint32(k.argW(0))); db != nil {
+		k.Store.Close(db)
+		k.CPU.D[0] = 0
+		return
+	}
+	k.CPU.D[0] = 1
+}
+
+func (k *Kernel) gateDmNewRecord() {
+	db := k.handleDB(uint32(k.argW(0)))
+	size := k.argL(2)
+	if db == nil {
+		k.CPU.D[0] = 0xFFFFFFFF
+		return
+	}
+	idx, _, err := db.NewRecord(size)
+	if err != nil {
+		k.CPU.D[0] = 0xFFFFFFFF
+		return
+	}
+	k.CPU.D[0] = uint32(idx)
+}
+
+func (k *Kernel) gateDmWrite() {
+	db := k.handleDB(uint32(k.argW(0)))
+	idx := int(k.argW(2))
+	off := k.argL(4)
+	src := k.argL(8)
+	n := k.argL(12)
+	if db == nil || n > 1<<16 {
+		k.CPU.D[0] = 1
+		return
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(k.Bus.ReadTraced(src+uint32(i), m68k.Byte))
+	}
+	if err := db.Write(idx, off, data); err != nil {
+		k.CPU.D[0] = 1
+		return
+	}
+	k.CPU.D[0] = 0
+}
+
+func (k *Kernel) gateDmNumRecords() {
+	if db := k.handleDB(uint32(k.argW(0))); db != nil {
+		k.CPU.D[0] = uint32(db.NumRecords())
+		return
+	}
+	k.CPU.D[0] = 0
+}
+
+func (k *Kernel) gateDmGetRecord() {
+	db := k.handleDB(uint32(k.argW(0)))
+	idx := int(k.argW(2))
+	if db == nil {
+		k.CPU.D[0] = 0
+		return
+	}
+	addr, _, err := db.RecordAddr(idx)
+	if err != nil {
+		k.CPU.D[0] = 0
+		return
+	}
+	k.CPU.D[0] = addr
+}
+
+// DumpQueue returns a copy of the pending event queue (tests).
+func (k *Kernel) DumpQueue() []Event {
+	return append([]Event(nil), k.queue...)
+}

@@ -1,0 +1,361 @@
+package palmos
+
+import (
+	"testing"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/hw"
+	"palmsim/internal/m68k"
+	"palmsim/internal/storage"
+)
+
+// kernelHarness wires a kernel to a real bus/CPU but drives gates by hand
+// (no ROM execution), which lets the native halves be tested in isolation.
+type kernelHarness struct {
+	k   *Kernel
+	cpu *m68k.CPU
+	b   *bus.Bus
+	d   *hw.Dragonball
+}
+
+func newHarness(t *testing.T) *kernelHarness {
+	t.Helper()
+	h := &kernelHarness{}
+	h.d = hw.New(nil, nil)
+	h.b = bus.New(h.d)
+	h.b.TraceNative = true
+	h.cpu = m68k.New(h.b)
+	var cycles uint64
+	h.d.CyclesFn = func() uint64 { return cycles }
+	h.d.RaiseIRQ = func(uint8) {}
+	st := storage.NewManager(h.b)
+	h.k = NewKernel(h.cpu, h.b, h.d, st)
+	h.cpu.A[7] = 0x7000 // plausible stack
+	return h
+}
+
+// pushArgs lays out [ret][args...] the way a trap stub sees them.
+func (h *kernelHarness) pushArgs(words ...uint16) {
+	// Build from the top down: args pushed right to left, then a fake
+	// return address.
+	sp := uint32(0x7000)
+	for i := len(words) - 1; i >= 0; i-- {
+		sp -= 2
+		h.b.Poke(sp, m68k.Word, uint32(words[i]))
+	}
+	sp -= 4
+	h.b.Poke(sp, m68k.Long, 0x10001234) // fake return address
+	h.cpu.A[7] = sp
+}
+
+func (h *kernelHarness) pushLongArgs(longs ...uint32) {
+	sp := uint32(0x7000)
+	for i := len(longs) - 1; i >= 0; i-- {
+		sp -= 4
+		h.b.Poke(sp, m68k.Long, longs[i])
+	}
+	sp -= 4
+	h.b.Poke(sp, m68k.Long, 0x10001234)
+	h.cpu.A[7] = sp
+}
+
+func TestEvtQueueOverflowDrops(t *testing.T) {
+	h := newHarness(t)
+	for i := 0; i < eventQueueCap+5; i++ {
+		h.k.EnqueueEvent(Event{Type: EvtKeyDown, Chr: uint16(i)})
+	}
+	if h.k.QueueLen() != eventQueueCap {
+		t.Errorf("queue length %d, want cap %d", h.k.QueueLen(), eventQueueCap)
+	}
+	if h.k.Stats.EventsDropped != 5 {
+		t.Errorf("dropped = %d, want 5", h.k.Stats.EventsDropped)
+	}
+}
+
+func TestGateEvtPopDeliversAndWrites(t *testing.T) {
+	h := newHarness(t)
+	h.k.EnqueueEvent(Event{Type: EvtPenDown, X: 12, Y: 34})
+	h.pushLongArgs(0x2000, EvtWaitForever) // evptr, timeout
+	if !h.k.HandleLineF(0xF000 | GateEvtPop) {
+		t.Fatal("gate not handled")
+	}
+	if h.cpu.D[0] != 1 {
+		t.Fatal("pop did not report an event")
+	}
+	if h.b.Peek(0x2000, m68k.Word) != EvtPenDown {
+		t.Error("eType not written")
+	}
+	if h.b.Peek(0x2002, m68k.Word) != 12 || h.b.Peek(0x2004, m68k.Word) != 34 {
+		t.Error("coordinates not written")
+	}
+}
+
+func TestGateEvtPopZeroTimeoutReturnsNil(t *testing.T) {
+	h := newHarness(t)
+	h.pushLongArgs(0x2000, 0)
+	h.k.HandleLineF(0xF000 | GateEvtPop)
+	if h.cpu.D[0] != 1 {
+		t.Fatal("zero timeout must not doze")
+	}
+	if h.b.Peek(0x2000, m68k.Word) != EvtNil {
+		t.Error("nil event not written")
+	}
+	if h.k.Stats.NilEvents != 1 {
+		t.Error("nil event not counted")
+	}
+}
+
+func TestGateEvtPopArmsDeadline(t *testing.T) {
+	h := newHarness(t)
+	h.pushLongArgs(0x2000, 500) // timeout 500 ticks
+	h.k.HandleLineF(0xF000 | GateEvtPop)
+	if h.cpu.D[0] != 0 {
+		t.Fatal("should doze on timeout wait")
+	}
+	if h.d.WakeAt() == 0 {
+		t.Error("wake timer not armed for the timeout")
+	}
+	if h.k.Stats.Dozes != 1 {
+		t.Error("doze not counted")
+	}
+}
+
+func TestGateKeyHomeSwitchesToLauncher(t *testing.T) {
+	h := newHarness(t)
+	h.b.Poke(AddrNextApp, m68k.Word, AppPuzzle)
+	h.pushArgs(KeyHome, 0, 0)
+	h.k.HandleLineF(0xF000 | GateEvtEnqueueKey)
+	if h.b.Peek(AddrNextApp, m68k.Word) != AppLauncher {
+		t.Error("home key did not retarget the launcher")
+	}
+	q := h.k.DumpQueue()
+	if len(q) != 1 || q[0].Type != EvtAppStop {
+		t.Errorf("queue = %+v, want one appStop", q)
+	}
+}
+
+func TestPenGraffitiConsumption(t *testing.T) {
+	h := newHarness(t)
+	put := func(x, y uint16) {
+		h.b.Poke(0x3000, m68k.Word, uint32(x))
+		h.b.Poke(0x3002, m68k.Word, uint32(y))
+		h.pushLongArgs(0x3000)
+		h.k.HandleLineF(0xF000 | GateEvtEnqueuePen)
+	}
+	// Stroke in the Graffiti area: no app events at all.
+	put(50, GraffitiTop+5)
+	put(52, GraffitiTop+7)
+	put(hw.PenUp, hw.PenUp)
+	if n := h.k.QueueLen(); n != 0 {
+		t.Errorf("graffiti stroke leaked %d events to apps", n)
+	}
+	// Stroke on the LCD: down, move, up all delivered.
+	put(10, 20)
+	put(12, 22)
+	put(hw.PenUp, hw.PenUp)
+	q := h.k.DumpQueue()
+	if len(q) != 3 || q[0].Type != EvtPenDown || q[1].Type != EvtPenMove || q[2].Type != EvtPenUp {
+		t.Errorf("LCD stroke events = %+v", q)
+	}
+}
+
+func TestGateSysRandomSequenceAndReplayOverride(t *testing.T) {
+	h := newHarness(t)
+	// Seed explicitly.
+	h.pushLongArgs(42)
+	h.k.HandleLineF(0xF000 | GateSysRandom)
+	first := h.cpu.D[0]
+	// Zero argument: continue the sequence.
+	h.pushLongArgs(0)
+	h.k.HandleLineF(0xF000 | GateSysRandom)
+	second := h.cpu.D[0]
+	if first == second {
+		t.Error("PRNG did not advance")
+	}
+	// Re-seeding with 42 reproduces the sequence.
+	h.pushLongArgs(42)
+	h.k.HandleLineF(0xF000 | GateSysRandom)
+	if h.cpu.D[0] != first {
+		t.Error("re-seeding did not reproduce the sequence")
+	}
+
+	// Replay override: the logged seed (99) replaces the argument (42).
+	h2 := newHarness(t)
+	h2.k.Replay = &ReplayQueues{Seeds: []uint32{99}}
+	h2.pushLongArgs(42)
+	h2.k.HandleLineF(0xF000 | GateSysRandom)
+	overridden := h2.cpu.D[0]
+	h3 := newHarness(t)
+	h3.pushLongArgs(99)
+	h3.k.HandleLineF(0xF000 | GateSysRandom)
+	if overridden != h3.cpu.D[0] {
+		t.Error("replay did not override the seed (§2.4.2)")
+	}
+}
+
+func TestGateKeyCurrentStateReplayOverride(t *testing.T) {
+	h := newHarness(t)
+	h.d.Push(hw.InputEvent{Type: hw.EvButtons, A: 0x0003})
+	h.pushArgs()
+	h.k.HandleLineF(0xF000 | GateKeyCurrentState)
+	if h.cpu.D[0] != 0x0003 {
+		t.Errorf("live state = %#x", h.cpu.D[0])
+	}
+	h.k.Replay = &ReplayQueues{KeyStates: []KeyStateSample{{Tick: 0, Bits: 0x0042}}}
+	h.pushArgs()
+	h.k.HandleLineF(0xF000 | GateKeyCurrentState)
+	if h.cpu.D[0] != 0x0042 {
+		t.Errorf("replay state = %#x, want the logged bit field", h.cpu.D[0])
+	}
+}
+
+func TestDmGatesEndToEnd(t *testing.T) {
+	h := newHarness(t)
+	// Create: name at 0x3000.
+	h.b.PokeBytes(0x3000, append([]byte("UnitDB"), 0))
+	h.pushLongArgs(0x3000, 0x64617461, 0x74657374)
+	h.k.HandleLineF(0xF000 | GateDmCreate)
+	if h.cpu.D[0] != 0 {
+		t.Fatal("create failed")
+	}
+	// Open.
+	h.pushLongArgs(0x3000)
+	h.k.HandleLineF(0xF000 | GateDmOpen)
+	handle := uint16(h.cpu.D[0])
+	if handle == 0 {
+		t.Fatal("open failed")
+	}
+	// NewRecord(handle, 8).
+	h.pushDmNewRecord(handle, 8)
+	h.k.HandleLineF(0xF000 | GateDmNewRecord)
+	if h.cpu.D[0] != 0 {
+		t.Fatalf("new record index = %d", h.cpu.D[0])
+	}
+	// NumRecords.
+	h.pushArgs(handle)
+	h.k.HandleLineF(0xF000 | GateDmNumRecords)
+	if h.cpu.D[0] != 1 {
+		t.Errorf("num records = %d", h.cpu.D[0])
+	}
+	// GetRecord address is in the storage heap.
+	h.pushArgs(handle, 0)
+	h.k.HandleLineF(0xF000 | GateDmGetRecord)
+	if h.cpu.D[0] < storage.HeapBase {
+		t.Errorf("record addr %#x outside heap", h.cpu.D[0])
+	}
+	// Delete.
+	h.pushLongArgs(0x3000)
+	h.k.HandleLineF(0xF000 | GateDmDelete)
+	if h.cpu.D[0] != 0 {
+		t.Error("delete failed")
+	}
+	if _, ok := h.k.Store.Lookup("UnitDB"); ok {
+		t.Error("database survived delete")
+	}
+}
+
+// pushDmNewRecord lays out the mixed word+long argument frame.
+func (h *kernelHarness) pushDmNewRecord(handle uint16, size uint32) {
+	sp := uint32(0x7000)
+	sp -= 4
+	h.b.Poke(sp, m68k.Long, size)
+	sp -= 2
+	h.b.Poke(sp, m68k.Word, uint32(handle))
+	sp -= 4
+	h.b.Poke(sp, m68k.Long, 0x10001234)
+	h.cpu.A[7] = sp
+}
+
+func TestHandleLineAProfilingOn(t *testing.T) {
+	h := newHarness(t)
+	h.k.Profiling = true
+	if h.k.HandleLineA(0xA001) {
+		t.Error("profiling on: line-A must take the exception path")
+	}
+}
+
+func TestHandleLineAProfilingOffDispatches(t *testing.T) {
+	h := newHarness(t)
+	h.k.Profiling = false
+	h.b.Poke(AddrTrapTable+4*TrapTimGetTicks, m68k.Long, 0x10002000)
+	h.cpu.PC = 0x10001000
+	spBefore := h.cpu.A[7]
+	if !h.k.HandleLineA(0xA000 | TrapTimGetTicks) {
+		t.Fatal("dispatch failed")
+	}
+	if h.cpu.PC != 0x10002000 {
+		t.Errorf("PC = %#x, want table target", h.cpu.PC)
+	}
+	if h.cpu.A[7] != spBefore-4 {
+		t.Error("return address not pushed")
+	}
+	if got := h.b.Peek(h.cpu.A[7], m68k.Long); got != 0x10001000 {
+		t.Errorf("return address = %#x", got)
+	}
+	if h.k.Stats.TrapDispatches != 1 {
+		t.Error("dispatch not counted")
+	}
+}
+
+func TestHandleLineAUnknownTrap(t *testing.T) {
+	h := newHarness(t)
+	h.k.Profiling = false
+	if h.k.HandleLineA(0xA000 | 0xFFF) {
+		t.Error("out-of-range trap dispatched")
+	}
+	// Zero table entry: fall back to the exception.
+	if h.k.HandleLineA(0xA000 | TrapMemMove) {
+		t.Error("zero entry dispatched")
+	}
+}
+
+func TestGateHackLogWritesRecordAndCharges(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.k.Store.Create(ActivityLogDB, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var seen HackRecord
+	h.k.OnHackRecord = func(r HackRecord) { seen = r }
+	h.b.Poke(AddrHackBuf, m68k.Word, 0x1111)
+	h.b.Poke(AddrHackBuf+2, m68k.Word, 0x2222)
+	h.b.Poke(AddrHackBuf+4, m68k.Word, 0x3333)
+	h.pushArgs()
+	h.k.HandleLineF(uint16(0xF000 | GateHackLog | TrapEvtEnqueueKey))
+	if seen.Trap != TrapEvtEnqueueKey || seen.A != 0x1111 || seen.B != 0x2222 || seen.C != 0x3333 {
+		t.Errorf("record = %+v", seen)
+	}
+	db, _ := h.k.Store.Lookup(ActivityLogDB)
+	if db.NumRecords() != 1 {
+		t.Errorf("log records = %d", db.NumRecords())
+	}
+	if h.k.Stats.HackRecords != 1 {
+		t.Error("hack record not counted")
+	}
+}
+
+func TestUnknownGateRejected(t *testing.T) {
+	h := newHarness(t)
+	if h.k.HandleLineF(0xF000 | 0x7FF) {
+		t.Error("unknown gate handled")
+	}
+}
+
+func TestReplayQueueKeyStateWindowing(t *testing.T) {
+	q := &ReplayQueues{KeyStates: []KeyStateSample{
+		{Tick: 100, Bits: 1},
+		{Tick: 200, Bits: 2},
+		{Tick: 300, Bits: 3},
+	}}
+	if _, ok := q.KeyStateAt(50); ok {
+		t.Error("lookup before first sample should miss")
+	}
+	if v, _ := q.KeyStateAt(150); v != 1 {
+		t.Errorf("at 150 = %d, want 1", v)
+	}
+	if v, _ := q.KeyStateAt(250); v != 2 {
+		t.Errorf("at 250 = %d, want 2", v)
+	}
+	if v, _ := q.KeyStateAt(1000); v != 3 {
+		t.Errorf("at 1000 = %d, want 3", v)
+	}
+}

@@ -1,0 +1,216 @@
+// Package palmos implements the operating-system layer of the simulated
+// handheld: the system-trap numbering, the event model, and the Go-native
+// halves of the kernel services ("native gates") that the synthetic ROM
+// reaches through line-F opcodes, in the way POSE implemented ROM functions
+// natively.
+//
+// System calls are A-line traps: an application executes opcode
+// 0xA000|trap and the ROM's TrapDispatcher (or, with Profiling disabled,
+// the emulator's native shortcut — §2.4.2 of the paper) jumps through the
+// trap dispatch table in RAM. Because the table is in RAM, instrumentation
+// hacks can patch entries exactly as HackMaster-style hacks do on real
+// devices (§2.3.2).
+package palmos
+
+// System trap numbers (indexes into the RAM trap dispatch table).
+const (
+	TrapNone               = 0x00
+	TrapEvtGetEvent        = 0x01
+	TrapEvtEnqueueKey      = 0x02 // hacked by the paper
+	TrapEvtEnqueuePenPoint = 0x03 // hacked by the paper
+	TrapKeyCurrentState    = 0x04 // hacked by the paper
+	TrapSysRandom          = 0x05 // hacked by the paper
+	TrapSysNotifyBroadcast = 0x06 // hacked by the paper
+	TrapTimGetTicks        = 0x07
+	TrapTimGetSeconds      = 0x08
+	TrapSysTaskDelay       = 0x09
+	TrapSysAppLaunch       = 0x0A
+
+	TrapSrmEnqueue     = 0x0B // serial/IrDA receive path (future work, §5.1)
+	TrapSysBatteryInfo = 0x0C // battery gauge query (future work, §5.1)
+
+	TrapDmCreateDatabase = 0x10
+	TrapDmOpenDatabase   = 0x11
+	TrapDmCloseDatabase  = 0x12
+	TrapDmNewRecord      = 0x13
+	TrapDmWrite          = 0x14
+	TrapDmNumRecords     = 0x15
+	TrapDmGetRecord      = 0x16
+	TrapDmDeleteDatabase = 0x17
+
+	TrapMemMove    = 0x20
+	TrapMemSet     = 0x21
+	TrapStrLen     = 0x22
+	TrapStrCopy    = 0x23
+	TrapStrCompare = 0x24
+
+	TrapWinEraseWindow = 0x30
+	TrapWinFillRect    = 0x31
+	TrapWinDrawChars   = 0x32
+	TrapWinDrawLine    = 0x33
+	TrapWinInvertRect  = 0x34
+
+	// NumTraps bounds the dispatch table.
+	NumTraps = 0x40
+)
+
+// TrapName returns a human-readable name for diagnostics.
+func TrapName(n int) string {
+	if name, ok := trapNames[n]; ok {
+		return name
+	}
+	return "?"
+}
+
+var trapNames = map[int]string{
+	TrapEvtGetEvent:        "EvtGetEvent",
+	TrapEvtEnqueueKey:      "EvtEnqueueKey",
+	TrapEvtEnqueuePenPoint: "EvtEnqueuePenPoint",
+	TrapKeyCurrentState:    "KeyCurrentState",
+	TrapSysRandom:          "SysRandom",
+	TrapSysNotifyBroadcast: "SysNotifyBroadcast",
+	TrapTimGetTicks:        "TimGetTicks",
+	TrapTimGetSeconds:      "TimGetSeconds",
+	TrapSysTaskDelay:       "SysTaskDelay",
+	TrapSysAppLaunch:       "SysAppLaunch",
+	TrapSrmEnqueue:         "SrmEnqueue",
+	TrapSysBatteryInfo:     "SysBatteryInfo",
+	TrapDmCreateDatabase:   "DmCreateDatabase",
+	TrapDmOpenDatabase:     "DmOpenDatabase",
+	TrapDmCloseDatabase:    "DmCloseDatabase",
+	TrapDmNewRecord:        "DmNewRecord",
+	TrapDmWrite:            "DmWrite",
+	TrapDmNumRecords:       "DmNumRecords",
+	TrapDmGetRecord:        "DmGetRecord",
+	TrapDmDeleteDatabase:   "DmDeleteDatabase",
+	TrapMemMove:            "MemMove",
+	TrapMemSet:             "MemSet",
+	TrapStrLen:             "StrLen",
+	TrapStrCopy:            "StrCopy",
+	TrapStrCompare:         "StrCompare",
+	TrapWinEraseWindow:     "WinEraseWindow",
+	TrapWinFillRect:        "WinFillRect",
+	TrapWinDrawChars:       "WinDrawChars",
+	TrapWinDrawLine:        "WinDrawLine",
+	TrapWinInvertRect:      "WinInvertRect",
+}
+
+// Native gate numbers (line-F opcodes 0xF000|gate reach Go-native service
+// implementations; gates 0x800.. carry a hack-log type in the low bits).
+const (
+	GateEvtPop          = 0x001
+	GateEvtEnqueueKey   = 0x002
+	GateEvtEnqueuePen   = 0x003
+	GateKeyCurrentState = 0x004
+	GateSysRandom       = 0x005
+	GateSysNotify       = 0x006
+	GateSysAppLaunch    = 0x007
+	GateBootDone        = 0x008
+	GateSysTaskDelay    = 0x009
+	GateSrmEnqueue      = 0x00A
+	GateSysBattery      = 0x00B
+
+	GateDmCreate     = 0x010
+	GateDmOpen       = 0x011
+	GateDmClose      = 0x012
+	GateDmNewRecord  = 0x013
+	GateDmWrite      = 0x014
+	GateDmNumRecords = 0x015
+	GateDmGetRecord  = 0x016
+	GateDmDelete     = 0x017
+
+	// GateHackLog is the base of the hack-log gate range: opcode
+	// 0xF000|GateHackLog|trapNum logs a record for that trap from the
+	// kernel's hack scratch buffer.
+	GateHackLog = 0x800
+)
+
+// Kernel RAM layout (addresses in the dynamic heap). The synthetic ROM's
+// assembly sources use the same values via symbolic equates emitted by the
+// ROM builder, so this block is the single source of truth.
+const (
+	AddrTrapTable    = 0x0400 // NumTraps longwords
+	AddrTrapTableEnd = AddrTrapTable + NumTraps*4
+	AddrKScratch     = 0x0540  // dispatcher scratch: a0.l d0.l target.l
+	AddrPenBuf       = 0x0550  // PointType scratch for the input ISR
+	AddrHackBuf      = 0x0558  // 16-byte hack log record scratch
+	AddrRandState    = 0x0570  // SysRandom LCG state (long)
+	AddrCurrentApp   = 0x0574  // word: running application id
+	AddrNextApp      = 0x0576  // word: application to launch next
+	AddrEvtScratch   = 0x0580  // event record scratch (EventSize bytes)
+	AddrRAMAppTable  = 0x05C0  // relocated application entry table (4 longs)
+	AddrAppGlobals   = 0x0800  // per-application globals area
+	AddrFontCache    = 0xA000  // RAM font cache (96 glyphs x 8 bytes)
+	AddrExpandTab    = 0xA300  // bit-to-byte expansion table (256 x 8)
+	AddrFramebuffer  = 0x10000 // 160x160 bytes, one byte per pixel
+	AddrAppCode      = 0x40000 // applications execute in place from RAM here
+	AddrSupStack     = 0x8000  // initial supervisor stack top
+
+	ScreenWidth  = 160
+	ScreenHeight = 160
+)
+
+// Event types delivered by EvtGetEvent.
+const (
+	EvtNil     = 0
+	EvtPenDown = 1
+	EvtPenMove = 2
+	EvtPenUp   = 3
+	EvtKeyDown = 4
+	EvtAppStop = 5
+	EvtNotify  = 6
+)
+
+// EventSize is the size in bytes of the in-RAM event record written by
+// EvtGetEvent: eType.w, x.w, y.w, chr.w, keyCode.w, modifiers.w, tick.l.
+const EventSize = 16
+
+// Event is the Go-side view of an OS event.
+type Event struct {
+	Type      uint16
+	X, Y      uint16
+	Chr       uint16
+	KeyCode   uint16
+	Modifiers uint16
+	Tick      uint32
+}
+
+// Application ids used by SysAppLaunch and the launcher.
+const (
+	AppLauncher = 0
+	AppMemo     = 1
+	AppPuzzle   = 2
+	AppAddress  = 3
+	AppSketch   = 4
+	NumApps     = 5
+)
+
+// Well-known database names.
+const (
+	ActivityLogDB = "ActivityLogDB"
+	LaunchDB      = "psysLaunchDB"
+	MemoDB        = "MemoDB"
+	PuzzleDB      = "PuzzleScoresDB"
+	AddressDB     = "AddressDB"
+)
+
+// NotifySerialData is the notify type broadcast when serial bytes arrive.
+const NotifySerialData = 0x00FF
+
+// EvtWaitForever is the EvtGetEvent timeout meaning "no timeout".
+const EvtWaitForever = 0xFFFFFFFF // -1 as a 32-bit value
+
+// KeyHome is the character code of the Home silkscreen button: the system
+// intercepts it in EvtEnqueueKey and switches back to the launcher.
+const KeyHome = 27
+
+// KeyBackspace deletes the last character in text entry.
+const KeyBackspace = 8
+
+// GraffitiTop is the first digitizer row of the Graffiti writing area,
+// which extends below the 160-pixel LCD. Pen strokes there are consumed
+// by the system's recognizer (the recognized character arrives as a key
+// event) and are never delivered to applications — but EvtEnqueuePenPoint
+// still sees every raw point, so the hacks log them (§2.3.1 collects
+// "stylus movements on the digitizer" collectively).
+const GraffitiTop = 160

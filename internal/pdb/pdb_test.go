@@ -1,0 +1,236 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Database {
+	return &Database{
+		Name:             "TestDB",
+		Attributes:       AttrBackup,
+		Version:          2,
+		CreationDate:     1000,
+		ModificationDate: 2000,
+		LastBackupDate:   1500,
+		ModNumber:        7,
+		Type:             FourCC("data"),
+		Creator:          FourCC("test"),
+		UniqueIDSeed:     0x100005,
+		Records: []Record{
+			{Attr: 0x40, UniqueID: 0x000001, Data: []byte("first record")},
+			{Attr: 0x00, UniqueID: 0x000002, Data: []byte{}},
+			{Attr: 0x00, UniqueID: 0x000003, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}},
+		},
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	db := sample()
+	img := db.Serialize()
+	got, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != db.Name || got.Attributes != db.Attributes || got.Version != db.Version {
+		t.Errorf("header fields lost: %+v", got)
+	}
+	if got.CreationDate != 1000 || got.ModificationDate != 2000 || got.LastBackupDate != 1500 {
+		t.Errorf("dates lost: %+v", got)
+	}
+	if got.Type != FourCC("data") || got.Creator != FourCC("test") {
+		t.Errorf("type/creator lost")
+	}
+	if len(got.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(got.Records))
+	}
+	for i := range db.Records {
+		if string(got.Records[i].Data) != string(db.Records[i].Data) {
+			t.Errorf("record %d data = %q, want %q", i, got.Records[i].Data, db.Records[i].Data)
+		}
+		if got.Records[i].Attr != db.Records[i].Attr {
+			t.Errorf("record %d attr lost", i)
+		}
+		if got.Records[i].UniqueID != db.Records[i].UniqueID {
+			t.Errorf("record %d unique id lost", i)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		[]byte(strings.Repeat("x", 80)), // header-sized but bogus count
+	}
+	// The third case: set an absurd record count.
+	big := make([]byte, 80)
+	big[76] = 0xFF
+	big[77] = 0xFF
+	cases = append(cases, big)
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil && i != 2 {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestFourCC(t *testing.T) {
+	if FourCC("data") != 0x64617461 {
+		t.Errorf("FourCC(data) = %#x", FourCC("data"))
+	}
+	if FourCCString(FourCC("psys")) != "psys" {
+		t.Errorf("round trip failed")
+	}
+	// Short codes pad with spaces.
+	if FourCCString(FourCC("ab")) != "ab  " {
+		t.Errorf("short code = %q", FourCCString(FourCC("ab")))
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	if diffs := Compare(sample(), sample()); len(diffs) != 0 {
+		t.Errorf("identical databases produced diffs: %v", diffs)
+	}
+}
+
+func TestCompareFindsDateDifferences(t *testing.T) {
+	a, b := sample(), sample()
+	b.CreationDate = 0
+	b.LastBackupDate = 0
+	diffs := Compare(a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want 2 date diffs", diffs)
+	}
+	for _, d := range diffs {
+		if !DateFields[d.Field] {
+			t.Errorf("unexpected field %q", d.Field)
+		}
+	}
+	if !OnlyExpected(diffs) {
+		t.Error("date-only diffs should be classified as expected")
+	}
+}
+
+func TestCompareFindsRecordDifferences(t *testing.T) {
+	a, b := sample(), sample()
+	b.Records[0].Data = []byte("tampered")
+	diffs := Compare(a, b)
+	if len(diffs) != 1 || diffs[0].Field != "record 0" {
+		t.Fatalf("diffs = %v, want one record diff", diffs)
+	}
+	if OnlyExpected(diffs) {
+		t.Error("record diff must be classified unexpected")
+	}
+}
+
+func TestCompareRecordCountDifference(t *testing.T) {
+	a, b := sample(), sample()
+	b.Records = b.Records[:2]
+	diffs := Compare(a, b)
+	found := false
+	for _, d := range diffs {
+		if d.Field == "NUM RECORDS" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing NUM RECORDS diff: %v", diffs)
+	}
+}
+
+func TestOnlyExpectedPsysLaunchDB(t *testing.T) {
+	diffs := []FieldDiff{
+		{DB: "psysLaunchDB", Field: "record 3", A: "aa", B: "bb"},
+		{DB: "MemoDB", Field: "CREATION DATE", A: "1", B: "0"},
+	}
+	if !OnlyExpected(diffs) {
+		t.Error("psysLaunchDB record diffs + date diffs are the expected §3.4 set")
+	}
+	diffs = append(diffs, FieldDiff{DB: "MemoDB", Field: "record 0", A: "x", B: "y"})
+	if OnlyExpected(diffs) {
+		t.Error("MemoDB record diff must not be expected")
+	}
+}
+
+func TestCompareIgnoresDirtyAttribute(t *testing.T) {
+	a, b := sample(), sample()
+	b.Attributes |= AttrDirty
+	if diffs := Compare(a, b); len(diffs) != 0 {
+		t.Errorf("dirty bit should be masked in comparison: %v", diffs)
+	}
+}
+
+// Property: any database with printable names and arbitrary record bytes
+// survives a serialize/parse round trip.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(name string, recs [][]byte, attr uint16, dates [3]uint32) bool {
+		if len(name) > 30 {
+			name = name[:30]
+		}
+		name = strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, name)
+		db := &Database{
+			Name:             name,
+			Attributes:       attr,
+			CreationDate:     dates[0],
+			ModificationDate: dates[1],
+			LastBackupDate:   dates[2],
+			Type:             FourCC("quik"),
+			Creator:          FourCC("test"),
+		}
+		for i, r := range recs {
+			if i >= 20 {
+				break
+			}
+			if len(r) > 256 {
+				r = r[:256]
+			}
+			db.Records = append(db.Records, Record{UniqueID: uint32(i), Data: r})
+		}
+		got, err := Parse(db.Serialize())
+		if err != nil {
+			return false
+		}
+		if got.Name != db.Name || len(got.Records) != len(db.Records) {
+			return false
+		}
+		for i := range db.Records {
+			if string(got.Records[i].Data) != string(db.Records[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullActivityLogIs1536KB checks the paper's §2.3.3 arithmetic: "If
+// the database contains the maximum number of the largest size records, it
+// would require a total of 1536 KB of memory for the records and the
+// database header information" — 65,536 records of 16 bytes plus their
+// 8-byte index entries.
+func TestFullActivityLogIs1536KB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 1.5 MB image")
+	}
+	db := &Database{Name: "ActivityLogDB"}
+	rec := make([]byte, 16)
+	db.Records = make([]Record, 65536)
+	for i := range db.Records {
+		db.Records[i] = Record{UniqueID: uint32(i), Data: rec}
+	}
+	img := db.Serialize()
+	kb := float64(len(img)) / 1024
+	// 65536*(16+8) bytes = exactly 1536 KB; the fixed header adds 80 B.
+	if kb < 1536 || kb > 1537 {
+		t.Errorf("full log database = %.1f KB, paper computes 1536 KB", kb)
+	}
+}

@@ -1,0 +1,85 @@
+// Package report renders the experiment harness's tables and figure data
+// series as aligned text, so cmd/experiments can print the same rows the
+// paper reports.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, args ...any) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Millions renders a count as millions with one decimal, Table 1 style.
+func Millions(v uint64) string {
+	return fmt.Sprintf("%.1f", float64(v)/1e6)
+}
+
+// Pct renders a ratio as a percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

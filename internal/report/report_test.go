@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("row value at col %d, header at %d\n%s", got, idx, out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Addf("%d\t%s\t%.1f", 1, "x", 2.5)
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 3 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	if tb.Rows[0][2] != "2.5" {
+		t.Errorf("cell = %q", tb.Rows[0][2])
+	}
+}
+
+func TestMillions(t *testing.T) {
+	if got := Millions(443_000_000); got != "443.0" {
+		t.Errorf("Millions = %q", got)
+	}
+	if got := Millions(1_550_000); got != "1.6" {
+		t.Errorf("Millions = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0594); got != "5.94%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

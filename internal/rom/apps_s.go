@@ -1,0 +1,586 @@
+package rom
+
+// appsSource contains the three ROM applications plus the data tables.
+// They are deliberately event-loop-shaped Palm programs: wait in
+// EvtGetEvent (dozing the CPU between inputs), process pen/key events,
+// draw through the Win* traps, and persist through the Dm* traps — the
+// application structure the paper's workloads exercised (scripted memo
+// entry, a game of Puzzle, browsing).
+const appsSource = `
+	even
+apps_begin:
+; ======================================================================
+; Application: Launcher (app 0) — the home screen.
+; Tap top-left = Memo, top-right = Puzzle, bottom = Address.
+; Keys '1'/'2'/'3' also launch. Pen-up polls KeyCurrentState, which is
+; one of the five hacked system calls.
+; ======================================================================
+app_launcher:
+	move.w	#4,-(sp)		; y
+	move.w	#4,-(sp)		; x
+	move.w	#8,-(sp)		; len
+	pea	str_launcher
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+
+	move.w	#$40,-(sp)		; color
+	move.w	#50,-(sp)		; h
+	move.w	#60,-(sp)		; w
+	move.w	#24,-(sp)		; y
+	move.w	#8,-(sp)		; x
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+	move.w	#40,-(sp)
+	move.w	#16,-(sp)
+	move.w	#4,-(sp)
+	pea	str_memo
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+
+	move.w	#$40,-(sp)
+	move.w	#50,-(sp)
+	move.w	#60,-(sp)
+	move.w	#24,-(sp)
+	move.w	#88,-(sp)
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+	move.w	#40,-(sp)
+	move.w	#96,-(sp)
+	move.w	#6,-(sp)
+	pea	str_puzzle
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+
+	move.w	#$40,-(sp)
+	move.w	#40,-(sp)
+	move.w	#140,-(sp)
+	move.w	#96,-(sp)
+	move.w	#8,-(sp)
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+	move.w	#110,-(sp)
+	move.w	#16,-(sp)
+	move.w	#7,-(sp)
+	pea	str_address
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+
+la_loop:
+	move.l	#$FFFFFFFF,-(sp)	; evtWaitForever
+	pea	kEvtScratch.w
+	dc.w	TRAP+TrapEvtGetEvent
+	addq.l	#8,sp
+	move.w	kEvtScratch.w,d0
+	cmp.w	#5,d0			; appStop
+	beq	la_exit
+	cmp.w	#1,d0			; penDown
+	bne	la_key
+	move.w	kEvtScratch+2.w,d1	; x
+	move.w	kEvtScratch+4.w,d2	; y
+	cmp.w	#90,d2
+	bge	la_addr
+	cmp.w	#80,d1
+	blt	la_memo
+	moveq	#2,d0
+	bra	la_launch
+la_memo:
+	moveq	#1,d0
+	bra	la_launch
+la_addr:
+	moveq	#3,d0
+la_launch:
+	move.w	d0,-(sp)
+	dc.w	TRAP+TrapSysAppLaunch
+	addq.l	#2,sp
+	bra	la_loop
+la_key:
+	cmp.w	#4,d0			; keyDown
+	bne	la_poll
+	move.w	kEvtScratch+6.w,d1	; chr
+	cmp.w	#'1',d1
+	beq	la_memo
+	cmp.w	#'2',d1
+	bne	la_k3
+	moveq	#2,d0
+	bra	la_launch
+la_k3:
+	cmp.w	#'3',d1
+	beq	la_addr
+	cmp.w	#'4',d1
+	bne	la_loop
+	moveq	#4,d0
+	bra	la_launch
+la_poll:
+	dc.w	TRAP+TrapKeyCurrentState
+	dc.w	TRAP+TrapSysBatteryInfo
+	bra	la_loop
+la_exit:
+	rts
+
+; ======================================================================
+; Application: Memo (app 1) — text entry.
+; Key events append to a buffer and echo through the font blitter;
+; backspace deletes; a tap in the save bar writes the memo into MemoDB.
+; ======================================================================
+app_memo:
+	clr.w	kMemoLen.w
+	move.w	#4,-(sp)
+	move.w	#4,-(sp)
+	move.w	#4,-(sp)
+	pea	str_memo
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+	move.w	#$30,-(sp)
+	move.w	#14,-(sp)
+	move.w	#40,-(sp)
+	move.w	#144,-(sp)
+	move.w	#8,-(sp)
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+
+me_loop:
+	move.l	#$FFFFFFFF,-(sp)
+	pea	kEvtScratch.w
+	dc.w	TRAP+TrapEvtGetEvent
+	addq.l	#8,sp
+	move.w	kEvtScratch.w,d0
+	cmp.w	#5,d0
+	beq	me_exit
+	cmp.w	#4,d0
+	beq	me_key
+	cmp.w	#1,d0
+	bne	me_loop
+	move.w	kEvtScratch+4.w,d1	; y
+	cmp.w	#140,d1
+	bge	me_save
+	bra	me_loop
+
+me_key:
+	move.w	kEvtScratch+6.w,d1	; chr
+	cmp.w	#8,d1			; backspace
+	beq	me_bs
+	move.w	kMemoLen.w,d0
+	cmp.w	#250,d0
+	bge	me_loop
+	lea	kMemoBuf.w,a0
+	move.b	d1,0(a0,d0.w)
+	addq.w	#1,kMemoLen.w
+	; echo the glyph: col = (len-1)%19, row = (len-1)/19
+	and.l	#$FFFF,d0
+	divu	#19,d0
+	move.w	d0,d2			; quotient: row
+	swap	d0			; remainder: col
+	lsl.w	#3,d0
+	addq.w	#4,d0			; x = 4 + 8*col
+	mulu	#10,d2
+	add.w	#20,d2			; y = 20 + 10*row
+	move.w	d2,-(sp)		; y
+	move.w	d0,-(sp)		; x
+	move.w	#1,-(sp)		; len
+	move.w	kMemoLen.w,d0
+	subq.w	#1,d0
+	lea	kMemoBuf.w,a0
+	add.w	d0,a0
+	move.l	a0,-(sp)		; str
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+	bra	me_loop
+
+me_bs:
+	tst.w	kMemoLen.w
+	beq	me_loop
+	subq.w	#1,kMemoLen.w
+	bra	me_loop
+
+me_save:
+	tst.w	kMemoLen.w
+	beq	me_loop
+	lea	kMemoBuf.w,a0
+	move.w	kMemoLen.w,d0
+	clr.b	0(a0,d0.w)		; terminate
+	pea	memoname
+	dc.w	TRAP+TrapDmOpenDatabase
+	addq.l	#4,sp
+	tst.w	d0
+	beq	me_clear
+	move.w	d0,d3			; handle
+	moveq	#0,d0
+	move.w	kMemoLen.w,d0
+	addq.l	#1,d0
+	move.l	d0,-(sp)		; size
+	move.w	d3,-(sp)		; handle
+	dc.w	TRAP+TrapDmNewRecord
+	addq.l	#6,sp
+	move.w	d0,d4			; record index
+	moveq	#0,d0
+	move.w	kMemoLen.w,d0
+	addq.l	#1,d0
+	move.l	d0,-(sp)		; len
+	pea	kMemoBuf.w		; src
+	clr.l	-(sp)			; offset
+	move.w	d4,-(sp)		; idx
+	move.w	d3,-(sp)		; handle
+	dc.w	TRAP+TrapDmWrite
+	lea	16(sp),sp
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmCloseDatabase
+	addq.l	#2,sp
+me_clear:
+	clr.w	kMemoLen.w
+	move.w	#0,-(sp)		; color
+	move.w	#120,-(sp)		; h
+	move.w	#160,-(sp)		; w
+	move.w	#16,-(sp)		; y
+	move.w	#0,-(sp)		; x
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+	bra	me_loop
+me_exit:
+	rts
+
+; ======================================================================
+; Application: Puzzle (app 2) — the sliding game from the paper's third
+; validation workload. Seeds SysRandom with TimGetTicks (exercising the
+; non-zero-seed logging path), shuffles, and slides tiles on pen taps.
+; ======================================================================
+app_puzzle:
+	lea	kPuzzleGrid.w,a0
+	moveq	#1,d0
+	moveq	#14,d1
+pz_init:
+	move.b	d0,(a0)+
+	addq.w	#1,d0
+	dbra	d1,pz_init
+	clr.b	(a0)
+	clr.w	kPuzzleMoves.w
+
+	dc.w	TRAP+TrapTimGetTicks
+	move.l	d0,-(sp)
+	dc.w	TRAP+TrapSysRandom	; non-zero seed: logged by the hack
+	addq.l	#4,sp
+
+	moveq	#31,d3
+pz_shuf:
+	clr.l	-(sp)
+	dc.w	TRAP+TrapSysRandom
+	addq.l	#4,sp
+	and.w	#15,d0
+	move.w	d0,d4
+	clr.l	-(sp)
+	dc.w	TRAP+TrapSysRandom
+	addq.l	#4,sp
+	and.w	#15,d0
+	lea	kPuzzleGrid.w,a0
+	move.b	0(a0,d4.w),d1
+	move.b	0(a0,d0.w),d2
+	move.b	d2,0(a0,d4.w)
+	move.b	d1,0(a0,d0.w)
+	dbra	d3,pz_shuf
+
+	bsr	pz_draw
+
+pz_loop:
+	move.l	#$FFFFFFFF,-(sp)
+	pea	kEvtScratch.w
+	dc.w	TRAP+TrapEvtGetEvent
+	addq.l	#8,sp
+	move.w	kEvtScratch.w,d0
+	cmp.w	#5,d0
+	beq	pz_exit
+	cmp.w	#1,d0
+	bne	pz_poll
+	move.w	kEvtScratch+2.w,d0	; x
+	and.l	#$FFFF,d0
+	divu	#40,d0
+	and.w	#3,d0
+	move.w	d0,d4			; column
+	move.w	kEvtScratch+4.w,d0	; y
+	and.l	#$FFFF,d0
+	divu	#40,d0
+	and.w	#3,d0
+	lsl.w	#2,d0
+	add.w	d4,d0			; cell index
+	lea	kPuzzleGrid.w,a0
+	moveq	#0,d1
+pz_findb:
+	tst.b	0(a0,d1.w)
+	beq	pz_found
+	addq.w	#1,d1
+	cmp.w	#16,d1
+	blt	pz_findb
+	bra	pz_loop
+pz_found:
+	move.b	0(a0,d0.w),d2		; slide the tapped tile into the blank
+	move.b	d2,0(a0,d1.w)
+	clr.b	0(a0,d0.w)
+	addq.w	#1,kPuzzleMoves.w
+	bsr	pz_draw
+	bra	pz_loop
+pz_poll:
+	cmp.w	#3,d0			; penUp: poll the hard buttons
+	bne	pz_loop
+	dc.w	TRAP+TrapKeyCurrentState
+	bra	pz_loop
+
+pz_exit:
+	pea	puzzlename		; record the score
+	dc.w	TRAP+TrapDmOpenDatabase
+	addq.l	#4,sp
+	tst.w	d0
+	beq	pz_nosave
+	move.w	d0,d3
+	move.l	#4,-(sp)
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmNewRecord
+	addq.l	#6,sp
+	move.w	d0,d4
+	moveq	#0,d0
+	move.w	kPuzzleMoves.w,d0
+	move.l	d0,kCharBuf.w
+	move.l	#4,-(sp)		; len
+	pea	kCharBuf.w		; src
+	clr.l	-(sp)			; offset
+	move.w	d4,-(sp)
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmWrite
+	lea	16(sp),sp
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmCloseDatabase
+	addq.l	#2,sp
+pz_nosave:
+	rts
+
+; pz_draw: paint the 4x4 board (clobbers d0-d6/a0).
+pz_draw:
+	moveq	#0,d3
+pz_dloop:
+	cmp.w	#16,d3
+	bge	pz_ddone
+	move.w	d3,d0
+	and.w	#3,d0
+	mulu	#36,d0
+	addq.w	#8,d0
+	move.w	d0,d4			; x
+	move.w	d3,d1
+	lsr.w	#2,d1
+	mulu	#36,d1
+	addq.w	#8,d1
+	move.w	d1,d5			; y
+	lea	kPuzzleGrid.w,a0
+	move.b	0(a0,d3.w),d6		; tile value
+	moveq	#0,d0
+	tst.b	d6
+	beq	pz_c0
+	move.w	#$60,d0
+pz_c0:
+	move.w	d0,-(sp)		; color
+	move.w	#32,-(sp)		; h
+	move.w	#32,-(sp)		; w
+	move.w	d5,-(sp)		; y
+	move.w	d4,-(sp)		; x
+	dc.w	TRAP+TrapWinFillRect
+	lea	10(sp),sp
+	tst.b	d6
+	beq	pz_next
+	moveq	#0,d0
+	move.b	d6,d0
+	add.w	#64,d0			; tiles 1..15 label 'A'..'O'
+	move.b	d0,kCharBuf.w
+	move.w	d5,d0
+	add.w	#12,d0
+	move.w	d0,-(sp)		; y+12
+	move.w	d4,d0
+	add.w	#12,d0
+	move.w	d0,-(sp)		; x+12
+	move.w	#1,-(sp)		; len
+	pea	kCharBuf.w
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+pz_next:
+	addq.w	#1,d3
+	bra	pz_dloop
+pz_ddone:
+	rts
+
+; ======================================================================
+; Application: Address (app 3) — record browsing. Seeds AddressDB on
+; first run, then shows one record at a time; a tap advances. Exercises
+; DmGetRecord, MemMove, StrLen across the trap interface.
+; ======================================================================
+app_address:
+	pea	addrname
+	dc.w	TRAP+TrapDmOpenDatabase
+	addq.l	#4,sp
+	tst.w	d0
+	beq	ad_bail
+	move.w	d0,d3			; handle, preserved across traps
+
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmNumRecords
+	addq.l	#2,sp
+	tst.w	d0
+	bne	ad_haverecs
+	moveq	#3,d4
+ad_seed:
+	move.l	#16,-(sp)
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmNewRecord
+	addq.l	#6,sp
+	move.w	d0,d5			; record index
+	move.w	d5,d0
+	mulu	#16,d0
+	lea	addrdata,a0
+	add.l	d0,a0
+	move.l	#16,-(sp)		; len
+	move.l	a0,-(sp)		; src
+	clr.l	-(sp)			; offset
+	move.w	d5,-(sp)		; idx
+	move.w	d3,-(sp)		; handle
+	dc.w	TRAP+TrapDmWrite
+	lea	16(sp),sp
+	dbra	d4,ad_seed
+
+ad_haverecs:
+	clr.w	kAddrScroll.w
+ad_draw:
+	dc.w	TRAP+TrapWinEraseWindow
+	move.w	#4,-(sp)
+	move.w	#4,-(sp)
+	move.w	#7,-(sp)
+	pea	str_address
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+	move.w	kAddrScroll.w,d0
+	and.w	#3,d0
+	move.w	d0,-(sp)		; idx
+	move.w	d3,-(sp)		; handle
+	dc.w	TRAP+TrapDmGetRecord
+	addq.l	#4,sp
+	move.l	#16,-(sp)		; n
+	move.l	d0,-(sp)		; src = record payload
+	pea	kAddrLine.w		; dst
+	dc.w	TRAP+TrapMemMove
+	lea	12(sp),sp
+	pea	kAddrLine.w
+	dc.w	TRAP+TrapStrLen
+	addq.l	#4,sp
+	move.w	#30,-(sp)		; y
+	move.w	#8,-(sp)		; x
+	move.w	d0,-(sp)		; len
+	pea	kAddrLine.w
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+ad_loop:
+	move.l	#$FFFFFFFF,-(sp)
+	pea	kEvtScratch.w
+	dc.w	TRAP+TrapEvtGetEvent
+	addq.l	#8,sp
+	move.w	kEvtScratch.w,d0
+	cmp.w	#5,d0
+	beq	ad_exit
+	cmp.w	#1,d0
+	bne	ad_loop
+	addq.w	#1,kAddrScroll.w
+	bra	ad_draw
+ad_exit:
+	move.w	d3,-(sp)
+	dc.w	TRAP+TrapDmCloseDatabase
+	addq.l	#2,sp
+ad_bail:
+	rts
+
+; ======================================================================
+; Application: Sketch (app 4) — ink pad. Pen strokes draw directly into
+; the framebuffer (the classic Note Pad behaviour), making pen-move-heavy
+; sessions write RAM per 50 Hz sample. A tap in the bottom bar clears.
+; ======================================================================
+app_sketch:
+	dc.w	TRAP+TrapWinEraseWindow
+	move.w	#4,-(sp)
+	move.w	#4,-(sp)
+	move.w	#6,-(sp)
+	pea	str_sketch
+	dc.w	TRAP+TrapWinDrawChars
+	lea	10(sp),sp
+sk_loop:
+	move.l	#$FFFFFFFF,-(sp)
+	pea	kEvtScratch.w
+	dc.w	TRAP+TrapEvtGetEvent
+	addq.l	#8,sp
+	move.w	kEvtScratch.w,d0
+	cmp.w	#5,d0			; appStop
+	beq	sk_exit
+	cmp.w	#1,d0			; penDown
+	beq	sk_pen
+	cmp.w	#2,d0			; penMove
+	beq	sk_pen
+	bra	sk_loop
+sk_pen:
+	move.w	kEvtScratch+2.w,d1	; x
+	move.w	kEvtScratch+4.w,d2	; y
+	cmp.w	#150,d2			; bottom bar clears the pad
+	blt	sk_ink
+	dc.w	TRAP+TrapWinEraseWindow
+	bra	sk_loop
+sk_ink:
+	; draw a 2x2 ink dot at (x,y): fb + y*160 + x
+	cmp.w	#158,d1
+	bge	sk_loop
+	cmp.w	#148,d2
+	bge	sk_loop
+	mulu	#160,d2
+	lea	kFramebuf,a0
+	add.l	d2,a0
+	add.w	d1,a0
+	move.b	#$FF,(a0)
+	move.b	#$FF,1(a0)
+	move.b	#$FF,160(a0)
+	move.b	#$FF,161(a0)
+	bra	sk_loop
+sk_exit:
+	rts
+
+	even
+apps_end:
+
+; ======================================================================
+; Data tables (remain in flash; apps reference them absolutely)
+; ======================================================================
+	even
+str_launcher:
+	dc.b	"Launcher"
+str_memo:
+	dc.b	"Memo"
+str_puzzle:
+	dc.b	"Puzzle"
+str_address:
+	dc.b	"Address"
+str_sketch:
+	dc.b	"Sketch"
+	even
+memoname:
+	dc.b	"MemoDB",0
+	even
+puzzlename:
+	dc.b	"PuzzleScoresDB",0
+	even
+addrname:
+	dc.b	"AddressDB",0
+	even
+addrdata:
+	dc.b	"Ada Lovelace",0,0,0,0
+	dc.b	"Grace Hopper",0,0,0,0
+	dc.b	"Alan Turing",0,0,0,0,0
+	dc.b	"Edsger D.",0,0,0,0,0,0,0
+	even
+
+apptab:
+	dc.l	app_launcher
+	dc.l	app_memo
+	dc.l	app_puzzle
+	dc.l	app_address
+	dc.l	app_sketch
+	dc.l	app_launcher		; ids 5-7 fall back to the launcher
+	dc.l	app_launcher
+	dc.l	app_launcher
+`

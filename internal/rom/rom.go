@@ -1,0 +1,280 @@
+// Package rom builds the synthetic Palm OS flash image: it assembles the
+// kernel and application sources (internal/rom/*_s.go) with the two-pass
+// assembler in internal/asm, generating the equate block, the initial trap
+// dispatch table and the font bitmap programmatically so the assembly and
+// the Go constants in internal/palmos and internal/hw cannot drift apart.
+package rom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"palmsim/internal/asm"
+	"palmsim/internal/bus"
+	"palmsim/internal/hw"
+	"palmsim/internal/palmos"
+)
+
+// Image is the built flash image plus its symbol table.
+type Image struct {
+	Data    []byte
+	Symbols map[string]uint32
+}
+
+// Entry returns the boot address (the reset-vector PC target).
+func (img *Image) Entry() uint32 { return img.Symbols["boot"] }
+
+// Symbol looks up a label address.
+func (img *Image) Symbol(name string) (uint32, bool) {
+	v, ok := img.Symbols[strings.ToLower(name)]
+	return v, ok
+}
+
+var (
+	buildOnce sync.Once
+	built     *Image
+	buildErr  error
+)
+
+// Build assembles the ROM (cached after the first call — the image is
+// immutable).
+func Build() (*Image, error) {
+	buildOnce.Do(func() {
+		built, buildErr = build()
+	})
+	return built, buildErr
+}
+
+// MustBuild is Build for callers that treat a ROM assembly failure as a
+// programming error (the sources are compiled in).
+func MustBuild() *Image {
+	img, err := Build()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func build() (*Image, error) {
+	src := equates() + kernelSource + appsSource + inittabSource() + fontSource()
+	img, err := asm.Assemble(bus.ROMBase, src)
+	if err != nil {
+		return nil, fmt.Errorf("rom: %w", err)
+	}
+	out := &Image{Data: img.Data, Symbols: img.Symbols}
+	for _, required := range []string{"boot", "trapdisp", "isr", "inittab", "font", "apptab"} {
+		if _, ok := out.Symbol(required); !ok {
+			return nil, fmt.Errorf("rom: required symbol %q missing", required)
+		}
+	}
+	return out, nil
+}
+
+// equates emits the symbolic constants shared between Go and assembly.
+func equates() string {
+	var b strings.Builder
+	eq := func(name string, v uint32) {
+		fmt.Fprintf(&b, "%s\tequ\t$%X\n", name, v)
+	}
+	b.WriteString("; generated equates - single source of truth is the Go code\n")
+
+	// Kernel RAM layout.
+	eq("kSupStack", palmos.AddrSupStack)
+	eq("kTrapTable", palmos.AddrTrapTable)
+	eq("kScratch", palmos.AddrKScratch)
+	eq("kPenBuf", palmos.AddrPenBuf)
+	eq("kHackBuf", palmos.AddrHackBuf)
+	eq("kRandState", palmos.AddrRandState)
+	eq("kCurrentApp", palmos.AddrCurrentApp)
+	eq("kNextApp", palmos.AddrNextApp)
+	eq("kEvtScratch", palmos.AddrEvtScratch)
+	eq("kCharBuf", palmos.AddrEvtScratch+palmos.EventSize+8)
+	eq("kMemoLen", palmos.AddrAppGlobals)
+	eq("kMemoBuf", palmos.AddrAppGlobals+2)
+	eq("kPuzzleGrid", palmos.AddrAppGlobals+0x100)
+	eq("kPuzzleMoves", palmos.AddrAppGlobals+0x112)
+	eq("kAddrScroll", palmos.AddrAppGlobals+0x120)
+	eq("kAddrLine", palmos.AddrAppGlobals+0x130)
+	eq("kFramebuf", palmos.AddrFramebuffer)
+	eq("kRamApptab", palmos.AddrRAMAppTable)
+	eq("kFontCache", palmos.AddrFontCache)
+	eq("kExpandTab", palmos.AddrExpandTab)
+	eq("kAppCode", palmos.AddrAppCode)
+	eq("NUMTRAPS", palmos.NumTraps)
+
+	// Opcode bases.
+	eq("TRAP", 0xA000)
+	eq("GATE", 0xF000)
+
+	// Trap numbers.
+	traps := map[string]uint32{
+		"TrapEvtGetEvent":        palmos.TrapEvtGetEvent,
+		"TrapEvtEnqueueKey":      palmos.TrapEvtEnqueueKey,
+		"TrapEvtEnqueuePenPoint": palmos.TrapEvtEnqueuePenPoint,
+		"TrapKeyCurrentState":    palmos.TrapKeyCurrentState,
+		"TrapSysRandom":          palmos.TrapSysRandom,
+		"TrapSysNotifyBroadcast": palmos.TrapSysNotifyBroadcast,
+		"TrapTimGetTicks":        palmos.TrapTimGetTicks,
+		"TrapTimGetSeconds":      palmos.TrapTimGetSeconds,
+		"TrapSysTaskDelay":       palmos.TrapSysTaskDelay,
+		"TrapSysAppLaunch":       palmos.TrapSysAppLaunch,
+		"TrapSrmEnqueue":         palmos.TrapSrmEnqueue,
+		"TrapSysBatteryInfo":     palmos.TrapSysBatteryInfo,
+		"TrapDmCreateDatabase":   palmos.TrapDmCreateDatabase,
+		"TrapDmOpenDatabase":     palmos.TrapDmOpenDatabase,
+		"TrapDmCloseDatabase":    palmos.TrapDmCloseDatabase,
+		"TrapDmNewRecord":        palmos.TrapDmNewRecord,
+		"TrapDmWrite":            palmos.TrapDmWrite,
+		"TrapDmNumRecords":       palmos.TrapDmNumRecords,
+		"TrapDmGetRecord":        palmos.TrapDmGetRecord,
+		"TrapDmDeleteDatabase":   palmos.TrapDmDeleteDatabase,
+		"TrapMemMove":            palmos.TrapMemMove,
+		"TrapMemSet":             palmos.TrapMemSet,
+		"TrapStrLen":             palmos.TrapStrLen,
+		"TrapStrCopy":            palmos.TrapStrCopy,
+		"TrapStrCompare":         palmos.TrapStrCompare,
+		"TrapWinEraseWindow":     palmos.TrapWinEraseWindow,
+		"TrapWinFillRect":        palmos.TrapWinFillRect,
+		"TrapWinDrawChars":       palmos.TrapWinDrawChars,
+		"TrapWinDrawLine":        palmos.TrapWinDrawLine,
+		"TrapWinInvertRect":      palmos.TrapWinInvertRect,
+	}
+	emitSorted(&b, traps)
+
+	// Native gates.
+	gates := map[string]uint32{
+		"GateEvtPop":          palmos.GateEvtPop,
+		"GateEvtEnqueueKey":   palmos.GateEvtEnqueueKey,
+		"GateEvtEnqueuePen":   palmos.GateEvtEnqueuePen,
+		"GateKeyCurrentState": palmos.GateKeyCurrentState,
+		"GateSysRandom":       palmos.GateSysRandom,
+		"GateSysNotify":       palmos.GateSysNotify,
+		"GateSysAppLaunch":    palmos.GateSysAppLaunch,
+		"GateBootDone":        palmos.GateBootDone,
+		"GateSysTaskDelay":    palmos.GateSysTaskDelay,
+		"GateSrmEnqueue":      palmos.GateSrmEnqueue,
+		"GateSysBattery":      palmos.GateSysBattery,
+		"GateDmCreate":        palmos.GateDmCreate,
+		"GateDmOpen":          palmos.GateDmOpen,
+		"GateDmClose":         palmos.GateDmClose,
+		"GateDmNewRecord":     palmos.GateDmNewRecord,
+		"GateDmWrite":         palmos.GateDmWrite,
+		"GateDmNumRecords":    palmos.GateDmNumRecords,
+		"GateDmGetRecord":     palmos.GateDmGetRecord,
+		"GateDmDelete":        palmos.GateDmDelete,
+		"GateHackLog":         palmos.GateHackLog,
+	}
+	emitSorted(&b, gates)
+
+	// I/O register absolute addresses.
+	io := map[string]uint32{
+		"ioTick":     bus.IOBase + hw.RegTick,
+		"ioRTC":      bus.IOBase + hw.RegRTC,
+		"ioWakeCmp":  bus.IOBase + hw.RegWakeCmp,
+		"ioIntStat":  bus.IOBase + hw.RegIntStat,
+		"ioIntAck":   bus.IOBase + hw.RegIntAck,
+		"ioFifoCnt":  bus.IOBase + hw.RegFifoCnt,
+		"ioFifoType": bus.IOBase + hw.RegFifoType,
+		"ioFifoA":    bus.IOBase + hw.RegFifoA,
+		"ioFifoB":    bus.IOBase + hw.RegFifoB,
+		"ioFifoC":    bus.IOBase + hw.RegFifoC,
+		"ioFifoPop":  bus.IOBase + hw.RegFifoPop,
+		"ioButtons":  bus.IOBase + hw.RegButtons,
+		"ioIdle":     bus.IOBase + hw.RegIdle,
+	}
+	emitSorted(&b, io)
+	return b.String()
+}
+
+// emitSorted writes equates in deterministic name order.
+func emitSorted(b *strings.Builder, m map[string]uint32) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(b, "%s\tequ\t$%X\n", name, m[name])
+	}
+}
+
+// inittabSource emits the initial trap dispatch table copied into RAM at
+// boot. Unassigned traps point at the fatal handler so a stray call is
+// loud.
+func inittabSource() string {
+	handlers := map[int]string{
+		palmos.TrapEvtGetEvent:        "t_evtgetevent",
+		palmos.TrapEvtEnqueueKey:      "t_evtenqueuekey",
+		palmos.TrapEvtEnqueuePenPoint: "t_evtenqueuepen",
+		palmos.TrapKeyCurrentState:    "t_keycurrentstate",
+		palmos.TrapSysRandom:          "t_sysrandom",
+		palmos.TrapSysNotifyBroadcast: "t_sysnotify",
+		palmos.TrapTimGetTicks:        "t_timgetticks",
+		palmos.TrapTimGetSeconds:      "t_timgetseconds",
+		palmos.TrapSysTaskDelay:       "t_systaskdelay",
+		palmos.TrapSysAppLaunch:       "t_sysapplaunch",
+		palmos.TrapSrmEnqueue:         "t_srmenqueue",
+		palmos.TrapSysBatteryInfo:     "t_sysbattery",
+		palmos.TrapDmCreateDatabase:   "t_dmcreate",
+		palmos.TrapDmOpenDatabase:     "t_dmopen",
+		palmos.TrapDmCloseDatabase:    "t_dmclose",
+		palmos.TrapDmNewRecord:        "t_dmnewrecord",
+		palmos.TrapDmWrite:            "t_dmwrite",
+		palmos.TrapDmNumRecords:       "t_dmnumrecords",
+		palmos.TrapDmGetRecord:        "t_dmgetrecord",
+		palmos.TrapDmDeleteDatabase:   "t_dmdelete",
+		palmos.TrapMemMove:            "t_memmove",
+		palmos.TrapMemSet:             "t_memset",
+		palmos.TrapStrLen:             "t_strlen",
+		palmos.TrapStrCopy:            "t_strcopy",
+		palmos.TrapStrCompare:         "t_strcompare",
+		palmos.TrapWinEraseWindow:     "t_winerase",
+		palmos.TrapWinFillRect:        "t_winfillrect",
+		palmos.TrapWinDrawChars:       "t_windrawchars",
+		palmos.TrapWinDrawLine:        "t_windrawline",
+		palmos.TrapWinInvertRect:      "t_wininvert",
+	}
+	var b strings.Builder
+	b.WriteString("\n\teven\ninittab:\n")
+	for i := 0; i < palmos.NumTraps; i++ {
+		h, ok := handlers[i]
+		if !ok {
+			h = "fatal"
+		}
+		fmt.Fprintf(&b, "\tdc.l\t%s\t; trap $%02X %s\n", h, i, palmos.TrapName(i))
+	}
+	return b.String()
+}
+
+// fontSource emits a 96-glyph 8x8 bitmap font. The glyphs are procedural
+// (deterministic patterns per character) — the workload cares that text
+// drawing reads glyph bytes from flash and writes pixels to RAM, not that
+// the shapes are beautiful.
+func fontSource() string {
+	var b strings.Builder
+	b.WriteString("\n\teven\nfont:\n")
+	for c := 32; c < 128; c++ {
+		rows := glyph(byte(c))
+		fmt.Fprintf(&b, "\tdc.b\t$%02X,$%02X,$%02X,$%02X,$%02X,$%02X,$%02X,$%02X\t; %q\n",
+			rows[0], rows[1], rows[2], rows[3], rows[4], rows[5], rows[6], rows[7], string(rune(c)))
+	}
+	return b.String()
+}
+
+// glyph derives a distinctive 8x8 pattern for a character.
+func glyph(c byte) [8]byte {
+	var rows [8]byte
+	if c == ' ' {
+		return rows
+	}
+	seed := uint32(c)*2654435761 + 12345
+	for r := 1; r < 7; r++ {
+		seed = seed*1103515245 + uint32(c) + uint32(r)
+		rows[r] = byte(seed>>24)&0x7E | 0x42 // keep a visible outline
+	}
+	rows[1] = 0x7E
+	rows[6] = 0x7E
+	return rows
+}

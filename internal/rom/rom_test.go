@@ -1,0 +1,291 @@
+package rom
+
+import (
+	"testing"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/m68k"
+	"palmsim/internal/palmos"
+)
+
+func TestBuildSucceeds(t *testing.T) {
+	img, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Data) == 0 {
+		t.Fatal("empty image")
+	}
+	if len(img.Data) > bus.ROMSize {
+		t.Fatalf("image of %d bytes exceeds 4 MB flash", len(img.Data))
+	}
+	if img.Entry() != bus.ROMBase {
+		t.Errorf("boot entry %#x, want ROM base (boot is first)", img.Entry())
+	}
+}
+
+func TestBuildIsCached(t *testing.T) {
+	a, _ := Build()
+	b, _ := Build()
+	if a != b {
+		t.Error("Build should return the cached image")
+	}
+}
+
+func TestRequiredSymbolsPresent(t *testing.T) {
+	img := MustBuild()
+	required := []string{
+		"boot", "trapdisp", "isr", "fatal", "kernel_main",
+		"t_evtgetevent", "t_evtenqueuekey", "t_evtenqueuepen",
+		"t_keycurrentstate", "t_sysrandom", "t_sysnotify",
+		"t_memmove", "t_strlen", "t_winerase", "t_winfillrect",
+		"t_windrawchars", "app_launcher", "app_memo", "app_puzzle",
+		"app_address", "apptab", "inittab", "font",
+		"apps_begin", "apps_end",
+	}
+	for _, name := range required {
+		if _, ok := img.Symbol(name); !ok {
+			t.Errorf("symbol %q missing", name)
+		}
+	}
+}
+
+func TestInitTabCoversEveryImplementedTrap(t *testing.T) {
+	img := MustBuild()
+	inittab := img.Symbols["inittab"]
+	fatal := img.Symbols["fatal"]
+	entry := func(i int) uint32 {
+		off := inittab - bus.ROMBase + uint32(i)*4
+		return uint32(img.Data[off])<<24 | uint32(img.Data[off+1])<<16 |
+			uint32(img.Data[off+2])<<8 | uint32(img.Data[off+3])
+	}
+	implemented := []int{
+		palmos.TrapEvtGetEvent, palmos.TrapEvtEnqueueKey,
+		palmos.TrapEvtEnqueuePenPoint, palmos.TrapKeyCurrentState,
+		palmos.TrapSysRandom, palmos.TrapSysNotifyBroadcast,
+		palmos.TrapTimGetTicks, palmos.TrapDmOpenDatabase,
+		palmos.TrapMemMove, palmos.TrapWinDrawChars,
+	}
+	for _, trap := range implemented {
+		addr := entry(trap)
+		if addr == fatal || addr == 0 {
+			t.Errorf("trap %#x (%s) points at fatal/zero", trap, palmos.TrapName(trap))
+		}
+		if addr < bus.ROMBase || addr >= bus.ROMBase+uint32(len(img.Data)) {
+			t.Errorf("trap %#x handler %#x outside the ROM", trap, addr)
+		}
+	}
+	// Unimplemented traps are parked on fatal, not zero.
+	if entry(0x3F) != fatal {
+		t.Errorf("unused trap entry = %#x, want fatal", entry(0x3F))
+	}
+}
+
+func TestAppsAreRelocatable(t *testing.T) {
+	img := MustBuild()
+	begin := img.Symbols["apps_begin"]
+	end := img.Symbols["apps_end"]
+	if end <= begin {
+		t.Fatalf("apps span [%#x,%#x)", begin, end)
+	}
+	for _, app := range []string{"app_launcher", "app_memo", "app_puzzle", "app_address"} {
+		addr := img.Symbols[app]
+		if addr < begin || addr >= end {
+			t.Errorf("%s at %#x outside the relocatable region [%#x,%#x)", app, addr, begin, end)
+		}
+	}
+	// The relocated copy must fit below the supervisor-visible heap zones
+	// used by the storage manager.
+	if size := end - begin; palmos.AddrAppCode+size >= 0x400000 {
+		t.Errorf("relocated apps (%d bytes) collide with the storage heap", size)
+	}
+}
+
+func TestFontHas96Glyphs(t *testing.T) {
+	img := MustBuild()
+	font := img.Symbols["font"]
+	off := font - bus.ROMBase
+	if int(off)+96*8 > len(img.Data) {
+		t.Fatal("font table truncated")
+	}
+	// Space is blank; printable glyphs are not.
+	for i := 0; i < 8; i++ {
+		if img.Data[off+uint32(i)] != 0 {
+			t.Error("space glyph not blank")
+		}
+	}
+	nonblank := 0
+	for c := 1; c < 96; c++ {
+		for r := 0; r < 8; r++ {
+			if img.Data[off+uint32(c*8+r)] != 0 {
+				nonblank++
+				break
+			}
+		}
+	}
+	if nonblank != 95 {
+		t.Errorf("%d non-blank glyphs, want 95", nonblank)
+	}
+}
+
+func TestGlyphsAreDistinctive(t *testing.T) {
+	a := glyph('A')
+	b := glyph('B')
+	if a == b {
+		t.Error("glyphs for different characters identical")
+	}
+	if glyph('A') != glyph('A') {
+		t.Error("glyph generation not deterministic")
+	}
+}
+
+func TestEquatesMatchGoConstants(t *testing.T) {
+	src := equates()
+	checks := map[string]uint32{
+		"kTrapTable": palmos.AddrTrapTable,
+		"kHackBuf":   palmos.AddrHackBuf,
+		"kFramebuf":  palmos.AddrFramebuffer,
+		"TRAP":       0xA000,
+		"GATE":       0xF000,
+		"ioFifoCnt":  0xFFFFF610,
+	}
+	for name, want := range checks {
+		found := false
+		for _, line := range splitLines(src) {
+			var n string
+			var v uint32
+			if k, val, ok := parseEquate(line); ok {
+				n, v = k, val
+			}
+			if n == name {
+				found = true
+				if v != want {
+					t.Errorf("%s = %#x in equates, Go constant %#x", name, v, want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("equate %q not emitted", name)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// parseEquate parses "name<tab>equ<tab>$HEX".
+func parseEquate(line string) (string, uint32, bool) {
+	var name, eq, val string
+	field := 0
+	start := 0
+	flush := func(end int) {
+		f := line[start:end]
+		switch field {
+		case 0:
+			name = f
+		case 1:
+			eq = f
+		case 2:
+			val = f
+		}
+		field++
+		start = end + 1
+	}
+	for i := 0; i < len(line); i++ {
+		if line[i] == '\t' || line[i] == ' ' {
+			if i > start {
+				flush(i)
+			} else {
+				start = i + 1
+			}
+		}
+	}
+	if start < len(line) {
+		flush(len(line))
+	}
+	if eq != "equ" || len(val) < 2 || val[0] != '$' {
+		return "", 0, false
+	}
+	var v uint32
+	for _, c := range val[1:] {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint32(c-'0')
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint32(c-'A'+10)
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint32(c-'a'+10)
+		default:
+			return "", 0, false
+		}
+	}
+	return name, v, true
+}
+
+// imgBus adapts the ROM image to the m68k.Bus interface for disassembly.
+type imgBus struct{ data []byte }
+
+func (b *imgBus) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	off := addr - bus.ROMBase
+	var v uint32
+	for i := uint32(0); i < uint32(size); i++ {
+		var c byte
+		if int(off+i) < len(b.data) {
+			c = b.data[off+i]
+		}
+		v = v<<8 | uint32(c)
+	}
+	return v
+}
+
+func (b *imgBus) Write(addr uint32, size m68k.Size, v uint32) {}
+
+// TestDisassembleROMCode walks every instruction in the ROM's code
+// sections (kernel + applications) and verifies the disassembler decodes
+// it — raw dc.w output is only acceptable for the deliberate line-A trap
+// calls and line-F native gates.
+func TestDisassembleROMCode(t *testing.T) {
+	img := MustBuild()
+	b := &imgBus{data: img.Data}
+	// Code runs from the ROM base up to apps_end; data tables follow.
+	end := img.Symbols["apps_end"]
+	// Skip the embedded trap-table data copied at boot? inittab and
+	// apptab/font/strings all live after apps_end, so a straight walk is
+	// clean.
+	addr := uint32(bus.ROMBase)
+	instructions := 0
+	unknown := 0
+	for addr < end {
+		text, size := m68k.Disassemble(b, addr)
+		if size == 0 {
+			t.Fatalf("zero-size decode at %#x", addr)
+		}
+		if len(text) >= 4 && text[:4] == "dc.w" {
+			// Allowed: line-A (system traps) and line-F (native gates).
+			op := b.Read(addr, m68k.Word, m68k.Read)
+			if op>>12 != 0xA && op>>12 != 0xF {
+				unknown++
+				if unknown < 5 {
+					t.Errorf("unknown opcode %04X at %#x: %s", op, addr, text)
+				}
+			}
+		}
+		instructions++
+		addr += size
+	}
+	if instructions < 300 {
+		t.Errorf("walked only %d instructions; ROM code region wrong?", instructions)
+	}
+	if unknown > 0 {
+		t.Errorf("%d unknown opcodes in ROM code", unknown)
+	}
+}

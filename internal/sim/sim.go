@@ -1,0 +1,327 @@
+// Package sim orchestrates the paper's methodology end to end: Collect
+// records a scripted session on an instrumented simulated handheld
+// (S_user), Replay plays the activity log back on a fresh machine
+// (S_emulated). The root palmsim package re-exports this API.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"palmsim/internal/alog"
+	"palmsim/internal/bus"
+	"palmsim/internal/emu"
+	"palmsim/internal/hack"
+	"palmsim/internal/hotsync"
+	"palmsim/internal/hw"
+	"palmsim/internal/palmos"
+	"palmsim/internal/user"
+)
+
+// Re-exported types, so downstream users need only this package.
+type (
+	// Session is a scripted synthetic-user workload.
+	Session = user.Session
+	// Log is an activity log.
+	Log = alog.Log
+	// State is a HotSync-style device state capture.
+	State = hotsync.State
+	// Machine is the simulated handheld.
+	Machine = emu.Machine
+)
+
+// PaperSessions returns the four Table 1 sessions.
+func PaperSessions() []Session { return user.PaperSessions() }
+
+// RunStats aggregates per-run statistics across the machine layers.
+type RunStats struct {
+	Bus     bus.Stats
+	Machine emu.Stats
+	Kernel  palmos.Stats
+
+	// ElapsedSeconds is emulated wall-clock time.
+	ElapsedSeconds float64
+}
+
+// AvgMemCycles is Equation 3 over the run's reference mix.
+func (s RunStats) AvgMemCycles() float64 { return s.Bus.AvgMemCycles() }
+
+// Collection is the result of recording a session on the instrumented
+// device (the paper's S_user side).
+type Collection struct {
+	Session Session
+	Initial *State
+	Final   *State
+	Log     *Log
+	Stats   RunStats
+
+	// M is the machine after the session, for further inspection.
+	M *Machine
+}
+
+// settleTicks is the margin run after the last scheduled input.
+const settleTicks = 200
+
+// Collect boots an instrumented device, captures the initial state,
+// replays the synthetic user's inputs in simulated real time and returns
+// the activity log plus final state — the §2 collection pipeline.
+func Collect(s Session) (*Collection, error) {
+	return CollectFrom(nil, s)
+}
+
+// CollectFrom is Collect starting from a previously captured device state,
+// enabling the paper's §3.1 chained workloads: "the initial state of the
+// second test workload is the same as the final state for the first". A
+// nil prior state collects from a factory-fresh boot.
+func CollectFrom(prior *State, s Session) (*Collection, error) {
+	m, err := emu.New(emu.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Boot(); err != nil {
+		return nil, err
+	}
+	if prior != nil {
+		if err := hotsync.Restore(m, prior); err != nil {
+			return nil, err
+		}
+		// The prior session's activity log was transferred off-device;
+		// start this session with a fresh one (PrepareDevice recreates it).
+		if _, ok := m.Store.Lookup(palmos.ActivityLogDB); ok {
+			if err := m.Store.Delete(palmos.ActivityLogDB); err != nil {
+				return nil, err
+			}
+		}
+	}
+	hacks := hack.NewManager(m)
+	if err := hacks.InstallAllHacks(); err != nil {
+		return nil, err
+	}
+	initial, err := hotsync.Backup(m)
+	if err != nil {
+		return nil, err
+	}
+
+	start := m.Ticks() + 100
+	schedule := s.Build(start)
+	if len(schedule) == 0 {
+		return nil, errors.New("palmsim: session produced no inputs")
+	}
+	for _, in := range schedule {
+		if err := m.Schedule(in.Tick, in.Ev); err != nil {
+			return nil, err
+		}
+	}
+	end := schedule[len(schedule)-1].Tick + settleTicks
+	if err := m.RunUntilTick(end); err != nil {
+		return nil, err
+	}
+	if err := m.RunUntilIdle(2_000_000_000); err != nil {
+		return nil, err
+	}
+
+	logDB, err := m.Store.Export(palmos.ActivityLogDB)
+	if err != nil {
+		return nil, err
+	}
+	log, err := alog.FromDatabase(logDB)
+	if err != nil {
+		return nil, err
+	}
+	final, err := hotsync.Backup(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{
+		Session: s,
+		Initial: initial,
+		Final:   final,
+		Log:     log,
+		Stats:   statsOf(m),
+		M:       m,
+	}, nil
+}
+
+// ReplayOptions configures playback.
+type ReplayOptions struct {
+	// Profiling mirrors POSE's switch (§2.4.2): on, the ROM
+	// TrapDispatcher executes so traces are complete. Default true.
+	Profiling bool
+
+	// WithHacks reinstalls the five hacks during playback, as the §3.3
+	// activity-log validation does.
+	WithHacks bool
+
+	// CollectTrace records the address of every RAM/flash reference.
+	CollectTrace bool
+
+	// CollectKinds additionally records each reference's access kind
+	// (read/write/fetch), enabling Dinero-format export.
+	CollectKinds bool
+
+	// CountOpcodes allocates the opcode histogram.
+	CountOpcodes bool
+
+	// TraceInstructions records the PC of every retired instruction —
+	// the complete instruction trace of the paper's CITCAT lineage,
+	// covering interrupt handlers, the trap dispatcher and user code.
+	TraceInstructions bool
+}
+
+// DefaultReplayOptions returns the configuration the paper's case study
+// used: profiling on, traces on, hacks out.
+func DefaultReplayOptions() ReplayOptions {
+	return ReplayOptions{Profiling: true, CollectTrace: true}
+}
+
+// Playback is the result of replaying an activity log (the S_emulated
+// side).
+type Playback struct {
+	Final *State
+	// Log is the activity log recorded during playback when WithHacks
+	// was set (for §3.3 correlation).
+	Log *Log
+	// Trace is the memory-reference address stream (RAM + flash).
+	Trace []uint32
+	// TraceKinds holds each Trace entry's access kind (values of
+	// m68k.Access) when CollectKinds was set.
+	TraceKinds []uint8
+	// OpcodeHist is the 65536-entry executed-opcode histogram.
+	OpcodeHist []uint64
+	// InstrTrace is the PC stream of every retired instruction when
+	// TraceInstructions was set.
+	InstrTrace []uint32
+	Stats      RunStats
+	M          *Machine
+}
+
+// traceSink collects RAM/flash reference addresses (and, optionally, each
+// access's kind for Dinero export).
+type traceSink struct {
+	buf   []uint32
+	kinds []uint8
+	want  bool
+}
+
+func (t *traceSink) Ref(r bus.Ref) {
+	if r.Region == bus.RegionRAM || r.Region == bus.RegionFlash {
+		t.buf = append(t.buf, r.Addr)
+		if t.want {
+			t.kinds = append(t.kinds, uint8(r.Kind))
+		}
+	}
+}
+
+// Replay restores the initial state into a fresh machine and replays the
+// activity log per §2.4.2: synchronous events are injected when the
+// emulated tick counter reaches their timestamps; KeyCurrentState and
+// SysRandom are serviced from the logged queues.
+func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
+	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes})
+	if err != nil {
+		return nil, err
+	}
+	var instrTrace []uint32
+	if opt.TraceInstructions {
+		// Installed before boot so the trace is complete from reset, as
+		// CITCAT defines it.
+		m.CPU.OnExec = func(pc uint32, opcode uint16) {
+			instrTrace = append(instrTrace, pc)
+		}
+	}
+	if err := m.Boot(); err != nil {
+		return nil, err
+	}
+	if err := hotsync.Restore(m, initial); err != nil {
+		return nil, err
+	}
+	if opt.WithHacks {
+		hacks := hack.NewManager(m)
+		if err := hacks.InstallAllHacks(); err != nil {
+			return nil, err
+		}
+	}
+
+	replay := log.ToReplay()
+	m.Kernel.Replay = replay.Queues()
+
+	var sink *traceSink
+	if opt.CollectTrace || opt.CollectKinds {
+		sink = &traceSink{want: opt.CollectKinds}
+		m.Bus.Tracer = sink
+	}
+	var end uint32
+	for _, ev := range replay.Synchronous {
+		tick := ev.Tick
+		if tick < m.Ticks() {
+			// An event logged before this machine's boot settled (can
+			// happen if the collection machine booted faster); deliver
+			// as soon as possible.
+			tick = m.Ticks()
+		}
+		if err := m.Schedule(tick, ev.Ev); err != nil {
+			return nil, err
+		}
+		if tick > end {
+			end = tick
+		}
+	}
+	if err := m.RunUntilTick(end + settleTicks); err != nil {
+		return nil, err
+	}
+	if err := m.RunUntilIdle(2_000_000_000); err != nil {
+		return nil, err
+	}
+
+	out := &Playback{Stats: statsOf(m), M: m}
+	if sink != nil {
+		out.Trace = sink.buf
+		out.TraceKinds = sink.kinds
+	}
+	if opt.CountOpcodes {
+		out.OpcodeHist = m.CPU.OpcodeCount
+	}
+	if opt.TraceInstructions {
+		out.InstrTrace = instrTrace
+	}
+	if opt.WithHacks {
+		logDB, err := m.Store.Export(palmos.ActivityLogDB)
+		if err != nil {
+			return nil, err
+		}
+		out.Log, err = alog.FromDatabase(logDB)
+		if err != nil {
+			return nil, err
+		}
+	}
+	final, err := hotsync.Backup(m)
+	if err != nil {
+		return nil, err
+	}
+	out.Final = final
+	return out, nil
+}
+
+func statsOf(m *Machine) RunStats {
+	return RunStats{
+		Bus:            m.Bus.Stats,
+		Machine:        m.Stats,
+		Kernel:         m.Kernel.Stats,
+		ElapsedSeconds: m.ElapsedSeconds(),
+	}
+}
+
+// UnmarshalState parses a serialized device state.
+func UnmarshalState(data []byte) (*State, error) { return hotsync.Unmarshal(data) }
+
+// UnmarshalLog parses a serialized activity log.
+func UnmarshalLog(data []byte) (*Log, error) { return alog.Unmarshal(data) }
+
+// TicksPerSecond is the Palm OS tick rate.
+const TicksPerSecond = hw.TicksPerSec
+
+// FormatElapsed renders seconds as H:MM:SS, the Table 1 form.
+func FormatElapsed(seconds float64) string {
+	s := int64(seconds)
+	return fmt.Sprintf("%d:%02d:%02d", s/3600, s/60%60, s%60)
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"palmsim/internal/user"
+)
+
+func tinySession(name string, seed int64) Session {
+	return Session{Name: name, Seed: seed, Script: func(b *user.Builder) {
+		b.IdleSeconds(1)
+		b.Tap(30, 40) // launch memo
+		b.Type("ab")
+		b.Tap(30, 150) // save
+		b.Home()
+		b.Notify(1)
+	}}
+}
+
+func TestCollectRejectsEmptySession(t *testing.T) {
+	empty := Session{Name: "empty", Script: func(b *user.Builder) { b.IdleSeconds(1) }}
+	if _, err := Collect(empty); err == nil {
+		t.Fatal("empty session accepted")
+	}
+}
+
+func TestCollectFromChainsState(t *testing.T) {
+	first, err := Collect(tinySession("first", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo1, _ := first.Final.Find("MemoDB")
+	if len(memo1.Records) != 1 {
+		t.Fatalf("first session saved %d memos", len(memo1.Records))
+	}
+
+	second, err := CollectFrom(first.Final, tinySession("second", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second session starts with the first memo present and adds one.
+	if db, ok := second.Initial.Find("MemoDB"); !ok || len(db.Records) != 1 {
+		t.Error("chained initial state lost the first memo")
+	}
+	memo2, _ := second.Final.Find("MemoDB")
+	if len(memo2.Records) != 2 {
+		t.Errorf("chained final state has %d memos, want 2", len(memo2.Records))
+	}
+	// The activity log was reset between sessions.
+	if db, ok := second.Initial.Find("ActivityLogDB"); !ok || len(db.Records) != 0 {
+		t.Error("chained session did not start with a fresh activity log")
+	}
+}
+
+func TestChainedReplayValidates(t *testing.T) {
+	first, err := Collect(tinySession("first", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := CollectFrom(first.Final, tinySession("second", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Replay(second.Initial, second.Log, ReplayOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, _ := second.Final.Find("MemoDB")
+	em, ok := pb.Final.Find("MemoDB")
+	if !ok || len(em.Records) != len(dm.Records) {
+		t.Fatalf("chained replay memo count: %d", len(em.Records))
+	}
+	for i := range dm.Records {
+		if string(dm.Records[i].Data) != string(em.Records[i].Data) {
+			t.Errorf("memo %d diverged", i)
+		}
+	}
+}
+
+func TestReplayOptionsIndependence(t *testing.T) {
+	col, err := Collect(tinySession("opts", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No trace requested: Trace must be nil, stats still populated.
+	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Trace != nil {
+		t.Error("trace collected without CollectTrace")
+	}
+	if pb.Log != nil {
+		t.Error("replay log exported without WithHacks")
+	}
+	if pb.OpcodeHist != nil || pb.InstrTrace != nil {
+		t.Error("optional collectors active without request")
+	}
+	if pb.Stats.Machine.Instructions == 0 {
+		t.Error("stats missing")
+	}
+}

@@ -1,0 +1,369 @@
+// Package storage implements the Palm OS storage heap and database manager
+// over the simulated RAM: chunk allocation, record databases with the PDB
+// header fields, and the data-manager operations the kernel's traps and the
+// instrumentation hacks use (DmCreateDatabase, DmOpenDatabase, DmNewRecord,
+// DmWrite, ...).
+//
+// Record payloads live in emulated RAM, so the storage manager's accesses
+// can be traced like any other data reference. Every operation charges
+// emulated CPU cycles through the ChargeCycles hook; the record-insert path
+// deliberately scans the record index linearly, modelling the Palm OS
+// memory-manager behaviour the paper holds responsible for the growth of
+// hack overhead with database size (Figure 3). The constants below are
+// calibrated so a log-insert call (open + new record + 16-byte write +
+// close) costs ≈6.4 ms of emulated time with a small database and ≈15.5 ms
+// at 55k records, matching §2.3.3.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/m68k"
+	"palmsim/internal/pdb"
+)
+
+// Storage heap placement inside RAM. The first 4 MB form the dynamic heap
+// (kernel globals, stacks, framebuffer, app working memory).
+const (
+	HeapBase = 0x00400000
+	HeapSize = 12 << 20
+)
+
+// MaxRecords is the Palm OS limit on records per database (§2.3.3).
+const MaxRecords = 65536
+
+// Cycle costs of data-manager operations (see package comment for the
+// Figure 3 calibration).
+const (
+	CostOpen          = 60_000
+	CostClose         = 60_000
+	CostNewRecordBase = 57_500
+	CostPerRecordScan = 6
+	CostWritePerByte  = 20
+	CostReadPerByte   = 12
+	CostCreate        = 120_000
+	CostDelete        = 90_000
+)
+
+// Record describes one record held in emulated RAM.
+type Record struct {
+	Addr     uint32
+	Len      uint32
+	Attr     uint8
+	UniqueID uint32
+}
+
+// DB is an open database in the storage heap.
+type DB struct {
+	Name             string
+	Type             uint32
+	Creator          uint32
+	Attributes       uint16
+	Version          uint16
+	CreationDate     uint32
+	ModificationDate uint32
+	LastBackupDate   uint32
+	ModNumber        uint32
+	UniqueIDSeed     uint32
+	Records          []Record
+
+	m *Manager
+}
+
+// Manager is the storage-heap allocator plus database directory.
+type Manager struct {
+	Bus *bus.Bus
+
+	// ChargeCycles advances the emulated clock for the cost of each
+	// operation; nil disables cost accounting.
+	ChargeCycles func(cycles uint64)
+
+	// Now supplies the RTC value (seconds since the Palm epoch) used to
+	// stamp creation/modification dates; nil leaves dates zero.
+	Now func() uint32
+
+	brk  uint32
+	free []span
+	dbs  []*DB
+}
+
+type span struct{ addr, size uint32 }
+
+// NewManager creates an empty storage heap over the given bus.
+func NewManager(b *bus.Bus) *Manager {
+	return &Manager{Bus: b, brk: HeapBase}
+}
+
+func (m *Manager) charge(c uint64) {
+	if m.ChargeCycles != nil {
+		m.ChargeCycles(c)
+	}
+}
+
+func (m *Manager) now() uint32 {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return 0
+}
+
+// alloc reserves size bytes in the storage heap (2-byte aligned).
+func (m *Manager) alloc(size uint32) (uint32, error) {
+	size = (size + 1) &^ 1
+	for i, f := range m.free {
+		if f.size >= size {
+			addr := f.addr
+			m.free[i].addr += size
+			m.free[i].size -= size
+			if m.free[i].size == 0 {
+				m.free = append(m.free[:i], m.free[i+1:]...)
+			}
+			return addr, nil
+		}
+	}
+	if m.brk+size > HeapBase+HeapSize {
+		return 0, fmt.Errorf("storage: heap exhausted allocating %d bytes", size)
+	}
+	addr := m.brk
+	m.brk += size
+	return addr, nil
+}
+
+func (m *Manager) release(addr, size uint32) {
+	m.free = append(m.free, span{addr, (size + 1) &^ 1})
+}
+
+// Databases returns the directory in creation order.
+func (m *Manager) Databases() []*DB { return m.dbs }
+
+// Lookup finds a database by name without charging cycles.
+func (m *Manager) Lookup(name string) (*DB, bool) {
+	for _, db := range m.dbs {
+		if db.Name == name {
+			return db, true
+		}
+	}
+	return nil, false
+}
+
+// Create makes a new empty database. It fails if the name exists.
+func (m *Manager) Create(name string, typ, creator uint32) (*DB, error) {
+	if len(name) >= pdb.NameLen {
+		return nil, fmt.Errorf("storage: database name %q too long", name)
+	}
+	if _, exists := m.Lookup(name); exists {
+		return nil, fmt.Errorf("storage: database %q already exists", name)
+	}
+	m.charge(CostCreate)
+	db := &DB{
+		Name:         name,
+		Type:         typ,
+		Creator:      creator,
+		CreationDate: m.now(),
+		UniqueIDSeed: 0x100000,
+		m:            m,
+	}
+	m.dbs = append(m.dbs, db)
+	return db, nil
+}
+
+// Open returns a database by name, charging the open cost.
+func (m *Manager) Open(name string) (*DB, error) {
+	m.charge(CostOpen)
+	db, ok := m.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: database %q not found", name)
+	}
+	return db, nil
+}
+
+// Close charges the close cost. (The directory keeps no open/closed state;
+// Palm OS reference-counts handles, which nothing here needs.)
+func (m *Manager) Close(*DB) {
+	m.charge(CostClose)
+}
+
+// Delete removes a database and frees its records.
+func (m *Manager) Delete(name string) error {
+	m.charge(CostDelete)
+	for i, db := range m.dbs {
+		if db.Name == name {
+			for _, r := range db.Records {
+				m.release(r.Addr, r.Len)
+			}
+			m.dbs = append(m.dbs[:i], m.dbs[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("storage: database %q not found", name)
+}
+
+// SetBackupBits sets the backup attribute on every database, as the
+// §2.2/§3.1 preparation application does before the initial HotSync.
+func (m *Manager) SetBackupBits() {
+	for _, db := range m.dbs {
+		db.Attributes |= pdb.AttrBackup
+	}
+}
+
+// NumRecords returns the record count.
+func (db *DB) NumRecords() int { return len(db.Records) }
+
+// NewRecord appends a record of the given size and returns its index and
+// RAM address. The cost model scans the record index linearly — the
+// Figure 3 mechanism.
+func (db *DB) NewRecord(size uint32) (int, uint32, error) {
+	if len(db.Records) >= MaxRecords {
+		return 0, 0, fmt.Errorf("storage: %q is full (%d records)", db.Name, MaxRecords)
+	}
+	db.m.charge(CostNewRecordBase + CostPerRecordScan*uint64(len(db.Records)))
+	addr, err := db.m.alloc(size)
+	if err != nil {
+		return 0, 0, err
+	}
+	db.UniqueIDSeed++
+	db.Records = append(db.Records, Record{Addr: addr, Len: size, UniqueID: db.UniqueIDSeed & 0xFFFFFF})
+	db.touch()
+	return len(db.Records) - 1, addr, nil
+}
+
+// Write stores bytes into a record at the given offset.
+func (db *DB) Write(idx int, off uint32, data []byte) error {
+	if idx < 0 || idx >= len(db.Records) {
+		return fmt.Errorf("storage: %q has no record %d", db.Name, idx)
+	}
+	r := db.Records[idx]
+	if off+uint32(len(data)) > r.Len {
+		return fmt.Errorf("storage: write of %d bytes at %d overflows record of %d", len(data), off, r.Len)
+	}
+	db.m.charge(CostWritePerByte * uint64(len(data)))
+	for i, v := range data {
+		db.m.Bus.WriteTraced(r.Addr+off+uint32(i), m68k.Byte, uint32(v))
+	}
+	db.touch()
+	return nil
+}
+
+// Read copies a record's bytes out of emulated RAM.
+func (db *DB) Read(idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(db.Records) {
+		return nil, fmt.Errorf("storage: %q has no record %d", db.Name, idx)
+	}
+	r := db.Records[idx]
+	db.m.charge(CostReadPerByte * uint64(r.Len))
+	out := make([]byte, r.Len)
+	for i := range out {
+		out[i] = byte(db.m.Bus.ReadTraced(r.Addr+uint32(i), m68k.Byte))
+	}
+	return out, nil
+}
+
+// RecordAddr returns the RAM address of a record's payload, for 68k code
+// that accesses records directly (as Palm applications do via MemHandle).
+func (db *DB) RecordAddr(idx int) (uint32, uint32, error) {
+	if idx < 0 || idx >= len(db.Records) {
+		return 0, 0, fmt.Errorf("storage: %q has no record %d", db.Name, idx)
+	}
+	return db.Records[idx].Addr, db.Records[idx].Len, nil
+}
+
+// DeleteRecord removes a record.
+func (db *DB) DeleteRecord(idx int) error {
+	if idx < 0 || idx >= len(db.Records) {
+		return fmt.Errorf("storage: %q has no record %d", db.Name, idx)
+	}
+	db.m.charge(CostNewRecordBase + CostPerRecordScan*uint64(len(db.Records)))
+	r := db.Records[idx]
+	db.m.release(r.Addr, r.Len)
+	db.Records = append(db.Records[:idx], db.Records[idx+1:]...)
+	db.touch()
+	return nil
+}
+
+func (db *DB) touch() {
+	db.ModificationDate = db.m.now()
+	db.ModNumber++
+}
+
+// Export serializes a database to the PDB wire format (HotSync upload).
+func (m *Manager) Export(name string) (*pdb.Database, error) {
+	db, ok := m.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: database %q not found", name)
+	}
+	out := &pdb.Database{
+		Name:             db.Name,
+		Attributes:       db.Attributes,
+		Version:          db.Version,
+		CreationDate:     db.CreationDate,
+		ModificationDate: db.ModificationDate,
+		LastBackupDate:   db.LastBackupDate,
+		ModNumber:        db.ModNumber,
+		Type:             db.Type,
+		Creator:          db.Creator,
+		UniqueIDSeed:     db.UniqueIDSeed,
+	}
+	for i := range db.Records {
+		r := db.Records[i]
+		data := m.Bus.PeekBytes(r.Addr, int(r.Len))
+		out.Records = append(out.Records, pdb.Record{Attr: r.Attr, UniqueID: r.UniqueID, Data: data})
+	}
+	return out, nil
+}
+
+// ExportAll serializes every database, sorted by name for stable output.
+func (m *Manager) ExportAll() ([]*pdb.Database, error) {
+	names := make([]string, 0, len(m.dbs))
+	for _, db := range m.dbs {
+		names = append(names, db.Name)
+	}
+	sort.Strings(names)
+	out := make([]*pdb.Database, 0, len(names))
+	for _, n := range names {
+		d, err := m.Export(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Import installs a PDB image into the storage heap. Matching the
+// procedure the paper observed (§3.4), an imported database's creation and
+// last-backup dates read as zero on the emulated device, and its
+// modification date is cleared until something modifies it during replay.
+func (m *Manager) Import(src *pdb.Database) (*DB, error) {
+	if _, exists := m.Lookup(src.Name); exists {
+		if err := m.Delete(src.Name); err != nil {
+			return nil, err
+		}
+	}
+	db := &DB{
+		Name:         src.Name,
+		Type:         src.Type,
+		Creator:      src.Creator,
+		Attributes:   src.Attributes,
+		Version:      src.Version,
+		UniqueIDSeed: src.UniqueIDSeed,
+		m:            m,
+	}
+	for _, r := range src.Records {
+		addr, err := m.alloc(uint32(len(r.Data)))
+		if err != nil {
+			return nil, err
+		}
+		m.Bus.PokeBytes(addr, r.Data)
+		db.Records = append(db.Records, Record{
+			Addr: addr, Len: uint32(len(r.Data)), Attr: r.Attr, UniqueID: r.UniqueID,
+		})
+	}
+	m.dbs = append(m.dbs, db)
+	return db, nil
+}
+
+// HeapBytesUsed reports the bump-allocator high-water mark, for tests and
+// diagnostics.
+func (m *Manager) HeapBytesUsed() uint32 { return m.brk - HeapBase }

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/pdb"
+)
+
+func newMgr() (*Manager, *uint64) {
+	b := bus.New(nil)
+	m := NewManager(b)
+	var cycles uint64
+	m.ChargeCycles = func(c uint64) { cycles += c }
+	m.Now = func() uint32 { return 12345 }
+	return m, &cycles
+}
+
+func TestCreateOpenClose(t *testing.T) {
+	m, _ := newMgr()
+	db, err := m.Create("TestDB", pdb.FourCC("data"), pdb.FourCC("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.CreationDate != 12345 {
+		t.Errorf("creation date = %d, want stamped", db.CreationDate)
+	}
+	got, err := m.Open("TestDB")
+	if err != nil || got != db {
+		t.Fatalf("open returned %v, %v", got, err)
+	}
+	m.Close(got)
+	if _, err := m.Open("missing"); err == nil {
+		t.Error("open of missing database succeeded")
+	}
+	if _, err := m.Create("TestDB", 0, 0); err == nil {
+		t.Error("duplicate create succeeded")
+	}
+}
+
+func TestCreateRejectsLongName(t *testing.T) {
+	m, _ := newMgr()
+	if _, err := m.Create(strings.Repeat("n", 40), 0, 0); err == nil {
+		t.Error("40-char name accepted (PDB names are 32 bytes)")
+	}
+}
+
+func TestRecordLifecycle(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("DB", 0, 0)
+	idx, addr, err := db.NewRecord(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || addr < HeapBase {
+		t.Fatalf("idx=%d addr=%#x", idx, addr)
+	}
+	if err := db.Write(0, 0, []byte("hellohello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hellohello" {
+		t.Errorf("read back %q", data)
+	}
+	// Bounds checking.
+	if err := db.Write(0, 8, []byte("xyz")); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := db.Write(1, 0, []byte("x")); err == nil {
+		t.Error("write to missing record accepted")
+	}
+	if _, err := db.Read(5); err == nil {
+		t.Error("read of missing record accepted")
+	}
+	// Deletion shifts the index.
+	db.NewRecord(4)
+	if err := db.DeleteRecord(0); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRecords() != 1 {
+		t.Errorf("records after delete = %d", db.NumRecords())
+	}
+}
+
+func TestModificationTracking(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("DB", 0, 0)
+	n0 := db.ModNumber
+	db.NewRecord(4)
+	if db.ModNumber <= n0 {
+		t.Error("ModNumber not bumped by NewRecord")
+	}
+	if db.ModificationDate != 12345 {
+		t.Error("ModificationDate not stamped")
+	}
+}
+
+func TestInsertionCostGrowsLinearly(t *testing.T) {
+	m, cycles := newMgr()
+	db, _ := m.Create("DB", 0, 0)
+	costOfInsert := func() uint64 {
+		before := *cycles
+		if _, _, err := db.NewRecord(16); err != nil {
+			t.Fatal(err)
+		}
+		return *cycles - before
+	}
+	first := costOfInsert()
+	for db.NumRecords() < 10000 {
+		db.NewRecord(16)
+	}
+	later := costOfInsert()
+	wantDelta := uint64(CostPerRecordScan * 10000)
+	delta := later - first
+	if delta < wantDelta*9/10 || delta > wantDelta*11/10 {
+		t.Errorf("insert cost delta = %d cycles at 10k records, want about %d (Figure 3 model)",
+			delta, wantDelta)
+	}
+}
+
+func TestMaxRecordsEnforced(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("DB", 0, 0)
+	db.Records = make([]Record, MaxRecords) // simulate fullness directly
+	if _, _, err := db.NewRecord(4); err == nil {
+		t.Error("insert beyond 65536 records accepted (§2.3.3 limit)")
+	}
+}
+
+func TestDeleteReleasesSpace(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("DB", 0, 0)
+	_, addr1, _ := db.NewRecord(100)
+	used := m.HeapBytesUsed()
+	if err := m.Delete("DB"); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := m.Create("DB2", 0, 0)
+	_, addr2, _ := db2.NewRecord(100)
+	if addr2 != addr1 {
+		t.Errorf("freed chunk not reused: %#x vs %#x", addr2, addr1)
+	}
+	if m.HeapBytesUsed() != used {
+		t.Errorf("high-water mark moved on reuse")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("RT", pdb.FourCC("data"), pdb.FourCC("test"))
+	idx, _, _ := db.NewRecord(5)
+	db.Write(idx, 0, []byte("abcde"))
+
+	exported, err := m.Export("RT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported.CreationDate == 0 {
+		t.Error("export lost creation date")
+	}
+
+	// Import into a fresh manager: dates zero out (§3.4 semantics).
+	m2, _ := newMgr()
+	imp, err := m2.Import(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.CreationDate != 0 || imp.LastBackupDate != 0 || imp.ModificationDate != 0 {
+		t.Error("imported database must read back with zeroed dates")
+	}
+	data, err := imp.Read(0)
+	if err != nil || string(data) != "abcde" {
+		t.Errorf("imported record = %q, %v", data, err)
+	}
+}
+
+func TestImportReplacesExisting(t *testing.T) {
+	m, _ := newMgr()
+	old, _ := m.Create("X", 0, 0)
+	old.NewRecord(4)
+	src := &pdb.Database{Name: "X", Records: []pdb.Record{{Data: []byte("new")}}}
+	if _, err := m.Import(src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Lookup("X")
+	if got.NumRecords() != 1 {
+		t.Errorf("import did not replace: %d records", got.NumRecords())
+	}
+	data, _ := got.Read(0)
+	if string(data) != "new" {
+		t.Errorf("record = %q", data)
+	}
+}
+
+func TestSetBackupBits(t *testing.T) {
+	m, _ := newMgr()
+	m.Create("A", 0, 0)
+	m.Create("B", 0, 0)
+	m.SetBackupBits()
+	for _, db := range m.Databases() {
+		if db.Attributes&pdb.AttrBackup == 0 {
+			t.Errorf("%s missing backup bit", db.Name)
+		}
+	}
+}
+
+func TestExportAllSorted(t *testing.T) {
+	m, _ := newMgr()
+	m.Create("Zebra", 0, 0)
+	m.Create("Alpha", 0, 0)
+	all, err := m.ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Name != "Alpha" || all[1].Name != "Zebra" {
+		t.Errorf("export order wrong: %v, %v", all[0].Name, all[1].Name)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	m, _ := newMgr()
+	db, _ := m.Create("Big", 0, 0)
+	if _, _, err := db.NewRecord(HeapSize + 1); err == nil {
+		t.Error("allocation beyond the storage heap accepted")
+	}
+}

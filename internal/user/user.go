@@ -1,0 +1,362 @@
+// Package user implements the synthetic user model: the stand-in for the
+// paper's volunteer users (§4.2). A Builder turns high-level actions —
+// taps, strokes, typed text, idle gaps — into a deterministic, seeded
+// schedule of hardware inputs with humanized timing: pen sampling at the
+// digitizer's 50 Hz (§2.3.3), key cadences of a few hundred milliseconds,
+// and multi-hour idle periods during which the device dozes.
+//
+// The four PaperSession scripts approximate the Table 1 sessions: days of
+// elapsed time with bursts of memo writing, Puzzle games and record
+// browsing, sized to produce event counts in the same range (755-1622).
+package user
+
+import (
+	"math/rand"
+
+	"palmsim/internal/hw"
+)
+
+// Input is one scheduled hardware input.
+type Input struct {
+	Tick uint32
+	Ev   hw.InputEvent
+}
+
+// Builder accumulates a deterministic input schedule.
+type Builder struct {
+	rng  *rand.Rand
+	tick uint32
+	out  []Input
+}
+
+// NewBuilder creates a schedule builder starting at the given tick with a
+// deterministic seed.
+func NewBuilder(seed int64, startTick uint32) *Builder {
+	return &Builder{rng: rand.New(rand.NewSource(seed)), tick: startTick}
+}
+
+// Schedule returns the accumulated inputs in tick order.
+func (b *Builder) Schedule() []Input { return b.out }
+
+// Tick returns the current schedule cursor.
+func (b *Builder) Tick() uint32 { return b.tick }
+
+func (b *Builder) emit(ev hw.InputEvent) {
+	b.out = append(b.out, Input{Tick: b.tick, Ev: ev})
+}
+
+// jitter returns a value in [lo, hi] ticks.
+func (b *Builder) jitter(lo, hi int) uint32 {
+	if hi <= lo {
+		return uint32(lo)
+	}
+	return uint32(lo + b.rng.Intn(hi-lo+1))
+}
+
+// Idle advances time without input.
+func (b *Builder) Idle(ticks uint32) *Builder {
+	b.tick += ticks
+	return b
+}
+
+// IdleSeconds advances time by whole seconds.
+func (b *Builder) IdleSeconds(s uint32) *Builder { return b.Idle(s * hw.TicksPerSec) }
+
+// IdleHours advances time by hours (the long gaps in multi-day sessions).
+func (b *Builder) IdleHours(h float64) *Builder {
+	return b.Idle(uint32(h * 3600 * hw.TicksPerSec))
+}
+
+// Tap presses the stylus at (x, y) and lifts it after a human-scale hold.
+func (b *Builder) Tap(x, y int) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvPen, A: uint16(x), B: uint16(y)})
+	b.tick += b.jitter(3, 8)
+	b.emit(hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp})
+	b.tick += b.jitter(10, 30)
+	return b
+}
+
+// Stroke drags the stylus from (x0,y0) to (x1,y1); the digitizer samples
+// the pen every 2 ticks (50 times a second, §2.3.3).
+func (b *Builder) Stroke(x0, y0, x1, y1 int) *Builder {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps < 2 {
+		steps = 2
+	}
+	if steps > 40 {
+		steps = 40
+	}
+	for i := 0; i <= steps; i++ {
+		x := x0 + (x1-x0)*i/steps
+		y := y0 + (y1-y0)*i/steps
+		b.emit(hw.InputEvent{Type: hw.EvPen, A: uint16(x), B: uint16(y)})
+		b.tick += 2 // 50 Hz pen sampling
+	}
+	b.emit(hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp})
+	b.tick += b.jitter(10, 25)
+	return b
+}
+
+// HoldPen keeps the stylus pressed at (x,y) for the given number of ticks,
+// emitting 50 samples per second — the §2.3.3 overhead measurement.
+func (b *Builder) HoldPen(x, y int, ticks uint32) *Builder {
+	end := b.tick + ticks
+	for b.tick < end {
+		b.emit(hw.InputEvent{Type: hw.EvPen, A: uint16(x), B: uint16(y)})
+		b.tick += 2
+	}
+	b.emit(hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp})
+	return b
+}
+
+// Key presses a single key directly (a hardware keyboard or the
+// recognizer's output without its stroke).
+func (b *Builder) Key(c byte) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvKey, A: uint16(c)})
+	b.tick += b.jitter(15, 45) // 0.15-0.45 s per character
+	return b
+}
+
+// Graffiti writes one character the way a real user does: a stroke in the
+// Graffiti area below the LCD (which the recognizer consumes) followed by
+// the recognized character as a key event. The stroke shape varies
+// deterministically with the character.
+func (b *Builder) Graffiti(c byte) *Builder {
+	x0 := 20 + int(c%5)*20
+	y0 := 170 + int(c%3)*10
+	dx := 10 + int(c%4)*8
+	dy := 10 + int(c/16%3)*10
+	steps := 4 + int(c%5)
+	for i := 0; i <= steps; i++ {
+		x := x0 + dx*i/steps
+		y := y0 + dy*i/steps
+		b.emit(hw.InputEvent{Type: hw.EvPen, A: uint16(x), B: uint16(y)})
+		b.tick += 2 // 50 Hz pen sampling
+	}
+	b.emit(hw.InputEvent{Type: hw.EvPen, A: hw.PenUp, B: hw.PenUp})
+	b.tick += b.jitter(4, 10)
+	b.emit(hw.InputEvent{Type: hw.EvKey, A: uint16(c)})
+	b.tick += b.jitter(10, 35)
+	return b
+}
+
+// Type enters a string of characters via Graffiti strokes.
+func (b *Builder) Type(s string) *Builder {
+	for i := 0; i < len(s); i++ {
+		b.Graffiti(s[i])
+	}
+	return b
+}
+
+// Buttons changes the hardware button bit field (press/release edges).
+func (b *Builder) Buttons(bits uint16) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvButtons, A: bits})
+	b.tick += b.jitter(5, 15)
+	return b
+}
+
+// Notify injects a system notification broadcast (e.g. a time change).
+func (b *Builder) Notify(kind uint16) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvNotify, A: kind})
+	b.tick += b.jitter(5, 15)
+	return b
+}
+
+// Home presses the Home silkscreen button, returning to the launcher.
+func (b *Builder) Home() *Builder { return b.Key(27) }
+
+// Card notify codes (SysNotifyBroadcast payloads for slot edges).
+const (
+	CardInserted = 0x0100 // + card id in the low byte
+	CardRemoved  = 0x0200 // + card id in the low byte
+)
+
+// InsertCard inserts a memory card: the slot edge broadcasts a system
+// notification that the hacks log (§2.3.1 — the paper detects insertion,
+// removal and identity but leaves card *contents* to future work, as do
+// we).
+func (b *Builder) InsertCard(id byte) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvCard, A: CardInserted | uint16(id)})
+	b.tick += b.jitter(20, 60)
+	return b
+}
+
+// RemoveCard removes a memory card.
+func (b *Builder) RemoveCard(id byte) *Builder {
+	b.emit(hw.InputEvent{Type: hw.EvCard, A: CardRemoved | uint16(id)})
+	b.tick += b.jitter(20, 60)
+	return b
+}
+
+// SerialReceive delivers bytes over the serial/IrDA port at roughly 9600
+// baud (a byte per ~1 ms; we emit one per tick, the logging granularity).
+// The paper left serial activity to future work (§5.1); here every byte
+// flows through the hackable SrmEnqueue trap and replays synchronously.
+func (b *Builder) SerialReceive(data []byte) *Builder {
+	for _, c := range data {
+		b.emit(hw.InputEvent{Type: hw.EvSerial, A: uint16(c)})
+		b.tick++
+	}
+	b.tick += b.jitter(5, 20)
+	return b
+}
+
+// --- composite behaviours ---------------------------------------------
+
+// LaunchMemo taps the launcher's Memo region.
+func (b *Builder) LaunchMemo() *Builder { return b.Tap(30, 40) }
+
+// LaunchPuzzle taps the launcher's Puzzle region.
+func (b *Builder) LaunchPuzzle() *Builder { return b.Tap(110, 40) }
+
+// LaunchAddress taps the launcher's Address region.
+func (b *Builder) LaunchAddress() *Builder { return b.Tap(60, 110) }
+
+// LaunchSketch opens the ink pad via its launcher key.
+func (b *Builder) LaunchSketch() *Builder { return b.Key('4') }
+
+// DrawSketch launches Sketch and scribbles a few strokes — the most
+// pen-sample-intensive workload, every 50 Hz point becoming framebuffer
+// writes.
+func (b *Builder) DrawSketch(strokes int) *Builder {
+	b.LaunchSketch()
+	b.IdleSeconds(1)
+	for i := 0; i < strokes; i++ {
+		x0, y0 := 10+b.rng.Intn(120), 20+b.rng.Intn(100)
+		b.Stroke(x0, y0, x0+b.rng.Intn(40), y0+b.rng.Intn(30))
+		b.Idle(b.jitter(30, 120))
+	}
+	b.Home()
+	return b
+}
+
+// WriteMemo launches Memo, types text, saves and goes home.
+func (b *Builder) WriteMemo(text string) *Builder {
+	b.LaunchMemo()
+	b.IdleSeconds(1)
+	b.Type(text)
+	b.IdleSeconds(1)
+	b.Tap(30, 150) // save bar
+	b.IdleSeconds(1)
+	b.Home()
+	return b
+}
+
+// PlayPuzzle launches Puzzle and slides tiles with think time.
+func (b *Builder) PlayPuzzle(moves int) *Builder {
+	b.LaunchPuzzle()
+	b.IdleSeconds(2)
+	for i := 0; i < moves; i++ {
+		x := 20 + b.rng.Intn(4)*40
+		y := 20 + b.rng.Intn(4)*40
+		b.Tap(x, y)
+		b.Idle(b.jitter(50, 300)) // 0.5-3 s thinking
+	}
+	b.Home()
+	return b
+}
+
+// BrowseAddresses launches Address and flips through records.
+func (b *Builder) BrowseAddresses(flips int) *Builder {
+	b.LaunchAddress()
+	b.IdleSeconds(1)
+	for i := 0; i < flips; i++ {
+		b.Tap(80, 80)
+		b.Idle(b.jitter(100, 400))
+	}
+	b.Home()
+	return b
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Session is a named, seeded workload.
+type Session struct {
+	Name   string
+	Seed   int64
+	Script func(b *Builder)
+}
+
+// Build generates the session's input schedule starting at startTick.
+func (s Session) Build(startTick uint32) []Input {
+	b := NewBuilder(s.Seed, startTick)
+	s.Script(b)
+	return b.Schedule()
+}
+
+// PaperSessions returns the four Table 1 volunteer-user sessions,
+// approximated: the elapsed times match the paper (24.5 h, 48.5 h, 24.9 h,
+// 141.5 h) and the interaction volume is scaled to land in the same event
+// range.
+func PaperSessions() []Session {
+	return []Session{
+		{Name: "session1", Seed: 101, Script: func(b *Builder) {
+			// ~24.5 hours: an active day.
+			b.IdleHours(0.5)
+			b.WriteMemo("meeting with advisor at nine")
+			b.IdleHours(2)
+			b.PlayPuzzle(14)
+			b.IdleHours(4)
+			b.WriteMemo("pick up milk and bread")
+			b.BrowseAddresses(6)
+			b.IdleHours(8) // overnight
+			b.PlayPuzzle(18)
+			b.IdleHours(3)
+			b.WriteMemo("call the lab about the trace files")
+			b.IdleHours(4)
+			b.DrawSketch(4)
+			b.IdleHours(2.85)
+			b.Notify(1) // time-change broadcast at the end of day
+		}},
+		{Name: "session2", Seed: 202, Script: func(b *Builder) {
+			// ~48.5 hours: a weekend with light use.
+			b.IdleHours(1)
+			b.BrowseAddresses(8)
+			b.IdleHours(10)
+			b.WriteMemo("saturday notes: ride at noon, call home")
+			b.IdleHours(8)
+			b.PlayPuzzle(12)
+			b.IdleHours(4)
+			b.WriteMemo("ideas for the paper introduction")
+			b.IdleHours(12)
+			b.WriteMemo("sunday list: grade labs")
+			b.BrowseAddresses(5)
+			b.IdleHours(13.3)
+			b.Notify(1)
+		}},
+		{Name: "session3", Seed: 303, Script: func(b *Builder) {
+			// ~24.9 hours: mostly a Puzzle day (§3.2's game workload).
+			b.IdleHours(0.2)
+			b.PlayPuzzle(40)
+			b.IdleHours(6)
+			b.WriteMemo("puzzle high score attempt notes")
+			b.IdleHours(3)
+			b.PlayPuzzle(25)
+			b.IdleHours(8)
+			b.BrowseAddresses(8)
+			b.IdleHours(7.5)
+			b.Notify(1)
+		}},
+		{Name: "session4", Seed: 404, Script: func(b *Builder) {
+			// ~141.5 hours: nearly six days, busiest log.
+			for day := 0; day < 5; day++ {
+				b.IdleHours(2)
+				b.WriteMemo("daily standup notes")
+				b.IdleHours(6)
+				b.PlayPuzzle(10)
+				b.IdleHours(4)
+				b.BrowseAddresses(5)
+				b.IdleHours(6)
+				b.DrawSketch(2)
+				b.IdleHours(5.9)
+			}
+			b.IdleHours(21.4)
+			b.Notify(1)
+		}},
+	}
+}

@@ -1,0 +1,165 @@
+package user
+
+import (
+	"testing"
+
+	"palmsim/internal/hw"
+	"palmsim/internal/palmos"
+)
+
+func TestBuilderDeterminism(t *testing.T) {
+	build := func() []Input {
+		b := NewBuilder(42, 100)
+		b.Tap(10, 20).Type("ab").IdleSeconds(3).Stroke(0, 0, 30, 30).Notify(1)
+		return b.Schedule()
+	}
+	a, bb := build(), build()
+	if len(a) != len(bb) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(bb))
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("input %d differs: %+v vs %+v", i, a[i], bb[i])
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := NewBuilder(1, 0)
+	b := NewBuilder(2, 0)
+	a.Tap(10, 10).Tap(20, 20)
+	b.Tap(10, 10).Tap(20, 20)
+	// Coordinates match but the jittered timing must differ somewhere.
+	same := true
+	as, bs := a.Schedule(), b.Schedule()
+	for i := range as {
+		if as[i].Tick != bs[i].Tick {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical timing")
+	}
+}
+
+func TestTicksNondecreasing(t *testing.T) {
+	b := NewBuilder(7, 50)
+	b.WriteMemo("abc").PlayPuzzle(3).BrowseAddresses(2).IdleHours(1).Notify(2)
+	sched := b.Schedule()
+	if len(sched) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Tick < sched[i-1].Tick {
+			t.Fatalf("input %d at tick %d before %d", i, sched[i].Tick, sched[i-1].Tick)
+		}
+	}
+	if sched[0].Tick < 50 {
+		t.Error("schedule started before the start tick")
+	}
+}
+
+func TestTapEmitsDownAndUp(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.Tap(30, 40)
+	s := b.Schedule()
+	if len(s) != 2 {
+		t.Fatalf("tap emitted %d inputs, want 2", len(s))
+	}
+	if s[0].Ev.Type != hw.EvPen || s[0].Ev.A != 30 || s[0].Ev.B != 40 {
+		t.Error("pen down wrong")
+	}
+	if s[1].Ev.A != hw.PenUp {
+		t.Error("pen up missing")
+	}
+}
+
+func TestHoldPenSamplesAt50Hz(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.HoldPen(80, 80, 100) // one second
+	s := b.Schedule()
+	samples := 0
+	for _, in := range s {
+		if in.Ev.Type == hw.EvPen && in.Ev.A != hw.PenUp {
+			samples++
+		}
+	}
+	if samples != 50 {
+		t.Errorf("%d samples in one second, want 50 (§2.3.3)", samples)
+	}
+}
+
+func TestGraffitiStrokesLandInGraffitiArea(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.Type("hi")
+	keys := 0
+	for _, in := range b.Schedule() {
+		switch in.Ev.Type {
+		case hw.EvPen:
+			if in.Ev.A == hw.PenUp {
+				continue
+			}
+			if in.Ev.B < palmos.GraffitiTop {
+				t.Errorf("graffiti point at y=%d, above the Graffiti area", in.Ev.B)
+			}
+		case hw.EvKey:
+			keys++
+		}
+	}
+	if keys != 2 {
+		t.Errorf("%d key events for 2 characters", keys)
+	}
+}
+
+func TestIdleAdvancesWithoutInputs(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.IdleHours(2)
+	if len(b.Schedule()) != 0 {
+		t.Error("idle emitted inputs")
+	}
+	if b.Tick() != 2*3600*hw.TicksPerSec {
+		t.Errorf("tick = %d", b.Tick())
+	}
+}
+
+func TestHomeIsTheHomeKey(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.Home()
+	s := b.Schedule()
+	if len(s) != 1 || s[0].Ev.Type != hw.EvKey || s[0].Ev.A != palmos.KeyHome {
+		t.Errorf("home = %+v", s)
+	}
+}
+
+func TestPaperSessionsShape(t *testing.T) {
+	sessions := PaperSessions()
+	if len(sessions) != 4 {
+		t.Fatalf("%d sessions, want 4", len(sessions))
+	}
+	wantHours := []float64{24.5, 48.5, 24.9, 141.5}
+	for i, s := range sessions {
+		sched := s.Build(1000)
+		if len(sched) == 0 {
+			t.Fatalf("%s: empty schedule", s.Name)
+		}
+		last := sched[len(sched)-1].Tick
+		hours := float64(last-1000) / float64(hw.TicksPerSec) / 3600
+		if hours < wantHours[i]*0.85 || hours > wantHours[i]*1.15 {
+			t.Errorf("%s spans %.1f h, want about %.1f h (Table 1)", s.Name, hours, wantHours[i])
+		}
+	}
+}
+
+func TestSessionBuildIsDeterministic(t *testing.T) {
+	s := PaperSessions()[0]
+	a := s.Build(500)
+	b := s.Build(500)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic build")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("input %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package validate implements the paper's two-fold system validation (§3):
+// activity-log correlation — the log recorded *during playback* must match
+// the original log (same pen coordinates and button events, with only
+// small tick-scheduling bursts) — and final-state correlation — the
+// databases exported after playback must match the device's databases
+// field by field, with differences confined to the three date fields and
+// psysLaunchDB.
+package validate
+
+import (
+	"fmt"
+
+	"palmsim/internal/alog"
+	"palmsim/internal/hotsync"
+	"palmsim/internal/palmos"
+	"palmsim/internal/pdb"
+)
+
+// BurstTolerance is the §3.3 allowance: replayed events may trail their
+// recorded tick by slightly less than 20 ticks before correlation fails.
+const BurstTolerance = 20
+
+// LogReport summarizes an activity-log correlation.
+type LogReport struct {
+	OriginalEvents int
+	ReplayEvents   int
+
+	PenMatched    int
+	PenMismatched int
+	KeyMatched    int
+	KeyMismatched int
+	MaxTickSkew   int64
+
+	Problems []string
+}
+
+// OK reports whether the correlation is within the paper's acceptance:
+// every pen and key event reproduced with identical payloads, in order,
+// with tick skew below the burst tolerance.
+func (r LogReport) OK() bool {
+	return len(r.Problems) == 0 && r.PenMismatched == 0 && r.KeyMismatched == 0
+}
+
+func (r LogReport) String() string {
+	return fmt.Sprintf("pen %d/%d key %d/%d maxSkew %d ticks, %d problems",
+		r.PenMatched, r.PenMatched+r.PenMismatched,
+		r.KeyMatched, r.KeyMatched+r.KeyMismatched,
+		r.MaxTickSkew, len(r.Problems))
+}
+
+// byTrap filters records of one trap.
+func byTrap(l *alog.Log, trap int) []alog.Record {
+	var out []alog.Record
+	for _, r := range l.Records {
+		if int(r.Trap) == trap {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CorrelateLogs performs the §3.3 comparison between the original
+// activity log and the one recorded during playback.
+func CorrelateLogs(original, replayed *alog.Log) LogReport {
+	rep := LogReport{
+		OriginalEvents: original.Len(),
+		ReplayEvents:   replayed.Len(),
+	}
+
+	compare := func(kind string, trap int, matched, mismatched *int, payload func(alog.Record) [3]uint16) {
+		o := byTrap(original, trap)
+		r := byTrap(replayed, trap)
+		if len(o) != len(r) {
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("%s count: original %d, replay %d", kind, len(o), len(r)))
+		}
+		n := min(len(o), len(r))
+		for i := 0; i < n; i++ {
+			if payload(o[i]) == payload(r[i]) {
+				*matched++
+			} else {
+				*mismatched++
+				if *mismatched <= 3 {
+					rep.Problems = append(rep.Problems,
+						fmt.Sprintf("%s %d payload: %v != %v", kind, i, payload(o[i]), payload(r[i])))
+				}
+			}
+			skew := int64(r[i].Tick) - int64(o[i].Tick)
+			if skew < 0 {
+				skew = -skew
+			}
+			if skew > rep.MaxTickSkew {
+				rep.MaxTickSkew = skew
+			}
+			if skew >= BurstTolerance {
+				rep.Problems = append(rep.Problems,
+					fmt.Sprintf("%s %d tick skew %d exceeds burst tolerance", kind, i, skew))
+			}
+		}
+	}
+
+	compare("pen", palmos.TrapEvtEnqueuePenPoint, &rep.PenMatched, &rep.PenMismatched,
+		func(r alog.Record) [3]uint16 { return [3]uint16{r.A, r.B, 0} })
+	compare("key", palmos.TrapEvtEnqueueKey, &rep.KeyMatched, &rep.KeyMismatched,
+		func(r alog.Record) [3]uint16 { return [3]uint16{r.A, r.B, r.C} })
+	compare("notify", palmos.TrapSysNotifyBroadcast, new(int), new(int),
+		func(r alog.Record) [3]uint16 { return [3]uint16{r.A, 0, 0} })
+	return rep
+}
+
+// StateReport summarizes a final-state correlation.
+type StateReport struct {
+	DatabasesCompared int
+	MissingInReplay   []string
+	ExtraInReplay     []string
+	Diffs             []pdb.FieldDiff
+}
+
+// OK reports whether every difference is of the kind the paper attributes
+// to the import/export procedure (§3.4): the three date fields, or any
+// field of psysLaunchDB.
+func (r StateReport) OK() bool {
+	return len(r.MissingInReplay) == 0 && len(r.ExtraInReplay) == 0 && pdb.OnlyExpected(r.Diffs)
+}
+
+// UnexpectedDiffs returns the differences not explained by the procedure.
+func (r StateReport) UnexpectedDiffs() []pdb.FieldDiff {
+	var out []pdb.FieldDiff
+	for _, d := range r.Diffs {
+		if d.DB == palmos.LaunchDB || pdb.DateFields[d.Field] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (r StateReport) String() string {
+	return fmt.Sprintf("%d databases, %d total diffs, %d unexpected, %d missing, %d extra",
+		r.DatabasesCompared, len(r.Diffs), len(r.UnexpectedDiffs()),
+		len(r.MissingInReplay), len(r.ExtraInReplay))
+}
+
+// CorrelateStates performs the §3.4 database-by-database, field-by-field
+// comparison of the handheld's final state and the emulated final state.
+// The activity-log database gets the §3.3 timing allowance: its records
+// may differ in their tick stamps by less than the burst tolerance (the
+// replay can run a tick ahead or behind), but every other byte must match.
+func CorrelateStates(device, emulated *hotsync.State) StateReport {
+	var rep StateReport
+	seen := map[string]bool{}
+	for _, d := range device.Databases {
+		seen[d.Name] = true
+		e, ok := emulated.Find(d.Name)
+		if !ok {
+			rep.MissingInReplay = append(rep.MissingInReplay, d.Name)
+			continue
+		}
+		rep.DatabasesCompared++
+		if d.Name == palmos.ActivityLogDB {
+			rep.Diffs = append(rep.Diffs, compareActivityLogs(d, e)...)
+			continue
+		}
+		rep.Diffs = append(rep.Diffs, pdb.Compare(d, e)...)
+	}
+	for _, e := range emulated.Databases {
+		if !seen[e.Name] {
+			rep.ExtraInReplay = append(rep.ExtraInReplay, e.Name)
+		}
+	}
+	return rep
+}
+
+// compareActivityLogs compares the on-device activity-log databases with
+// the §3.3 tick tolerance: decoded records must match except for tick (and
+// the tick-derived RTC) skew below the burst tolerance.
+func compareActivityLogs(a, b *pdb.Database) []pdb.FieldDiff {
+	// Header comparison reuses the standard field rules by comparing
+	// empty-bodied copies.
+	ha, hb := *a, *b
+	ha.Records, hb.Records = nil, nil
+	diffs := pdb.Compare(&ha, &hb)
+	if len(a.Records) != len(b.Records) {
+		diffs = append(diffs, pdb.FieldDiff{
+			DB: a.Name, Field: "NUM RECORDS",
+			A: fmt.Sprint(len(a.Records)), B: fmt.Sprint(len(b.Records)),
+		})
+		return diffs
+	}
+	for i := range a.Records {
+		ra, errA := alog.DecodeRecord(a.Records[i].Data)
+		rb, errB := alog.DecodeRecord(b.Records[i].Data)
+		if errA != nil || errB != nil {
+			diffs = append(diffs, pdb.FieldDiff{
+				DB: a.Name, Field: fmt.Sprintf("record %d", i),
+				A: "undecodable", B: "undecodable",
+			})
+			continue
+		}
+		skew := int64(rb.Tick) - int64(ra.Tick)
+		if skew < 0 {
+			skew = -skew
+		}
+		sameData := ra.Trap == rb.Trap && ra.A == rb.A && ra.B == rb.B && ra.C == rb.C
+		rtcSkew := int64(rb.RTC) - int64(ra.RTC)
+		if rtcSkew < 0 {
+			rtcSkew = -rtcSkew
+		}
+		if !sameData || skew >= BurstTolerance || rtcSkew > 1 {
+			diffs = append(diffs, pdb.FieldDiff{
+				DB: a.Name, Field: fmt.Sprintf("record %d", i),
+				A: fmt.Sprintf("%+v", ra), B: fmt.Sprintf("%+v", rb),
+			})
+		}
+	}
+	return diffs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

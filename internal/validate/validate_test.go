@@ -1,0 +1,196 @@
+package validate
+
+import (
+	"testing"
+
+	"palmsim/internal/alog"
+	"palmsim/internal/hotsync"
+	"palmsim/internal/palmos"
+	"palmsim/internal/pdb"
+)
+
+func penRec(tick uint32, x, y uint16) alog.Record {
+	return alog.Record{Tick: tick, Trap: palmos.TrapEvtEnqueuePenPoint, A: x, B: y}
+}
+
+func keyRec(tick uint32, c uint16) alog.Record {
+	return alog.Record{Tick: tick, Trap: palmos.TrapEvtEnqueueKey, A: c}
+}
+
+func TestCorrelateIdenticalLogs(t *testing.T) {
+	l := &alog.Log{Records: []alog.Record{
+		penRec(10, 5, 6), penRec(12, 7, 8), keyRec(30, 'a'),
+	}}
+	rep := CorrelateLogs(l, l)
+	if !rep.OK() {
+		t.Fatalf("identical logs failed: %s %v", rep, rep.Problems)
+	}
+	if rep.PenMatched != 2 || rep.KeyMatched != 1 || rep.MaxTickSkew != 0 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+func TestCorrelateToleratesSmallBursts(t *testing.T) {
+	orig := &alog.Log{Records: []alog.Record{penRec(10, 5, 6), keyRec(30, 'a')}}
+	replay := &alog.Log{Records: []alog.Record{penRec(15, 5, 6), keyRec(35, 'a')}}
+	rep := CorrelateLogs(orig, replay)
+	if !rep.OK() {
+		t.Fatalf("burst under tolerance rejected: %v", rep.Problems)
+	}
+	if rep.MaxTickSkew != 5 {
+		t.Errorf("skew = %d", rep.MaxTickSkew)
+	}
+}
+
+func TestCorrelateRejectsLargeSkew(t *testing.T) {
+	orig := &alog.Log{Records: []alog.Record{penRec(10, 5, 6)}}
+	replay := &alog.Log{Records: []alog.Record{penRec(10+BurstTolerance, 5, 6)}}
+	rep := CorrelateLogs(orig, replay)
+	if rep.OK() {
+		t.Error("skew at tolerance accepted (§3.3: bursts are < 20 ticks)")
+	}
+}
+
+func TestCorrelateRejectsCoordinateMismatch(t *testing.T) {
+	orig := &alog.Log{Records: []alog.Record{penRec(10, 5, 6)}}
+	replay := &alog.Log{Records: []alog.Record{penRec(10, 5, 7)}}
+	rep := CorrelateLogs(orig, replay)
+	if rep.OK() || rep.PenMismatched != 1 {
+		t.Error("coordinate mismatch accepted")
+	}
+}
+
+func TestCorrelateRejectsCountMismatch(t *testing.T) {
+	orig := &alog.Log{Records: []alog.Record{keyRec(10, 'a'), keyRec(20, 'b')}}
+	replay := &alog.Log{Records: []alog.Record{keyRec(10, 'a')}}
+	rep := CorrelateLogs(orig, replay)
+	if rep.OK() {
+		t.Error("missing event accepted")
+	}
+}
+
+func stateWith(dbs ...*pdb.Database) *hotsync.State {
+	return &hotsync.State{Databases: dbs}
+}
+
+func db(name string, creation uint32, recs ...string) *pdb.Database {
+	d := &pdb.Database{Name: name, CreationDate: creation}
+	for i, r := range recs {
+		d.Records = append(d.Records, pdb.Record{UniqueID: uint32(i), Data: []byte(r)})
+	}
+	return d
+}
+
+func TestCorrelateStatesClean(t *testing.T) {
+	a := stateWith(db("MemoDB", 100, "hello"), db("AddressDB", 100))
+	b := stateWith(db("MemoDB", 100, "hello"), db("AddressDB", 100))
+	rep := CorrelateStates(a, b)
+	if !rep.OK() || len(rep.Diffs) != 0 {
+		t.Errorf("identical states: %s", rep)
+	}
+	if rep.DatabasesCompared != 2 {
+		t.Errorf("compared %d", rep.DatabasesCompared)
+	}
+}
+
+func TestCorrelateStatesDateOnlyDiffsAreExpected(t *testing.T) {
+	a := stateWith(db("MemoDB", 100, "hello"))
+	b := stateWith(db("MemoDB", 0, "hello")) // imported: zero date
+	rep := CorrelateStates(a, b)
+	if !rep.OK() {
+		t.Errorf("date-only diff rejected: %v", rep.Diffs)
+	}
+	if len(rep.Diffs) != 1 {
+		t.Errorf("diffs = %v", rep.Diffs)
+	}
+}
+
+func TestCorrelateStatesContentDiffIsUnexpected(t *testing.T) {
+	a := stateWith(db("MemoDB", 100, "hello"))
+	b := stateWith(db("MemoDB", 100, "goodbye"))
+	rep := CorrelateStates(a, b)
+	if rep.OK() {
+		t.Error("content divergence accepted")
+	}
+	if len(rep.UnexpectedDiffs()) != 1 {
+		t.Errorf("unexpected = %v", rep.UnexpectedDiffs())
+	}
+}
+
+func TestCorrelateStatesPsysLaunchDBExempt(t *testing.T) {
+	a := stateWith(db(palmos.LaunchDB, 100, "aaa"))
+	b := stateWith(db(palmos.LaunchDB, 0, "bbb"))
+	rep := CorrelateStates(a, b)
+	if !rep.OK() {
+		t.Errorf("psysLaunchDB diffs must be expected (§3.4): %v", rep.Diffs)
+	}
+}
+
+func TestCorrelateStatesMissingAndExtra(t *testing.T) {
+	a := stateWith(db("OnlyOnDevice", 0))
+	b := stateWith(db("OnlyOnEmulator", 0))
+	rep := CorrelateStates(a, b)
+	if rep.OK() {
+		t.Error("missing/extra databases accepted")
+	}
+	if len(rep.MissingInReplay) != 1 || rep.MissingInReplay[0] != "OnlyOnDevice" {
+		t.Errorf("missing = %v", rep.MissingInReplay)
+	}
+	if len(rep.ExtraInReplay) != 1 || rep.ExtraInReplay[0] != "OnlyOnEmulator" {
+		t.Errorf("extra = %v", rep.ExtraInReplay)
+	}
+}
+
+func logDB(recs ...alog.Record) *pdb.Database {
+	d := &pdb.Database{Name: palmos.ActivityLogDB}
+	for i, r := range recs {
+		d.Records = append(d.Records, pdb.Record{UniqueID: uint32(i), Data: r.Encode()})
+	}
+	return d
+}
+
+// TestActivityLogTickTolerance: the final-state comparison gives the
+// activity log the §3.3 timing allowance — tick stamps may skew a little
+// (native dispatch runs a tick faster than the ROM dispatcher) but the
+// payloads must match.
+func TestActivityLogTickTolerance(t *testing.T) {
+	dev := stateWith(logDB(
+		alog.Record{Tick: 0x1026, RTC: 500, Trap: 5, A: 1},
+		alog.Record{Tick: 0x1040, RTC: 500, Trap: 2, A: 'h'},
+	))
+	emu := stateWith(logDB(
+		alog.Record{Tick: 0x1025, RTC: 500, Trap: 5, A: 1}, // one tick early
+		alog.Record{Tick: 0x1040, RTC: 500, Trap: 2, A: 'h'},
+	))
+	rep := CorrelateStates(dev, emu)
+	if !rep.OK() {
+		t.Errorf("one-tick skew in the log rejected: %v", rep.Diffs)
+	}
+
+	// Payload divergence is still caught.
+	bad := stateWith(logDB(
+		alog.Record{Tick: 0x1026, RTC: 500, Trap: 5, A: 2}, // wrong payload
+		alog.Record{Tick: 0x1040, RTC: 500, Trap: 2, A: 'h'},
+	))
+	rep = CorrelateStates(dev, bad)
+	if rep.OK() {
+		t.Error("payload divergence in the log accepted")
+	}
+
+	// Skew at/above the burst tolerance is still caught.
+	late := stateWith(logDB(
+		alog.Record{Tick: 0x1026 + BurstTolerance, RTC: 500, Trap: 5, A: 1},
+		alog.Record{Tick: 0x1040, RTC: 500, Trap: 2, A: 'h'},
+	))
+	rep = CorrelateStates(dev, late)
+	if rep.OK() {
+		t.Error("over-tolerance skew accepted")
+	}
+
+	// Record-count mismatch is caught.
+	short := stateWith(logDB(alog.Record{Tick: 0x1026, RTC: 500, Trap: 5, A: 1}))
+	rep = CorrelateStates(dev, short)
+	if rep.OK() {
+		t.Error("missing log record accepted")
+	}
+}

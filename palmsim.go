@@ -1,0 +1,89 @@
+// Package palmsim is a trace-driven simulator for Palm OS devices — a
+// from-scratch reproduction of Carroll, Flanagan & Baniya, "A Trace-Driven
+// Simulator For Palm OS Devices" (ISPASS 2005).
+//
+// The library models a Palm m515 (33 MHz Dragonball MC68VZ328, 16 MB RAM,
+// 4 MB flash) down to the instruction level: a 68000 interpreter executes
+// a synthetic Palm-OS-like ROM whose system calls dispatch through a RAM
+// trap table, so the paper's instrumentation "hacks" install exactly as on
+// hardware. The package exposes the paper's methodology end to end:
+//
+//   - Collect drives a simulated device with a scripted synthetic user
+//     while five hacks log every external input into an activity log, and
+//     captures the initial and final device state (HotSync-style).
+//   - Replay loads the initial state into a fresh device, replays the
+//     activity log synchronously with the tick counter (servicing
+//     KeyCurrentState and SysRandom from their logged queues), and
+//     gathers memory-reference traces, opcode histograms and statistics.
+//   - The cache simulator in internal/cache consumes the traces to
+//     reproduce the §4 case study (56 configurations, Figures 5 and 6).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package palmsim
+
+import (
+	"palmsim/internal/alog"
+	"palmsim/internal/hotsync"
+	"palmsim/internal/hw"
+	"palmsim/internal/sim"
+	"palmsim/internal/user"
+)
+
+// Re-exported types, so downstream users need only this package.
+type (
+	// Session is a scripted synthetic-user workload.
+	Session = user.Session
+	// Builder composes session scripts action by action.
+	Builder = user.Builder
+	// Log is an activity log.
+	Log = alog.Log
+	// State is a HotSync-style device state capture.
+	State = hotsync.State
+	// Machine is the simulated handheld.
+	Machine = sim.Machine
+	// Collection is the result of recording a session (S_user side).
+	Collection = sim.Collection
+	// Playback is the result of replaying a log (S_emulated side).
+	Playback = sim.Playback
+	// ReplayOptions configures playback.
+	ReplayOptions = sim.ReplayOptions
+	// RunStats aggregates per-run statistics.
+	RunStats = sim.RunStats
+)
+
+// PaperSessions returns the four Table 1 volunteer-user sessions.
+func PaperSessions() []Session { return user.PaperSessions() }
+
+// NewBuilder starts a session script at the given tick with a
+// deterministic seed.
+func NewBuilder(seed int64, startTick uint32) *Builder {
+	return user.NewBuilder(seed, startTick)
+}
+
+// Collect boots an instrumented device, captures the initial state,
+// replays the synthetic user's inputs in simulated real time and returns
+// the activity log plus final state — the paper's §2 collection pipeline.
+func Collect(s Session) (*Collection, error) { return sim.Collect(s) }
+
+// Replay restores the initial state into a fresh machine and replays the
+// activity log per §2.4.2.
+func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
+	return sim.Replay(initial, log, opt)
+}
+
+// DefaultReplayOptions returns the case-study configuration: profiling
+// on, trace collection on, hacks out.
+func DefaultReplayOptions() ReplayOptions { return sim.DefaultReplayOptions() }
+
+// UnmarshalState parses a serialized device state.
+func UnmarshalState(data []byte) (*State, error) { return hotsync.Unmarshal(data) }
+
+// UnmarshalLog parses a serialized activity log.
+func UnmarshalLog(data []byte) (*Log, error) { return alog.Unmarshal(data) }
+
+// TicksPerSecond is the Palm OS tick rate (100 Hz).
+const TicksPerSecond = hw.TicksPerSec
+
+// FormatElapsed renders seconds as H:MM:SS, the Table 1 form.
+func FormatElapsed(seconds float64) string { return sim.FormatElapsed(seconds) }

@@ -1,0 +1,324 @@
+package palmsim
+
+import (
+	"testing"
+
+	"palmsim/internal/user"
+	"palmsim/internal/validate"
+)
+
+// shortSession is a compact interactive workload used by the fast tests.
+func shortSession() Session {
+	return Session{Name: "short", Seed: 9, Script: func(b *user.Builder) {
+		b.IdleSeconds(2)
+		b.WriteMemo("hello palm")
+		b.IdleSeconds(30)
+		b.PlayPuzzle(4)
+		b.IdleSeconds(10)
+		b.BrowseAddresses(2)
+		b.IdleSeconds(5)
+		b.Notify(1)
+	}}
+}
+
+func TestCollectProducesLogAndStates(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Log.Len() == 0 {
+		t.Fatal("empty activity log")
+	}
+	if len(col.Initial.Databases) == 0 || len(col.Final.Databases) == 0 {
+		t.Fatal("states not captured")
+	}
+	// The initial state's activity log must be empty (captured before use).
+	if db, ok := col.Initial.Find("ActivityLogDB"); !ok || len(db.Records) != 0 {
+		t.Errorf("initial ActivityLogDB should exist and be empty")
+	}
+	// The final state's memo database holds the saved memo.
+	memo, ok := col.Final.Find("MemoDB")
+	if !ok || len(memo.Records) != 1 {
+		t.Fatalf("final MemoDB records = %v, want 1", ok)
+	}
+	if string(memo.Records[0].Data[:10]) != "hello palm" {
+		t.Errorf("memo content = %q", memo.Records[0].Data)
+	}
+	if col.Stats.Bus.TotalRefs() == 0 {
+		t.Error("no memory references recorded")
+	}
+}
+
+// TestDeterministicStateMachine is the core property of the whole paper:
+// two equivalent systems started in the same state with the same inputs
+// follow the same execution path and end in the same state (§2.1).
+func TestDeterministicStateMachine(t *testing.T) {
+	a, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.Len() != b.Log.Len() {
+		t.Fatalf("two identical collections diverged: %d vs %d log records", a.Log.Len(), b.Log.Len())
+	}
+	for i := range a.Log.Records {
+		if a.Log.Records[i] != b.Log.Records[i] {
+			t.Fatalf("log record %d differs: %+v vs %+v", i, a.Log.Records[i], b.Log.Records[i])
+		}
+	}
+	if a.Stats.Machine.Instructions != b.Stats.Machine.Instructions {
+		t.Errorf("instruction counts differ: %d vs %d",
+			a.Stats.Machine.Instructions, b.Stats.Machine.Instructions)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Replay(col.Initial, col.Log, ReplayOptions{
+		Profiling:    true,
+		WithHacks:    true,
+		CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// §3.3: activity-log correlation.
+	logRep := validate.CorrelateLogs(col.Log, pb.Log)
+	if !logRep.OK() {
+		t.Errorf("log correlation failed: %s\n%v", logRep, logRep.Problems)
+	}
+	if logRep.PenMatched == 0 || logRep.KeyMatched == 0 {
+		t.Error("correlation matched nothing; vacuous validation")
+	}
+
+	// §3.4: final-state correlation.
+	stRep := validate.CorrelateStates(col.Final, pb.Final)
+	if !stRep.OK() {
+		t.Errorf("state correlation failed: %s\nunexpected: %v", stRep, stRep.UnexpectedDiffs())
+	}
+	if stRep.DatabasesCompared < 4 {
+		t.Errorf("only %d databases compared", stRep.DatabasesCompared)
+	}
+
+	// The replayed memo is byte-identical.
+	dm, _ := col.Final.Find("MemoDB")
+	em, ok := pb.Final.Find("MemoDB")
+	if !ok || len(em.Records) != len(dm.Records) {
+		t.Fatal("MemoDB record count differs after replay")
+	}
+	if string(em.Records[0].Data) != string(dm.Records[0].Data) {
+		t.Errorf("memo diverged: %q vs %q", em.Records[0].Data, dm.Records[0].Data)
+	}
+
+	// The trace is non-trivial and references both regions.
+	if len(pb.Trace) < 100000 {
+		t.Errorf("trace has only %d references", len(pb.Trace))
+	}
+
+	// The strongest determinism check: the replay's reference counts are
+	// bit-identical to the collection's — same machine, same inputs, same
+	// execution path (§2.1).
+	if pb.Stats.Bus.RAMRefs != col.Stats.Bus.RAMRefs ||
+		pb.Stats.Bus.FlashRefs != col.Stats.Bus.FlashRefs {
+		t.Errorf("replay reference counts differ from collection: ram %d vs %d, flash %d vs %d",
+			pb.Stats.Bus.RAMRefs, col.Stats.Bus.RAMRefs,
+			pb.Stats.Bus.FlashRefs, col.Stats.Bus.FlashRefs)
+	}
+}
+
+func TestReplayWithoutHacksMatchesFinalStateToo(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without hacks there is no replay log, but the application-visible
+	// state must still converge (the hacks only observe).
+	dm, _ := col.Final.Find("MemoDB")
+	em, ok := pb.Final.Find("MemoDB")
+	if !ok || len(em.Records) != len(dm.Records) {
+		t.Fatal("MemoDB record count differs in un-hacked replay")
+	}
+	ds, _ := col.Final.Find("PuzzleScoresDB")
+	es, ok := pb.Final.Find("PuzzleScoresDB")
+	if !ok || len(es.Records) != len(ds.Records) {
+		t.Fatal("PuzzleScoresDB diverged in un-hacked replay")
+	}
+	for i := range ds.Records {
+		if string(ds.Records[i].Data) != string(es.Records[i].Data) {
+			t.Errorf("puzzle score record %d differs: % x vs % x",
+				i, ds.Records[i].Data, es.Records[i].Data)
+		}
+	}
+}
+
+func TestReplayTraceIsDeterministic(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverges at reference %d", i)
+		}
+	}
+}
+
+func TestOpcodeHistogramDuringReplay(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, CountOpcodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range pb.OpcodeHist {
+		total += n
+	}
+	if total != pb.Stats.Machine.Instructions {
+		t.Errorf("opcode histogram total %d != instructions %d", total, pb.Stats.Machine.Instructions)
+	}
+}
+
+func TestStateSerializationRoundTrip(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := col.Final.Marshal()
+	st, err := UnmarshalState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Databases) != len(col.Final.Databases) {
+		t.Fatalf("database count after round trip: %d vs %d",
+			len(st.Databases), len(col.Final.Databases))
+	}
+	logBlob := col.Log.Marshal()
+	log2, err := UnmarshalLog(logBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2.Len() != col.Log.Len() {
+		t.Fatalf("log length after round trip: %d vs %d", log2.Len(), col.Log.Len())
+	}
+}
+
+func TestFormatElapsed(t *testing.T) {
+	if got := FormatElapsed(3661); got != "1:01:01" {
+		t.Errorf("FormatElapsed(3661) = %q", got)
+	}
+	if got := FormatElapsed(88451); got != "24:34:11" {
+		t.Errorf("FormatElapsed(88451) = %q", got)
+	}
+}
+
+// TestInstructionTrace exercises the complete-instruction-trace facility:
+// the PC stream must cover ROM (dispatcher), RAM app code and match the
+// retired-instruction count exactly.
+func TestInstructionTrace(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Replay(col.Initial, col.Log, ReplayOptions{
+		Profiling:         true,
+		TraceInstructions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(pb.InstrTrace)) != pb.Stats.Machine.Instructions {
+		t.Fatalf("instruction trace %d entries, %d instructions retired",
+			len(pb.InstrTrace), pb.Stats.Machine.Instructions)
+	}
+	var rom, ram int
+	for _, pc := range pb.InstrTrace {
+		if pc >= 0x10000000 {
+			rom++
+		} else {
+			ram++
+		}
+	}
+	if rom == 0 || ram == 0 {
+		t.Errorf("trace should cover flash (%d) and RAM app code (%d)", rom, ram)
+	}
+}
+
+// TestNoMisalignedAccesses: a real 68000 raises an address error on any
+// odd word/long access; the synthetic ROM, the relocated apps and the
+// generated hack stubs must therefore never produce one.
+func TestNoMisalignedAccesses(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := col.Stats.Bus.OddAccesses; n != 0 {
+		t.Errorf("collection produced %d misaligned word/long accesses", n)
+	}
+	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pb.Stats.Bus.OddAccesses; n != 0 {
+		t.Errorf("replay produced %d misaligned word/long accesses", n)
+	}
+}
+
+// TestProfilingOffReplayStillValidates: POSE's native dispatch shortcut
+// (Profiling disabled) skips the ROM TrapDispatcher's instructions but
+// must not change behaviour — only the reference stream shrinks (§2.4.2).
+func TestProfilingOffReplayStillValidates(t *testing.T) {
+	col, err := Collect(shortSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: false, WithHacks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both validate against the original log.
+	for name, pb := range map[string]*Playback{"on": on, "off": off} {
+		rep := validate.CorrelateLogs(col.Log, pb.Log)
+		if !rep.OK() {
+			t.Errorf("profiling %s: log correlation failed: %v", name, rep.Problems)
+		}
+		st := validate.CorrelateStates(col.Final, pb.Final)
+		if !st.OK() {
+			t.Errorf("profiling %s: state correlation failed: %v", name, st.UnexpectedDiffs())
+		}
+	}
+	// Profiling off executes fewer instructions (the dispatcher is
+	// bypassed) — the ablation the paper's §2.4.2 describes.
+	if off.Stats.Machine.Instructions >= on.Stats.Machine.Instructions {
+		t.Errorf("native dispatch executed %d instructions, ROM dispatcher %d — expected fewer",
+			off.Stats.Machine.Instructions, on.Stats.Machine.Instructions)
+	}
+}
