@@ -11,12 +11,15 @@
 package palmsim_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"palmsim"
 	"palmsim/internal/cache"
 	"palmsim/internal/dtrace"
+	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 )
 
@@ -41,8 +44,8 @@ var (
 )
 
 // benchSetup collects the session and one replay trace, shared by the
-// cache benchmarks.
-func benchSetup(b *testing.B) (*palmsim.Collection, []uint32) {
+// cache benchmarks and the sweep determinism test.
+func benchSetup(tb testing.TB) (*palmsim.Collection, []uint32) {
 	benchOnce.Do(func() {
 		benchCol, benchErr = palmsim.Collect(benchSession())
 		if benchErr != nil {
@@ -55,9 +58,24 @@ func benchSetup(b *testing.B) (*palmsim.Collection, []uint32) {
 		}
 	})
 	if benchErr != nil {
-		b.Fatal(benchErr)
+		tb.Fatal(benchErr)
 	}
 	return benchCol, benchTrace
+}
+
+// sweepWorkerCounts are the serial baseline and the all-cores engine, the
+// two points every sweep benchmark reports.
+func sweepWorkerCounts() []struct {
+	name    string
+	workers int
+} {
+	return []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	}
 }
 
 // BenchmarkSessionReplay measures full activity-log playback (the Table 1
@@ -112,17 +130,22 @@ func BenchmarkHackOverhead(b *testing.B) {
 }
 
 // BenchmarkCacheSweep runs the 56-configuration Figures 5/6 sweep over a
-// real replay trace.
+// real replay trace through the internal/sweep engine, serial versus one
+// worker per core.
 func BenchmarkCacheSweep(b *testing.B) {
 	_, trace := benchSetup(b)
 	cfgs := cache.PaperSweep()
-	b.SetBytes(int64(len(trace) * 4))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := cache.Sweep(cfgs, trace); err != nil {
-			b.Fatal(err)
-		}
+	for _, wc := range sweepWorkerCounts() {
+		b.Run(wc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(trace) * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: wc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -141,16 +164,37 @@ func BenchmarkCacheSingle(b *testing.B) {
 }
 
 // BenchmarkDesktopSweep is the Figure 7 sweep over the synthetic desktop
-// trace.
+// trace, serial versus one worker per core.
 func BenchmarkDesktopSweep(b *testing.B) {
 	cfg := dtrace.DefaultConfig()
 	cfg.Refs = 500_000
 	trace := dtrace.Generate(cfg)
 	cfgs := cache.PaperSweep()
-	b.SetBytes(int64(len(trace) * 4))
+	for _, wc := range sweepWorkerCounts() {
+		b.Run(wc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(trace) * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: wc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDesktopSweepStreaming runs the same sweep with the trace
+// generated chunk by chunk (dtrace.Stream): the memory high-water mark
+// stays O(workers · chunk) instead of O(trace).
+func BenchmarkDesktopSweepStreaming(b *testing.B) {
+	cfg := dtrace.DefaultConfig()
+	cfg.Refs = 500_000
+	cfgs := cache.PaperSweep()
+	b.SetBytes(int64(cfg.Refs * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cache.Sweep(cfgs, trace); err != nil {
+		if _, err := sweep.Run(cfgs, dtrace.NewStream(cfg), sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

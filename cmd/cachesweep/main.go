@@ -1,11 +1,14 @@
 // Command cachesweep runs the §4 cache case study over a memory-reference
-// trace: either a .trace file produced by cmd/palmsim, a fresh replay of a
-// built-in session, or the synthetic desktop trace (Figure 7).
+// trace: either a .trace file produced by cmd/palmsim, a din-format file,
+// a fresh replay of a built-in session, or the synthetic desktop trace
+// (Figure 7). All configurations are simulated concurrently by the
+// internal/sweep engine; file and desktop traces are streamed, so memory
+// use is independent of trace length.
 //
 // Usage:
 //
 //	cachesweep -session 1
-//	cachesweep -trace out/session1.trace
+//	cachesweep -trace out/session1.trace -workers 8
 //	cachesweep -desktop
 //	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
 package main
@@ -21,6 +24,7 @@ import (
 	"palmsim/internal/energy"
 	"palmsim/internal/exp"
 	"palmsim/internal/report"
+	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 )
 
@@ -30,6 +34,8 @@ func main() {
 	sessionNum := flag.Int("session", 0, "replay built-in session (1-4) to obtain the trace")
 	desktop := flag.Bool("desktop", false, "use the synthetic desktop trace (Figure 7)")
 	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
+	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
+	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
 	flag.Parse()
 
 	var pol cache.Policy
@@ -44,31 +50,32 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	var trace []uint32
+	var src sweep.Source
 	switch {
 	case *dinFile != "":
-		data, err := os.ReadFile(*dinFile)
+		f, err := os.Open(*dinFile)
 		if err != nil {
 			fatal(err)
 		}
-		trace, _, err = exp.UnmarshalDinero(data)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded %d references from %s\n", len(trace), *dinFile)
+		defer f.Close()
+		src = exp.NewDineroSource(f)
+		fmt.Printf("streaming din references from %s\n", *dinFile)
 	case *traceFile != "":
-		data, err := os.ReadFile(*traceFile)
+		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatal(err)
 		}
-		trace, err = exp.UnmarshalTrace(data)
+		defer f.Close()
+		ts, err := exp.NewTraceSource(f)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded %d references from %s\n", len(trace), *traceFile)
+		src = ts
+		fmt.Printf("streaming %d references from %s\n", ts.Refs(), *traceFile)
 	case *desktop:
-		trace = dtrace.Generate(dtrace.DefaultConfig())
-		fmt.Printf("generated %d desktop references\n", len(trace))
+		cfg := dtrace.DefaultConfig()
+		src = dtrace.NewStream(cfg)
+		fmt.Printf("streaming %d synthetic desktop references\n", cfg.Refs)
 	case *sessionNum >= 1 && *sessionNum <= 4:
 		s := user.PaperSessions()[*sessionNum-1]
 		fmt.Printf("collecting and replaying %s...\n", s.Name)
@@ -76,20 +83,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		trace = run.Trace
+		src = sweep.NewSliceSource(run.Trace)
 		fmt.Printf("trace: %d references (%.1f%% flash), no-cache Teff %.3f\n",
-			len(trace),
+			len(run.Trace),
 			100*float64(run.Row.FlashRefs)/float64(run.Row.RAMRefs+run.Row.FlashRefs),
 			cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs))
 	default:
-		fatal(fmt.Errorf("need one of -trace, -session or -desktop"))
+		fatal(fmt.Errorf("need one of -trace, -din, -session or -desktop"))
 	}
 
 	cfgs := cache.PaperSweep()
 	for i := range cfgs {
 		cfgs[i].Policy = pol
 	}
-	results, err := cache.Sweep(cfgs, trace)
+	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk}
+	fmt.Printf("sweep engine: %s\n", sweep.Describe(opts, len(cfgs)))
+	results, err := sweep.Run(cfgs, src, opts)
 	if err != nil {
 		fatal(err)
 	}

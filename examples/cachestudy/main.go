@@ -13,6 +13,7 @@ import (
 
 	"palmsim"
 	"palmsim/internal/cache"
+	"palmsim/internal/sweep"
 )
 
 func main() {
@@ -36,7 +37,9 @@ func main() {
 	fmt.Printf("trace: %d refs, %.1f%% to flash; no-cache Teff = %.3f cycles\n\n",
 		len(pb.Trace), 100*float64(flash)/float64(ram+flash), noCache)
 
-	results, err := cache.Sweep(cache.PaperSweep(), pb.Trace)
+	// All 56 configurations simulated concurrently, one worker per core;
+	// results are bit-identical to the serial sweep.
+	results, err := sweep.RunTrace(cache.PaperSweep(), pb.Trace, sweep.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,75 +43,157 @@ const (
 	stackBase = 0x7FFF0000
 )
 
+// generator holds the synthetic process state between instruction steps,
+// so the trace can be produced either all at once (Generate) or chunk by
+// chunk (Stream) with identical output.
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	pc, sp  uint32
+	hotSize int
+
+	retStack      []uint32
+	loopRemaining int
+	loopStart     uint32
+	loopLen       int
+}
+
+func newGenerator(cfg Config) *generator {
+	hotSize := cfg.HeapBytes / 16
+	if hotSize < 4096 {
+		hotSize = 4096
+	}
+	return &generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pc:      codeBase,
+		sp:      stackBase,
+		hotSize: hotSize,
+	}
+}
+
+// step advances the synthetic process by one instruction and writes the 1-3
+// references it produces (fetch, optional stack access, optional data
+// access) into out, returning the count.
+func (g *generator) step(out *[3]uint32) int {
+	rng := g.rng
+	n := 0
+
+	// Instruction fetch.
+	out[n] = g.pc
+	n++
+	g.pc += 4
+
+	switch {
+	case g.loopRemaining > 0:
+		if int(g.pc-g.loopStart) >= g.loopLen {
+			g.pc = g.loopStart
+			g.loopRemaining--
+		}
+	case rng.Intn(16) == 0:
+		// Start a loop: 8-64 instructions, 4-100 iterations.
+		g.loopStart = g.pc
+		g.loopLen = (8 + rng.Intn(56)) * 4
+		g.loopRemaining = 4 + rng.Intn(96)
+	case rng.Intn(24) == 0 && len(g.retStack) < 32:
+		// Call: push return address, jump within code.
+		g.sp -= 4
+		out[n] = g.sp // stack write
+		n++
+		g.retStack = append(g.retStack, g.pc)
+		g.pc = codeBase + uint32(rng.Intn(g.cfg.CodeBytes/4))*4
+	case rng.Intn(24) == 0 && len(g.retStack) > 0:
+		// Return.
+		out[n] = g.sp // stack read
+		n++
+		g.sp += 4
+		g.pc = g.retStack[len(g.retStack)-1]
+		g.retStack = g.retStack[:len(g.retStack)-1]
+	}
+
+	// Data reference for roughly every other instruction.
+	if rng.Intn(2) == 0 {
+		var addr uint32
+		switch {
+		case rng.Intn(4) == 0:
+			// Stack-frame local.
+			addr = g.sp + uint32(rng.Intn(64))*4
+		case rng.Float64() < g.cfg.HotFraction:
+			// Hot heap region, sequential-ish.
+			addr = heapBase + uint32(rng.Intn(g.hotSize))
+		default:
+			// Cold heap.
+			addr = heapBase + uint32(rng.Intn(g.cfg.HeapBytes))
+		}
+		out[n] = addr &^ 3
+		n++
+	}
+	if g.pc >= codeBase+uint32(g.cfg.CodeBytes) {
+		g.pc = codeBase
+	}
+	return n
+}
+
 // Generate produces the address trace.
 func Generate(cfg Config) []uint32 {
 	if cfg.Refs <= 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := newGenerator(cfg)
 	out := make([]uint32, 0, cfg.Refs)
-
-	pc := uint32(codeBase)
-	sp := uint32(stackBase)
-	hotSize := cfg.HeapBytes / 16
-	if hotSize < 4096 {
-		hotSize = 4096
-	}
-
-	var retStack []uint32
-	loopRemaining := 0
-	loopStart := pc
-	loopLen := 0
-
+	var step [3]uint32
 	for len(out) < cfg.Refs {
-		// Instruction fetch.
-		out = append(out, pc)
-		pc += 4
-
-		switch {
-		case loopRemaining > 0:
-			if int(pc-loopStart) >= loopLen {
-				pc = loopStart
-				loopRemaining--
-			}
-		case rng.Intn(16) == 0:
-			// Start a loop: 8-64 instructions, 4-100 iterations.
-			loopStart = pc
-			loopLen = (8 + rng.Intn(56)) * 4
-			loopRemaining = 4 + rng.Intn(96)
-		case rng.Intn(24) == 0 && len(retStack) < 32:
-			// Call: push return address, jump within code.
-			sp -= 4
-			out = append(out, sp) // stack write
-			retStack = append(retStack, pc)
-			pc = codeBase + uint32(rng.Intn(cfg.CodeBytes/4))*4
-		case rng.Intn(24) == 0 && len(retStack) > 0:
-			// Return.
-			out = append(out, sp) // stack read
-			sp += 4
-			pc = retStack[len(retStack)-1]
-			retStack = retStack[:len(retStack)-1]
-		}
-
-		// Data reference for roughly every other instruction.
-		if rng.Intn(2) == 0 {
-			var addr uint32
-			switch {
-			case rng.Intn(4) == 0:
-				// Stack-frame local.
-				addr = sp + uint32(rng.Intn(64))*4
-			case rng.Float64() < cfg.HotFraction:
-				// Hot heap region, sequential-ish.
-				addr = heapBase + uint32(rng.Intn(hotSize))
-			default:
-				// Cold heap.
-				addr = heapBase + uint32(rng.Intn(cfg.HeapBytes))
-			}
-			out = append(out, addr&^3)
-		}
-		if pc >= codeBase+uint32(cfg.CodeBytes) {
-			pc = codeBase
-		}
+		n := g.step(&step)
+		out = append(out, step[:n]...)
 	}
 	return out[:cfg.Refs]
+}
+
+// Stream produces the same trace as Generate chunk by chunk, so a sweep
+// never has to materialize the full trace. It implements the sweep
+// engine's Source interface.
+type Stream struct {
+	g                  *generator
+	emitted            int // refs produced so far, counting the truncated final step
+	carry              [3]uint32
+	carryPos, carryLen int
+}
+
+// NewStream starts a streaming generation of the configured trace.
+func NewStream(cfg Config) *Stream {
+	return &Stream{g: newGenerator(cfg)}
+}
+
+// NextChunk fills buf with the next references, returning 0 once cfg.Refs
+// have been delivered. The concatenation of all chunks equals
+// Generate(cfg) for every chunk-size schedule.
+func (s *Stream) NextChunk(buf []uint32) (int, error) {
+	n := 0
+	for n < len(buf) {
+		for s.carryPos < s.carryLen && n < len(buf) {
+			buf[n] = s.carry[s.carryPos]
+			n++
+			s.carryPos++
+		}
+		if s.carryPos < s.carryLen {
+			break // buf full with a partial step carried over
+		}
+		// Mirror Generate's loop: step only while fewer than Refs
+		// references have been produced, and drop the tail of the final
+		// step beyond Refs (Generate's out[:cfg.Refs] truncation).
+		if s.emitted >= s.g.cfg.Refs {
+			break
+		}
+		var step [3]uint32
+		k := s.g.step(&step)
+		s.carryPos, s.carryLen = 0, 0
+		for i := 0; i < k; i++ {
+			if s.emitted < s.g.cfg.Refs {
+				s.carry[s.carryLen] = step[i]
+				s.carryLen++
+			}
+			s.emitted++
+		}
+	}
+	return n, nil
 }

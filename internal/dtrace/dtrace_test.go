@@ -2,6 +2,52 @@ package dtrace
 
 import "testing"
 
+// TestStreamMatchesGenerate: the chunked generator must reproduce
+// Generate's output exactly under every chunk-size schedule, including
+// ones that split a step's 1-3 references across chunks.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Refs = 25_000
+	want := Generate(cfg)
+	for _, chunk := range []int{1, 2, 3, 7, 1024, 25_000, 40_000} {
+		s := NewStream(cfg)
+		got := make([]uint32, 0, cfg.Refs)
+		buf := make([]uint32, chunk)
+		for {
+			n, err := s.NextChunk(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: streamed %d refs, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: ref %d = %#x, want %#x", chunk, i, got[i], want[i])
+			}
+		}
+		// Exhausted streams stay exhausted.
+		if n, _ := s.NextChunk(buf); n != 0 {
+			t.Fatalf("chunk %d: stream produced %d refs after EOF", chunk, n)
+		}
+	}
+}
+
+// TestStreamZeroRefs: a zero-length stream terminates immediately, like
+// Generate returning nil.
+func TestStreamZeroRefs(t *testing.T) {
+	s := NewStream(Config{Refs: 0})
+	buf := make([]uint32, 16)
+	if n, err := s.NextChunk(buf); n != 0 || err != nil {
+		t.Fatalf("NextChunk = %d, %v", n, err)
+	}
+}
+
 func TestGenerateLength(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Refs = 10000

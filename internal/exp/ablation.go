@@ -4,6 +4,7 @@ import (
 	"palmsim/internal/cache"
 	"palmsim/internal/energy"
 	"palmsim/internal/sim"
+	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 )
 
@@ -39,11 +40,11 @@ func RunProfilingAblation(s user.Session) (*ProfilingAblation, error) {
 		return nil, err
 	}
 	cfgs := cache.PaperSweep()
-	rOn, err := cache.Sweep(cfgs, on.Trace)
+	rOn, err := sweep.RunTrace(cfgs, on.Trace, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
-	rOff, err := cache.Sweep(cfgs, off.Trace)
+	rOff, err := sweep.RunTrace(cfgs, off.Trace, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"palmsim/internal/hw"
 	"palmsim/internal/m68k"
 	"palmsim/internal/palmos"
+	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 )
 
@@ -212,15 +213,14 @@ func HackOverhead(buckets []int) ([]OverheadPoint, error) {
 
 // --- E6: Figure 7 — desktop trace sweep ------------------------------------
 
-// DesktopStudy generates the synthetic desktop address trace and runs the
-// 56-configuration sweep over it.
+// DesktopStudy streams the synthetic desktop address trace straight into
+// the 56-configuration parallel sweep — the trace is never materialized.
 func DesktopStudy(refs int) ([]cache.Result, error) {
 	cfg := dtrace.DefaultConfig()
 	if refs > 0 {
 		cfg.Refs = refs
 	}
-	trace := dtrace.Generate(cfg)
-	return cache.Sweep(cache.PaperSweep(), trace)
+	return sweep.Run(cache.PaperSweep(), dtrace.NewStream(cfg), sweep.Options{})
 }
 
 // --- trace file format -------------------------------------------------------

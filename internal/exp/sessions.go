@@ -5,6 +5,7 @@ import (
 
 	"palmsim/internal/cache"
 	"palmsim/internal/sim"
+	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 	"palmsim/internal/validate"
 )
@@ -69,13 +70,13 @@ func Table1() ([]*SessionRun, error) {
 // --- E4/E5: Figures 5 and 6 — the cache case study -------------------------
 
 // CacheStudy replays one session and sweeps the 56 paper configurations
-// over its memory-reference trace.
+// over its memory-reference trace, one worker per core.
 func CacheStudy(s user.Session) (*SessionRun, []cache.Result, error) {
 	run, err := RunSession(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := cache.Sweep(cache.PaperSweep(), run.Trace)
+	results, err := sweep.RunTrace(cache.PaperSweep(), run.Trace, sweep.Options{})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,126 @@
+// Streaming readers for the two on-disk trace formats, implementing the
+// sweep engine's Source interface so multi-hundred-million-reference
+// traces are fed to the simulators chunk by chunk instead of being
+// materialized as one []uint32.
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TraceSource streams a PALMTRC1-format reference trace (MarshalTrace's
+// output) from an io.Reader.
+type TraceSource struct {
+	r         *bufio.Reader
+	total     int
+	remaining int
+	scratch   []byte
+}
+
+// NewTraceSource validates the trace header and prepares streaming.
+func NewTraceSource(r io.Reader) (*TraceSource, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:8]) != "PALMTRC1" {
+		return nil, fmt.Errorf("exp: not a trace file")
+	}
+	n := int(hdr[8])<<24 | int(hdr[9])<<16 | int(hdr[10])<<8 | int(hdr[11])
+	return &TraceSource{r: br, total: n, remaining: n}, nil
+}
+
+// Refs returns the total reference count declared in the header.
+func (t *TraceSource) Refs() int { return t.total }
+
+// NextChunk decodes up to len(buf) big-endian addresses.
+func (t *TraceSource) NextChunk(buf []uint32) (int, error) {
+	want := len(buf)
+	if want > t.remaining {
+		want = t.remaining
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	if len(t.scratch) < 4*want {
+		t.scratch = make([]byte, 4*want)
+	}
+	raw := t.scratch[:4*want]
+	if _, err := io.ReadFull(t.r, raw); err != nil {
+		return 0, fmt.Errorf("exp: truncated trace (%d refs claimed): %w", t.total, err)
+	}
+	for i := 0; i < want; i++ {
+		buf[i] = uint32(raw[4*i])<<24 | uint32(raw[4*i+1])<<16 |
+			uint32(raw[4*i+2])<<8 | uint32(raw[4*i+3])
+	}
+	t.remaining -= want
+	return want, nil
+}
+
+// DineroSource streams a din-format trace ("<label> <hexaddr>" lines, as
+// written by MarshalDinero). Labels are validated but not returned — the
+// cache sweep consumes addresses only.
+type DineroSource struct {
+	r    *bufio.Reader
+	line int
+	done bool
+}
+
+// NewDineroSource prepares a streaming din parse.
+func NewDineroSource(r io.Reader) *DineroSource {
+	return &DineroSource{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// NextChunk parses up to len(buf) din lines into addresses.
+func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
+	n := 0
+	for n < len(buf) && !d.done {
+		raw, err := d.r.ReadSlice('\n')
+		if err == io.EOF {
+			d.done = true
+			if len(raw) == 0 {
+				break
+			}
+		} else if err != nil {
+			return 0, fmt.Errorf("exp: din line %d: %w", d.line+1, err)
+		}
+		d.line++
+		addr, perr := parseDinLine(raw, d.line)
+		if perr != nil {
+			return 0, perr
+		}
+		buf[n] = addr
+		n++
+	}
+	return n, nil
+}
+
+// parseDinLine decodes one "<label> <hexaddr>" line (trailing newline
+// optional), mirroring UnmarshalDinero's validation.
+func parseDinLine(raw []byte, line int) (uint32, error) {
+	if len(raw) > 0 && raw[len(raw)-1] == '\n' {
+		raw = raw[:len(raw)-1]
+	}
+	if len(raw) < 3 || raw[1] != ' ' {
+		return 0, fmt.Errorf("exp: din line %d malformed", line)
+	}
+	switch raw[0] {
+	case '0', '1', '2':
+	default:
+		return 0, fmt.Errorf("exp: din line %d has label %q", line, raw[0])
+	}
+	var addr uint32
+	for _, c := range raw[2:] {
+		switch {
+		case c >= '0' && c <= '9':
+			addr = addr<<4 | uint32(c-'0')
+		case c >= 'a' && c <= 'f':
+			addr = addr<<4 | uint32(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			addr = addr<<4 | uint32(c-'A'+10)
+		default:
+			return 0, fmt.Errorf("exp: din line %d has bad address", line)
+		}
+	}
+	return addr, nil
+}

@@ -62,6 +62,62 @@ func TestRandomInstructionStreams(t *testing.T) {
 	}
 }
 
+// FuzzExecuteStream feeds arbitrary bytes to the CPU as code: the
+// interpreter must grind through any instruction stream — taking
+// exceptions as needed — without panicking and with monotonic cycle
+// accounting. This is the go-fuzz form of the random-stream test above;
+// CI runs it for a few seconds per PR (fuzz-smoke), and longer local runs
+// explore the corpus.
+func FuzzExecuteStream(f *testing.F) {
+	f.Add([]byte{0x70, 0x05})                         // MOVEQ #5,D0
+	f.Add([]byte{0x30, 0xBC, 0x12, 0x34})             // MOVE.W #$1234,(A0)
+	f.Add([]byte{0x4E, 0x75})                         // RTS into the park loop
+	f.Add([]byte{0xA0, 0x00})                         // line-A trap
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x00, 0x4A, 0xFC}) // line-F, zeros, ILLEGAL
+	f.Fuzz(func(t *testing.T, code []byte) {
+		words := make([]uint16, 0, 64)
+		for i := 0; i+1 < len(code) && len(words) < 64; i += 2 {
+			words = append(words, uint16(code[i])<<8|uint16(code[i+1]))
+		}
+		c, _ := newTestCPU(words...)
+		for i := range c.D {
+			c.D[i] = uint32(0x2000 + i*16)
+		}
+		for i := 0; i < 7; i++ {
+			c.A[i] = uint32(0x3000 + i*32)
+		}
+		last := c.Cycles
+		for step := 0; step < 500 && !c.Halted(); step++ {
+			c.Step()
+			if c.Cycles < last {
+				t.Fatalf("cycle counter went backwards at PC=%#x", c.PC)
+			}
+			last = c.Cycles
+		}
+	})
+}
+
+// FuzzDisassemble decodes arbitrary bytes: the disassembler must return a
+// nonempty mnemonic and a sane instruction size for any input.
+func FuzzDisassemble(f *testing.F) {
+	f.Add([]byte{0x70, 0x05})
+	f.Add([]byte{0x4E, 0xB9, 0x00, 0x01, 0x00, 0x00}) // JSR abs.l
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, code []byte) {
+		b := &testBus{}
+		for i := 0; i < len(code) && i < 16; i++ {
+			b.mem[0x1000+i] = code[i]
+		}
+		text, size := Disassemble(b, 0x1000)
+		if size == 0 || size > 10 {
+			t.Fatalf("size %d for %x", size, code)
+		}
+		if text == "" {
+			t.Fatalf("empty disassembly for %x", code)
+		}
+	})
+}
+
 // TestDisassemblerNeverPanics sweeps the opcode space through the
 // disassembler with arbitrary extension words.
 func TestDisassemblerNeverPanics(t *testing.T) {

@@ -1,0 +1,239 @@
+// Package sweep runs cache-configuration sweeps concurrently over a
+// streaming memory-reference trace. The paper's §4 case study simulates
+// 56 configurations over traces of hundreds of millions of references;
+// the sweep is embarrassingly parallel across configurations, so a single
+// trace producer publishes fixed-size reference chunks to a pool of
+// workers, each worker drives its shard of cache.Cache instances, and
+// results are collected in configuration order regardless of completion
+// order. Every cache still observes the full trace in order, so the
+// results are bit-identical to the serial loop for any worker count —
+// determinism is an invariant here, not a best effort.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"palmsim/internal/cache"
+)
+
+// Source streams a reference trace in chunks, so traces never need to be
+// fully materialized. NextChunk fills buf with up to len(buf) references
+// and returns how many it wrote; n == 0 with a nil error signals the end
+// of the trace. Implementations include SliceSource here, dtrace.Stream
+// (the synthetic desktop generator) and the .trace/din file readers in
+// internal/exp.
+type Source interface {
+	NextChunk(buf []uint32) (n int, err error)
+}
+
+// SliceSource adapts a fully materialized trace (e.g. one collected by a
+// replay) to the Source interface.
+type SliceSource struct {
+	trace []uint32
+	pos   int
+}
+
+// NewSliceSource wraps an in-memory trace.
+func NewSliceSource(trace []uint32) *SliceSource {
+	return &SliceSource{trace: trace}
+}
+
+// NextChunk copies the next run of references into buf.
+func (s *SliceSource) NextChunk(buf []uint32) (int, error) {
+	n := copy(buf, s.trace[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// DefaultChunkRefs is the number of references per published chunk
+// (256 KiB of addresses): large enough to amortize channel traffic,
+// small enough to keep every shard's working chunk in cache.
+const DefaultChunkRefs = 1 << 16
+
+// queueDepth bounds the per-worker channel, which in turn bounds the
+// memory high-water mark to O(workers · queueDepth · chunk) regardless of
+// trace length.
+const queueDepth = 2
+
+// Options tunes the engine.
+type Options struct {
+	// Workers is the number of concurrent simulation workers. Zero or
+	// negative selects GOMAXPROCS; 1 selects the serial fallback, which
+	// produces exactly the same results (and is what cache.Sweep did).
+	// Workers above the configuration count are clamped.
+	Workers int
+	// ChunkRefs is the number of references per chunk; zero or negative
+	// selects DefaultChunkRefs.
+	ChunkRefs int
+}
+
+func (o Options) workers(nconfigs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nconfigs {
+		w = nconfigs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) chunkRefs() int {
+	if o.ChunkRefs <= 0 {
+		return DefaultChunkRefs
+	}
+	return o.ChunkRefs
+}
+
+// chunk is one block of references broadcast to every worker. pending
+// counts the workers that have not finished with it yet; the last one
+// returns the buffer to the pool.
+type chunk struct {
+	refs    []uint32
+	pending int32
+}
+
+// Run streams the trace from src through every configuration and returns
+// the results in configuration order.
+func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) {
+	caches := make([]*cache.Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	if len(caches) == 0 {
+		// Still drain the source so an erroring trace is reported.
+		if err := drain(src, opts.chunkRefs()); err != nil {
+			return nil, err
+		}
+		return []cache.Result{}, nil
+	}
+
+	var err error
+	if w := opts.workers(len(caches)); w == 1 {
+		err = runSerial(caches, src, opts.chunkRefs())
+	} else {
+		err = runParallel(caches, src, w, opts.chunkRefs())
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]cache.Result, len(caches))
+	for i, c := range caches {
+		out[i] = c.Result()
+	}
+	return out, nil
+}
+
+// RunTrace is a convenience wrapper over an in-memory trace.
+func RunTrace(cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result, error) {
+	return Run(cfgs, NewSliceSource(trace), opts)
+}
+
+// runSerial is the workers=1 fallback: one goroutine, one chunk buffer,
+// the same chunked access pattern as the parallel path.
+func runSerial(caches []*cache.Cache, src Source, chunkRefs int) error {
+	buf := make([]uint32, chunkRefs)
+	for {
+		n, err := src.NextChunk(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		refs := buf[:n]
+		for _, c := range caches {
+			for _, addr := range refs {
+				c.Access(addr)
+			}
+		}
+	}
+}
+
+// runParallel fans chunks out to per-worker queues. Each worker owns a
+// contiguous shard of the caches, so no cache is ever touched by two
+// goroutines and the per-cache access order is the trace order.
+func runParallel(caches []*cache.Cache, src Source, workers, chunkRefs int) error {
+	pool := sync.Pool{New: func() any { return make([]uint32, chunkRefs) }}
+	queues := make([]chan *chunk, workers)
+	for w := range queues {
+		queues[w] = make(chan *chunk, queueDepth)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(caches) / workers
+		hi := (w + 1) * len(caches) / workers
+		shard := caches[lo:hi]
+		q := queues[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ck := range q {
+				for _, c := range shard {
+					for _, addr := range ck.refs {
+						c.Access(addr)
+					}
+				}
+				if atomic.AddInt32(&ck.pending, -1) == 0 {
+					pool.Put(ck.refs[:cap(ck.refs)])
+				}
+			}
+		}()
+	}
+
+	var readErr error
+	for {
+		buf := pool.Get().([]uint32)[:chunkRefs]
+		n, err := src.NextChunk(buf)
+		if err != nil {
+			readErr = err
+			pool.Put(buf)
+			break
+		}
+		if n == 0 {
+			pool.Put(buf)
+			break
+		}
+		ck := &chunk{refs: buf[:n], pending: int32(workers)}
+		for _, q := range queues {
+			q <- ck
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	return readErr
+}
+
+// drain consumes a source to completion, surfacing any read error.
+func drain(src Source, chunkRefs int) error {
+	buf := make([]uint32, chunkRefs)
+	for {
+		n, err := src.NextChunk(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}
+
+// Describe renders the engine configuration for logs and CLIs.
+func Describe(opts Options, nconfigs int) string {
+	return fmt.Sprintf("%d workers over %d configurations, %d refs/chunk",
+		opts.workers(nconfigs), nconfigs, opts.chunkRefs())
+}

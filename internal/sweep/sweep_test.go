@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/dtrace"
+)
+
+// fixedTrace is a deterministic mixed RAM/flash address trace.
+func fixedTrace(n int) []uint32 {
+	rng := rand.New(rand.NewSource(2005))
+	trace := make([]uint32, n)
+	for i := range trace {
+		if rng.Intn(3) == 0 {
+			trace[i] = 0x10000000 + uint32(rng.Intn(1<<18)) // flash-side
+		} else {
+			trace[i] = uint32(rng.Intn(1 << 18)) // RAM-side
+		}
+	}
+	return trace
+}
+
+// TestRunMatchesSerialSweep is the determinism gate: for every worker
+// count and chunk size, the engine's results are identical — field for
+// field — to the old serial cache.Sweep loop.
+func TestRunMatchesSerialSweep(t *testing.T) {
+	trace := fixedTrace(120_000)
+	cfgs := cache.PaperSweep()
+	want, err := cache.Sweep(cfgs, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, chunk := range []int{0, 1, 7, 4096} {
+			name := fmt.Sprintf("workers=%d/chunk=%d", workers, chunk)
+			got, err := RunTrace(cfgs, trace, Options{Workers: workers, ChunkRefs: chunk})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: %v diverged: got %+v want %+v", name, cfgs[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingSourceMatchesSlice binds the streaming desktop generator to
+// the materialized one: sweeping dtrace.Stream must equal sweeping the
+// slice from dtrace.Generate.
+func TestStreamingSourceMatchesSlice(t *testing.T) {
+	cfg := dtrace.DefaultConfig()
+	cfg.Refs = 60_000
+	want, err := RunTrace(cache.PaperSweep(), dtrace.Generate(cfg), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Run(cache.PaperSweep(), dtrace.NewStream(cfg), Options{Workers: workers, ChunkRefs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: %v diverged from materialized sweep", workers, want[i].Config)
+			}
+		}
+	}
+}
+
+// errSource fails after delivering a few chunks.
+type errSource struct{ chunks int }
+
+func (e *errSource) NextChunk(buf []uint32) (int, error) {
+	if e.chunks == 0 {
+		return 0, fmt.Errorf("synthetic trace error")
+	}
+	e.chunks--
+	for i := range buf {
+		buf[i] = uint32(i)
+	}
+	return len(buf), nil
+}
+
+// TestSourceErrorPropagates checks a mid-stream read failure aborts the
+// sweep with the source's error, for both engine paths.
+func TestSourceErrorPropagates(t *testing.T) {
+	cfgs := cache.PaperSweep()[:6]
+	for _, workers := range []int{1, 3} {
+		if _, err := Run(cfgs, &errSource{chunks: 3}, Options{Workers: workers, ChunkRefs: 64}); err == nil {
+			t.Errorf("workers=%d: error not propagated", workers)
+		}
+	}
+}
+
+// TestInvalidConfigRejected checks configuration validation happens before
+// any trace is consumed.
+func TestInvalidConfigRejected(t *testing.T) {
+	bad := []cache.Config{{SizeBytes: 3000, LineBytes: 16, Ways: 1}}
+	if _, err := RunTrace(bad, fixedTrace(10), Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestEmptyInputs covers the degenerate shapes.
+func TestEmptyInputs(t *testing.T) {
+	// Empty trace: zero-access results for every config.
+	res, err := RunTrace(cache.PaperSweep()[:4], nil, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Accesses != 0 || r.Misses != 0 {
+			t.Errorf("%v: nonzero stats on empty trace: %+v", r.Config, r)
+		}
+	}
+	// No configurations: empty result set, trace still drained cleanly.
+	res, err = RunTrace(nil, fixedTrace(100), Options{})
+	if err != nil || len(res) != 0 {
+		t.Errorf("no-config sweep: res=%v err=%v", res, err)
+	}
+	// No configurations with an erroring source: the error still surfaces.
+	if _, err := Run(nil, &errSource{}, Options{}); err == nil {
+		t.Error("no-config sweep swallowed source error")
+	}
+}
+
+// TestWorkersClampedToConfigs runs more workers than configurations.
+func TestWorkersClampedToConfigs(t *testing.T) {
+	trace := fixedTrace(5000)
+	cfgs := cache.PaperSweep()[:3]
+	want, err := cache.Sweep(cfgs, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunTrace(cfgs, trace, Options{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%v diverged with clamped workers", cfgs[i])
+		}
+	}
+}
+
+// TestSliceSourceChunking walks a SliceSource with an odd buffer size.
+func TestSliceSourceChunking(t *testing.T) {
+	trace := fixedTrace(1003)
+	src := NewSliceSource(trace)
+	var got []uint32
+	buf := make([]uint32, 97)
+	for {
+		n, err := src.NextChunk(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("streamed %d refs, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Fatalf("ref %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package palmsim_test
+
+import (
+	"testing"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/sweep"
+)
+
+// TestParallelSweepMatchesSerialOnSessionTrace is the acceptance gate for
+// the concurrent sweep engine: on a real fixed-seed session trace (the
+// same collect+replay the benchmarks use), the engine at workers 1, 4 and
+// 8 must produce cache.Result sets identical to the old serial
+// cache.Sweep loop — every counter, not just the miss rates.
+func TestParallelSweepMatchesSerialOnSessionTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects and replays a session")
+	}
+	_, trace := benchSetup(t)
+	if len(trace) == 0 {
+		t.Fatal("empty session trace")
+	}
+	cfgs := cache.PaperSweep()
+	want, err := cache.Sweep(cfgs, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: %v diverged:\n got %+v\nwant %+v",
+					workers, cfgs[i], got[i], want[i])
+			}
+		}
+	}
+}
