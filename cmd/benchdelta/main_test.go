@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: palmsim
+BenchmarkEmulatorMIPS 	      10	  20000000 ns/op	        20.00 emulated-MIPS
+BenchmarkEmulatorMIPS 	      10	  24000000 ns/op	        18.00 emulated-MIPS
+BenchmarkCacheSweep/serial-8         	       2	 300000000 ns/op	   9.00 MB/s
+PASS
+ok  	palmsim	5.0s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mips, ok := got["EmulatorMIPS"]
+	if !ok {
+		t.Fatalf("EmulatorMIPS missing from %v", got)
+	}
+	if v := mips["ns/op"]; math.Abs(v-22e6) > 1 {
+		t.Errorf("ns/op mean = %v, want 22e6", v)
+	}
+	if v := mips["emulated-MIPS"]; math.Abs(v-19) > 1e-9 {
+		t.Errorf("emulated-MIPS mean = %v, want 19", v)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped; the subbenchmark path kept.
+	if _, ok := got["CacheSweep/serial"]; !ok {
+		t.Errorf("CacheSweep/serial missing (suffix not stripped?): %v", got)
+	}
+}
+
+func TestParseIgnoresCommentsAndNoise(t *testing.T) {
+	got, err := parse(strings.NewReader("# regenerate with: go test ...\nnot a bench line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from noise", got)
+	}
+}
+
+func TestFmtValue(t *testing.T) {
+	cases := []struct {
+		unit string
+		v    float64
+		want string
+	}{
+		{"ns/op", 2.5e9, "2.50s"},
+		{"ns/op", 22.7e6, "22.7ms"},
+		{"ns/op", 1500, "1.5µs"},
+		{"ns/op", 42, "42.00"},
+		{"emulated-MIPS", 19.6, "19.60"},
+	}
+	for _, c := range cases {
+		if got := fmtValue(c.unit, c.v); got != c.want {
+			t.Errorf("fmtValue(%q, %v) = %q, want %q", c.unit, c.v, got, c.want)
+		}
+	}
+}

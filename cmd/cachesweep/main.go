@@ -23,6 +23,7 @@ import (
 	"palmsim/internal/dtrace"
 	"palmsim/internal/energy"
 	"palmsim/internal/exp"
+	"palmsim/internal/prof"
 	"palmsim/internal/report"
 	"palmsim/internal/sweep"
 	"palmsim/internal/user"
@@ -36,7 +37,12 @@ func main() {
 	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
+	profiler := prof.AddFlags()
 	flag.Parse()
+	if err := profiler.Start(); err != nil {
+		fatal(err)
+	}
+	defer profiler.Stop()
 
 	var pol cache.Policy
 	switch strings.ToUpper(*policy) {

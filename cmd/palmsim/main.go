@@ -18,6 +18,7 @@ import (
 
 	"palmsim"
 	"palmsim/internal/exp"
+	"palmsim/internal/prof"
 	"palmsim/internal/validate"
 )
 
@@ -28,7 +29,12 @@ func main() {
 	withTrace := flag.Bool("trace", true, "collect a memory-reference trace during replay")
 	screenshot := flag.Bool("screenshot", false, "write the final display as a PGM image (with -out)")
 	dinero := flag.Bool("dinero", false, "also write the trace in Dinero din format (with -out)")
+	profiler := prof.AddFlags()
 	flag.Parse()
+	if err := profiler.Start(); err != nil {
+		fatal(err)
+	}
+	defer profiler.Stop()
 
 	sessions := palmsim.PaperSessions()
 	if *list {

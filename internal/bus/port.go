@@ -1,0 +1,179 @@
+package bus
+
+import "palmsim/internal/m68k"
+
+// Port returns the bus front-end the CPU should be wired to. The generic
+// Bus.Read/Write path re-classifies the region, tests ChargeCycles and
+// Tracer for nil and calls through two closures on every access — visible
+// costs at tens of millions of references per second. Port hoists those
+// decisions to configuration time:
+//
+//   - cycles, when non-nil, receives wait states by direct pointer
+//     increment instead of the ChargeCycles closure;
+//   - the nil-Tracer test is resolved once: an untraced bus gets fastPort,
+//     a traced bus gets tracedPort with an unconditional Tracer call.
+//
+// The returned port shares the Bus's memory arrays, Stats and device, so
+// the generic path, Peek/Poke and the ports all stay coherent. Callers
+// must request a new port after changing Tracer (see emu.Machine.SetTracer).
+func (b *Bus) Port(cycles *uint64) m68k.Bus {
+	if cycles == nil {
+		return b
+	}
+	if b.Tracer != nil {
+		return &tracedPort{b: b, cycles: cycles}
+	}
+	return &fastPort{b: b, cycles: cycles}
+}
+
+// fastPort is the untraced CPU front-end: region classification, stats
+// accounting and wait-state charging fused into one branch chain, with
+// unsigned-wrap range checks replacing the two-comparison Classify.
+type fastPort struct {
+	b      *Bus
+	cycles *uint64
+}
+
+func (p *fastPort) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	b := p.b
+	st := &b.Stats
+	if size != m68k.Byte && addr&1 != 0 {
+		st.OddAccesses++
+	}
+	switch kind {
+	case m68k.Fetch:
+		st.Fetches++
+	case m68k.Read:
+		st.Reads++
+	default:
+		st.Writes++
+	}
+	if addr < RAMSize {
+		st.RAMRefs++
+		*p.cycles += RAMCycles
+		return readBE(b.RAM, addr, size)
+	}
+	if addr-ROMBase < ROMSize {
+		st.FlashRefs++
+		*p.cycles += FlashCycles
+		return readBE(b.Flash, addr-ROMBase, size)
+	}
+	if addr >= IOBase {
+		st.IORefs++
+		if b.device != nil {
+			return b.device.ReadReg(addr-IOBase, size)
+		}
+		return 0
+	}
+	st.OpenRefs++
+	return size.Mask()
+}
+
+func (p *fastPort) Write(addr uint32, size m68k.Size, v uint32) {
+	b := p.b
+	st := &b.Stats
+	if size != m68k.Byte && addr&1 != 0 {
+		st.OddAccesses++
+	}
+	st.Writes++
+	if addr < RAMSize {
+		st.RAMRefs++
+		*p.cycles += RAMCycles
+		writeBE(b.RAM, addr, size, v)
+		return
+	}
+	if addr-ROMBase < ROMSize {
+		st.FlashRefs++
+		*p.cycles += FlashCycles
+		st.FlashWrites++ // ROM: discard
+		return
+	}
+	if addr >= IOBase {
+		st.IORefs++
+		if b.device != nil {
+			b.device.WriteReg(addr-IOBase, size, v)
+		}
+		return
+	}
+	st.OpenRefs++
+}
+
+// tracedPort is fastPort plus an unconditional Tracer call. Like the
+// generic path, the reference is reported before the access itself takes
+// effect (device reads included).
+type tracedPort struct {
+	b      *Bus
+	cycles *uint64
+}
+
+func (p *tracedPort) Read(addr uint32, size m68k.Size, kind m68k.Access) uint32 {
+	b := p.b
+	st := &b.Stats
+	if size != m68k.Byte && addr&1 != 0 {
+		st.OddAccesses++
+	}
+	switch kind {
+	case m68k.Fetch:
+		st.Fetches++
+	case m68k.Read:
+		st.Reads++
+	default:
+		st.Writes++
+	}
+	if addr < RAMSize {
+		st.RAMRefs++
+		*p.cycles += RAMCycles
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: kind, Region: RegionRAM})
+		return readBE(b.RAM, addr, size)
+	}
+	if addr-ROMBase < ROMSize {
+		st.FlashRefs++
+		*p.cycles += FlashCycles
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: kind, Region: RegionFlash})
+		return readBE(b.Flash, addr-ROMBase, size)
+	}
+	if addr >= IOBase {
+		st.IORefs++
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: kind, Region: RegionIO})
+		if b.device != nil {
+			return b.device.ReadReg(addr-IOBase, size)
+		}
+		return 0
+	}
+	st.OpenRefs++
+	b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: kind, Region: RegionOpen})
+	return size.Mask()
+}
+
+func (p *tracedPort) Write(addr uint32, size m68k.Size, v uint32) {
+	b := p.b
+	st := &b.Stats
+	if size != m68k.Byte && addr&1 != 0 {
+		st.OddAccesses++
+	}
+	st.Writes++
+	if addr < RAMSize {
+		st.RAMRefs++
+		*p.cycles += RAMCycles
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: m68k.Write, Region: RegionRAM})
+		writeBE(b.RAM, addr, size, v)
+		return
+	}
+	if addr-ROMBase < ROMSize {
+		st.FlashRefs++
+		*p.cycles += FlashCycles
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: m68k.Write, Region: RegionFlash})
+		st.FlashWrites++ // ROM: discard
+		return
+	}
+	if addr >= IOBase {
+		st.IORefs++
+		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: m68k.Write, Region: RegionIO})
+		if b.device != nil {
+			b.device.WriteReg(addr-IOBase, size, v)
+		}
+		return
+	}
+	st.OpenRefs++
+	b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: m68k.Write, Region: RegionOpen})
+}

@@ -1,0 +1,131 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+
+	"palmsim/internal/m68k"
+)
+
+// The CPU-facing ports (fastPort, tracedPort) must be observationally
+// identical to the generic Bus.Read/Write path: same values, same Stats,
+// same cycle charges, same tracer stream, same device traffic.
+
+// portProbe is one access in the equivalence schedule; the addresses span
+// RAM (including the bounds-check edge), flash, I/O, and open bus.
+var portProbes = []struct {
+	addr uint32
+	size m68k.Size
+}{
+	{0x0000100, m68k.Long},
+	{0x0000101, m68k.Byte},
+	{0x0000103, m68k.Word},   // misaligned: OddAccesses
+	{RAMSize - 2, m68k.Long}, // straddles the RAM end: bounds-checked
+	{RAMSize - 4, m68k.Long},
+	{RAMSize, m68k.Word}, // open
+	{ROMBase, m68k.Word},
+	{ROMBase + 0x1000, m68k.Long},
+	{ROMBase + ROMSize - 1, m68k.Byte},
+	{ROMBase + ROMSize, m68k.Long}, // open
+	{IOBase + 0x610, m68k.Word},
+	{0xFFFFFFFF, m68k.Byte},
+	{0x08000000, m68k.Long}, // open
+}
+
+func runPortSchedule(b *Bus, port m68k.Bus, rng *rand.Rand) []uint32 {
+	var got []uint32
+	for _, p := range portProbes {
+		got = append(got, port.Read(p.addr, p.size, m68k.Fetch))
+		got = append(got, port.Read(p.addr, p.size, m68k.Read))
+		port.Write(p.addr, p.size, rng.Uint32())
+		got = append(got, port.Read(p.addr, p.size, m68k.Read))
+	}
+	return got
+}
+
+func portEquivalence(t *testing.T, tracer bool) {
+	t.Helper()
+	dev1 := &fakeDevice{readVal: 0x5A}
+	dev2 := &fakeDevice{readVal: 0x5A}
+	generic := New(dev1)
+	fast := New(dev2)
+	seed := []byte{0x12, 0x34, 0x56, 0x78}
+	generic.LoadROM(0, seed)
+	fast.LoadROM(0, seed)
+
+	var genericCycles, portCycles uint64
+	generic.ChargeCycles = func(c uint64) { genericCycles += c }
+	var tr1, tr2 countTracer
+	if tracer {
+		generic.Tracer = &tr1
+		fast.Tracer = &tr2
+	}
+	port := fast.Port(&portCycles)
+	if tracer {
+		if _, ok := port.(*tracedPort); !ok {
+			t.Fatalf("expected tracedPort, got %T", port)
+		}
+	} else {
+		if _, ok := port.(*fastPort); !ok {
+			t.Fatalf("expected fastPort, got %T", port)
+		}
+	}
+
+	want := runPortSchedule(generic, generic, rand.New(rand.NewSource(9)))
+	got := runPortSchedule(fast, port, rand.New(rand.NewSource(9)))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("value %d: generic %#x, port %#x", i, want[i], got[i])
+		}
+	}
+	if generic.Stats != fast.Stats {
+		t.Errorf("stats diverged:\ngeneric %+v\nport    %+v", generic.Stats, fast.Stats)
+	}
+	if genericCycles != portCycles {
+		t.Errorf("cycles: generic %d, port %d", genericCycles, portCycles)
+	}
+	if *dev1 != *dev2 {
+		t.Errorf("device traffic diverged: %+v vs %+v", dev1, dev2)
+	}
+	if tracer {
+		if len(tr1.refs) != len(tr2.refs) {
+			t.Fatalf("tracer refs: generic %d, port %d", len(tr1.refs), len(tr2.refs))
+		}
+		for i := range tr1.refs {
+			if tr1.refs[i] != tr2.refs[i] {
+				t.Errorf("ref %d: generic %+v, port %+v", i, tr1.refs[i], tr2.refs[i])
+			}
+		}
+	}
+}
+
+func TestFastPortEquivalence(t *testing.T)   { portEquivalence(t, false) }
+func TestTracedPortEquivalence(t *testing.T) { portEquivalence(t, true) }
+
+// TestPortNilCycles documents the fallback: without a cycle sink the
+// generic bus itself is returned.
+func TestPortNilCycles(t *testing.T) {
+	b := New(nil)
+	if port := b.Port(nil); port != m68k.Bus(b) {
+		t.Errorf("Port(nil) = %T, want the bus itself", port)
+	}
+}
+
+// TestPortSharesState checks that a port and the generic path see each
+// other's writes and accumulate into the same Stats.
+func TestPortSharesState(t *testing.T) {
+	b := New(nil)
+	var cycles uint64
+	port := b.Port(&cycles)
+	port.Write(0x100, m68k.Word, 0xBEEF)
+	if got := b.Read(0x100, m68k.Word, m68k.Read); got != 0xBEEF {
+		t.Errorf("generic path read %#x after port write", got)
+	}
+	b.Write(0x200, m68k.Byte, 0x7)
+	if got := port.Read(0x200, m68k.Byte, m68k.Read); got != 0x7 {
+		t.Errorf("port read %#x after generic write", got)
+	}
+	if b.Stats.RAMRefs != 4 {
+		t.Errorf("shared stats RAMRefs = %d, want 4", b.Stats.RAMRefs)
+	}
+}

@@ -66,6 +66,17 @@ func (c Config) Validate() error {
 // Sets returns the number of sets.
 func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
 
+// IndexShift returns the right-shift that drops a reference's byte offset
+// within a line, i.e. log2(LineBytes). addr >> IndexShift() is the line
+// number; its low bits select the set.
+func (c Config) IndexShift() uint { return uint(bits.TrailingZeros(uint(c.LineBytes))) }
+
+// TagShift returns the right-shift that drops both the byte offset and the
+// set index, i.e. log2(LineBytes) + log2(Sets). addr >> TagShift() is the
+// tag. Both shifts are computed once per configuration so the per-access
+// path never recounts bits.
+func (c Config) TagShift() uint { return c.IndexShift() + uint(bits.TrailingZeros(uint(c.Sets()))) }
+
 // PaperSweep returns the 56 configurations of the case study: cache sizes
 // 1-64 KB, line sizes 16 and 32 bytes, associativities 1-8, LRU.
 func PaperSweep() []Config {
@@ -141,13 +152,22 @@ func NoCacheTeff(ramRefs, flashRefs uint64) float64 {
 }
 
 // Cache is one simulated cache instance.
+//
+// The per-way state is a single flat array of line numbers (biased by +1
+// so 0 means invalid). Because the set index is itself a function of the
+// line number, two lines mapping to the same set have equal tags exactly
+// when the full line numbers are equal — so the probe needs one compare
+// against one array instead of a valid-bit test plus a tag compare against
+// two, and the tag extraction shift disappears from the access path
+// entirely. The sweep runs 56 of these in lockstep per trace element, so
+// the probe loop is the hottest code in the cache study.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint32
-	tags      []uint32 // sets*ways entries
-	valid     []bool
-	order     []uint8 // per-line LRU/FIFO rank (0 = most recent / newest)
+	waysMask  uint32
+	lines     []uint32 // sets*ways entries: line number + 1; 0 = invalid
+	order     []uint8  // per-line LRU/FIFO rank (0 = most recent / newest)
 	ways      int
 	randState uint32
 	res       Result
@@ -161,10 +181,10 @@ func New(cfg Config) (*Cache, error) {
 	sets := cfg.Sets()
 	c := &Cache{
 		cfg:       cfg,
-		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		lineShift: cfg.IndexShift(),
 		setMask:   uint32(sets - 1),
-		tags:      make([]uint32, sets*cfg.Ways),
-		valid:     make([]bool, sets*cfg.Ways),
+		waysMask:  uint32(cfg.Ways - 1),
+		lines:     make([]uint32, sets*cfg.Ways),
 		order:     make([]uint8, sets*cfg.Ways),
 		ways:      cfg.Ways,
 		randState: 0x2005,
@@ -185,7 +205,9 @@ func (c *Cache) Result() Result { return c.res }
 
 // Access performs one reference. It returns true on a hit.
 func (c *Cache) Access(addr uint32) bool {
-	isFlash := bus.Classify(addr) == bus.RegionFlash
+	// Unsigned-wrap window test, equivalent to Classify == RegionFlash
+	// (the RAM region and the ROM window are disjoint).
+	isFlash := addr-bus.ROMBase < bus.ROMSize
 	c.res.Accesses++
 	if isFlash {
 		c.res.FlashRefs++
@@ -194,13 +216,14 @@ func (c *Cache) Access(addr uint32) bool {
 	}
 
 	line := addr >> c.lineShift
-	set := int(line & c.setMask)
-	tag := line >> bits.TrailingZeros32(c.setMask+1)
-	base := set * c.ways
+	base := int(line&c.setMask) * c.ways
+	key := line + 1
 
-	// Probe.
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+	// Probe. The re-slice bounds the loop for the compiler, eliminating
+	// per-iteration bounds checks.
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if set[w] == key {
 			if c.cfg.Policy == LRU {
 				c.promote(base, w)
 			}
@@ -216,8 +239,7 @@ func (c *Cache) Access(addr uint32) bool {
 		c.res.RAMMisses++
 	}
 	victim := c.victim(base)
-	c.tags[base+victim] = tag
-	c.valid[base+victim] = true
+	set[victim] = key
 	c.promote(base, victim) // new line is most recent / newest
 	return false
 }
@@ -225,31 +247,39 @@ func (c *Cache) Access(addr uint32) bool {
 // promote marks way w most-recent within the set (rank 0), aging others.
 func (c *Cache) promote(base, w int) {
 	old := c.order[base+w]
-	for i := 0; i < c.ways; i++ {
-		if c.order[base+i] < old {
-			c.order[base+i]++
+	if old == 0 {
+		return // already most recent; nothing to age
+	}
+	set := c.order[base : base+c.ways]
+	for i := range set {
+		if set[i] < old {
+			set[i]++
 		}
 	}
-	c.order[base+w] = 0
+	set[w] = 0
 }
 
 // victim selects the way to replace in the set.
 func (c *Cache) victim(base int) int {
 	// An invalid way always wins.
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if set[w] == 0 {
 			return w
 		}
 	}
 	switch c.cfg.Policy {
 	case Random:
 		c.randState = c.randState*1103515245 + 12345
-		return int(c.randState>>16) % c.ways
+		// Ways is a power of two (Validate), so masking the 16-bit draw
+		// equals the modulo the paper sweep was recorded with.
+		return int(c.randState >> 16 & c.waysMask)
 	default: // LRU and FIFO both evict the highest rank; they differ in
 		// whether hits refresh the rank (see Access).
+		ord := c.order[base : base+c.ways]
 		worst := 0
-		for w := 1; w < c.ways; w++ {
-			if c.order[base+w] > c.order[base+worst] {
+		for w := 1; w < len(ord); w++ {
+			if ord[w] > ord[worst] {
 				worst = w
 			}
 		}

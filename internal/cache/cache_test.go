@@ -360,3 +360,29 @@ func TestSampledEstimateApproximatesFullSimulation(t *testing.T) {
 			est.CorrectedMissRate, lo, hi, fullRate)
 	}
 }
+
+// TestShiftHelpers checks IndexShift/TagShift across every paper
+// configuration: the shifts must reconstruct the configured geometry, and
+// decomposing an address with them must agree with the cache's own
+// line/set/tag arithmetic.
+func TestShiftHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for _, c := range PaperSweep() {
+		if got := 1 << c.IndexShift(); got != c.LineBytes {
+			t.Errorf("%v: 1<<IndexShift = %d, want line size %d", c, got, c.LineBytes)
+		}
+		if got := 1 << (c.TagShift() - c.IndexShift()); got != c.Sets() {
+			t.Errorf("%v: 1<<(TagShift-IndexShift) = %d, want %d sets", c, got, c.Sets())
+		}
+		for i := 0; i < 64; i++ {
+			addr := rng.Uint32()
+			offset := addr & uint32(c.LineBytes-1)
+			set := addr >> c.IndexShift() & uint32(c.Sets()-1)
+			tag := addr >> c.TagShift()
+			rebuilt := tag<<c.TagShift() | set<<c.IndexShift() | offset
+			if rebuilt != addr {
+				t.Fatalf("%v: decompose(%#x) does not round-trip: got %#x", c, addr, rebuilt)
+			}
+		}
+	}
+}

@@ -58,7 +58,7 @@ func SimulateTraffic(cfg Config, trace []uint32, kinds []uint8) (TrafficResult, 
 	}
 	t := &trafficCache{
 		Cache: c,
-		dirty: make([]bool, len(c.tags)),
+		dirty: make([]bool, len(c.lines)),
 	}
 	n := len(trace)
 	if len(kinds) < n {
@@ -79,12 +79,11 @@ func (t *trafficCache) access(addr uint32, write bool) {
 		t.res.Writes++
 	}
 	line := addr >> c.lineShift
-	set := int(line & c.setMask)
-	tag := line >> trailing(c.setMask+1)
-	base := set * c.ways
+	base := int(line&c.setMask) * c.ways
+	key := line + 1
 
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+		if c.lines[base+w] == key {
 			c.Access(addr) // keep the base statistics/ordering identical
 			if write {
 				t.dirty[base+w] = true
@@ -95,19 +94,10 @@ func (t *trafficCache) access(addr uint32, write bool) {
 	// Miss path: find the victim the base cache will choose, account for
 	// its dirtiness, then perform the access.
 	victim := c.victim(base)
-	if c.valid[base+victim] && t.dirty[base+victim] {
+	if c.lines[base+victim] != 0 && t.dirty[base+victim] {
 		t.res.Writebacks++
 	}
 	t.dirty[base+victim] = write
 	t.res.Fills++
 	c.Access(addr)
-}
-
-func trailing(v uint32) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
 }

@@ -53,6 +53,13 @@ type Machine struct {
 	schedIdx int
 
 	bootDoneAt uint64 // cycle count when boot finished
+
+	// nextTickCycle is the cycle count at which the tick counter next
+	// advances. The per-step Sync/deliverDue pair only observes time
+	// through Ticks() — a 64-bit division — so the step loop defers both
+	// until a tick boundary is crossed (or the wake timer is armed, which
+	// Sync must see promptly). Zero forces a sync on the next step.
+	nextTickCycle uint64
 }
 
 // Options configures machine construction.
@@ -90,7 +97,11 @@ func New(opts Options) (*Machine, error) {
 	m.CPU = m68k.New(m.Bus)
 	m.HW.CyclesFn = func() uint64 { return m.CPU.Cycles }
 	m.HW.RaiseIRQ = m.CPU.SetIRQ
+	// The generic bus path (native OS accesses via ReadTraced/WriteTraced)
+	// charges wait states through the closure; the CPU itself runs on the
+	// pre-split port, which increments the cycle counter directly.
 	m.Bus.ChargeCycles = func(c uint64) { m.CPU.Cycles += c }
+	m.CPU.SetBus(m.Bus.Port(&m.CPU.Cycles))
 
 	m.Store = storage.NewManager(m.Bus)
 	m.Store.ChargeCycles = func(c uint64) { m.CPU.Cycles += c }
@@ -152,7 +163,15 @@ func (m *Machine) Schedule(tick uint32, ev hw.InputEvent) error {
 		return fmt.Errorf("emu: input scheduled at tick %d after tick %d", tick, m.schedule[n-1].Tick)
 	}
 	m.schedule = append(m.schedule, ScheduledInput{Tick: tick, Ev: ev})
+	m.nextTickCycle = 0 // the input may already be due: sync on next step
 	return nil
+}
+
+// SetTracer attaches (or detaches, with nil) a reference tracer and
+// re-selects the CPU's bus port so the traced/untraced fast path matches.
+func (m *Machine) SetTracer(t bus.Tracer) {
+	m.Bus.Tracer = t
+	m.CPU.SetBus(m.Bus.Port(&m.CPU.Cycles))
 }
 
 // PendingInputs reports how many scheduled inputs have not been delivered.
@@ -180,8 +199,21 @@ func (m *Machine) step() {
 	m.CPU.Step()
 	m.Stats.ActiveCycles += m.CPU.Cycles - before
 	m.Stats.Instructions = m.CPU.Instructions
+	// Sync and input delivery observe time at tick granularity, so they
+	// only need to run when a tick boundary is crossed — except while the
+	// wake timer is armed, where Sync must fire the interrupt on exactly
+	// the step the old always-sync loop would have.
+	if m.CPU.Cycles >= m.nextTickCycle || m.HW.WakeAt() != 0 {
+		m.tickSync()
+	}
+}
+
+// tickSync runs the tick-granular housekeeping (wake timer, scheduled
+// inputs) and computes the next cycle count at which it must run again.
+func (m *Machine) tickSync() {
 	m.HW.Sync()
 	m.deliverDue()
+	m.nextTickCycle = (m.CPU.Cycles/hw.CyclesPerTick + 1) * hw.CyclesPerTick
 }
 
 // deliverDue pushes every scheduled input whose tick has arrived.
@@ -219,15 +251,17 @@ func (m *Machine) skipTo(tick uint32) {
 		m.Stats.SkippedCycles += target - m.CPU.Cycles
 		m.CPU.Cycles = target
 	}
-	m.HW.Sync()
-	m.deliverDue()
+	m.tickSync()
 }
 
 // RunUntilTick advances the machine (executing and dozing as the kernel
 // dictates) until the tick counter reaches target or nothing further can
 // happen. It returns an error only for fatal CPU states.
 func (m *Machine) RunUntilTick(target uint32) error {
-	for m.HW.Ticks() < target {
+	// Ticks() < target ⟺ Cycles < target·CyclesPerTick; comparing cycles
+	// avoids a 64-bit division per executed instruction.
+	targetCycles := uint64(target) * hw.CyclesPerTick
+	for m.CPU.Cycles < targetCycles {
 		if m.CPU.Halted() {
 			return fmt.Errorf("%w at PC=%#x: %v", ErrHalted, m.CPU.PC, m.CPU.Err())
 		}

@@ -15,19 +15,20 @@ type busAccess struct {
 	kind Access
 }
 
+const testBusMask = 1<<20 - 1
+
 func (b *testBus) Read(addr uint32, size Size, kind Access) uint32 {
 	if b.record {
 		b.accesses = append(b.accesses, busAccess{addr, size, kind})
 	}
-	addr &= 1<<20 - 1
 	switch size {
 	case Byte:
-		return uint32(b.mem[addr])
+		return uint32(b.mem[addr&testBusMask])
 	case Word:
-		return uint32(b.mem[addr])<<8 | uint32(b.mem[addr+1])
+		return uint32(b.mem[addr&testBusMask])<<8 | uint32(b.mem[(addr+1)&testBusMask])
 	default:
-		return uint32(b.mem[addr])<<24 | uint32(b.mem[addr+1])<<16 |
-			uint32(b.mem[addr+2])<<8 | uint32(b.mem[addr+3])
+		return uint32(b.mem[addr&testBusMask])<<24 | uint32(b.mem[(addr+1)&testBusMask])<<16 |
+			uint32(b.mem[(addr+2)&testBusMask])<<8 | uint32(b.mem[(addr+3)&testBusMask])
 	}
 }
 
@@ -35,18 +36,17 @@ func (b *testBus) Write(addr uint32, size Size, v uint32) {
 	if b.record {
 		b.accesses = append(b.accesses, busAccess{addr, size, Write})
 	}
-	addr &= 1<<20 - 1
 	switch size {
 	case Byte:
-		b.mem[addr] = byte(v)
+		b.mem[addr&testBusMask] = byte(v)
 	case Word:
-		b.mem[addr] = byte(v >> 8)
-		b.mem[addr+1] = byte(v)
+		b.mem[addr&testBusMask] = byte(v >> 8)
+		b.mem[(addr+1)&testBusMask] = byte(v)
 	default:
-		b.mem[addr] = byte(v >> 24)
-		b.mem[addr+1] = byte(v >> 16)
-		b.mem[addr+2] = byte(v >> 8)
-		b.mem[addr+3] = byte(v)
+		b.mem[addr&testBusMask] = byte(v >> 24)
+		b.mem[(addr+1)&testBusMask] = byte(v >> 16)
+		b.mem[(addr+2)&testBusMask] = byte(v >> 8)
+		b.mem[(addr+3)&testBusMask] = byte(v)
 	}
 }
 

@@ -98,46 +98,79 @@ func (c *CPU) testCond(cc int) bool {
 }
 
 // setNZ sets N and Z from a result and clears V and C — the pattern shared
-// by moves and logical operations.
+// by moves and logical operations. The helpers below assemble the new
+// condition codes in a register and write sr once; with five flags a write
+// per flag was visible in interpreter profiles.
 func (c *CPU) setNZ(v uint32, size Size) {
 	v &= size.Mask()
-	c.setFlag(FlagN, v&size.MSB() != 0)
-	c.setFlag(FlagZ, v == 0)
-	c.setFlag(FlagV, false)
-	c.setFlag(FlagC, false)
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if v&size.MSB() != 0 {
+		sr |= FlagN
+	}
+	if v == 0 {
+		sr |= FlagZ
+	}
+	c.sr = sr
 }
 
 // addFlags computes X/N/Z/V/C for dst+src=res at the given size.
 func (c *CPU) addFlags(src, dst, res uint32, size Size) {
 	m := size.MSB()
 	res &= size.Mask()
-	carry := ((src&dst)|(^res&(src|dst)))&m != 0
-	over := (^(src^dst)&(src^res))&m != 0
-	c.setFlag(FlagC, carry)
-	c.setFlag(FlagX, carry)
-	c.setFlag(FlagV, over)
-	c.setFlag(FlagZ, res == 0)
-	c.setFlag(FlagN, res&m != 0)
+	sr := c.sr &^ (FlagX | FlagN | FlagZ | FlagV | FlagC)
+	if ((src&dst)|(^res&(src|dst)))&m != 0 {
+		sr |= FlagC | FlagX
+	}
+	if (^(src^dst)&(src^res))&m != 0 {
+		sr |= FlagV
+	}
+	if res == 0 {
+		sr |= FlagZ
+	}
+	if res&m != 0 {
+		sr |= FlagN
+	}
+	c.sr = sr
 }
 
 // subFlags computes X/N/Z/V/C for dst-src=res at the given size.
 func (c *CPU) subFlags(src, dst, res uint32, size Size) {
 	m := size.MSB()
 	res &= size.Mask()
-	borrow := ((src&^dst)|(res&(src|^dst)))&m != 0
-	over := ((src^dst)&(res^dst))&m != 0
-	c.setFlag(FlagC, borrow)
-	c.setFlag(FlagX, borrow)
-	c.setFlag(FlagV, over)
-	c.setFlag(FlagZ, res == 0)
-	c.setFlag(FlagN, res&m != 0)
+	sr := c.sr &^ (FlagX | FlagN | FlagZ | FlagV | FlagC)
+	if ((src&^dst)|(res&(src|^dst)))&m != 0 {
+		sr |= FlagC | FlagX
+	}
+	if ((src^dst)&(res^dst))&m != 0 {
+		sr |= FlagV
+	}
+	if res == 0 {
+		sr |= FlagZ
+	}
+	if res&m != 0 {
+		sr |= FlagN
+	}
+	c.sr = sr
 }
 
 // cmpFlags is subFlags without touching X (CMP semantics).
 func (c *CPU) cmpFlags(src, dst, res uint32, size Size) {
-	x := c.flag(FlagX)
-	c.subFlags(src, dst, res, size)
-	c.setFlag(FlagX, x)
+	m := size.MSB()
+	res &= size.Mask()
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if ((src&^dst)|(res&(src|^dst)))&m != 0 {
+		sr |= FlagC
+	}
+	if ((src^dst)&(res^dst))&m != 0 {
+		sr |= FlagV
+	}
+	if res == 0 {
+		sr |= FlagZ
+	}
+	if res&m != 0 {
+		sr |= FlagN
+	}
+	c.sr = sr
 }
 
 // opSize decodes the common 2-bit size field (00=byte 01=word 10=long);

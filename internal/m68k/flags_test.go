@@ -1,0 +1,200 @@
+package m68k
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Condition-code truth tables from the M68000 Programmer's Reference
+// Manual (Table 3-19), written as independent predicates over the four
+// tested flags so the switch in testCond is checked against the
+// architecture definition rather than against itself.
+var condTruth = []struct {
+	cc   int
+	name string
+	want func(c, v, z, n bool) bool
+}{
+	{0x0, "T", func(c, v, z, n bool) bool { return true }},
+	{0x1, "F", func(c, v, z, n bool) bool { return false }},
+	{0x2, "HI", func(c, v, z, n bool) bool { return !c && !z }},
+	{0x3, "LS", func(c, v, z, n bool) bool { return c || z }},
+	{0x4, "CC", func(c, v, z, n bool) bool { return !c }},
+	{0x5, "CS", func(c, v, z, n bool) bool { return c }},
+	{0x6, "NE", func(c, v, z, n bool) bool { return !z }},
+	{0x7, "EQ", func(c, v, z, n bool) bool { return z }},
+	{0x8, "VC", func(c, v, z, n bool) bool { return !v }},
+	{0x9, "VS", func(c, v, z, n bool) bool { return v }},
+	{0xA, "PL", func(c, v, z, n bool) bool { return !n }},
+	{0xB, "MI", func(c, v, z, n bool) bool { return n }},
+	{0xC, "GE", func(c, v, z, n bool) bool { return (n && v) || (!n && !v) }},
+	{0xD, "LT", func(c, v, z, n bool) bool { return (n && !v) || (!n && v) }},
+	{0xE, "GT", func(c, v, z, n bool) bool { return (n && v && !z) || (!n && !v && !z) }},
+	{0xF, "LE", func(c, v, z, n bool) bool { return z || (n && !v) || (!n && v) }},
+}
+
+func TestCondTruthTable(t *testing.T) {
+	cpu, _ := newTestCPU()
+	if len(condTruth) != 16 {
+		t.Fatalf("table covers %d conditions, want 16", len(condTruth))
+	}
+	for _, tc := range condTruth {
+		for bits := 0; bits < 16; bits++ {
+			cf := bits&1 != 0
+			vf := bits&2 != 0
+			zf := bits&4 != 0
+			nf := bits&8 != 0
+			cpu.sr &^= FlagC | FlagV | FlagZ | FlagN
+			if cf {
+				cpu.sr |= FlagC
+			}
+			if vf {
+				cpu.sr |= FlagV
+			}
+			if zf {
+				cpu.sr |= FlagZ
+			}
+			if nf {
+				cpu.sr |= FlagN
+			}
+			if got, want := cpu.testCond(tc.cc), tc.want(cf, vf, zf, nf); got != want {
+				t.Errorf("%s with C=%v V=%v Z=%v N=%v: got %v, want %v",
+					tc.name, cf, vf, zf, nf, got, want)
+			}
+		}
+	}
+}
+
+// ccr extracts the five arithmetic flags.
+func ccr(c *CPU) (x, n, z, v, cf bool) {
+	return c.sr&FlagX != 0, c.sr&FlagN != 0, c.sr&FlagZ != 0,
+		c.sr&FlagV != 0, c.sr&FlagC != 0
+}
+
+// checkFlags compares the CPU flags against independently computed
+// expectations.
+func checkFlags(t *testing.T, op string, c *CPU, src, dst uint32, size Size,
+	wantX, wantN, wantZ, wantV, wantC bool) {
+	t.Helper()
+	x, n, z, v, cf := ccr(c)
+	if x != wantX || n != wantN || z != wantZ || v != wantV || cf != wantC {
+		t.Errorf("%s src=%#x dst=%#x size=%v: X=%v N=%v Z=%v V=%v C=%v, want X=%v N=%v Z=%v V=%v C=%v",
+			op, src, dst, size, x, n, z, v, cf, wantX, wantN, wantZ, wantV, wantC)
+	}
+}
+
+// TestAddFlagsByteExhaustive checks addFlags against 8-bit two's-complement
+// arithmetic over every src/dst pair: C is the unsigned carry out, V the
+// signed overflow, X copies C.
+func TestAddFlagsByteExhaustive(t *testing.T) {
+	cpu, _ := newTestCPU()
+	for src := uint32(0); src < 256; src++ {
+		for dst := uint32(0); dst < 256; dst++ {
+			res := src + dst
+			cpu.addFlags(src, dst, res, Byte)
+			sum := int16(int8(src)) + int16(int8(dst))
+			carry := res > 0xFF
+			over := sum < -128 || sum > 127
+			checkFlags(t, "add", cpu, src, dst, Byte,
+				carry, res&0x80 != 0, res&0xFF == 0, over, carry)
+		}
+	}
+}
+
+// TestSubFlagsByteExhaustive checks subFlags (dst-src) the same way: C is
+// the borrow, V the signed overflow, X copies C.
+func TestSubFlagsByteExhaustive(t *testing.T) {
+	cpu, _ := newTestCPU()
+	for src := uint32(0); src < 256; src++ {
+		for dst := uint32(0); dst < 256; dst++ {
+			res := dst - src
+			cpu.subFlags(src, dst, res, Byte)
+			diff := int16(int8(dst)) - int16(int8(src))
+			borrow := src > dst
+			over := diff < -128 || diff > 127
+			checkFlags(t, "sub", cpu, src, dst, Byte,
+				borrow, res&0x80 != 0, res&0xFF == 0, over, borrow)
+		}
+	}
+}
+
+// TestCmpFlagsPreservesX checks cmpFlags computes the subtraction flags
+// but leaves X alone, with both initial X values.
+func TestCmpFlagsPreservesX(t *testing.T) {
+	cpu, _ := newTestCPU()
+	for _, initX := range []bool{false, true} {
+		for src := uint32(0); src < 256; src++ {
+			for dst := uint32(0); dst < 256; dst++ {
+				cpu.sr &^= FlagX
+				if initX {
+					cpu.sr |= FlagX
+				}
+				res := dst - src
+				cpu.cmpFlags(src, dst, res, Byte)
+				diff := int16(int8(dst)) - int16(int8(src))
+				borrow := src > dst
+				over := diff < -128 || diff > 127
+				checkFlags(t, "cmp", cpu, src, dst, Byte,
+					initX, res&0x80 != 0, res&0xFF == 0, over, borrow)
+			}
+		}
+	}
+}
+
+// TestFlagHelpersWiderSizes samples word and long operands against 64-bit
+// reference arithmetic, plus the classic boundary vectors.
+func TestFlagHelpersWiderSizes(t *testing.T) {
+	cpu, _ := newTestCPU()
+	rng := rand.New(rand.NewSource(68000))
+	type vec struct{ src, dst uint32 }
+	vectors := []vec{
+		{1, 0x7FFFFFFF}, {1, 0xFFFFFFFF}, {0x80000000, 0x80000000},
+		{0, 0}, {0xFFFFFFFF, 0}, {0x7FFF, 0x7FFF}, {0x8000, 0x8000},
+	}
+	for i := 0; i < 20000; i++ {
+		vectors = append(vectors, vec{rng.Uint32(), rng.Uint32()})
+	}
+	for _, size := range []Size{Word, Long} {
+		bits := uint(size) * 8
+		mask := uint64(1)<<bits - 1
+		sign := uint64(1) << (bits - 1)
+		for _, tv := range vectors {
+			src, dst := tv.src&uint32(mask), tv.dst&uint32(mask)
+
+			res := src + dst
+			cpu.addFlags(src, dst, res, size)
+			full := uint64(src) + uint64(dst)
+			ssrc, sdst := int64(uint64(src)^sign)-int64(sign), int64(uint64(dst)^sign)-int64(sign)
+			sum := ssrc + sdst
+			carry := full > mask
+			over := sum < -int64(sign) || sum >= int64(sign)
+			checkFlags(t, "add", cpu, src, dst, size,
+				carry, uint64(res)&sign != 0, uint64(res)&mask == 0, over, carry)
+
+			res = dst - src
+			cpu.subFlags(src, dst, res, size)
+			diff := sdst - ssrc
+			borrow := src > dst
+			over = diff < -int64(sign) || diff >= int64(sign)
+			checkFlags(t, "sub", cpu, src, dst, size,
+				borrow, uint64(res)&sign != 0, uint64(res)&mask == 0, over, borrow)
+		}
+	}
+}
+
+// TestFlagHelpersTouchOnlyCCR checks the helpers never disturb the system
+// byte of the status register (supervisor mode, interrupt mask, trace).
+func TestFlagHelpersTouchOnlyCCR(t *testing.T) {
+	cpu, _ := newTestCPU()
+	system := cpu.sr & 0xFF00
+	if system&FlagS == 0 {
+		t.Fatal("test CPU should start in supervisor mode")
+	}
+	cpu.addFlags(1, 2, 3, Byte)
+	var two, five uint32 = 2, 5
+	cpu.subFlags(five, two, two-five, Word)
+	cpu.cmpFlags(7, 7, 0, Long)
+	cpu.setNZ(0x80, Byte)
+	if cpu.sr&0xFF00 != system {
+		t.Errorf("system byte changed: %#x -> %#x", system, cpu.sr&0xFF00)
+	}
+}

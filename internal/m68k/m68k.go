@@ -27,29 +27,21 @@ const (
 // Bits returns the operand width in bits.
 func (s Size) Bits() uint { return uint(s) * 8 }
 
+// sizeMask and sizeMSB are indexed by the Size value itself (1, 2, 4).
+// A table load beats the equivalent shift expression here: Go's defined
+// semantics for variable shifts (count ≥ width yields 0) make the
+// compiler guard every such shift, and Mask/MSB sit on the per-operand
+// hot path. The &7 keeps the compiler from emitting a bounds check.
+var (
+	sizeMask = [8]uint32{Byte: 0xFF, Word: 0xFFFF, Long: 0xFFFFFFFF}
+	sizeMSB  = [8]uint32{Byte: 0x80, Word: 0x8000, Long: 0x80000000}
+)
+
 // Mask returns a mask covering the operand width.
-func (s Size) Mask() uint32 {
-	switch s {
-	case Byte:
-		return 0xFF
-	case Word:
-		return 0xFFFF
-	default:
-		return 0xFFFFFFFF
-	}
-}
+func (s Size) Mask() uint32 { return sizeMask[s&7] }
 
 // MSB returns the sign bit for the operand width.
-func (s Size) MSB() uint32 {
-	switch s {
-	case Byte:
-		return 0x80
-	case Word:
-		return 0x8000
-	default:
-		return 0x80000000
-	}
-}
+func (s Size) MSB() uint32 { return sizeMSB[s&7] }
 
 func (s Size) String() string {
 	switch s {
@@ -186,15 +178,30 @@ type CPU struct {
 	// err records a fault raised mid-instruction (double faults, vector
 	// table corruption). It halts the CPU.
 	err error
+
+	// legacy selects the reference nested-switch dispatcher instead of
+	// the pre-decoded table; the differential tests run both.
+	legacy bool
 }
 
 // New returns a CPU connected to bus. Call Reset to begin execution.
 func New(bus Bus) *CPU {
+	opTableOnce.Do(buildOpTable)
 	return &CPU{bus: bus}
 }
 
-// Bus returns the bus the CPU was created with.
+// Bus returns the bus the CPU is connected to.
 func (c *CPU) Bus() Bus { return c.bus }
+
+// SetBus reconnects the CPU to a different bus implementation. The
+// emulator uses this to swap in the traced or untraced bus fast path when
+// trace collection is toggled after construction.
+func (c *CPU) SetBus(b Bus) { c.bus = b }
+
+// SetLegacyDispatch selects the reference nested-switch dispatcher (true)
+// or the pre-decoded table (false, the default). The two are semantically
+// identical; the switch exists so the differential tests can compare them.
+func (c *CPU) SetLegacyDispatch(on bool) { c.legacy = on }
 
 // Err returns the fault that halted the CPU, if any.
 func (c *CPU) Err() error { return c.err }
@@ -430,7 +437,12 @@ func (c *CPU) execOne() {
 	if c.OnExec != nil {
 		c.OnExec(pc, opcode)
 	}
-	c.dispatch(opcode)
+	if c.legacy {
+		c.dispatch(opcode)
+		return
+	}
+	e := &opTable[opcode]
+	e.fn(c, opcode, e)
 }
 
 // illegalOp raises the illegal-instruction exception, rewinding PC to the

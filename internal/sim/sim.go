@@ -248,7 +248,7 @@ func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
 	var sink *traceSink
 	if opt.CollectTrace || opt.CollectKinds {
 		sink = &traceSink{want: opt.CollectKinds}
-		m.Bus.Tracer = sink
+		m.SetTracer(sink) // re-selects the CPU's traced bus port
 	}
 	var end uint32
 	for _, ev := range replay.Synchronous {
