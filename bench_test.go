@@ -3,7 +3,8 @@
 //
 //	BenchmarkSessionReplay      Table 1   — full activity-log playback
 //	BenchmarkHackOverhead       Figure 3  — the instrumented logging path
-//	BenchmarkCacheSweep         Figures 5/6 — 56-configuration sweep
+//	BenchmarkCacheSweep         Figures 5/6 — 56-config sweep, direct engine
+//	BenchmarkStackSweep         Figures 5/6 — same sweep, single-pass engine
 //	BenchmarkDesktopSweep       Figure 7  — desktop-trace sweep
 //	BenchmarkProfilingDispatch  ablation: ROM TrapDispatcher vs native
 //	BenchmarkReplacementPolicy  ablation: LRU vs FIFO vs Random
@@ -130,8 +131,9 @@ func BenchmarkHackOverhead(b *testing.B) {
 }
 
 // BenchmarkCacheSweep runs the 56-configuration Figures 5/6 sweep over a
-// real replay trace through the internal/sweep engine, serial versus one
-// worker per core.
+// real replay trace through the internal/sweep engine with per-config
+// direct simulation (the pre-stack baseline), serial versus one worker
+// per core.
 func BenchmarkCacheSweep(b *testing.B) {
 	_, trace := benchSetup(b)
 	cfgs := cache.PaperSweep()
@@ -141,7 +143,29 @@ func BenchmarkCacheSweep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: wc.workers}); err != nil {
+				opts := sweep.Options{Workers: wc.workers, Engine: sweep.EngineDirect}
+				if _, err := sweep.RunTrace(cfgs, trace, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStackSweep is the same Figures 5/6 sweep through the
+// single-pass stack-distance engine — the headline speedup over
+// BenchmarkCacheSweep is the number EXPERIMENTS.md records.
+func BenchmarkStackSweep(b *testing.B) {
+	_, trace := benchSetup(b)
+	cfgs := cache.PaperSweep()
+	for _, wc := range sweepWorkerCounts() {
+		b.Run(wc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(trace) * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := sweep.Options{Workers: wc.workers, Engine: sweep.EngineStack}
+				if _, err := sweep.RunTrace(cfgs, trace, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

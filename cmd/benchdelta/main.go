@@ -11,7 +11,9 @@
 //
 // With -max-regress 0.5, an ns/op regression beyond +50% on any benchmark
 // makes the command exit non-zero (0 disables gating; CI machines are too
-// noisy for a tight threshold to be useful).
+// noisy for a tight threshold to be useful). -max-alloc-regress gates
+// allocs/op the same way — allocation counts are deterministic, so a much
+// tighter threshold works there.
 package main
 
 import (
@@ -109,10 +111,23 @@ func fmtValue(unit string, v float64) string {
 	return fmt.Sprintf("%.2f", v)
 }
 
+// regressed reports whether a fractional growth d on the given unit trips
+// one of the enabled gates (ns/op wall time, allocs/op allocation count).
+func regressed(unit string, d, maxNs, maxAllocs float64) bool {
+	switch unit {
+	case "ns/op":
+		return maxNs > 0 && d > maxNs
+	case "allocs/op":
+		return maxAllocs > 0 && d > maxAllocs
+	}
+	return false
+}
+
 func main() {
 	baselinePath := flag.String("baseline", ".github/bench-baseline.txt", "baseline bench output")
 	currentPath := flag.String("current", "", "current bench output (required)")
 	maxRegress := flag.Float64("max-regress", 0, "fail if any ns/op grows by more than this fraction (0 = report only)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "fail if any allocs/op grows by more than this fraction (0 = report only)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdelta: -current is required")
@@ -156,7 +171,7 @@ func main() {
 			if b != 0 {
 				d := (c - b) / b
 				delta = fmt.Sprintf("%+.1f%%", 100*d)
-				if unit == "ns/op" && *maxRegress > 0 && d > *maxRegress {
+				if regressed(unit, d, *maxRegress, *maxAllocRegress) {
 					delta += " REGRESSION"
 					failed = true
 				}

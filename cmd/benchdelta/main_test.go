@@ -47,6 +47,49 @@ func TestParseIgnoresCommentsAndNoise(t *testing.T) {
 	}
 }
 
+func TestRegressed(t *testing.T) {
+	cases := []struct {
+		unit               string
+		d, maxNs, maxAlloc float64
+		want               bool
+	}{
+		{"ns/op", 0.6, 0.5, 0, true},
+		{"ns/op", 0.4, 0.5, 0, false},
+		{"ns/op", 9.9, 0, 0.1, false}, // ns gate disabled
+		{"allocs/op", 0.2, 0, 0.1, true},
+		{"allocs/op", 0.05, 0, 0.1, false},
+		{"allocs/op", 9.9, 0.5, 0, false}, // alloc gate disabled
+		{"MB/s", 9.9, 0.5, 0.1, false},    // throughput never gates
+	}
+	for _, c := range cases {
+		if got := regressed(c.unit, c.d, c.maxNs, c.maxAlloc); got != c.want {
+			t.Errorf("regressed(%q, %v, %v, %v) = %v, want %v",
+				c.unit, c.d, c.maxNs, c.maxAlloc, got, c.want)
+		}
+	}
+}
+
+func TestParseAveragesAllocs(t *testing.T) {
+	const withAllocs = `
+BenchmarkStackSweep/serial-8   3   90000000 ns/op   30.00 MB/s   520000 B/op   170 allocs/op
+BenchmarkStackSweep/serial-8   3   90000000 ns/op   30.00 MB/s   520000 B/op   180 allocs/op
+`
+	got, err := parse(strings.NewReader(withAllocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["StackSweep/serial"]
+	if !ok {
+		t.Fatalf("StackSweep/serial missing from %v", got)
+	}
+	if v := m["allocs/op"]; math.Abs(v-175) > 1e-9 {
+		t.Errorf("allocs/op mean = %v, want 175", v)
+	}
+	if v := m["B/op"]; math.Abs(v-520000) > 1e-9 {
+		t.Errorf("B/op mean = %v, want 520000", v)
+	}
+}
+
 func TestFmtValue(t *testing.T) {
 	cases := []struct {
 		unit string

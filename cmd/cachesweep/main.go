@@ -1,15 +1,19 @@
 // Command cachesweep runs the §4 cache case study over a memory-reference
-// trace: either a .trace file produced by cmd/palmsim, a din-format file,
-// a fresh replay of a built-in session, or the synthetic desktop trace
-// (Figure 7). All configurations are simulated concurrently by the
-// internal/sweep engine; file and desktop traces are streamed, so memory
-// use is independent of trace length.
+// trace: either a .trace file produced by cmd/palmsim (raw or packed
+// format, auto-detected), a din-format file, a fresh replay of a built-in
+// session, or the synthetic desktop trace (Figure 7). All configurations
+// are simulated concurrently by the internal/sweep engine; file and
+// desktop traces are streamed, so memory use is independent of trace
+// length.
 //
 // Usage:
 //
 //	cachesweep -session 1
 //	cachesweep -trace out/session1.trace -workers 8
+//	cachesweep -trace out/session1.ptrace             (packed, auto-detected)
 //	cachesweep -desktop
+//	cachesweep -session 1 -algo direct                (per-config simulation)
+//	cachesweep -session 1 -crossvalidate              (stack vs direct diff)
 //	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
 package main
 
@@ -30,11 +34,14 @@ import (
 )
 
 func main() {
-	traceFile := flag.String("trace", "", "trace file (from palmsim -out)")
+	traceFile := flag.String("trace", "", "trace file (from palmsim -out), raw or packed")
+	traceFormat := flag.String("trace-format", "auto", "trace file format: auto (sniff magic), raw or packed")
 	dinFile := flag.String("din", "", "Dinero din-format trace file")
 	sessionNum := flag.Int("session", 0, "replay built-in session (1-4) to obtain the trace")
 	desktop := flag.Bool("desktop", false, "use the synthetic desktop trace (Figure 7)")
 	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
+	algo := flag.String("algo", "auto", "sweep engine: auto, direct or stack")
+	crossValidate := flag.Bool("crossvalidate", false, "run both engines over the trace and verify bit-identical results")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
 	profiler := prof.AddFlags()
@@ -56,31 +63,47 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	var src sweep.Source
+	var eng sweep.Engine
+	switch strings.ToLower(*algo) {
+	case "auto":
+		eng = sweep.EngineAuto
+	case "direct":
+		eng = sweep.EngineDirect
+	case "stack":
+		eng = sweep.EngineStack
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want auto, direct or stack)", *algo))
+	}
+
+	// newSource opens a fresh pass over the selected trace; the
+	// cross-validation mode needs two.
+	var newSource func() (sweep.Source, error)
 	switch {
 	case *dinFile != "":
-		f, err := os.Open(*dinFile)
-		if err != nil {
-			fatal(err)
+		newSource = func() (sweep.Source, error) {
+			f, err := os.Open(*dinFile)
+			if err != nil {
+				return nil, err
+			}
+			return exp.NewDineroSource(f), nil
 		}
-		defer f.Close()
-		src = exp.NewDineroSource(f)
 		fmt.Printf("streaming din references from %s\n", *dinFile)
 	case *traceFile != "":
-		f, err := os.Open(*traceFile)
+		newSource = func() (sweep.Source, error) {
+			return openTraceFile(*traceFile, *traceFormat)
+		}
+		src, err := newSource()
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		ts, err := exp.NewTraceSource(f)
-		if err != nil {
-			fatal(err)
+		if ts, ok := src.(*exp.TraceSource); ok {
+			fmt.Printf("streaming %d raw references from %s\n", ts.Refs(), *traceFile)
+		} else {
+			fmt.Printf("streaming packed references from %s\n", *traceFile)
 		}
-		src = ts
-		fmt.Printf("streaming %d references from %s\n", ts.Refs(), *traceFile)
 	case *desktop:
 		cfg := dtrace.DefaultConfig()
-		src = dtrace.NewStream(cfg)
+		newSource = func() (sweep.Source, error) { return dtrace.NewStream(cfg), nil }
 		fmt.Printf("streaming %d synthetic desktop references\n", cfg.Refs)
 	case *sessionNum >= 1 && *sessionNum <= 4:
 		s := user.PaperSessions()[*sessionNum-1]
@@ -89,7 +112,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		src = sweep.NewSliceSource(run.Trace)
+		newSource = func() (sweep.Source, error) { return sweep.NewSliceSource(run.Trace), nil }
 		fmt.Printf("trace: %d references (%.1f%% flash), no-cache Teff %.3f\n",
 			len(run.Trace),
 			100*float64(run.Row.FlashRefs)/float64(run.Row.RAMRefs+run.Row.FlashRefs),
@@ -102,12 +125,19 @@ func main() {
 	for i := range cfgs {
 		cfgs[i].Policy = pol
 	}
-	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk}
-	fmt.Printf("sweep engine: %s\n", sweep.Describe(opts, len(cfgs)))
-	results, err := sweep.Run(cfgs, src, opts)
+	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk, Engine: eng}
+	fmt.Printf("sweep: %s\n", sweep.Describe(opts, cfgs))
+
+	results, err := runOnce(cfgs, newSource, opts)
 	if err != nil {
 		fatal(err)
 	}
+	if *crossValidate {
+		if err := crossValidateEngines(cfgs, newSource, opts, results); err != nil {
+			fatal(err)
+		}
+	}
+
 	model := energy.Default()
 	t := report.New(fmt.Sprintf("56-configuration sweep (%s)", pol),
 		"config", "miss rate", "Teff (Eq.2)", "Teff exact", "mem energy saved")
@@ -117,6 +147,63 @@ func main() {
 	}
 	fmt.Print(t)
 	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+}
+
+// openTraceFile opens a trace file in the requested (or sniffed) format.
+func openTraceFile(path, format string) (sweep.Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(format) {
+	case "auto":
+		src, _, err := exp.OpenTraceSource(f)
+		return src, err
+	case "raw":
+		return exp.NewTraceSource(f)
+	case "packed":
+		return exp.NewPackedSource(f)
+	}
+	return nil, fmt.Errorf("unknown trace format %q (want auto, raw or packed)", format)
+}
+
+// runOnce opens a fresh source and sweeps it.
+func runOnce(cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
+	src, err := newSource()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(cfgs, src, opts)
+}
+
+// crossValidateEngines re-runs the sweep on the engine not used for the
+// headline results and verifies every per-configuration counter matches
+// bit for bit.
+func crossValidateEngines(cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options, got []cache.Result) error {
+	ran := opts.Engine
+	other := sweep.EngineDirect
+	if ran == sweep.EngineDirect {
+		other = sweep.EngineStack
+	}
+	opts.Engine = other
+	want, err := runOnce(cfgs, newSource, opts)
+	if err != nil {
+		return fmt.Errorf("cross-validation sweep (%v engine): %w", other, err)
+	}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+			fmt.Printf("MISMATCH %v:\n  %v engine: %+v\n  %v engine: %+v\n",
+				cfgs[i], ran, got[i], other, want[i])
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("cross-validation FAILED: %d of %d configurations diverged", mismatches, len(cfgs))
+	}
+	fmt.Printf("cross-validation OK: %d/%d configurations bit-identical across stack and direct engines\n",
+		len(cfgs), len(cfgs))
+	return nil
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"palmsim"
+	"palmsim/internal/dtrace"
 	"palmsim/internal/exp"
 	"palmsim/internal/prof"
 	"palmsim/internal/validate"
@@ -27,6 +28,7 @@ func main() {
 	outDir := flag.String("out", "", "directory for state/log/trace artifacts (omit to skip writing)")
 	list := flag.Bool("list", false, "list built-in sessions and exit")
 	withTrace := flag.Bool("trace", true, "collect a memory-reference trace during replay")
+	traceFormat := flag.String("trace-format", "raw", "trace artifact format: raw (.trace), packed (.ptrace) or both")
 	screenshot := flag.Bool("screenshot", false, "write the final display as a PGM image (with -out)")
 	dinero := flag.Bool("dinero", false, "also write the trace in Dinero din format (with -out)")
 	profiler := prof.AddFlags()
@@ -93,7 +95,28 @@ func main() {
 		write(s.Name+".final.palmstate", col.Final.Marshal())
 		write(s.Name+".palmlog", col.Log.Marshal())
 		if *withTrace {
-			write(s.Name+".trace", exp.MarshalTrace(pb.Trace))
+			format := *traceFormat
+			if format != "raw" && format != "packed" && format != "both" {
+				fatal(fmt.Errorf("unknown trace format %q (want raw, packed or both)", format))
+			}
+			var rawLen, packedLen int
+			if format == "raw" || format == "both" {
+				raw := exp.MarshalTrace(pb.Trace)
+				rawLen = len(raw)
+				write(s.Name+".trace", raw)
+			}
+			if format == "packed" || format == "both" {
+				packed, err := dtrace.PackTrace(pb.Trace, pb.TraceKinds)
+				if err != nil {
+					fatal(err)
+				}
+				packedLen = len(packed)
+				write(s.Name+".ptrace", packed)
+			}
+			if format == "both" && packedLen > 0 {
+				fmt.Printf("  packed trace is %.1fx smaller than raw\n",
+					float64(rawLen)/float64(packedLen))
+			}
 		}
 		if *screenshot {
 			write(s.Name+".pgm", pb.M.ScreenPGM())

@@ -244,6 +244,14 @@ func (c *Cache) Access(addr uint32) bool {
 	return false
 }
 
+// AccessAll performs each reference in order — the sweep engines' chunk
+// entry point, hoisting the per-call overhead out of the trace loop.
+func (c *Cache) AccessAll(refs []uint32) {
+	for _, addr := range refs {
+		c.Access(addr)
+	}
+}
+
 // promote marks way w most-recent within the set (rank 0), aging others.
 func (c *Cache) promote(base, w int) {
 	old := c.order[base+w]

@@ -54,6 +54,40 @@ func TestPaperSweepHas56Configs(t *testing.T) {
 	}
 }
 
+// TestPaperSweepGroupingInvariants pins the structural properties the
+// single-pass stack engine relies on when it groups the sweep into
+// refinements: every configuration is LRU, partitions cleanly by line
+// size, and its Sets/Ways/shift precomputations are mutually consistent,
+// so 56 configurations collapse to 10 set-count geometries per line size.
+func TestPaperSweepGroupingInvariants(t *testing.T) {
+	sweep := PaperSweep()
+	byLine := map[int]int{}
+	geoms := map[[2]int]bool{}
+	for _, c := range sweep {
+		if c.Policy != LRU {
+			t.Errorf("%v: paper sweep must be all-LRU for stack grouping", c)
+		}
+		byLine[c.LineBytes]++
+		geoms[[2]int{c.LineBytes, c.Sets()}] = true
+		if c.Sets()*c.Ways*c.LineBytes != c.SizeBytes {
+			t.Errorf("%v: Sets()*Ways*LineBytes = %d, want %d",
+				c, c.Sets()*c.Ways*c.LineBytes, c.SizeBytes)
+		}
+		if got := 1 << c.IndexShift(); got != c.LineBytes {
+			t.Errorf("%v: IndexShift %d does not recover line size", c, c.IndexShift())
+		}
+		if got := 1 << (c.TagShift() - c.IndexShift()); got != c.Sets() {
+			t.Errorf("%v: TagShift %d does not recover set count", c, c.TagShift())
+		}
+	}
+	if len(byLine) != 2 || byLine[16] != 28 || byLine[32] != 28 {
+		t.Errorf("line-size partition = %v, want 28 configs each for 16B and 32B", byLine)
+	}
+	if len(geoms) != 20 {
+		t.Errorf("%d distinct (line, sets) geometries, want 20", len(geoms))
+	}
+}
+
 func TestColdMissThenHit(t *testing.T) {
 	c, err := New(cfg(1024, 16, 2))
 	if err != nil {

@@ -1,0 +1,263 @@
+// Package stack implements the single-pass all-associativity cache
+// sweep: one traversal of a memory-reference trace produces exact
+// per-configuration hit/miss counts for every LRU configuration of the
+// paper's §4 case study, bit-identical to simulating each cache
+// independently (cache.Sweep).
+//
+// The engine rests on the LRU inclusion property (Mattson et al.'s stack
+// algorithms, specialized to set-associative caches): for a fixed line
+// size and set count S, the contents of an A-way LRU cache are exactly
+// the A most-recently-used distinct lines mapping to each set, for every
+// A simultaneously. A reference therefore hits in the (S, A) cache if
+// and only if its line sits at recency depth < A within its set. One
+// "refinement" per distinct (line size, S) pair maintains each set's
+// recency list truncated at the deepest associativity any configuration
+// needs (8 in the paper sweep), and records a histogram of observed
+// depths; the per-configuration miss count for (S, A) is then just the
+// suffix sum of the histogram from depth A — computed once at the end,
+// entirely off the per-reference path. The 56-configuration paper sweep
+// collapses to 20 refinements, each probing a <=8-entry list per
+// reference instead of driving 56 independent caches.
+//
+// Exactness holds only for LRU, whose eviction order is a pure function
+// of the reference stream. FIFO depends on insertion order and Random on
+// each cache's private PRNG state, so non-LRU configurations fall back to
+// direct per-config simulation (cache.Cache) behind the same Unit
+// interface.
+package stack
+
+import (
+	"sort"
+
+	"palmsim/internal/bus"
+	"palmsim/internal/cache"
+)
+
+// Unit is one independently advanceable simulation shard: a refinement
+// or a direct-simulation fallback cache. Units are mutually independent,
+// so a sweep engine may drive them from different goroutines as long as
+// each unit observes the full trace in order.
+type Unit interface {
+	AccessAll(refs []uint32)
+}
+
+// refCfg ties a configuration served by a refinement back to its index
+// in the caller's configuration slice.
+type refCfg struct {
+	index int
+	cfg   cache.Config
+}
+
+// Refinement is the all-associativity state for one (line size, set
+// count) geometry: per-set recency lists truncated at the deepest
+// associativity any served configuration needs, plus depth histograms
+// split by memory region.
+type Refinement struct {
+	lineBytes int
+	sets      int
+	lineShift uint
+	setMask   uint32
+	depth     int      // deepest Ways over cfgs; recency lists keep this many lines
+	lists     []uint32 // sets*depth entries: line number + 1, 0 = empty, MRU first
+	// histRAM[d] / histFlash[d] count references found at recency depth d;
+	// index depth counts references not found within the list at all
+	// (misses for every served configuration).
+	histRAM   []uint64
+	histFlash []uint64
+	cfgs      []refCfg
+}
+
+// LineBytes returns the line size this refinement serves.
+func (r *Refinement) LineBytes() int { return r.lineBytes }
+
+// Sets returns the set count this refinement serves.
+func (r *Refinement) Sets() int { return r.sets }
+
+// Depth returns the recency-list depth (the deepest associativity among
+// the served configurations).
+func (r *Refinement) Depth() int { return r.depth }
+
+// Configs returns the configurations this refinement produces results
+// for.
+func (r *Refinement) Configs() []cache.Config {
+	out := make([]cache.Config, len(r.cfgs))
+	for i, rc := range r.cfgs {
+		out[i] = rc.cfg
+	}
+	return out
+}
+
+// AccessAll advances the refinement over one chunk of references.
+func (r *Refinement) AccessAll(refs []uint32) {
+	depth := r.depth
+	for _, addr := range refs {
+		// Same unsigned-wrap region test as cache.Cache.Access.
+		hist := r.histRAM
+		if addr-bus.ROMBase < bus.ROMSize {
+			hist = r.histFlash
+		}
+		line := addr >> r.lineShift
+		key := line + 1
+		base := int(line&r.setMask) * depth
+		set := r.lists[base : base+depth]
+		if set[0] == key {
+			// MRU re-reference: a hit in every served configuration and
+			// no reordering — the hot path on real traces.
+			hist[0]++
+			continue
+		}
+		// Walk for the line or the first empty slot (entries fill from
+		// the front, so a zero ends the occupied prefix).
+		p := 1
+		for p < depth && set[p] != key && set[p] != 0 {
+			p++
+		}
+		bucket := depth // not resident: miss at every associativity
+		pos := p
+		if p == depth {
+			pos = depth - 1 // full set: the LRU tail line is evicted
+		} else if set[p] == key {
+			bucket = p
+		}
+		hist[bucket]++
+		for i := pos; i > 0; i-- {
+			set[i] = set[i-1]
+		}
+		set[0] = key
+	}
+}
+
+// results fills the served configurations' slots of out from the depth
+// histograms: a reference at depth d hits (S, A) iff d < A.
+func (r *Refinement) results(out []cache.Result) {
+	for _, rc := range r.cfgs {
+		res := cache.Result{Config: rc.cfg}
+		for d := 0; d <= r.depth; d++ {
+			ram, flash := r.histRAM[d], r.histFlash[d]
+			res.Accesses += ram + flash
+			res.RAMRefs += ram
+			res.FlashRefs += flash
+			if d >= rc.cfg.Ways {
+				res.Misses += ram + flash
+				res.RAMMisses += ram
+				res.FlashMisses += flash
+			}
+		}
+		out[rc.index] = res
+	}
+}
+
+// fallback is a non-LRU configuration simulated directly.
+type fallback struct {
+	index int
+	c     *cache.Cache
+}
+
+// Engine partitions a configuration set into refinements (LRU) and
+// direct-simulation fallbacks (everything else) and assembles results in
+// the original configuration order.
+type Engine struct {
+	refinements []*Refinement
+	fallbacks   []fallback
+	nconfigs    int
+}
+
+// New validates the configurations and builds the refinement tree:
+// configurations group by line size, then by set count; each group's
+// recency depth is its deepest associativity.
+func New(cfgs []cache.Config) (*Engine, error) {
+	e := &Engine{nconfigs: len(cfgs)}
+	type geom struct{ line, sets int }
+	byGeom := map[geom]*Refinement{}
+	for i, cfg := range cfgs {
+		if cfg.Policy != cache.LRU {
+			c, err := cache.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			e.fallbacks = append(e.fallbacks, fallback{index: i, c: c})
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		g := geom{line: cfg.LineBytes, sets: cfg.Sets()}
+		r := byGeom[g]
+		if r == nil {
+			r = &Refinement{
+				lineBytes: cfg.LineBytes,
+				sets:      cfg.Sets(),
+				lineShift: cfg.IndexShift(),
+				setMask:   uint32(cfg.Sets() - 1),
+			}
+			byGeom[g] = r
+			e.refinements = append(e.refinements, r)
+		}
+		if cfg.Ways > r.depth {
+			r.depth = cfg.Ways
+		}
+		r.cfgs = append(r.cfgs, refCfg{index: i, cfg: cfg})
+	}
+	// Deterministic unit order regardless of map iteration.
+	sort.Slice(e.refinements, func(i, j int) bool {
+		a, b := e.refinements[i], e.refinements[j]
+		if a.lineBytes != b.lineBytes {
+			return a.lineBytes < b.lineBytes
+		}
+		return a.sets < b.sets
+	})
+	for _, r := range e.refinements {
+		r.lists = make([]uint32, r.sets*r.depth)
+		r.histRAM = make([]uint64, r.depth+1)
+		r.histFlash = make([]uint64, r.depth+1)
+	}
+	return e, nil
+}
+
+// Units returns the engine's independently advanceable shards:
+// refinements first, then direct-simulation fallbacks.
+func (e *Engine) Units() []Unit {
+	units := make([]Unit, 0, len(e.refinements)+len(e.fallbacks))
+	for _, r := range e.refinements {
+		units = append(units, r)
+	}
+	for _, f := range e.fallbacks {
+		units = append(units, f.c)
+	}
+	return units
+}
+
+// Refinements exposes the refinement tree (for diagnostics and the
+// grouping-invariant tests).
+func (e *Engine) Refinements() []*Refinement { return e.refinements }
+
+// FallbackConfigs returns how many configurations are simulated directly
+// rather than through a refinement.
+func (e *Engine) FallbackConfigs() int { return len(e.fallbacks) }
+
+// Results assembles per-configuration results in the order the
+// configurations were passed to New.
+func (e *Engine) Results() []cache.Result {
+	out := make([]cache.Result, e.nconfigs)
+	for _, r := range e.refinements {
+		r.results(out)
+	}
+	for _, f := range e.fallbacks {
+		out[f.index] = f.c.Result()
+	}
+	return out
+}
+
+// Sweep runs a whole trace through a fresh engine on one goroutine — the
+// single-pass counterpart of cache.Sweep, and the reference entry point
+// the differential tests compare against it.
+func Sweep(cfgs []cache.Config, trace []uint32) ([]cache.Result, error) {
+	e, err := New(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range e.Units() {
+		u.AccessAll(trace)
+	}
+	return e.Results(), nil
+}

@@ -8,7 +8,45 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"palmsim/internal/dtrace"
+	"palmsim/internal/sweep"
 )
+
+// OpenTraceSource sniffs a trace stream's 8-byte magic and returns the
+// matching streaming source — raw PALMTRC1 (four bytes per reference,
+// NewTraceSource) or packed PALMPKD1 (varint deltas,
+// dtrace.NewPackedSource) — plus the detected format name ("raw" or
+// "packed"). File-driven sweeps go through here so packed traces are
+// picked up transparently.
+func OpenTraceSource(r io.Reader) (sweep.Source, string, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(8)
+	if err != nil {
+		return nil, "", fmt.Errorf("exp: not a trace file")
+	}
+	switch string(magic) {
+	case "PALMTRC1":
+		src, err := NewTraceSource(br)
+		if err != nil {
+			return nil, "", err
+		}
+		return src, "raw", nil
+	case dtrace.PackedMagic:
+		src, err := NewPackedSource(br)
+		if err != nil {
+			return nil, "", err
+		}
+		return src, "packed", nil
+	}
+	return nil, "", fmt.Errorf("exp: unrecognized trace magic %q", magic)
+}
+
+// NewPackedSource streams a packed (PALMPKD1) trace; it is
+// dtrace.NewPackedSource re-exported next to the other trace readers.
+func NewPackedSource(r io.Reader) (*dtrace.PackedSource, error) {
+	return dtrace.NewPackedSource(r)
+}
 
 // TraceSource streams a PALMTRC1-format reference trace (MarshalTrace's
 // output) from an io.Reader.

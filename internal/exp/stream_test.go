@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"palmsim/internal/dtrace"
 	"palmsim/internal/m68k"
 )
 
@@ -67,6 +68,59 @@ func TestTraceSourceRejectsGarbage(t *testing.T) {
 	buf := make([]uint32, 256)
 	if _, err := ts.NextChunk(buf); err == nil {
 		t.Error("truncated trace streamed without error")
+	}
+}
+
+// TestOpenTraceSourceSniffsFormats: the magic sniffer must route raw and
+// packed blobs to the matching streaming source and reject everything
+// else.
+func TestOpenTraceSourceSniffsFormats(t *testing.T) {
+	want := testTrace(2_003)
+	raw := MarshalTrace(want)
+	packed, err := dtrace.PackTrace(want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		format string
+		data   []byte
+	}{
+		{"raw", raw},
+		{"packed", packed},
+	} {
+		src, format, err := OpenTraceSource(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if format != tc.format {
+			t.Errorf("sniffed %q, want %q", format, tc.format)
+		}
+		var got []uint32
+		buf := make([]uint32, 512)
+		for {
+			n, err := src.NextChunk(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d refs, want %d", tc.format, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: ref %d = %#x, want %#x", tc.format, i, got[i], want[i])
+			}
+		}
+	}
+	if _, _, err := OpenTraceSource(strings.NewReader("GARBAGE1 not a trace")); err == nil {
+		t.Error("unknown magic accepted")
+	}
+	if _, _, err := OpenTraceSource(strings.NewReader("x")); err == nil {
+		t.Error("short stream accepted")
 	}
 }
 

@@ -1,29 +1,41 @@
 // Package sweep runs cache-configuration sweeps concurrently over a
 // streaming memory-reference trace. The paper's §4 case study simulates
 // 56 configurations over traces of hundreds of millions of references;
-// the sweep is embarrassingly parallel across configurations, so a single
-// trace producer publishes fixed-size reference chunks to a pool of
-// workers, each worker drives its shard of cache.Cache instances, and
-// results are collected in configuration order regardless of completion
-// order. Every cache still observes the full trace in order, so the
-// results are bit-identical to the serial loop for any worker count —
-// determinism is an invariant here, not a best effort.
+// the sweep is embarrassingly parallel across simulation units, so a
+// single trace producer publishes fixed-size reference chunks to a pool
+// of workers, each worker drives its shard of units, and results are
+// collected in configuration order regardless of completion order.
+//
+// Two engines provide the units. The direct engine simulates one
+// cache.Cache per configuration — 56 independent caches. The stack
+// engine (internal/cache/stack) exploits the LRU inclusion property to
+// collapse all configurations sharing a (line size, set count) geometry
+// into one single-pass refinement — 20 units for the paper sweep — and
+// falls back to direct simulation for non-LRU configurations. Every
+// unit still observes the full trace in order, so both engines produce
+// results bit-identical to the serial cache.Sweep loop for any worker
+// count — determinism is an invariant here, not a best effort.
 package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"palmsim/internal/cache"
+	"palmsim/internal/cache/stack"
 )
 
 // Source streams a reference trace in chunks, so traces never need to be
 // fully materialized. NextChunk fills buf with up to len(buf) references
-// and returns how many it wrote; n == 0 with a nil error signals the end
-// of the trace. Implementations include SliceSource here, dtrace.Stream
-// (the synthetic desktop generator) and the .trace/din file readers in
+// and returns how many it wrote. End of trace is signalled either by
+// n == 0 with a nil error, or by err == io.EOF (with or without final
+// references in the same call) — consumers honor both, and any other
+// error aborts the sweep. Implementations include SliceSource here,
+// dtrace.Stream (the synthetic desktop generator), dtrace.PackedSource
+// (the packed binary trace format) and the .trace/din file readers in
 // internal/exp.
 type Source interface {
 	NextChunk(buf []uint32) (n int, err error)
@@ -41,7 +53,9 @@ func NewSliceSource(trace []uint32) *SliceSource {
 	return &SliceSource{trace: trace}
 }
 
-// NextChunk copies the next run of references into buf.
+// NextChunk copies the next run of references into buf. At the end of
+// the trace — including a zero-length trace — it returns (0, nil) on
+// every call, never an error.
 func (s *SliceSource) NextChunk(buf []uint32) (int, error) {
 	n := copy(buf, s.trace[s.pos:])
 	s.pos += n
@@ -58,25 +72,58 @@ const DefaultChunkRefs = 1 << 16
 // trace length.
 const queueDepth = 2
 
+// Engine selects the simulation algorithm.
+type Engine int
+
+const (
+	// EngineAuto (the zero value) selects the stack engine: the fastest
+	// choice, and bit-identical to direct simulation by construction.
+	EngineAuto Engine = iota
+	// EngineDirect simulates every configuration with its own
+	// cache.Cache — the reference algorithm, kept for cross-validation
+	// and A/B benchmarking.
+	EngineDirect
+	// EngineStack runs the single-pass all-associativity engine for LRU
+	// configurations and falls back to direct simulation per non-LRU
+	// configuration.
+	EngineStack
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineDirect:
+		return "direct"
+	case EngineStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
 // Options tunes the engine.
 type Options struct {
 	// Workers is the number of concurrent simulation workers. Zero or
 	// negative selects GOMAXPROCS; 1 selects the serial fallback, which
 	// produces exactly the same results (and is what cache.Sweep did).
-	// Workers above the configuration count are clamped.
+	// Workers above the engine's unit count are clamped.
 	Workers int
 	// ChunkRefs is the number of references per chunk; zero or negative
 	// selects DefaultChunkRefs.
 	ChunkRefs int
+	// Engine selects the simulation algorithm; the zero value
+	// (EngineAuto) selects the single-pass stack engine.
+	Engine Engine
 }
 
-func (o Options) workers(nconfigs int) int {
+func (o Options) workers(nunits int) int {
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > nconfigs {
-		w = nconfigs
+	if w > nunits {
+		w = nunits
 	}
 	if w < 1 {
 		w = 1
@@ -91,6 +138,55 @@ func (o Options) chunkRefs() int {
 	return o.ChunkRefs
 }
 
+func (o Options) engine() Engine {
+	if o.Engine == EngineAuto {
+		return EngineStack
+	}
+	return o.Engine
+}
+
+// unit is one independently advanceable simulation shard: a direct
+// cache.Cache or a stack-engine refinement. No unit is ever touched by
+// two goroutines, and each observes the complete trace in order.
+type unit interface {
+	AccessAll(refs []uint32)
+}
+
+// build instantiates the selected engine's units and a collector that
+// assembles results in configuration order after the trace has drained.
+func build(cfgs []cache.Config, eng Engine) ([]unit, func() []cache.Result, error) {
+	if eng == EngineDirect {
+		caches := make([]*cache.Cache, len(cfgs))
+		units := make([]unit, len(cfgs))
+		for i, cfg := range cfgs {
+			c, err := cache.New(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			caches[i] = c
+			units[i] = c
+		}
+		collect := func() []cache.Result {
+			out := make([]cache.Result, len(caches))
+			for i, c := range caches {
+				out[i] = c.Result()
+			}
+			return out
+		}
+		return units, collect, nil
+	}
+	se, err := stack.New(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	su := se.Units()
+	units := make([]unit, len(su))
+	for i, u := range su {
+		units[i] = u
+	}
+	return units, se.Results, nil
+}
+
 // chunk is one block of references broadcast to every worker. pending
 // counts the workers that have not finished with it yet; the last one
 // returns the buffer to the pool.
@@ -102,37 +198,27 @@ type chunk struct {
 // Run streams the trace from src through every configuration and returns
 // the results in configuration order.
 func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) {
-	caches := make([]*cache.Cache, len(cfgs))
-	for i, cfg := range cfgs {
-		c, err := cache.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		caches[i] = c
+	units, collect, err := build(cfgs, opts.engine())
+	if err != nil {
+		return nil, err
 	}
-	if len(caches) == 0 {
+	if len(units) == 0 {
 		// Still drain the source so an erroring trace is reported.
 		if err := drain(src, opts.chunkRefs()); err != nil {
 			return nil, err
 		}
-		return []cache.Result{}, nil
+		return collect(), nil
 	}
 
-	var err error
-	if w := opts.workers(len(caches)); w == 1 {
-		err = runSerial(caches, src, opts.chunkRefs())
+	if w := opts.workers(len(units)); w == 1 {
+		err = runSerial(units, src, opts.chunkRefs())
 	} else {
-		err = runParallel(caches, src, w, opts.chunkRefs())
+		err = runParallel(units, src, w, opts.chunkRefs())
 	}
 	if err != nil {
 		return nil, err
 	}
-
-	out := make([]cache.Result, len(caches))
-	for i, c := range caches {
-		out[i] = c.Result()
-	}
-	return out, nil
+	return collect(), nil
 }
 
 // RunTrace is a convenience wrapper over an in-memory trace.
@@ -142,29 +228,29 @@ func RunTrace(cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result
 
 // runSerial is the workers=1 fallback: one goroutine, one chunk buffer,
 // the same chunked access pattern as the parallel path.
-func runSerial(caches []*cache.Cache, src Source, chunkRefs int) error {
+func runSerial(units []unit, src Source, chunkRefs int) error {
 	buf := make([]uint32, chunkRefs)
 	for {
 		n, err := src.NextChunk(buf)
-		if err != nil {
+		if err != nil && err != io.EOF {
 			return err
 		}
-		if n == 0 {
-			return nil
-		}
-		refs := buf[:n]
-		for _, c := range caches {
-			for _, addr := range refs {
-				c.Access(addr)
+		if n > 0 {
+			refs := buf[:n]
+			for _, u := range units {
+				u.AccessAll(refs)
 			}
+		}
+		if n == 0 || err == io.EOF {
+			return nil
 		}
 	}
 }
 
 // runParallel fans chunks out to per-worker queues. Each worker owns a
-// contiguous shard of the caches, so no cache is ever touched by two
-// goroutines and the per-cache access order is the trace order.
-func runParallel(caches []*cache.Cache, src Source, workers, chunkRefs int) error {
+// contiguous shard of the units, so no unit is ever touched by two
+// goroutines and the per-unit access order is the trace order.
+func runParallel(units []unit, src Source, workers, chunkRefs int) error {
 	pool := sync.Pool{New: func() any { return make([]uint32, chunkRefs) }}
 	queues := make([]chan *chunk, workers)
 	for w := range queues {
@@ -173,18 +259,16 @@ func runParallel(caches []*cache.Cache, src Source, workers, chunkRefs int) erro
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * len(caches) / workers
-		hi := (w + 1) * len(caches) / workers
-		shard := caches[lo:hi]
+		lo := w * len(units) / workers
+		hi := (w + 1) * len(units) / workers
+		shard := units[lo:hi]
 		q := queues[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ck := range q {
-				for _, c := range shard {
-					for _, addr := range ck.refs {
-						c.Access(addr)
-					}
+				for _, u := range shard {
+					u.AccessAll(ck.refs)
 				}
 				if atomic.AddInt32(&ck.pending, -1) == 0 {
 					pool.Put(ck.refs[:cap(ck.refs)])
@@ -197,7 +281,8 @@ func runParallel(caches []*cache.Cache, src Source, workers, chunkRefs int) erro
 	for {
 		buf := pool.Get().([]uint32)[:chunkRefs]
 		n, err := src.NextChunk(buf)
-		if err != nil {
+		eof := err == io.EOF
+		if err != nil && !eof {
 			readErr = err
 			pool.Put(buf)
 			break
@@ -209,6 +294,9 @@ func runParallel(caches []*cache.Cache, src Source, workers, chunkRefs int) erro
 		ck := &chunk{refs: buf[:n], pending: int32(workers)}
 		for _, q := range queues {
 			q <- ck
+		}
+		if eof {
+			break
 		}
 	}
 	for _, q := range queues {
@@ -223,17 +311,21 @@ func drain(src Source, chunkRefs int) error {
 	buf := make([]uint32, chunkRefs)
 	for {
 		n, err := src.NextChunk(buf)
-		if err != nil {
+		if err != nil && err != io.EOF {
 			return err
 		}
-		if n == 0 {
+		if n == 0 || err == io.EOF {
 			return nil
 		}
 	}
 }
 
 // Describe renders the engine configuration for logs and CLIs.
-func Describe(opts Options, nconfigs int) string {
-	return fmt.Sprintf("%d workers over %d configurations, %d refs/chunk",
-		opts.workers(nconfigs), nconfigs, opts.chunkRefs())
+func Describe(opts Options, cfgs []cache.Config) string {
+	units, _, err := build(cfgs, opts.engine())
+	if err != nil {
+		return fmt.Sprintf("%s engine (invalid configuration: %v)", opts.engine(), err)
+	}
+	return fmt.Sprintf("%s engine: %d workers over %d units (%d configurations), %d refs/chunk",
+		opts.engine(), opts.workers(len(units)), len(units), len(cfgs), opts.chunkRefs())
 }

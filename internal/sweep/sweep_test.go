@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -33,19 +34,21 @@ func TestRunMatchesSerialSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 4, 8} {
-		for _, chunk := range []int{0, 1, 7, 4096} {
-			name := fmt.Sprintf("workers=%d/chunk=%d", workers, chunk)
-			got, err := RunTrace(cfgs, trace, Options{Workers: workers, ChunkRefs: chunk})
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			if len(got) != len(want) {
-				t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Errorf("%s: %v diverged: got %+v want %+v", name, cfgs[i], got[i], want[i])
+	for _, engine := range []Engine{EngineAuto, EngineDirect, EngineStack} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, chunk := range []int{0, 1, 7, 4096} {
+				name := fmt.Sprintf("%s/workers=%d/chunk=%d", engine, workers, chunk)
+				got, err := RunTrace(cfgs, trace, Options{Workers: workers, ChunkRefs: chunk, Engine: engine})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s: %v diverged: got %+v want %+v", name, cfgs[i], got[i], want[i])
+					}
 				}
 			}
 		}
@@ -147,6 +150,94 @@ func TestWorkersClampedToConfigs(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("%v diverged with clamped workers", cfgs[i])
+		}
+	}
+}
+
+// eofSource delivers a fixed trace in short chunks and signals the end
+// with io.EOF — either alongside the final refs (finalWithRefs) or as a
+// bare (0, io.EOF) after the last full chunk. Both shapes are legal under
+// the Source contract and must sweep identically to (n, nil)+(0, nil).
+type eofSource struct {
+	trace         []uint32
+	chunk         int
+	finalWithRefs bool
+	pos           int
+}
+
+func (e *eofSource) NextChunk(buf []uint32) (int, error) {
+	if e.pos >= len(e.trace) {
+		return 0, io.EOF
+	}
+	n := e.chunk
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if rest := len(e.trace) - e.pos; n >= rest {
+		n = rest
+		copy(buf, e.trace[e.pos:e.pos+n])
+		e.pos += n
+		if e.finalWithRefs {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	copy(buf, e.trace[e.pos:e.pos+n])
+	e.pos += n
+	return n, nil
+}
+
+// TestSourceEOFContract sweeps every legal end-of-trace shape — io.EOF
+// with the final refs, bare (0, io.EOF), a short final chunk ending in
+// (0, nil), and zero-length traces under each convention — and demands
+// results identical to the materialized sweep.
+func TestSourceEOFContract(t *testing.T) {
+	trace := fixedTrace(10_007) // prime length: the final chunk is short
+	cfgs := cache.PaperSweep()[:8]
+	want, err := cache.Sweep(cfgs, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{EngineDirect, EngineStack} {
+		for _, workers := range []int{1, 4} {
+			for _, finalWithRefs := range []bool{true, false} {
+				name := fmt.Sprintf("%s/workers=%d/eofWithRefs=%v", engine, workers, finalWithRefs)
+				src := &eofSource{trace: trace, chunk: 100, finalWithRefs: finalWithRefs}
+				got, err := Run(cfgs, src, Options{Workers: workers, ChunkRefs: 256, Engine: engine})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s: %v diverged: got %+v want %+v", name, cfgs[i], got[i], want[i])
+					}
+				}
+				// Zero-length trace under the same convention.
+				empty := &eofSource{finalWithRefs: finalWithRefs, chunk: 100}
+				res, err := Run(cfgs, empty, Options{Workers: workers, Engine: engine})
+				if err != nil {
+					t.Fatalf("%s empty: %v", name, err)
+				}
+				for _, r := range res {
+					if r.Accesses != 0 || r.Misses != 0 {
+						t.Errorf("%s: nonzero stats on empty trace: %+v", name, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineString pins the flag spellings the cachesweep command parses.
+func TestEngineString(t *testing.T) {
+	for eng, want := range map[Engine]string{
+		EngineAuto:   "auto",
+		EngineDirect: "direct",
+		EngineStack:  "stack",
+		Engine(99):   "engine(99)",
+	} {
+		if got := eng.String(); got != want {
+			t.Errorf("Engine(%d).String() = %q, want %q", int(eng), got, want)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package palmsim_test
 
 import (
+	"fmt"
 	"testing"
 
 	"palmsim/internal/cache"
@@ -8,10 +9,11 @@ import (
 )
 
 // TestParallelSweepMatchesSerialOnSessionTrace is the acceptance gate for
-// the concurrent sweep engine: on a real fixed-seed session trace (the
-// same collect+replay the benchmarks use), the engine at workers 1, 4 and
-// 8 must produce cache.Result sets identical to the old serial
-// cache.Sweep loop — every counter, not just the miss rates.
+// the sweep engines: on a real fixed-seed session trace (the same
+// collect+replay the benchmarks use), the direct engine, the single-pass
+// stack engine and the auto default at workers 1, 4 and 8 must all
+// produce cache.Result sets identical to the old serial cache.Sweep loop
+// — every counter, not just the miss rates.
 func TestParallelSweepMatchesSerialOnSessionTrace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("collects and replays a session")
@@ -25,18 +27,21 @@ func TestParallelSweepMatchesSerialOnSessionTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 4, 8} {
-		got, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if len(got) != len(want) {
-			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Errorf("workers=%d: %v diverged:\n got %+v\nwant %+v",
-					workers, cfgs[i], got[i], want[i])
+	for _, engine := range []sweep.Engine{sweep.EngineAuto, sweep.EngineDirect, sweep.EngineStack} {
+		for _, workers := range []int{1, 4, 8} {
+			name := fmt.Sprintf("%s/workers=%d", engine, workers)
+			got, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: workers, Engine: engine})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: %v diverged:\n got %+v\nwant %+v",
+						name, cfgs[i], got[i], want[i])
+				}
 			}
 		}
 	}
