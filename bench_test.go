@@ -20,6 +20,7 @@ import (
 	"palmsim"
 	"palmsim/internal/cache"
 	"palmsim/internal/dtrace"
+	"palmsim/internal/obs"
 	"palmsim/internal/sweep"
 	"palmsim/internal/user"
 )
@@ -277,6 +278,30 @@ func BenchmarkEmulatorMIPS(b *testing.B) {
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
 		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emulated += pb.Stats.Machine.Instructions
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(emulated)/sec/1e6, "emulated-MIPS")
+	}
+}
+
+// BenchmarkEmulatorMIPSObserved is the same replay with a live metrics
+// registry bound (the -metrics path). Most obs values are polled func
+// metrics, so the delta against BenchmarkEmulatorMIPS is the whole
+// metrics-enabled overhead; EXPERIMENTS.md records the measured numbers.
+// The metrics-disabled overhead is guarded separately: BenchmarkEmulatorMIPS
+// itself is gated against the committed baseline by CI's bench-smoke job.
+func BenchmarkEmulatorMIPSObserved(b *testing.B) {
+	col, _ := benchSetup(b)
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	var emulated uint64
+	for i := 0; i < b.N; i++ {
+		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true, Obs: reg})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -27,6 +27,7 @@ import (
 	"palmsim/internal/dtrace"
 	"palmsim/internal/energy"
 	"palmsim/internal/exp"
+	"palmsim/internal/obs"
 	"palmsim/internal/prof"
 	"palmsim/internal/report"
 	"palmsim/internal/sweep"
@@ -45,11 +46,21 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
 	profiler := prof.AddFlags()
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	if err := profiler.Start(); err != nil {
 		fatal(err)
 	}
 	defer profiler.Stop()
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cachesweep:", err)
+		}
+	}()
+	reg := obsFlags.Registry()
 
 	var pol cache.Policy
 	switch strings.ToUpper(*policy) {
@@ -85,12 +96,16 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return exp.NewDineroSource(f), nil
+			return attachSourceObs(exp.NewDineroSource(f), reg), nil
 		}
 		fmt.Printf("streaming din references from %s\n", *dinFile)
 	case *traceFile != "":
 		newSource = func() (sweep.Source, error) {
-			return openTraceFile(*traceFile, *traceFormat)
+			src, err := openTraceFile(*traceFile, *traceFormat)
+			if err != nil {
+				return nil, err
+			}
+			return attachSourceObs(src, reg), nil
 		}
 		src, err := newSource()
 		if err != nil {
@@ -125,8 +140,10 @@ func main() {
 	for i := range cfgs {
 		cfgs[i].Policy = pol
 	}
-	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk, Engine: eng}
+	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk, Engine: eng, Obs: reg}
 	fmt.Printf("sweep: %s\n", sweep.Describe(opts, cfgs))
+	obsFlags.Note("engine", sweep.Describe(opts, cfgs))
+	obsFlags.Note("policy", pol.String())
 
 	results, err := runOnce(cfgs, newSource, opts)
 	if err != nil {
@@ -136,6 +153,7 @@ func main() {
 		if err := crossValidateEngines(cfgs, newSource, opts, results); err != nil {
 			fatal(err)
 		}
+		obsFlags.Note("crossvalidate", "OK")
 	}
 
 	model := energy.Default()
@@ -147,6 +165,24 @@ func main() {
 	}
 	fmt.Print(t)
 	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+}
+
+// attachSourceObs binds a streaming source's read counters into the
+// registry (no-op when observability is off).
+func attachSourceObs(src sweep.Source, reg *obs.Registry) sweep.Source {
+	if reg == nil {
+		return src
+	}
+	switch s := src.(type) {
+	case *exp.TraceSource:
+		s.ObsRefs = reg.Counter("trace.refs_read")
+		s.ObsBytes = reg.Counter("trace.bytes_read")
+	case *dtrace.PackedSource:
+		s.ObsRefs = reg.Counter("trace.refs_read")
+	case *exp.DineroSource:
+		s.ObsRefs = reg.Counter("trace.refs_read")
+	}
+	return src
 }
 
 // openTraceFile opens a trace file in the requested (or sniffed) format.
@@ -189,6 +225,11 @@ func crossValidateEngines(cfgs []cache.Config, newSource func() (sweep.Source, e
 	want, err := runOnce(cfgs, newSource, opts)
 	if err != nil {
 		return fmt.Errorf("cross-validation sweep (%v engine): %w", other, err)
+	}
+	if os.Getenv("CACHESWEEP_FORCE_MISMATCH") != "" && len(want) > 0 {
+		// Test hook: perturb one re-run counter so the comparison must
+		// fail, exercising the mismatch exit path end to end.
+		want[0].Misses++
 	}
 	mismatches := 0
 	for i := range want {

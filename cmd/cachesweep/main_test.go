@@ -1,0 +1,90 @@
+// Exit-code contract tests for the cross-validation mode: a sweep whose
+// stack and direct engines disagree must terminate with a non-zero status,
+// because CI scripts gate on it. The binary under test is this test binary
+// re-executed — TestMain dispatches to main() when CACHESWEEP_ARGS is set,
+// the standard subprocess pattern for testing os.Exit paths.
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"palmsim/internal/exp"
+)
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv("CACHESWEEP_ARGS"); args != "" {
+		os.Args = append(os.Args[:1], strings.Fields(args)...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeTestTrace writes a small raw PALMTRC1 trace: a few interleaved
+// strided streams, enough for every sweep configuration to see hits and
+// misses without slowing the test down.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	var trace []uint32
+	for i := uint32(0); i < 6000; i++ {
+		trace = append(trace, 0x10000+4*i, 0x400000+64*(i%512), 0x10F00000+8*(i%64))
+	}
+	path := filepath.Join(t.TempDir(), "cross.trace")
+	if err := os.WriteFile(path, exp.MarshalTrace(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCachesweep re-executes the test binary as the cachesweep command.
+func runCachesweep(t *testing.T, args string, extraEnv ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "CACHESWEEP_ARGS="+args)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCrossValidatePassesExitZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -crossvalidate -workers 2")
+	if err != nil {
+		t.Fatalf("agreeing engines exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "cross-validation OK") {
+		t.Errorf("output does not report cross-validation OK:\n%s", out)
+	}
+}
+
+func TestCrossValidateMismatchExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -crossvalidate -workers 2",
+		"CACHESWEEP_FORCE_MISMATCH=1")
+	if err == nil {
+		t.Fatalf("mismatched engines exited zero:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("subprocess did not run: %v", err)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out, "MISMATCH") {
+		t.Errorf("output does not name the diverging configuration:\n%s", out)
+	}
+	if !strings.Contains(out, "cross-validation FAILED") {
+		t.Errorf("output does not report the failure:\n%s", out)
+	}
+}

@@ -1,0 +1,213 @@
+// Command covercheck parses a `go test -coverprofile` file, prints
+// per-package statement coverage as a Markdown table, and exits non-zero
+// when the total — or any package given an explicit floor — falls below
+// its threshold. A dependency-free coverage gate for the CI job summary,
+// in the spirit of cmd/benchdelta.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	covercheck -profile cover.out -min-total 60 \
+//	    -min palmsim/internal/obs=85 -min palmsim/internal/validate=90
+//
+// Floors are percentages of covered statements. Packages absent from the
+// profile fail their floor loudly rather than passing vacuously.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	Stmts   int64
+	Covered int64
+}
+
+// Pct returns the covered-statement percentage (100 for an empty package,
+// so zero-statement packages never trip a floor).
+func (p pkgCov) Pct() float64 {
+	if p.Stmts == 0 {
+		return 100
+	}
+	return 100 * float64(p.Covered) / float64(p.Stmts)
+}
+
+// parseProfile reads a coverprofile: a "mode:" header, then one line per
+// block — file:startL.startC,endL.endC numStmts hitCount. Blocks are
+// grouped by the package (directory) of their file.
+func parseProfile(r io.Reader) (map[string]*pkgCov, error) {
+	pkgs := map[string]*pkgCov{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 {
+			if !strings.HasPrefix(line, "mode:") {
+				return nil, fmt.Errorf("line 1: want \"mode:\" header, got %q", line)
+			}
+			continue
+		}
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("line %d: no file:range separator in %q", lineNo, line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want range + 2 counts, got %q", lineNo, line)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: statement count: %v", lineNo, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: hit count: %v", lineNo, err)
+		}
+		pkg := path.Dir(line[:colon])
+		p := pkgs[pkg]
+		if p == nil {
+			p = &pkgCov{}
+			pkgs[pkg] = p
+		}
+		p.Stmts += stmts
+		if hits > 0 {
+			p.Covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lineNo == 0 {
+		return nil, fmt.Errorf("empty coverprofile")
+	}
+	return pkgs, nil
+}
+
+// total sums all packages into one figure.
+func total(pkgs map[string]*pkgCov) pkgCov {
+	var t pkgCov
+	for _, p := range pkgs {
+		t.Stmts += p.Stmts
+		t.Covered += p.Covered
+	}
+	return t
+}
+
+// floorFlag collects repeated -min pkg=percent flags.
+type floorFlag map[string]float64
+
+func (f floorFlag) String() string {
+	var parts []string
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floorFlag) Set(s string) error {
+	eq := strings.LastIndex(s, "=")
+	if eq < 1 {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || v < 0 || v > 100 {
+		return fmt.Errorf("floor %q is not a percentage", s[eq+1:])
+	}
+	f[s[:eq]] = v
+	return nil
+}
+
+// check evaluates the floors against the parsed profile and returns the
+// report lines plus whether every gate passed.
+func check(pkgs map[string]*pkgCov, minTotal float64, floors floorFlag) (lines []string, ok bool) {
+	ok = true
+	var names []string
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	lines = append(lines, "| package | statements | coverage | floor |")
+	lines = append(lines, "|---|---|---|---|")
+	for _, name := range names {
+		p := pkgs[name]
+		note := ""
+		if floor, gated := floors[name]; gated {
+			note = fmt.Sprintf("%.0f%%", floor)
+			if p.Pct() < floor {
+				note += " FAIL"
+				ok = false
+			}
+		}
+		lines = append(lines, fmt.Sprintf("| %s | %d | %.1f%% | %s |",
+			name, p.Stmts, p.Pct(), note))
+	}
+	for name, floor := range floors {
+		if _, present := pkgs[name]; !present {
+			lines = append(lines, fmt.Sprintf("| %s | - | missing from profile | %.0f%% FAIL |",
+				name, floor))
+			ok = false
+		}
+	}
+
+	t := total(pkgs)
+	note := ""
+	if minTotal > 0 {
+		note = fmt.Sprintf("%.0f%%", minTotal)
+		if t.Pct() < minTotal {
+			note += " FAIL"
+			ok = false
+		}
+	}
+	lines = append(lines, fmt.Sprintf("| **total** | %d | **%.1f%%** | %s |",
+		t.Stmts, t.Pct(), note))
+	return lines, ok
+}
+
+func main() {
+	profilePath := flag.String("profile", "", "coverprofile from go test -coverprofile (required)")
+	minTotal := flag.Float64("min-total", 0, "fail if total statement coverage is below this percentage (0 = report only)")
+	floors := floorFlag{}
+	flag.Var(floors, "min", "per-package floor as pkg=percent (repeatable)")
+	flag.Parse()
+	if *profilePath == "" {
+		fmt.Fprintln(os.Stderr, "covercheck: -profile is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	pkgs, err := parseProfile(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *profilePath, err))
+	}
+	lines, ok := check(pkgs, *minTotal, floors)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covercheck:", err)
+	os.Exit(1)
+}

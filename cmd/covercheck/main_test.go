@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+palmsim/internal/obs/obs.go:10.20,12.2 2 1
+palmsim/internal/obs/obs.go:14.2,16.3 3 0
+palmsim/internal/obs/export.go:5.1,9.2 5 1
+palmsim/internal/validate/validate.go:20.1,24.2 4 1
+palmsim/internal/validate/validate.go:30.1,31.2 6 1
+`
+
+func parseSample(t *testing.T) map[string]*pkgCov {
+	t.Helper()
+	pkgs, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestParseProfile(t *testing.T) {
+	pkgs := parseSample(t)
+	obs := pkgs["palmsim/internal/obs"]
+	if obs == nil || obs.Stmts != 10 || obs.Covered != 7 {
+		t.Errorf("obs = %+v, want 7/10 covered", obs)
+	}
+	val := pkgs["palmsim/internal/validate"]
+	if val == nil || val.Stmts != 10 || val.Covered != 10 {
+		t.Errorf("validate = %+v, want 10/10 covered", val)
+	}
+	if got := total(pkgs); got.Stmts != 20 || got.Covered != 17 {
+		t.Errorf("total = %+v, want 17/20", got)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no mode header", "palmsim/a/a.go:1.1,2.2 1 1\n"},
+		{"garbage line", "mode: set\nnot a coverage line\n"},
+		{"bad statement count", "mode: set\npalmsim/a/a.go:1.1,2.2 x 1\n"},
+		{"bad hit count", "mode: set\npalmsim/a/a.go:1.1,2.2 1 x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseProfile(strings.NewReader(tc.in)); err == nil {
+				t.Error("malformed profile accepted")
+			}
+		})
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	pkgs := parseSample(t) // obs 70%, validate 100%, total 85%
+
+	if _, ok := check(pkgs, 80, nil); !ok {
+		t.Error("total 85% failed an 80% floor")
+	}
+	if _, ok := check(pkgs, 90, nil); ok {
+		t.Error("total 85% passed a 90% floor")
+	}
+	if _, ok := check(pkgs, 0, floorFlag{"palmsim/internal/obs": 60}); !ok {
+		t.Error("obs 70% failed a 60% floor")
+	}
+	lines, ok := check(pkgs, 0, floorFlag{"palmsim/internal/obs": 75})
+	if ok {
+		t.Error("obs 70% passed a 75% floor")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL") {
+		t.Error("failing report does not mark the gate FAIL")
+	}
+	// A gated package missing from the profile must fail, not pass
+	// vacuously (e.g. a typo in the CI floor list).
+	if _, ok := check(pkgs, 0, floorFlag{"palmsim/internal/nosuch": 10}); ok {
+		t.Error("floor on a missing package passed")
+	}
+}
+
+func TestFloorFlag(t *testing.T) {
+	f := floorFlag{}
+	if err := f.Set("palmsim/internal/obs=85"); err != nil {
+		t.Fatal(err)
+	}
+	if f["palmsim/internal/obs"] != 85 {
+		t.Errorf("parsed floors: %v", f)
+	}
+	for _, bad := range []string{"nopercent", "=50", "pkg=abc", "pkg=150"} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestZeroStatementPackageNeverFails(t *testing.T) {
+	pkgs := map[string]*pkgCov{"palmsim/internal/empty": {}}
+	if _, ok := check(pkgs, 0, floorFlag{"palmsim/internal/empty": 99}); !ok {
+		t.Error("zero-statement package tripped its floor")
+	}
+}

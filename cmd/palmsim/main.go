@@ -19,6 +19,7 @@ import (
 	"palmsim"
 	"palmsim/internal/dtrace"
 	"palmsim/internal/exp"
+	"palmsim/internal/obs"
 	"palmsim/internal/prof"
 	"palmsim/internal/validate"
 )
@@ -32,11 +33,21 @@ func main() {
 	screenshot := flag.Bool("screenshot", false, "write the final display as a PGM image (with -out)")
 	dinero := flag.Bool("dinero", false, "also write the trace in Dinero din format (with -out)")
 	profiler := prof.AddFlags()
+	obsFlags := obs.AddFlags()
 	flag.Parse()
 	if err := profiler.Start(); err != nil {
 		fatal(err)
 	}
 	defer profiler.Stop()
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "palmsim:", err)
+		}
+	}()
+	reg := obsFlags.Registry()
 
 	sessions := palmsim.PaperSessions()
 	if *list {
@@ -51,7 +62,7 @@ func main() {
 	s := sessions[*sessionNum-1]
 
 	fmt.Printf("collecting %s on the instrumented device...\n", s.Name)
-	col, err := palmsim.Collect(s)
+	col, err := palmsim.CollectObserved(s, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,6 +76,10 @@ func main() {
 		WithHacks:    true,
 		CollectTrace: *withTrace,
 		CollectKinds: *dinero,
+		// With metrics on, the opcode histogram feeds the per-group
+		// m68k.group.* func metrics.
+		CountOpcodes: reg != nil,
+		Obs:          reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -79,6 +94,10 @@ func main() {
 	fmt.Printf("  log correlation (§3.3): %s -> %v\n", logRep, okStr(logRep.OK()))
 	stRep := validate.CorrelateStates(col.Final, pb.Final)
 	fmt.Printf("  state correlation (§3.4): %s -> %v\n", stRep, okStr(stRep.OK()))
+	obsFlags.Note("session", s.Name)
+	obsFlags.Note("log_records", fmt.Sprint(col.Log.Len()))
+	obsFlags.Note("log_correlation", okStr(logRep.OK()))
+	obsFlags.Note("state_correlation", okStr(stRep.OK()))
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -112,6 +131,16 @@ func main() {
 				}
 				packedLen = len(packed)
 				write(s.Name+".ptrace", packed)
+			}
+			if rawLen > 0 {
+				obsFlags.Note("trace_raw_bytes", fmt.Sprint(rawLen))
+			}
+			if packedLen > 0 {
+				obsFlags.Note("trace_packed_bytes", fmt.Sprint(packedLen))
+				// Raw spends 4 bytes/ref plus a 12-byte header, so the
+				// ratio is computable even when only packed was written.
+				obsFlags.Note("trace_packed_vs_raw",
+					fmt.Sprintf("%.2f", float64(4*len(pb.Trace)+12)/float64(packedLen)))
 			}
 			if format == "both" && packedLen > 0 {
 				fmt.Printf("  packed trace is %.1fx smaller than raw\n",

@@ -30,6 +30,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"palmsim/internal/obs"
 )
 
 // PackedMagic is the 8-byte header identifying a packed trace.
@@ -42,6 +44,12 @@ const numContexts = 4
 // blockRefs is the writer's framing granularity: ~2 bytes of block
 // header per 4096 references.
 const blockRefs = 4096
+
+// maxKind is the largest legal access kind (m68k.Access: fetch 0, read 1,
+// write 2). Fetches are encoded without an escape byte, so the only valid
+// escape-byte values on the wire are 1 and 2 — anything else is
+// corruption, not a future extension.
+const maxKind = 2
 
 // packedState is the shared predictor state: writer and reader update it
 // identically, so the encoding round-trips exactly.
@@ -89,9 +97,16 @@ type PackedWriter struct {
 	w          *bufio.Writer
 	st         packedState
 	refs       uint64
+	bytes      uint64
 	block      []byte
 	blockCount int
 	scratch    [binary.MaxVarintLen64 + 1]byte
+
+	// ObsRefs and ObsBytes, when non-nil, count written references and
+	// encoded bytes per flushed block (nil adds one predicated load per
+	// 4096 references).
+	ObsRefs  *obs.Counter
+	ObsBytes *obs.Counter
 }
 
 // NewPackedWriter writes the format header and prepares streaming.
@@ -100,12 +115,16 @@ func NewPackedWriter(w io.Writer) (*PackedWriter, error) {
 	if _, err := bw.WriteString(PackedMagic); err != nil {
 		return nil, err
 	}
-	return &PackedWriter{w: bw, block: make([]byte, 0, 2*blockRefs)}, nil
+	return &PackedWriter{w: bw, bytes: uint64(len(PackedMagic)),
+		block: make([]byte, 0, 2*blockRefs)}, nil
 }
 
 // WriteRef appends one reference. kind carries an m68k.Access value
 // (fetch 0, read 1, write 2); callers without kinds pass 0.
 func (p *PackedWriter) WriteRef(addr uint32, kind uint8) error {
+	if kind > maxKind {
+		return fmt.Errorf("dtrace: invalid access kind %d (max %d)", kind, maxKind)
+	}
 	p.block = binary.AppendUvarint(p.block, p.st.encode(addr, kind))
 	if kind != 0 {
 		p.block = append(p.block, kind)
@@ -130,6 +149,9 @@ func (p *PackedWriter) flushBlock() error {
 	if _, err := p.w.Write(p.block); err != nil {
 		return err
 	}
+	p.bytes += uint64(n + len(p.block))
+	p.ObsRefs.Add(uint64(p.blockCount))
+	p.ObsBytes.Add(uint64(n + len(p.block)))
 	p.block = p.block[:0]
 	p.blockCount = 0
 	return nil
@@ -148,6 +170,11 @@ func (p *PackedWriter) WriteAddrs(addrs []uint32) error {
 // Refs returns how many references have been written.
 func (p *PackedWriter) Refs() uint64 { return p.refs }
 
+// Bytes returns the encoded size so far (header and flushed frames; call
+// after Close for the exact file size). With Refs it yields the
+// packed-vs-raw ratio against the 4 bytes/ref PALMTRC1 encoding.
+func (p *PackedWriter) Bytes() uint64 { return p.bytes }
+
 // Close writes the final block and the end-of-trace marker, then commits
 // buffered output to the underlying writer. No references may be written
 // after Close.
@@ -158,6 +185,8 @@ func (p *PackedWriter) Close() error {
 	if err := p.w.WriteByte(0); err != nil {
 		return err
 	}
+	p.bytes++
+	p.ObsBytes.Add(1)
 	return p.w.Flush()
 }
 
@@ -170,6 +199,9 @@ type PackedSource struct {
 	refs      uint64
 	blockLeft uint64
 	done      bool
+
+	// ObsRefs, when non-nil, counts decoded references per NextChunk call.
+	ObsRefs *obs.Counter
 }
 
 // NewPackedSource validates the header and prepares streaming.
@@ -213,8 +245,12 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 		}
 		addr, hasKind := s.st.decode(rec)
 		if hasKind {
-			if _, err := s.r.ReadByte(); err != nil {
+			k, err := s.r.ReadByte()
+			if err != nil {
 				return n, fmt.Errorf("dtrace: corrupt packed trace after %d refs: missing kind byte", s.refs)
+			}
+			if k == 0 || k > maxKind {
+				return n, fmt.Errorf("dtrace: corrupt packed trace after %d refs: invalid kind byte %d", s.refs, k)
 			}
 		}
 		buf[n] = addr
@@ -222,6 +258,7 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 		s.refs++
 		s.blockLeft--
 	}
+	s.ObsRefs.Add(uint64(n))
 	return n, nil
 }
 
@@ -231,6 +268,11 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 func PackTrace(addrs []uint32, kinds []uint8) ([]byte, error) {
 	if kinds != nil && len(kinds) != len(addrs) {
 		return nil, fmt.Errorf("dtrace: trace has %d refs but %d kinds", len(addrs), len(kinds))
+	}
+	for i, k := range kinds {
+		if k > maxKind {
+			return nil, fmt.Errorf("dtrace: invalid access kind %d at ref %d (max %d)", k, i, maxKind)
+		}
 	}
 	out := make([]byte, 0, len(PackedMagic)+2*len(addrs))
 	out = append(out, PackedMagic...)
@@ -284,6 +326,9 @@ func UnpackTrace(data []byte) (addrs []uint32, kinds []uint8, err error) {
 					return nil, nil, fmt.Errorf("dtrace: corrupt packed trace at byte %d: missing kind byte", i)
 				}
 				kind = data[i]
+				if kind == 0 || kind > maxKind {
+					return nil, nil, fmt.Errorf("dtrace: corrupt packed trace at byte %d: invalid kind byte %d", i, kind)
+				}
 				i++
 			}
 			addrs = append(addrs, addr)

@@ -19,6 +19,7 @@ import (
 	"palmsim/internal/bus"
 	"palmsim/internal/hw"
 	"palmsim/internal/m68k"
+	"palmsim/internal/obs"
 	"palmsim/internal/palmos"
 	"palmsim/internal/rom"
 	"palmsim/internal/storage"
@@ -60,6 +61,12 @@ type Machine struct {
 	// until a tick boundary is crossed (or the wake timer is armed, which
 	// Sync must see promptly). Zero forces a sync on the next step.
 	nextTickCycle uint64
+
+	// Observability counters (nil unless RegisterObs attached a registry;
+	// nil counters no-op, so the disabled cost is one predicated load on
+	// paths that already cross a tick boundary).
+	obsTickSyncs  *obs.Counter
+	obsLateInputs *obs.Counter
 }
 
 // Options configures machine construction.
@@ -211,6 +218,7 @@ func (m *Machine) step() {
 // tickSync runs the tick-granular housekeeping (wake timer, scheduled
 // inputs) and computes the next cycle count at which it must run again.
 func (m *Machine) tickSync() {
+	m.obsTickSyncs.Inc()
 	m.HW.Sync()
 	m.deliverDue()
 	m.nextTickCycle = (m.CPU.Cycles/hw.CyclesPerTick + 1) * hw.CyclesPerTick
@@ -220,6 +228,11 @@ func (m *Machine) tickSync() {
 func (m *Machine) deliverDue() {
 	now := m.HW.Ticks()
 	for m.schedIdx < len(m.schedule) && m.schedule[m.schedIdx].Tick <= now {
+		if m.schedule[m.schedIdx].Tick < now {
+			// Delivered after its scheduled tick: the machine was busy
+			// across the boundary (a tick-sync stall in replay terms).
+			m.obsLateInputs.Inc()
+		}
 		m.HW.Push(m.schedule[m.schedIdx].Ev)
 		m.schedIdx++
 		m.Stats.Injected++

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"palmsim/internal/dtrace"
+	"palmsim/internal/obs"
 	"palmsim/internal/sweep"
 )
 
@@ -55,6 +56,11 @@ type TraceSource struct {
 	total     int
 	remaining int
 	scratch   []byte
+
+	// ObsRefs and ObsBytes, when non-nil, count streamed references and
+	// raw bytes per chunk.
+	ObsRefs  *obs.Counter
+	ObsBytes *obs.Counter
 }
 
 // NewTraceSource validates the trace header and prepares streaming.
@@ -92,6 +98,8 @@ func (t *TraceSource) NextChunk(buf []uint32) (int, error) {
 			uint32(raw[4*i+2])<<8 | uint32(raw[4*i+3])
 	}
 	t.remaining -= want
+	t.ObsRefs.Add(uint64(want))
+	t.ObsBytes.Add(uint64(4 * want))
 	return want, nil
 }
 
@@ -102,6 +110,9 @@ type DineroSource struct {
 	r    *bufio.Reader
 	line int
 	done bool
+
+	// ObsRefs, when non-nil, counts parsed references per chunk.
+	ObsRefs *obs.Counter
 }
 
 // NewDineroSource prepares a streaming din parse.
@@ -130,6 +141,7 @@ func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
 		buf[n] = addr
 		n++
 	}
+	d.ObsRefs.Add(uint64(n))
 	return n, nil
 }
 

@@ -1,0 +1,50 @@
+package m68k
+
+// NumOpcodeGroups is the number of top-nibble opcode groups the 68000
+// encoding splits into (the paper's §2.4.2 opcode statistic aggregates
+// naturally at this granularity).
+const NumOpcodeGroups = 16
+
+// groupNames names each top-nibble opcode group after the instruction
+// family the 68000 encoding assigns to it.
+var groupNames = [NumOpcodeGroups]string{
+	0x0: "bit_immediate", // ORI/ANDI/EORI/CMPI/BTST/MOVEP
+	0x1: "move_b",
+	0x2: "move_l",
+	0x3: "move_w",
+	0x4: "misc", // LEA/CLR/JSR/MOVEM/TRAP/...
+	0x5: "addq_subq_scc_dbcc",
+	0x6: "bcc_bsr",
+	0x7: "moveq",
+	0x8: "or_div_sbcd",
+	0x9: "sub_subx",
+	0xA: "line_a",
+	0xB: "cmp_eor",
+	0xC: "and_mul_exg",
+	0xD: "add_addx",
+	0xE: "shift_rotate",
+	0xF: "line_f",
+}
+
+// GroupName returns the mnemonic family name for a top-nibble opcode
+// group index (0..15).
+func GroupName(group int) string {
+	if group < 0 || group >= NumOpcodeGroups {
+		return "invalid"
+	}
+	return groupNames[group]
+}
+
+// GroupCount sums the per-opcode execution histogram over one top-nibble
+// group. counts must be the CPU's 65536-entry OpcodeCount slice (a nil or
+// short slice yields zero).
+func GroupCount(counts []uint64, group int) uint64 {
+	if group < 0 || group >= NumOpcodeGroups || len(counts) < 1<<16 {
+		return 0
+	}
+	var sum uint64
+	for _, n := range counts[group<<12 : (group+1)<<12] {
+		sum += n
+	}
+	return sum
+}

@@ -175,6 +175,11 @@ type CPU struct {
 	// CITCAT lineage, including interrupt handlers and supervisor code.
 	OnExec func(pc uint32, opcode uint16)
 
+	// IllegalOps counts illegal-instruction exceptions raised. The
+	// increment sits on the cold exception path, so it is unconditional
+	// (no observability gate needed).
+	IllegalOps uint64
+
 	// err records a fault raised mid-instruction (double faults, vector
 	// table corruption). It halts the CPU.
 	err error
@@ -448,6 +453,7 @@ func (c *CPU) execOne() {
 // illegalOp raises the illegal-instruction exception, rewinding PC to the
 // offending opcode as the 68000 stacks it for group 1 exceptions.
 func (c *CPU) illegalOp() {
+	c.IllegalOps++
 	c.PC -= 2
 	c.Exception(VecIllegal)
 }

@@ -1,0 +1,154 @@
+// Exporters: Prometheus text exposition, expvar publication and the
+// optional HTTP endpoint serving both. The exporters read snapshots; they
+// never touch instrumented hot paths.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// promName rewrites a dotted metric name into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), prefixed with the simulator namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("palmsim_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and funcs as counters/gauges, maxes and
+// gauges as gauges, histograms with the classic _bucket/_sum/_count
+// triple. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		var err error
+		switch s.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", name, name, s.Value)
+		case "histogram":
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if b.Le != 0 {
+					le = fmt.Sprint(b.Le)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Cumulative); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %v\n", name, s.Sum, name, s.Value)
+		default: // gauge, max, func
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// expvarPublish guards against expvar's publish-twice panic when several
+// registries (tests, repeated runs) export under the same name.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot as one expvar map variable
+// (flat name -> value, histograms as name.count/name.sum). Re-publishing a
+// name rebinds it to this registry. No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	fn := expvar.Func(func() any {
+		out := make(map[string]float64)
+		for _, s := range r.Snapshot() {
+			if s.Kind == "histogram" {
+				out[s.Name+".count"] = s.Value
+				out[s.Name+".sum"] = float64(s.Sum)
+				continue
+			}
+			out[s.Name] = s.Value
+		}
+		return out
+	})
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		// Already published (an earlier run in this process): rebind by
+		// replacing through a forwarding func is impossible with expvar's
+		// API, so earlier registration wins only if it was ours; either
+		// way Get returning non-nil means publishing again would panic.
+		return
+	}
+	expvar.Publish(name, fn)
+}
+
+// Server is a running metrics HTTP endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP server exposing Prometheus text at /metrics and the
+// process expvar map (including this registry, published as "palmsim") at
+// /debug/vars. It binds synchronously — the returned Server's Addr is
+// ready to curl — and serves in a background goroutine.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: cannot serve a nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	r.PublishExpvar("palmsim")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	s.srv.SetKeepAlivesEnabled(false)
+	err := s.srv.Close()
+	// Give in-flight handlers a beat; Close already unblocked Serve.
+	time.Sleep(time.Millisecond)
+	return err
+}

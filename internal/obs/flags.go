@@ -1,0 +1,108 @@
+// CLI flag wiring shared by cmd/palmsim and cmd/cachesweep, mirroring the
+// internal/prof pattern: AddFlags before flag.Parse, Start after, Stop
+// deferred. Any of -metrics, -metrics-addr, -progress or -manifest enables
+// the registry; with none given Registry() stays nil and every
+// instrumentation site in the process remains on its no-op path.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Flags holds the observability flag values and the running exporters.
+type Flags struct {
+	metrics  *bool
+	addr     *string
+	progress *time.Duration
+	manifest *string
+
+	reg      *Registry
+	server   *Server
+	reporter *Reporter
+	man      *Manifest
+	out      io.Writer
+}
+
+// AddFlags registers -metrics, -metrics-addr, -progress and -manifest on
+// the default flag set. Call before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		metrics:  flag.Bool("metrics", false, "collect runtime metrics and print a snapshot at exit"),
+		addr:     flag.String("metrics-addr", "", "serve Prometheus text at /metrics and expvar at /debug/vars on this address (implies -metrics)"),
+		progress: flag.Duration("progress", 0, "print a progress line at this interval, e.g. 2s (implies -metrics)"),
+		manifest: flag.String("manifest", "", "write a JSON run manifest (config, duration, metric snapshot) to this file at exit (implies -metrics)"),
+		out:      os.Stderr,
+	}
+}
+
+// Enabled reports whether any observability flag was set.
+func (f *Flags) Enabled() bool {
+	return *f.metrics || *f.addr != "" || *f.progress > 0 || *f.manifest != ""
+}
+
+// Registry returns the live registry, or nil when observability is
+// disabled (the no-op state every instrumented package understands).
+func (f *Flags) Registry() *Registry { return f.reg }
+
+// Start creates the registry and launches the exporters the flags asked
+// for. Call after flag.Parse; returns without side effects when disabled.
+func (f *Flags) Start() error {
+	if !f.Enabled() {
+		return nil
+	}
+	f.reg = NewRegistry()
+	f.man = NewManifest()
+	if *f.addr != "" {
+		srv, err := f.reg.Serve(*f.addr)
+		if err != nil {
+			return err
+		}
+		f.server = srv
+		fmt.Fprintf(f.out, "obs: serving metrics on http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", srv.Addr)
+	}
+	f.reporter = NewReporter(f.reg, f.out, *f.progress)
+	f.reporter.Start()
+	return nil
+}
+
+// Note forwards to the run manifest (no-op when disabled).
+func (f *Flags) Note(key, value string) {
+	if f.man != nil {
+		f.man.Note(key, value)
+	}
+}
+
+// Stop halts the reporter and server, writes the manifest if requested and
+// prints the final snapshot if -metrics was given. Defer from main after a
+// successful Start.
+func (f *Flags) Stop() error {
+	if f.reg == nil {
+		return nil
+	}
+	f.reporter.Stop()
+	if f.server != nil {
+		_ = f.server.Close()
+	}
+	f.man.Finish(f.reg)
+	if *f.manifest != "" {
+		if err := f.man.WriteFile(*f.manifest); err != nil {
+			return fmt.Errorf("obs: writing manifest: %w", err)
+		}
+		fmt.Fprintf(f.out, "obs: wrote run manifest to %s\n", *f.manifest)
+	}
+	if *f.metrics {
+		fmt.Fprintln(f.out, "obs: final metric snapshot:")
+		for _, s := range f.reg.Snapshot() {
+			if s.Kind == "histogram" {
+				fmt.Fprintf(f.out, "  %-40s count=%v sum=%d\n", s.Name, s.Value, s.Sum)
+				continue
+			}
+			fmt.Fprintf(f.out, "  %-40s %v\n", s.Name, s.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// The structured run manifest: one JSON document per invocation capturing
+// what ran (command, arguments, the full flag configuration), how long it
+// took and the final metric snapshot — so experiments become
+// machine-diffable artifacts instead of scrollback.
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"time"
+)
+
+// Manifest is the JSON document written at the end of a run.
+type Manifest struct {
+	Command         string            `json:"command"`
+	Args            []string          `json:"args"`
+	Config          map[string]string `json:"config"`
+	StartTime       time.Time         `json:"start_time"`
+	EndTime         time.Time         `json:"end_time"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Notes           map[string]string `json:"notes,omitempty"`
+	Metrics         []Sample          `json:"metrics"`
+}
+
+// NewManifest starts a manifest for the current process: command, raw
+// arguments and the complete flag configuration (every registered flag
+// with its effective value, so defaults and overrides are both recorded).
+// Call after flag.Parse.
+func NewManifest() *Manifest {
+	cfg := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) {
+		cfg[f.Name] = f.Value.String()
+	})
+	return &Manifest{
+		Command:   os.Args[0],
+		Args:      os.Args[1:],
+		Config:    cfg,
+		StartTime: time.Now(),
+	}
+}
+
+// Note attaches a free-form key/value (trace sizes, derived ratios,
+// verdicts) to the manifest.
+func (m *Manifest) Note(key, value string) {
+	if m.Notes == nil {
+		m.Notes = make(map[string]string)
+	}
+	m.Notes[key] = value
+}
+
+// Finish stamps the end time and captures the registry snapshot (a nil
+// registry leaves Metrics empty).
+func (m *Manifest) Finish(r *Registry) {
+	m.EndTime = time.Now()
+	m.DurationSeconds = m.EndTime.Sub(m.StartTime).Seconds()
+	m.Metrics = r.Snapshot()
+}
+
+// WriteFile marshals the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

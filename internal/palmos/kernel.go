@@ -101,6 +101,10 @@ type Kernel struct {
 	// OnHackRecord, if set, observes every hack log record as it is
 	// written (used by tests and by the session recorder).
 	OnHackRecord func(rec HackRecord)
+
+	// ObsHack, if set, observes the simulated cycle cost of each hack
+	// logging call (the §2.1 per-call budget is 10 ms of device time).
+	ObsHack func(trap uint16, cycles uint64)
 }
 
 // HackRecord is the decoded form of one 16-byte activity-log record.
@@ -474,6 +478,7 @@ func fourCC(s string) uint32 {
 // open/insert/close cost (the Figure 3 overhead model), and notifies any
 // observer.
 func (k *Kernel) gateHackLog(trap uint16) {
+	startCycles := k.CPU.Cycles
 	a := uint16(k.Bus.Peek(AddrHackBuf+0, m68k.Word))
 	b := uint16(k.Bus.Peek(AddrHackBuf+2, m68k.Word))
 	c := uint16(k.Bus.Peek(AddrHackBuf+4, m68k.Word))
@@ -504,6 +509,9 @@ func (k *Kernel) gateHackLog(trap uint16) {
 	}
 	if k.OnHackRecord != nil {
 		k.OnHackRecord(rec)
+	}
+	if k.ObsHack != nil {
+		k.ObsHack(trap, k.CPU.Cycles-startCycles)
 	}
 	k.CPU.D[0] = 0
 }

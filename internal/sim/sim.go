@@ -14,6 +14,7 @@ import (
 	"palmsim/internal/hack"
 	"palmsim/internal/hotsync"
 	"palmsim/internal/hw"
+	"palmsim/internal/obs"
 	"palmsim/internal/palmos"
 	"palmsim/internal/user"
 )
@@ -74,10 +75,17 @@ func Collect(s Session) (*Collection, error) {
 // second test workload is the same as the final state for the first". A
 // nil prior state collects from a factory-fresh boot.
 func CollectFrom(prior *State, s Session) (*Collection, error) {
+	return CollectObserved(prior, s, nil)
+}
+
+// CollectObserved is CollectFrom with the collection machine bound to a
+// metrics registry (nil behaves exactly like CollectFrom).
+func CollectObserved(prior *State, s Session, reg *obs.Registry) (*Collection, error) {
 	m, err := emu.New(emu.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
+	m.RegisterObs(reg)
 	if err := m.Boot(); err != nil {
 		return nil, err
 	}
@@ -166,6 +174,11 @@ type ReplayOptions struct {
 	// the complete instruction trace of the paper's CITCAT lineage,
 	// covering interrupt handlers, the trap dispatcher and user code.
 	TraceInstructions bool
+
+	// Obs, when non-nil, binds the replay machine's metrics into this
+	// registry (see emu.RegisterObs). Nil — the default, and what every
+	// benchmark uses — keeps replay on the uninstrumented path.
+	Obs *obs.Registry
 }
 
 // DefaultReplayOptions returns the configuration the paper's case study
@@ -221,6 +234,10 @@ func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bound before Boot so the tick-sync counters cover the whole run;
+	// func metrics rebind, superseding any earlier machine (e.g. the
+	// collection pass) in the same registry.
+	m.RegisterObs(opt.Obs)
 	var instrTrace []uint32
 	if opt.TraceInstructions {
 		// Installed before boot so the trace is complete from reset, as

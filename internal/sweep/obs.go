@@ -1,0 +1,95 @@
+// Observability for the sweep engine. All metric objects are created up
+// front and only when Options.Obs is set, so the disabled path (every
+// benchmark, and any caller that leaves Obs nil) allocates nothing and
+// pays one predicated load per chunk boundary — far below the per-chunk
+// simulation work of 64Ki references across every unit.
+package sweep
+
+import (
+	"fmt"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/obs"
+)
+
+// obsMetrics carries the sweep's live counters. The nil *obsMetrics is
+// the disabled state; every method no-ops on it.
+type obsMetrics struct {
+	chunks   *obs.Counter   // chunks produced by the trace reader
+	refs     *obs.Counter   // references streamed
+	consumed *obs.Counter   // chunk consumptions summed over workers
+	inflight *obs.Gauge     // chunks published, not yet retired by all workers
+	workers  []*obs.Counter // per-worker completed unit·chunk applications
+}
+
+// newObsMetrics builds the bundle, or returns nil when r is nil.
+func newObsMetrics(r *obs.Registry, nworkers, nunits int) *obsMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &obsMetrics{
+		chunks:   r.Counter("sweep.chunks_produced"),
+		refs:     r.Counter("sweep.refs_streamed"),
+		consumed: r.Counter("sweep.chunks_consumed"),
+		inflight: r.Gauge("sweep.chunks_inflight"),
+	}
+	r.Gauge("sweep.workers").Set(int64(nworkers))
+	r.Gauge("sweep.units").Set(int64(nunits))
+	for w := 0; w < nworkers; w++ {
+		m.workers = append(m.workers, r.Counter(fmt.Sprintf("sweep.worker.%d.unit_chunks", w)))
+	}
+	return m
+}
+
+// produced records one chunk of n references entering the queues.
+func (m *obsMetrics) produced(n int) {
+	if m == nil {
+		return
+	}
+	m.chunks.Inc()
+	m.refs.Add(uint64(n))
+	m.inflight.Add(1)
+}
+
+// workerDone records worker w applying one chunk to its nunits units.
+func (m *obsMetrics) workerDone(w, nunits int) {
+	if m == nil {
+		return
+	}
+	m.consumed.Inc()
+	m.workers[w].Add(uint64(nunits))
+}
+
+// retired records a chunk leaving flight (all workers finished with it).
+func (m *obsMetrics) retired() {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+}
+
+// registerResults publishes sweep-wide cache aggregates (accesses, misses,
+// RAM/flash splits summed across configurations) as polled funcs. Funcs
+// rebind on re-registration, so a later sweep in the same process (e.g.
+// the cross-validation pass) supersedes the earlier one.
+func registerResults(r *obs.Registry, results []cache.Result) {
+	if r == nil {
+		return
+	}
+	var acc, miss, ramRefs, flashRefs, ramMiss, flashMiss uint64
+	for _, res := range results {
+		acc += res.Accesses
+		miss += res.Misses
+		ramRefs += res.RAMRefs
+		flashRefs += res.FlashRefs
+		ramMiss += res.RAMMisses
+		flashMiss += res.FlashMisses
+	}
+	r.Func("cache.accesses", func() float64 { return float64(acc) })
+	r.Func("cache.misses", func() float64 { return float64(miss) })
+	r.Func("cache.ram_refs", func() float64 { return float64(ramRefs) })
+	r.Func("cache.flash_refs", func() float64 { return float64(flashRefs) })
+	r.Func("cache.ram_misses", func() float64 { return float64(ramMiss) })
+	r.Func("cache.flash_misses", func() float64 { return float64(flashMiss) })
+	r.Func("cache.configs", func() float64 { return float64(len(results)) })
+}

@@ -26,6 +26,7 @@ import (
 
 	"palmsim/internal/cache"
 	"palmsim/internal/cache/stack"
+	"palmsim/internal/obs"
 )
 
 // Source streams a reference trace in chunks, so traces never need to be
@@ -115,6 +116,10 @@ type Options struct {
 	// Engine selects the simulation algorithm; the zero value
 	// (EngineAuto) selects the single-pass stack engine.
 	Engine Engine
+	// Obs, when non-nil, receives sweep progress counters (chunks, refs,
+	// per-worker completions, queue depth) and post-run cache aggregates.
+	// Nil (the default) adds no allocations and no atomic traffic.
+	Obs *obs.Registry
 }
 
 func (o Options) workers(nunits int) int {
@@ -210,15 +215,19 @@ func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) 
 		return collect(), nil
 	}
 
-	if w := opts.workers(len(units)); w == 1 {
-		err = runSerial(units, src, opts.chunkRefs())
+	w := opts.workers(len(units))
+	m := newObsMetrics(opts.Obs, w, len(units))
+	if w == 1 {
+		err = runSerial(units, src, opts.chunkRefs(), m)
 	} else {
-		err = runParallel(units, src, w, opts.chunkRefs())
+		err = runParallel(units, src, w, opts.chunkRefs(), m)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return collect(), nil
+	results := collect()
+	registerResults(opts.Obs, results)
+	return results, nil
 }
 
 // RunTrace is a convenience wrapper over an in-memory trace.
@@ -228,7 +237,7 @@ func RunTrace(cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result
 
 // runSerial is the workers=1 fallback: one goroutine, one chunk buffer,
 // the same chunked access pattern as the parallel path.
-func runSerial(units []unit, src Source, chunkRefs int) error {
+func runSerial(units []unit, src Source, chunkRefs int, m *obsMetrics) error {
 	buf := make([]uint32, chunkRefs)
 	for {
 		n, err := src.NextChunk(buf)
@@ -236,10 +245,13 @@ func runSerial(units []unit, src Source, chunkRefs int) error {
 			return err
 		}
 		if n > 0 {
+			m.produced(n)
 			refs := buf[:n]
 			for _, u := range units {
 				u.AccessAll(refs)
 			}
+			m.workerDone(0, len(units))
+			m.retired()
 		}
 		if n == 0 || err == io.EOF {
 			return nil
@@ -250,7 +262,7 @@ func runSerial(units []unit, src Source, chunkRefs int) error {
 // runParallel fans chunks out to per-worker queues. Each worker owns a
 // contiguous shard of the units, so no unit is ever touched by two
 // goroutines and the per-unit access order is the trace order.
-func runParallel(units []unit, src Source, workers, chunkRefs int) error {
+func runParallel(units []unit, src Source, workers, chunkRefs int, m *obsMetrics) error {
 	pool := sync.Pool{New: func() any { return make([]uint32, chunkRefs) }}
 	queues := make([]chan *chunk, workers)
 	for w := range queues {
@@ -263,6 +275,7 @@ func runParallel(units []unit, src Source, workers, chunkRefs int) error {
 		hi := (w + 1) * len(units) / workers
 		shard := units[lo:hi]
 		q := queues[w]
+		wid := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -270,7 +283,9 @@ func runParallel(units []unit, src Source, workers, chunkRefs int) error {
 				for _, u := range shard {
 					u.AccessAll(ck.refs)
 				}
+				m.workerDone(wid, len(shard))
 				if atomic.AddInt32(&ck.pending, -1) == 0 {
+					m.retired()
 					pool.Put(ck.refs[:cap(ck.refs)])
 				}
 			}
@@ -292,6 +307,7 @@ func runParallel(units []unit, src Source, workers, chunkRefs int) error {
 			break
 		}
 		ck := &chunk{refs: buf[:n], pending: int32(workers)}
+		m.produced(n)
 		for _, q := range queues {
 			q <- ck
 		}

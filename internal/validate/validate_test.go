@@ -42,6 +42,66 @@ func TestCorrelateToleratesSmallBursts(t *testing.T) {
 	}
 }
 
+// TestBurstToleranceBoundary pins the §3.3 limit exactly: the paper says
+// replay bursts stay *under* 20 ticks, so 19 is the last passing skew and
+// 20 the first failing one — in both directions, since the replay can run
+// ahead of the recorded schedule as well as behind it.
+func TestBurstToleranceBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		skew int64
+		ok   bool
+	}{
+		{"skew 0", 0, true},
+		{"skew 19 (last inside tolerance)", BurstTolerance - 1, true},
+		{"skew 20 (at tolerance)", BurstTolerance, false},
+		{"skew 21 (beyond tolerance)", BurstTolerance + 1, false},
+		{"skew -19 (replay early, inside)", -(BurstTolerance - 1), true},
+		{"skew -20 (replay early, at)", -BurstTolerance, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const base = 100 // keep base+skew positive for the uint32 tick
+			orig := &alog.Log{Records: []alog.Record{penRec(base, 5, 6), keyRec(base+50, 'a')}}
+			replay := &alog.Log{Records: []alog.Record{
+				penRec(uint32(base+tc.skew), 5, 6), keyRec(base+50, 'a'),
+			}}
+			rep := CorrelateLogs(orig, replay)
+			if rep.OK() != tc.ok {
+				t.Errorf("skew %d: OK() = %v, want %v (problems: %v)",
+					tc.skew, rep.OK(), tc.ok, rep.Problems)
+			}
+			want := tc.skew
+			if want < 0 {
+				want = -want
+			}
+			if rep.MaxTickSkew != want {
+				t.Errorf("MaxTickSkew = %d, want %d", rep.MaxTickSkew, want)
+			}
+			// Payloads matched regardless of timing: skew is a scheduling
+			// problem, not a payload mismatch.
+			if rep.PenMismatched != 0 || rep.KeyMismatched != 0 {
+				t.Errorf("timing skew miscounted as payload mismatch: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestCorrelateRejectsOutOfOrderEvents: the comparison is positional
+// within each event stream, so two pen events arriving swapped must show
+// up as payload mismatches even though both payloads exist in both logs.
+func TestCorrelateRejectsOutOfOrderEvents(t *testing.T) {
+	orig := &alog.Log{Records: []alog.Record{penRec(10, 1, 1), penRec(12, 2, 2)}}
+	replay := &alog.Log{Records: []alog.Record{penRec(10, 2, 2), penRec(12, 1, 1)}}
+	rep := CorrelateLogs(orig, replay)
+	if rep.OK() {
+		t.Error("reordered pen events accepted")
+	}
+	if rep.PenMismatched != 2 {
+		t.Errorf("PenMismatched = %d, want 2", rep.PenMismatched)
+	}
+}
+
 func TestCorrelateRejectsLargeSkew(t *testing.T) {
 	orig := &alog.Log{Records: []alog.Record{penRec(10, 5, 6)}}
 	replay := &alog.Log{Records: []alog.Record{penRec(10+BurstTolerance, 5, 6)}}

@@ -26,6 +26,7 @@ import (
 	"palmsim/internal/alog"
 	"palmsim/internal/hotsync"
 	"palmsim/internal/hw"
+	"palmsim/internal/obs"
 	"palmsim/internal/sim"
 	"palmsim/internal/user"
 )
@@ -65,6 +66,12 @@ func NewBuilder(seed int64, startTick uint32) *Builder {
 // replays the synthetic user's inputs in simulated real time and returns
 // the activity log plus final state — the paper's §2 collection pipeline.
 func Collect(s Session) (*Collection, error) { return sim.Collect(s) }
+
+// CollectObserved is Collect with the collection machine bound to a
+// metrics registry (nil behaves exactly like Collect).
+func CollectObserved(s Session, reg *obs.Registry) (*Collection, error) {
+	return sim.CollectObserved(nil, s, reg)
+}
 
 // Replay restores the initial state into a fresh machine and replays the
 // activity log per §2.4.2.
