@@ -12,6 +12,7 @@
 package palmsim_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,12 +50,12 @@ var (
 // cache benchmarks and the sweep determinism test.
 func benchSetup(tb testing.TB) (*palmsim.Collection, []uint32) {
 	benchOnce.Do(func() {
-		benchCol, benchErr = palmsim.Collect(benchSession())
+		benchCol, benchErr = palmsim.Collect(context.Background(), benchSession())
 		if benchErr != nil {
 			return
 		}
 		var pb *palmsim.Playback
-		pb, benchErr = palmsim.Replay(benchCol.Initial, benchCol.Log, palmsim.DefaultReplayOptions())
+		pb, benchErr = palmsim.Replay(context.Background(), benchCol.Initial, benchCol.Log, palmsim.DefaultReplayOptions())
 		if benchErr == nil {
 			benchTrace = pb.Trace
 		}
@@ -88,7 +89,7 @@ func BenchmarkSessionReplay(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkSessionReplayWithTrace(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.DefaultReplayOptions())
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.DefaultReplayOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func BenchmarkHackOverhead(b *testing.B) {
 	b.ReportAllocs()
 	var records int
 	for i := 0; i < b.N; i++ {
-		col, err := palmsim.Collect(benchSession())
+		col, err := palmsim.Collect(context.Background(), benchSession())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkCacheSweep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				opts := sweep.Options{Workers: wc.workers, Engine: sweep.EngineDirect}
-				if _, err := sweep.RunTrace(cfgs, trace, opts); err != nil {
+				if _, err := sweep.RunTrace(context.Background(), cfgs, trace, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -166,7 +167,7 @@ func BenchmarkStackSweep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				opts := sweep.Options{Workers: wc.workers, Engine: sweep.EngineStack}
-				if _, err := sweep.RunTrace(cfgs, trace, opts); err != nil {
+				if _, err := sweep.RunTrace(context.Background(), cfgs, trace, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -200,7 +201,7 @@ func BenchmarkDesktopSweep(b *testing.B) {
 			b.SetBytes(int64(len(trace) * 4))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: wc.workers}); err != nil {
+				if _, err := sweep.RunTrace(context.Background(), cfgs, trace, sweep.Options{Workers: wc.workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -219,7 +220,7 @@ func BenchmarkDesktopSweepStreaming(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Run(cfgs, dtrace.NewStream(cfg), sweep.Options{}); err != nil {
+		if _, err := sweep.Run(context.Background(), cfgs, dtrace.NewStream(cfg), sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -238,7 +239,7 @@ func BenchmarkProfilingDispatch(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var instr uint64
 			for i := 0; i < b.N; i++ {
-				pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: profiling})
+				pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: profiling})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -277,7 +278,7 @@ func BenchmarkEmulatorMIPS(b *testing.B) {
 	b.ResetTimer()
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +302,7 @@ func BenchmarkEmulatorMIPSObserved(b *testing.B) {
 	b.ResetTimer()
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true, Obs: reg})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true, Obs: reg})
 		if err != nil {
 			b.Fatal(err)
 		}

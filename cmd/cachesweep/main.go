@@ -6,22 +6,36 @@
 // desktop traces are streamed, so memory use is independent of trace
 // length.
 //
+// SIGINT/SIGTERM cancel the sweep at the next chunk boundary: the run
+// manifest (when -manifest is given) is still written, with
+// "status":"interrupted", and the process exits with code 3. With
+// -checkpoint the interrupted sweep's aggregation state is saved to a
+// sidecar file; re-running with -resume picks up where it stopped and
+// produces results bit-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	cachesweep -session 1
 //	cachesweep -trace out/session1.trace -workers 8
 //	cachesweep -trace out/session1.ptrace             (packed, auto-detected)
 //	cachesweep -desktop
+//	cachesweep -desktop -refs 500000000 -checkpoint sweep.ckpt
+//	cachesweep -desktop -refs 500000000 -checkpoint sweep.ckpt -resume
 //	cachesweep -session 1 -algo direct                (per-config simulation)
 //	cachesweep -session 1 -crossvalidate              (stack vs direct diff)
 //	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
+//
+// Exit codes: 0 success, 1 failure, 2 bad usage, 3 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"palmsim/internal/cache"
 	"palmsim/internal/dtrace"
@@ -30,8 +44,16 @@ import (
 	"palmsim/internal/obs"
 	"palmsim/internal/prof"
 	"palmsim/internal/report"
+	"palmsim/internal/simerr"
 	"palmsim/internal/sweep"
 	"palmsim/internal/user"
+)
+
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -40,30 +62,106 @@ func main() {
 	dinFile := flag.String("din", "", "Dinero din-format trace file")
 	sessionNum := flag.Int("session", 0, "replay built-in session (1-4) to obtain the trace")
 	desktop := flag.Bool("desktop", false, "use the synthetic desktop trace (Figure 7)")
+	refs := flag.Int("refs", 0, "override the synthetic desktop trace length (references; 0 = default)")
 	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
 	algo := flag.String("algo", "auto", "sweep engine: auto, direct or stack")
 	crossValidate := flag.Bool("crossvalidate", false, "run both engines over the trace and verify bit-identical results")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint sidecar file: saved periodically and on interrupt")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "chunks between checkpoint saves (0 = default)")
+	resume := flag.Bool("resume", false, "resume from an existing -checkpoint sidecar")
 	profiler := prof.AddFlags()
 	obsFlags := obs.AddFlags()
 	flag.Parse()
-	if err := profiler.Start(); err != nil {
-		fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, &config{
+		traceFile:       *traceFile,
+		traceFormat:     *traceFormat,
+		dinFile:         *dinFile,
+		sessionNum:      *sessionNum,
+		desktop:         *desktop,
+		refs:            *refs,
+		policy:          *policy,
+		algo:            *algo,
+		crossValidate:   *crossValidate,
+		workers:         *workers,
+		chunk:           *chunk,
+		checkpoint:      *checkpoint,
+		checkpointEvery: *checkpointEvery,
+		resume:          *resume,
+		profiler:        profiler,
+		obsFlags:        obsFlags,
+	}))
+}
+
+type config struct {
+	traceFile, traceFormat, dinFile  string
+	sessionNum, refs, workers, chunk int
+	desktop, crossValidate, resume   bool
+	policy, algo, checkpoint         string
+	checkpointEvery                  int
+	profiler                         *prof.Profiler
+	obsFlags                         *obs.Flags
+}
+
+// run executes the sweep and maps the outcome to an exit code, making
+// sure the profiler and the obs manifest are flushed on every path —
+// including cancellation, where the manifest records "interrupted".
+func run(ctx context.Context, c *config) (code int) {
+	if err := c.profiler.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesweep:", err)
+		return exitUsage
 	}
-	defer profiler.Stop()
-	if err := obsFlags.Start(); err != nil {
-		fatal(err)
+	defer c.profiler.Stop()
+	if err := c.obsFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesweep:", err)
+		return exitUsage
 	}
 	defer func() {
-		if err := obsFlags.Stop(); err != nil {
+		if err := c.obsFlags.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "cachesweep:", err)
+			if code == exitOK {
+				code = exitFailure
+			}
 		}
 	}()
-	reg := obsFlags.Registry()
+
+	err := sweepMain(ctx, c)
+	switch {
+	case err == nil:
+		c.obsFlags.SetStatus("ok")
+		return exitOK
+	case simerr.IsCanceled(err):
+		c.obsFlags.SetStatus("interrupted")
+		fmt.Fprintln(os.Stderr, "cachesweep: interrupted:", err)
+		return exitInterrupted
+	case isUsage(err):
+		c.obsFlags.SetStatus("failed")
+		fmt.Fprintln(os.Stderr, "cachesweep:", err)
+		return exitUsage
+	default:
+		c.obsFlags.SetStatus("failed")
+		fmt.Fprintln(os.Stderr, "cachesweep:", err)
+		return exitFailure
+	}
+}
+
+// usageError marks a bad-flag failure for the exit-code mapping.
+type usageError struct{ error }
+
+func isUsage(err error) bool {
+	_, ok := err.(usageError)
+	return ok
+}
+
+func sweepMain(ctx context.Context, c *config) error {
+	reg := c.obsFlags.Registry()
 
 	var pol cache.Policy
-	switch strings.ToUpper(*policy) {
+	switch strings.ToUpper(c.policy) {
 	case "LRU":
 		pol = cache.LRU
 	case "FIFO":
@@ -71,11 +169,11 @@ func main() {
 	case "RANDOM":
 		pol = cache.Random
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		return usageError{fmt.Errorf("unknown policy %q", c.policy)}
 	}
 
 	var eng sweep.Engine
-	switch strings.ToLower(*algo) {
+	switch strings.ToLower(c.algo) {
 	case "auto":
 		eng = sweep.EngineAuto
 	case "direct":
@@ -83,25 +181,25 @@ func main() {
 	case "stack":
 		eng = sweep.EngineStack
 	default:
-		fatal(fmt.Errorf("unknown engine %q (want auto, direct or stack)", *algo))
+		return usageError{fmt.Errorf("unknown engine %q (want auto, direct or stack)", c.algo)}
 	}
 
 	// newSource opens a fresh pass over the selected trace; the
 	// cross-validation mode needs two.
 	var newSource func() (sweep.Source, error)
 	switch {
-	case *dinFile != "":
+	case c.dinFile != "":
 		newSource = func() (sweep.Source, error) {
-			f, err := os.Open(*dinFile)
+			f, err := os.Open(c.dinFile)
 			if err != nil {
 				return nil, err
 			}
 			return attachSourceObs(exp.NewDineroSource(f), reg), nil
 		}
-		fmt.Printf("streaming din references from %s\n", *dinFile)
-	case *traceFile != "":
+		fmt.Printf("streaming din references from %s\n", c.dinFile)
+	case c.traceFile != "":
 		newSource = func() (sweep.Source, error) {
-			src, err := openTraceFile(*traceFile, *traceFormat)
+			src, err := openTraceFile(c.traceFile, c.traceFormat)
 			if err != nil {
 				return nil, err
 			}
@@ -109,23 +207,26 @@ func main() {
 		}
 		src, err := newSource()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if ts, ok := src.(*exp.TraceSource); ok {
-			fmt.Printf("streaming %d raw references from %s\n", ts.Refs(), *traceFile)
+			fmt.Printf("streaming %d raw references from %s\n", ts.Refs(), c.traceFile)
 		} else {
-			fmt.Printf("streaming packed references from %s\n", *traceFile)
+			fmt.Printf("streaming packed references from %s\n", c.traceFile)
 		}
-	case *desktop:
+	case c.desktop:
 		cfg := dtrace.DefaultConfig()
+		if c.refs > 0 {
+			cfg.Refs = c.refs
+		}
 		newSource = func() (sweep.Source, error) { return dtrace.NewStream(cfg), nil }
 		fmt.Printf("streaming %d synthetic desktop references\n", cfg.Refs)
-	case *sessionNum >= 1 && *sessionNum <= 4:
-		s := user.PaperSessions()[*sessionNum-1]
+	case c.sessionNum >= 1 && c.sessionNum <= 4:
+		s := user.PaperSessions()[c.sessionNum-1]
 		fmt.Printf("collecting and replaying %s...\n", s.Name)
-		run, err := exp.RunSession(s)
+		run, err := exp.RunSession(ctx, s)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		newSource = func() (sweep.Source, error) { return sweep.NewSliceSource(run.Trace), nil }
 		fmt.Printf("trace: %d references (%.1f%% flash), no-cache Teff %.3f\n",
@@ -133,27 +234,46 @@ func main() {
 			100*float64(run.Row.FlashRefs)/float64(run.Row.RAMRefs+run.Row.FlashRefs),
 			cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs))
 	default:
-		fatal(fmt.Errorf("need one of -trace, -din, -session or -desktop"))
+		return usageError{fmt.Errorf("need one of -trace, -din, -session or -desktop")}
+	}
+	if c.resume && c.checkpoint == "" {
+		return usageError{fmt.Errorf("-resume requires -checkpoint")}
 	}
 
 	cfgs := cache.PaperSweep()
 	for i := range cfgs {
 		cfgs[i].Policy = pol
 	}
-	opts := sweep.Options{Workers: *workers, ChunkRefs: *chunk, Engine: eng, Obs: reg}
-	fmt.Printf("sweep: %s\n", sweep.Describe(opts, cfgs))
-	obsFlags.Note("engine", sweep.Describe(opts, cfgs))
-	obsFlags.Note("policy", pol.String())
-
-	results, err := runOnce(cfgs, newSource, opts)
-	if err != nil {
-		fatal(err)
+	opts := sweep.Options{
+		Workers:               c.workers,
+		ChunkRefs:             c.chunk,
+		Engine:                eng,
+		Obs:                   reg,
+		CheckpointPath:        c.checkpoint,
+		CheckpointEveryChunks: c.checkpointEvery,
+		Resume:                c.resume,
 	}
-	if *crossValidate {
-		if err := crossValidateEngines(cfgs, newSource, opts, results); err != nil {
-			fatal(err)
+	fmt.Printf("sweep: %s\n", sweep.Describe(opts, cfgs))
+	c.obsFlags.Note("engine", sweep.Describe(opts, cfgs))
+	c.obsFlags.Note("policy", pol.String())
+
+	results, err := runOnce(ctx, cfgs, newSource, opts)
+	if err != nil {
+		if c.checkpoint != "" && simerr.IsCanceled(err) {
+			fmt.Fprintf(os.Stderr, "cachesweep: checkpoint saved to %s; re-run with -resume to continue\n", c.checkpoint)
 		}
-		obsFlags.Note("crossvalidate", "OK")
+		return err
+	}
+	if c.crossValidate {
+		// Checkpointing applies to the headline sweep only; the
+		// verification pass is always a full second run.
+		vopts := opts
+		vopts.CheckpointPath = ""
+		vopts.Resume = false
+		if err := crossValidateEngines(ctx, cfgs, newSource, vopts, results); err != nil {
+			return err
+		}
+		c.obsFlags.Note("crossvalidate", "OK")
 	}
 
 	model := energy.Default()
@@ -165,6 +285,7 @@ func main() {
 	}
 	fmt.Print(t)
 	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+	return nil
 }
 
 // attachSourceObs binds a streaming source's read counters into the
@@ -200,29 +321,29 @@ func openTraceFile(path, format string) (sweep.Source, error) {
 	case "packed":
 		return exp.NewPackedSource(f)
 	}
-	return nil, fmt.Errorf("unknown trace format %q (want auto, raw or packed)", format)
+	return nil, usageError{fmt.Errorf("unknown trace format %q (want auto, raw or packed)", format)}
 }
 
 // runOnce opens a fresh source and sweeps it.
-func runOnce(cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
+func runOnce(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
 	src, err := newSource()
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Run(cfgs, src, opts)
+	return sweep.Run(ctx, cfgs, src, opts)
 }
 
 // crossValidateEngines re-runs the sweep on the engine not used for the
 // headline results and verifies every per-configuration counter matches
 // bit for bit.
-func crossValidateEngines(cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options, got []cache.Result) error {
+func crossValidateEngines(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options, got []cache.Result) error {
 	ran := opts.Engine
 	other := sweep.EngineDirect
 	if ran == sweep.EngineDirect {
 		other = sweep.EngineStack
 	}
 	opts.Engine = other
-	want, err := runOnce(cfgs, newSource, opts)
+	want, err := runOnce(ctx, cfgs, newSource, opts)
 	if err != nil {
 		return fmt.Errorf("cross-validation sweep (%v engine): %w", other, err)
 	}
@@ -240,14 +361,10 @@ func crossValidateEngines(cfgs []cache.Config, newSource func() (sweep.Source, e
 		}
 	}
 	if mismatches > 0 {
-		return fmt.Errorf("cross-validation FAILED: %d of %d configurations diverged", mismatches, len(cfgs))
+		return simerr.New(simerr.ErrDivergence, "cachesweep: crossvalidate",
+			fmt.Errorf("cross-validation FAILED: %d of %d configurations diverged", mismatches, len(cfgs)))
 	}
 	fmt.Printf("cross-validation OK: %d/%d configurations bit-identical across stack and direct engines\n",
 		len(cfgs), len(cfgs))
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cachesweep:", err)
-	os.Exit(1)
 }

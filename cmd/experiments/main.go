@@ -2,93 +2,164 @@
 // evaluation. Each experiment prints the same rows/series the paper
 // reports; EXPERIMENTS.md records paper-versus-measured values.
 //
+// With -run all the experiments are scheduled through the internal/job
+// batch runner: -jobs bounds concurrency, -job-timeout bounds each
+// experiment, and -keep-going runs everything even after a failure
+// (the default stops at the first one). Each job writes to its own
+// buffer; output is printed in the canonical order regardless of
+// completion order, so the report reads identically to a serial run.
+//
 // Usage:
 //
-//	experiments -run all
+//	experiments -run all -jobs 4
 //	experiments -run pen|fig3|table1|fig5|fig6|fig7|validate-log|validate-state
 //	experiments -run fig5 -session 2
+//
+// Exit codes: 0 success, 1 experiment failure, 2 bad usage,
+// 3 interrupted (SIGINT/SIGTERM).
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"palmsim/internal/cache"
 	"palmsim/internal/exp"
+	"palmsim/internal/job"
 	"palmsim/internal/report"
+	"palmsim/internal/simerr"
 	"palmsim/internal/user"
+)
+
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment: pen, fig3, table1, fig5, fig6, fig7, validate-log, validate-state, all")
 	session := flag.Int("session", 1, "paper session number (1-4) for the cache study")
+	jobs := flag.Int("jobs", 1, "concurrent experiments for -run all (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-experiment deadline for -run all (0 = none)")
+	keepGoing := flag.Bool("keep-going", false, "with -run all, run remaining experiments after a failure")
 	flag.Parse()
 
-	if *session < 1 || *session > 4 {
-		fatal(fmt.Errorf("session %d out of range 1-4", *session))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(runMain(ctx, *run, *session, *jobs, *jobTimeout, *keepGoing))
+}
+
+func runMain(ctx context.Context, run string, session, jobs int, jobTimeout time.Duration, keepGoing bool) int {
+	if session < 1 || session > 4 {
+		fmt.Fprintf(os.Stderr, "experiments: session %d out of range 1-4\n", session)
+		return exitUsage
 	}
 
-	experiments := map[string]func() error{
+	experiments := map[string]func(ctx context.Context, w io.Writer) error{
 		"pen":            runPen,
 		"fig3":           runFig3,
 		"table1":         runTable1,
-		"fig5":           func() error { return runCacheFigures(*session, true, false) },
-		"fig6":           func() error { return runCacheFigures(*session, false, true) },
+		"fig5":           func(ctx context.Context, w io.Writer) error { return runCacheFigures(ctx, w, session, true, false) },
+		"fig6":           func(ctx context.Context, w io.Writer) error { return runCacheFigures(ctx, w, session, false, true) },
 		"fig7":           runFig7,
-		"validate-log":   func() error { return runValidation(true, false) },
-		"validate-state": func() error { return runValidation(false, true) },
+		"validate-log":   func(ctx context.Context, w io.Writer) error { return runValidation(ctx, w, true, false) },
+		"validate-state": func(ctx context.Context, w io.Writer) error { return runValidation(ctx, w, false, true) },
 		"validate-chain": runValidateChain,
-		"opcodes":        func() error { return runOpcodes(*session) },
+		"opcodes":        func(ctx context.Context, w io.Writer) error { return runOpcodes(ctx, w, session) },
 		"profiling":      runProfilingAblation,
-		"energy":         func() error { return runEnergy(*session) },
-		"writepolicy":    func() error { return runWritePolicy(*session) },
+		"energy":         func(ctx context.Context, w io.Writer) error { return runEnergy(ctx, w, session) },
+		"writepolicy":    func(ctx context.Context, w io.Writer) error { return runWritePolicy(ctx, w, session) },
 	}
 	order := []string{"pen", "fig3", "table1", "fig5", "fig6", "fig7",
 		"validate-log", "validate-state", "validate-chain", "opcodes",
 		"profiling", "energy", "writepolicy"}
 
-	if *run == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
-			if err := experiments[name](); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
-		}
-		return
+	if run == "all" {
+		return runAll(ctx, experiments, order, jobs, jobTimeout, keepGoing)
 	}
-	f, ok := experiments[*run]
+	f, ok := experiments[run]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *run))
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", run)
+		return exitUsage
 	}
-	if err := f(); err != nil {
-		fatal(err)
+	if err := f(ctx, os.Stdout); err != nil {
+		return report1(err)
 	}
+	return exitOK
 }
 
-func fatal(err error) {
+// runAll schedules every experiment through the batch runner, buffering
+// each job's output and printing the buffers in canonical order.
+func runAll(ctx context.Context, experiments map[string]func(context.Context, io.Writer) error,
+	order []string, workers int, jobTimeout time.Duration, keepGoing bool) int {
+	bufs := make([]bytes.Buffer, len(order))
+	batch := make([]job.Job, len(order))
+	for i, name := range order {
+		f := experiments[name]
+		w := &bufs[i]
+		batch[i] = job.Job{
+			Name:    name,
+			Timeout: jobTimeout,
+			Run:     func(ctx context.Context) error { return f(ctx, w) },
+		}
+	}
+	results, err := job.Run(ctx, batch, job.Options{
+		Workers:  workers,
+		FailFast: !keepGoing,
+	})
+	for i, name := range order {
+		fmt.Printf("==== %s ====\n", name)
+		os.Stdout.Write(bufs[i].Bytes())
+		if r := results[i]; r.State != job.Succeeded {
+			fmt.Printf("(%s: %s", name, r.State)
+			if r.Err != nil {
+				fmt.Printf(": %v", r.Err)
+			}
+			fmt.Println(")")
+		}
+		fmt.Println()
+	}
+	if err != nil {
+		return report1(err)
+	}
+	return exitOK
+}
+
+// report1 prints a failure and maps it to the documented exit code.
+func report1(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	if simerr.IsCanceled(err) {
+		return exitInterrupted
+	}
+	return exitFailure
 }
 
 // runPen is E1: the §2.3.3 pen-sampling overhead check.
-func runPen() error {
-	res, err := exp.PenSampling(10)
+func runPen(ctx context.Context, w io.Writer) error {
+	res, err := exp.PenSampling(ctx, 10)
 	if err != nil {
 		return err
 	}
 	t := report.New("Pen sampling with EvtEnqueuePenPoint hack installed (paper: 50.0/s)",
 		"seconds", "pen records", "rate/s")
 	t.Addf("%.0f\t%d\t%.1f", res.Seconds, res.PenRecords, res.Rate)
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
 // runFig3 is E2: average overhead per hack call vs. activity-log size.
-func runFig3() error {
-	pts, err := exp.HackOverhead(nil)
+func runFig3(ctx context.Context, w io.Writer) error {
+	pts, err := exp.HackOverhead(ctx, nil)
 	if err != nil {
 		return err
 	}
@@ -97,26 +168,26 @@ func runFig3() error {
 	for _, p := range pts {
 		t.Addf("%s\t%d\t%.0f\t%.2f", p.Hack, p.Records, p.CyclesPer, p.MillisPer)
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 
 	// The paper's own measurement procedure: the isolated hack called
 	// from a 68k tight loop ("the test eliminated the call to the
 	// original system routine to isolate the overhead").
-	fmt.Println("\nTight-loop measurement (the paper's exact method, EvtEnqueueKey):")
+	fmt.Fprintln(w, "\nTight-loop measurement (the paper's exact method, EvtEnqueueKey):")
 	for _, n := range []int{0, 10000, 20000, 30000, 40000, 50000, 60000} {
-		r, err := exp.TightLoop(n, 50)
+		r, err := exp.TightLoop(ctx, n, 50)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %6d records: %8.0f cycles/call = %5.2f ms/call\n",
+		fmt.Fprintf(w, "  %6d records: %8.0f cycles/call = %5.2f ms/call\n",
 			r.Records, r.CyclesPer, r.MillisPer)
 	}
 	return nil
 }
 
 // runTable1 is E3: the volunteer-user session data.
-func runTable1() error {
-	runs, err := exp.Table1()
+func runTable1(ctx context.Context, w io.Writer) error {
+	runs, err := exp.Table1(ctx)
 	if err != nil {
 		return err
 	}
@@ -129,39 +200,39 @@ func runTable1() error {
 			report.Millions(r.RAMRefs), report.Millions(r.FlashRefs),
 			formatElapsed(r.ElapsedSeconds), r.AvgMemCycles)
 	}
-	fmt.Print(t)
-	fmt.Println("\nNote: reference counts are scaled down ~100x versus the paper's physical")
-	fmt.Println("sessions (synthetic workload); all reported ratios are scale-free.")
+	fmt.Fprint(w, t)
+	fmt.Fprintln(w, "\nNote: reference counts are scaled down ~100x versus the paper's physical")
+	fmt.Fprintln(w, "sessions (synthetic workload); all reported ratios are scale-free.")
 	return nil
 }
 
 // runCacheFigures covers E4 (Figure 5: miss rates) and E5 (Figure 6:
 // average effective memory access times) on one session's trace.
-func runCacheFigures(session int, miss, teff bool) error {
+func runCacheFigures(ctx context.Context, w io.Writer, session int, miss, teff bool) error {
 	s := user.PaperSessions()[session-1]
-	fmt.Printf("replaying %s and sweeping 56 cache configurations...\n", s.Name)
-	run, results, err := exp.CacheStudy(s)
+	fmt.Fprintf(w, "replaying %s and sweeping 56 cache configurations...\n", s.Name)
+	run, results, err := exp.CacheStudy(ctx, s)
 	if err != nil {
 		return err
 	}
-	printSweep(results, cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs), miss, teff)
+	printSweep(w, results, cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs), miss, teff)
 	return nil
 }
 
 // runFig7 is E6: the desktop-trace comparison.
-func runFig7() error {
-	fmt.Println("sweeping the synthetic desktop address trace (Figure 7 stand-in)...")
-	results, err := exp.DesktopStudy(0)
+func runFig7(ctx context.Context, w io.Writer) error {
+	fmt.Fprintln(w, "sweeping the synthetic desktop address trace (Figure 7 stand-in)...")
+	results, err := exp.DesktopStudy(ctx, 0)
 	if err != nil {
 		return err
 	}
-	printSweep(results, 0, true, false)
+	printSweep(w, results, 0, true, false)
 	return nil
 }
 
 // printSweep renders sweep results grouped by line size and associativity,
 // as the paper's figures are.
-func printSweep(results []cache.Result, noCache float64, miss, teff bool) {
+func printSweep(w io.Writer, results []cache.Result, noCache float64, miss, teff bool) {
 	sort.Slice(results, func(i, j int) bool {
 		a, b := results[i].Config, results[j].Config
 		if a.LineBytes != b.LineBytes {
@@ -177,7 +248,7 @@ func printSweep(results []cache.Result, noCache float64, miss, teff bool) {
 		for _, r := range results {
 			t.Addf("%s\t%s\t%d\t%d", r.Config, report.Pct(r.MissRate()), r.Misses, r.Accesses)
 		}
-		fmt.Print(t)
+		fmt.Fprint(w, t)
 	}
 	if teff {
 		t := report.New("Average effective memory access time (cycles, Equation 2)",
@@ -186,15 +257,15 @@ func printSweep(results []cache.Result, noCache float64, miss, teff bool) {
 			t.Addf("%s\t%.3f\t%.3f\t-%.0f%%", r.Config, r.TeffPaper(), r.TeffExact(),
 				(1-r.TeffPaper()/noCache)*100)
 		}
-		fmt.Print(t)
-		fmt.Printf("\nno-cache Teff (Equation 3): %.3f cycles\n", noCache)
+		fmt.Fprint(w, t)
+		fmt.Fprintf(w, "\nno-cache Teff (Equation 3): %.3f cycles\n", noCache)
 	}
 }
 
 // runValidation covers E7/E8 on the three §3.2 workloads.
-func runValidation(logs, states bool) error {
-	for _, w := range exp.ValidationWorkloads() {
-		res, err := exp.ValidateSession(w)
+func runValidation(ctx context.Context, w io.Writer, logs, states bool) error {
+	for _, wl := range exp.ValidationWorkloads() {
+		res, err := exp.ValidateSession(ctx, wl)
 		if err != nil {
 			return err
 		}
@@ -203,9 +274,9 @@ func runValidation(logs, states bool) error {
 			if !res.Log.OK() {
 				status = "FAILED"
 			}
-			fmt.Printf("%-18s log correlation: %s  [%s]\n", w.Name, res.Log, status)
+			fmt.Fprintf(w, "%-18s log correlation: %s  [%s]\n", wl.Name, res.Log, status)
 			for _, p := range res.Log.Problems {
-				fmt.Println("   !", p)
+				fmt.Fprintln(w, "   !", p)
 			}
 		}
 		if states {
@@ -213,9 +284,9 @@ func runValidation(logs, states bool) error {
 			if !res.State.OK() {
 				status = "FAILED"
 			}
-			fmt.Printf("%-18s state correlation: %s  [%s]\n", w.Name, res.State, status)
+			fmt.Fprintf(w, "%-18s state correlation: %s  [%s]\n", wl.Name, res.State, status)
 			for _, d := range res.State.UnexpectedDiffs() {
-				fmt.Println("   !", d)
+				fmt.Fprintln(w, "   !", d)
 			}
 		}
 	}
@@ -224,23 +295,23 @@ func runValidation(logs, states bool) error {
 
 // runValidateChain reproduces the §3.1 chained setup: each workload's
 // initial state is the previous one's final state.
-func runValidateChain() error {
-	results, err := exp.ValidateChain(exp.ValidationWorkloads())
+func runValidateChain(ctx context.Context, w io.Writer) error {
+	results, err := exp.ValidateChain(ctx, exp.ValidationWorkloads())
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
-		fmt.Printf("%-18s log: %s [%s]  state: %s [%s]\n",
+		fmt.Fprintf(w, "%-18s log: %s [%s]  state: %s [%s]\n",
 			r.Session.Name, r.Log, okStr(r.Log.OK()), r.State, okStr(r.State.OK()))
 	}
 	return nil
 }
 
 // runOpcodes prints the §2.4.2 opcode-usage statistic for one session.
-func runOpcodes(session int) error {
+func runOpcodes(ctx context.Context, w io.Writer, session int) error {
 	s := user.PaperSessions()[session-1]
-	fmt.Printf("replaying %s with the opcode histogram enabled...\n", s.Name)
-	pb, err := exp.ReplayWithOpcodes(s)
+	fmt.Fprintf(w, "replaying %s with the opcode histogram enabled...\n", s.Name)
+	pb, err := exp.ReplayWithOpcodes(ctx, s)
 	if err != nil {
 		return err
 	}
@@ -254,18 +325,18 @@ func runOpcodes(session int) error {
 		t.Addf("%s\t$%04X\t%d\t%s", st.Mnemonic, st.Opcode, st.Count,
 			report.Pct(float64(st.Count)/float64(total)))
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
 // runProfilingAblation quantifies §2.4.2's completeness argument.
-func runProfilingAblation() error {
-	ab, err := exp.RunProfilingAblation(exp.ValidationWorkloads()[0])
+func runProfilingAblation(ctx context.Context, w io.Writer) error {
+	ab, err := exp.RunProfilingAblation(ctx, exp.ValidationWorkloads()[0])
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace with ROM TrapDispatcher (Profiling on):  %d refs\n", ab.OnRefs)
-	fmt.Printf("trace with native dispatch (Profiling off):    %d refs (%.2f%% skipped)\n",
+	fmt.Fprintf(w, "trace with ROM TrapDispatcher (Profiling on):  %d refs\n", ab.OnRefs)
+	fmt.Fprintf(w, "trace with native dispatch (Profiling off):    %d refs (%.2f%% skipped)\n",
 		ab.OffRefs, 100*(1-float64(ab.OffRefs)/float64(ab.OnRefs)))
 	t := report.New("Cache results from complete vs truncated traces",
 		"config", "miss (complete)", "miss (truncated)")
@@ -276,15 +347,15 @@ func runProfilingAblation() error {
 		t.Addf("%s\t%s\t%s", ab.On[i].Config,
 			report.Pct(ab.On[i].MissRate()), report.Pct(ab.Off[i].MissRate()))
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
 // runEnergy prints the §4.4 battery-consumption estimate per config.
-func runEnergy(session int) error {
+func runEnergy(ctx context.Context, w io.Writer, session int) error {
 	s := user.PaperSessions()[session-1]
-	fmt.Printf("energy study over %s...\n", s.Name)
-	rows, err := exp.EnergyStudy(s)
+	fmt.Fprintf(w, "energy study over %s...\n", s.Name)
+	rows, err := exp.EnergyStudy(ctx, s)
 	if err != nil {
 		return err
 	}
@@ -297,15 +368,15 @@ func runEnergy(session int) error {
 		t.Addf("%s\t%s\t%.4f\t%.4f", r.Config,
 			report.Pct(r.MemorySaving), r.TotalNoCacheJ, r.TotalCachedJ)
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 
 // runWritePolicy prints the write-through vs write-back traffic study.
-func runWritePolicy(session int) error {
+func runWritePolicy(ctx context.Context, w io.Writer, session int) error {
 	s := user.PaperSessions()[session-1]
-	fmt.Printf("write-policy study over %s...\n", s.Name)
-	rows, err := exp.WritePolicyStudy(s)
+	fmt.Fprintf(w, "write-policy study over %s...\n", s.Name)
+	rows, err := exp.WritePolicyStudy(ctx, s)
 	if err != nil {
 		return err
 	}
@@ -315,7 +386,7 @@ func runWritePolicy(session int) error {
 		t.Addf("%s\t%s\t%d\t%d", r.Config, report.Pct(r.MissRate),
 			r.WriteThroughBytes, r.WriteBackBytes)
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 	return nil
 }
 

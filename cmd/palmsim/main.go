@@ -4,85 +4,159 @@
 // replays them on a second machine, validates both correlations, and
 // prints the run statistics — the whole §2+§3 methodology in one go.
 //
+// SIGINT/SIGTERM cancel the pipeline at the next tick-sync boundary; the
+// run manifest (when -manifest is given) records "status":"interrupted"
+// and the process exits with code 3.
+//
 // Usage:
 //
 //	palmsim -session 1 -out ./out
 //	palmsim -list
+//
+// Exit codes: 0 success, 1 failure, 2 bad usage, 3 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"palmsim"
 	"palmsim/internal/dtrace"
 	"palmsim/internal/exp"
 	"palmsim/internal/obs"
 	"palmsim/internal/prof"
+	"palmsim/internal/simerr"
 	"palmsim/internal/validate"
 )
 
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+type config struct {
+	sessionNum  int
+	outDir      string
+	list        bool
+	withTrace   bool
+	traceFormat string
+	screenshot  bool
+	dinero      bool
+	profiler    *prof.Profiler
+	obsFlags    *obs.Flags
+}
+
 func main() {
-	sessionNum := flag.Int("session", 1, "built-in session number (1-4)")
-	outDir := flag.String("out", "", "directory for state/log/trace artifacts (omit to skip writing)")
-	list := flag.Bool("list", false, "list built-in sessions and exit")
-	withTrace := flag.Bool("trace", true, "collect a memory-reference trace during replay")
-	traceFormat := flag.String("trace-format", "raw", "trace artifact format: raw (.trace), packed (.ptrace) or both")
-	screenshot := flag.Bool("screenshot", false, "write the final display as a PGM image (with -out)")
-	dinero := flag.Bool("dinero", false, "also write the trace in Dinero din format (with -out)")
-	profiler := prof.AddFlags()
-	obsFlags := obs.AddFlags()
+	c := &config{}
+	flag.IntVar(&c.sessionNum, "session", 1, "built-in session number (1-4)")
+	flag.StringVar(&c.outDir, "out", "", "directory for state/log/trace artifacts (omit to skip writing)")
+	flag.BoolVar(&c.list, "list", false, "list built-in sessions and exit")
+	flag.BoolVar(&c.withTrace, "trace", true, "collect a memory-reference trace during replay")
+	flag.StringVar(&c.traceFormat, "trace-format", "raw", "trace artifact format: raw (.trace), packed (.ptrace) or both")
+	flag.BoolVar(&c.screenshot, "screenshot", false, "write the final display as a PGM image (with -out)")
+	flag.BoolVar(&c.dinero, "dinero", false, "also write the trace in Dinero din format (with -out)")
+	c.profiler = prof.AddFlags()
+	c.obsFlags = obs.AddFlags()
 	flag.Parse()
-	if err := profiler.Start(); err != nil {
-		fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, c))
+}
+
+// run executes the pipeline and maps the outcome to an exit code,
+// flushing the profiler and obs manifest on every path.
+func run(ctx context.Context, c *config) (code int) {
+	if err := c.profiler.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "palmsim:", err)
+		return exitUsage
 	}
-	defer profiler.Stop()
-	if err := obsFlags.Start(); err != nil {
-		fatal(err)
+	defer c.profiler.Stop()
+	if err := c.obsFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "palmsim:", err)
+		return exitUsage
 	}
 	defer func() {
-		if err := obsFlags.Stop(); err != nil {
+		if err := c.obsFlags.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "palmsim:", err)
+			if code == exitOK {
+				code = exitFailure
+			}
 		}
 	}()
-	reg := obsFlags.Registry()
+
+	err := pipeline(ctx, c)
+	switch {
+	case err == nil:
+		c.obsFlags.SetStatus("ok")
+		return exitOK
+	case simerr.IsCanceled(err):
+		c.obsFlags.SetStatus("interrupted")
+		fmt.Fprintln(os.Stderr, "palmsim: interrupted:", err)
+		return exitInterrupted
+	case isUsage(err):
+		c.obsFlags.SetStatus("failed")
+		fmt.Fprintln(os.Stderr, "palmsim:", err)
+		return exitUsage
+	default:
+		c.obsFlags.SetStatus("failed")
+		fmt.Fprintln(os.Stderr, "palmsim:", err)
+		return exitFailure
+	}
+}
+
+// usageError marks a bad-flag failure for the exit-code mapping.
+type usageError struct{ error }
+
+func isUsage(err error) bool {
+	_, ok := err.(usageError)
+	return ok
+}
+
+func pipeline(ctx context.Context, c *config) error {
+	reg := c.obsFlags.Registry()
 
 	sessions := palmsim.PaperSessions()
-	if *list {
+	if c.list {
 		for i, s := range sessions {
 			fmt.Printf("%d: %s (seed %d)\n", i+1, s.Name, s.Seed)
 		}
-		return
+		return nil
 	}
-	if *sessionNum < 1 || *sessionNum > len(sessions) {
-		fatal(fmt.Errorf("session %d out of range 1-%d", *sessionNum, len(sessions)))
+	if c.sessionNum < 1 || c.sessionNum > len(sessions) {
+		return usageError{fmt.Errorf("session %d out of range 1-%d", c.sessionNum, len(sessions))}
 	}
-	s := sessions[*sessionNum-1]
+	s := sessions[c.sessionNum-1]
 
 	fmt.Printf("collecting %s on the instrumented device...\n", s.Name)
-	col, err := palmsim.CollectObserved(s, reg)
+	col, err := palmsim.CollectObserved(ctx, s, reg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("  %d activity log records over %s\n",
 		col.Log.Len(), palmsim.FormatElapsed(col.Stats.ElapsedSeconds))
 	fmt.Printf("  collection: %s\n", col.Stats.Bus.String())
 
 	fmt.Println("replaying on a fresh machine (hacks installed for validation)...")
-	pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{
+	pb, err := palmsim.Replay(ctx, col.Initial, col.Log, palmsim.ReplayOptions{
 		Profiling:    true,
 		WithHacks:    true,
-		CollectTrace: *withTrace,
-		CollectKinds: *dinero,
+		CollectTrace: c.withTrace,
+		CollectKinds: c.dinero,
 		// With metrics on, the opcode histogram feeds the per-group
 		// m68k.group.* func metrics.
 		CountOpcodes: reg != nil,
 		Obs:          reg,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("  replay: %s\n", pb.Stats.Bus.String())
 	fmt.Printf("  instructions executed: %d (%.1f%% of emulated time dozing)\n",
@@ -94,52 +168,63 @@ func main() {
 	fmt.Printf("  log correlation (§3.3): %s -> %v\n", logRep, okStr(logRep.OK()))
 	stRep := validate.CorrelateStates(col.Final, pb.Final)
 	fmt.Printf("  state correlation (§3.4): %s -> %v\n", stRep, okStr(stRep.OK()))
-	obsFlags.Note("session", s.Name)
-	obsFlags.Note("log_records", fmt.Sprint(col.Log.Len()))
-	obsFlags.Note("log_correlation", okStr(logRep.OK()))
-	obsFlags.Note("state_correlation", okStr(stRep.OK()))
+	c.obsFlags.Note("session", s.Name)
+	c.obsFlags.Note("log_records", fmt.Sprint(col.Log.Len()))
+	c.obsFlags.Note("log_correlation", okStr(logRep.OK()))
+	c.obsFlags.Note("state_correlation", okStr(stRep.OK()))
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+	if c.outDir != "" {
+		if err := os.MkdirAll(c.outDir, 0o755); err != nil {
+			return err
 		}
-		write := func(name string, data []byte) {
-			path := filepath.Join(*outDir, name)
+		write := func(name string, data []byte) error {
+			path := filepath.Join(c.outDir, name)
 			if err := os.WriteFile(path, data, 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("  wrote %s (%d bytes)\n", path, len(data))
+			return nil
 		}
-		write(s.Name+".initial.palmstate", col.Initial.Marshal())
-		write(s.Name+".final.palmstate", col.Final.Marshal())
-		write(s.Name+".palmlog", col.Log.Marshal())
-		if *withTrace {
-			format := *traceFormat
+		if err := write(s.Name+".initial.palmstate", col.Initial.Marshal()); err != nil {
+			return err
+		}
+		if err := write(s.Name+".final.palmstate", col.Final.Marshal()); err != nil {
+			return err
+		}
+		if err := write(s.Name+".palmlog", col.Log.Marshal()); err != nil {
+			return err
+		}
+		if c.withTrace {
+			format := c.traceFormat
 			if format != "raw" && format != "packed" && format != "both" {
-				fatal(fmt.Errorf("unknown trace format %q (want raw, packed or both)", format))
+				return usageError{fmt.Errorf("unknown trace format %q (want raw, packed or both)", format)}
 			}
 			var rawLen, packedLen int
 			if format == "raw" || format == "both" {
 				raw := exp.MarshalTrace(pb.Trace)
 				rawLen = len(raw)
-				write(s.Name+".trace", raw)
+				if err := write(s.Name+".trace", raw); err != nil {
+					return err
+				}
 			}
 			if format == "packed" || format == "both" {
 				packed, err := dtrace.PackTrace(pb.Trace, pb.TraceKinds)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				packedLen = len(packed)
-				write(s.Name+".ptrace", packed)
+				if err := write(s.Name+".ptrace", packed); err != nil {
+					return err
+				}
 			}
 			if rawLen > 0 {
-				obsFlags.Note("trace_raw_bytes", fmt.Sprint(rawLen))
+				c.obsFlags.Note("trace_raw_bytes", fmt.Sprint(rawLen))
 			}
 			if packedLen > 0 {
-				obsFlags.Note("trace_packed_bytes", fmt.Sprint(packedLen))
+				c.obsFlags.Note("trace_packed_bytes", fmt.Sprint(packedLen))
 				// Raw spends 4 bytes/ref plus a 12-byte header, so the
 				// ratio is computable even when only packed was written.
-				obsFlags.Note("trace_packed_vs_raw",
+				c.obsFlags.Note("trace_packed_vs_raw",
 					fmt.Sprintf("%.2f", float64(4*len(pb.Trace)+12)/float64(packedLen)))
 			}
 			if format == "both" && packedLen > 0 {
@@ -147,17 +232,22 @@ func main() {
 					float64(rawLen)/float64(packedLen))
 			}
 		}
-		if *screenshot {
-			write(s.Name+".pgm", pb.M.ScreenPGM())
+		if c.screenshot {
+			if err := write(s.Name+".pgm", pb.M.ScreenPGM()); err != nil {
+				return err
+			}
 		}
-		if *dinero {
+		if c.dinero {
 			din, err := exp.MarshalDinero(pb.Trace, pb.TraceKinds)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			write(s.Name+".din", din)
+			if err := write(s.Name+".din", din); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 func okStr(ok bool) string {
@@ -165,9 +255,4 @@ func okStr(ok bool) string {
 		return "OK"
 	}
 	return "FAILED"
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "palmsim:", err)
-	os.Exit(1)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,12 +22,12 @@ func main() {
 	session := palmsim.PaperSessions()[0]
 
 	fmt.Printf("collecting %s...\n", session.Name)
-	col, err := palmsim.Collect(session)
+	col, err := palmsim.Collect(context.Background(), session)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("replaying %d logged events...\n", col.Log.Len())
-	pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.DefaultReplayOptions())
+	pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.DefaultReplayOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 
 	// All 56 configurations simulated concurrently, one worker per core;
 	// results are bit-identical to the serial sweep.
-	results, err := sweep.RunTrace(cache.PaperSweep(), pb.Trace, sweep.Options{})
+	results, err := sweep.RunTrace(context.Background(), cache.PaperSweep(), pb.Trace, sweep.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

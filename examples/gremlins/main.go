@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,11 +27,11 @@ func main() {
 		session := gremlin.Session(cfg)
 
 		fmt.Printf("gremlin #%d: unleashing %d random inputs...\n", seed, cfg.Events)
-		col, err := palmsim.Collect(session)
+		col, err := palmsim.Collect(context.Background(), session)
 		if err != nil {
 			log.Fatalf("gremlin %d crashed the device: %v", seed, err)
 		}
-		pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.ReplayOptions{
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{
 			Profiling: true,
 			WithHacks: true,
 		})

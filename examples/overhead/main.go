@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ import (
 
 func main() {
 	// Pen sampling with the EvtEnqueuePenPoint hack installed.
-	pen, err := exp.PenSampling(10)
+	pen, err := exp.PenSampling(context.Background(), 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func main() {
 
 	// Figure 3: per-call overhead vs. database size for all five hacks.
 	fmt.Println("per-call hack overhead vs. activity log size (paper Figure 3):")
-	points, err := exp.HackOverhead([]int{0, 10000, 20000, 30000, 40000, 50000, 60000})
+	points, err := exp.HackOverhead(context.Background(), []int{0, 10000, 20000, 30000, 40000, 50000, 60000})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 
 	// Collect boots the device, installs the paper's five logging hacks,
 	// captures the initial state, and runs the session in simulated time.
-	col, err := palmsim.Collect(session)
+	col, err := palmsim.Collect(context.Background(), session)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 		col.Stats.Bus.RAMRefs, col.Stats.Bus.FlashRefs, col.Stats.AvgMemCycles())
 
 	// Replay the log on a fresh machine and collect an address trace.
-	pb, err := palmsim.Replay(col.Initial, col.Log, palmsim.DefaultReplayOptions())
+	pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.DefaultReplayOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

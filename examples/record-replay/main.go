@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 
 	// --- machine A: the instrumented handheld -------------------------
 	fmt.Println("recording on machine A...")
-	col, err := palmsim.Collect(session)
+	col, err := palmsim.Collect(context.Background(), session)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("replaying on machine B (hacks reinstalled, as in the paper's validation)...")
-	pb, err := palmsim.Replay(initial, activityLog, palmsim.ReplayOptions{
+	pb, err := palmsim.Replay(context.Background(), initial, activityLog, palmsim.ReplayOptions{
 		Profiling: true,
 		WithHacks: true,
 	})

@@ -26,6 +26,8 @@ package asm
 import (
 	"fmt"
 	"strings"
+
+	"palmsim/internal/simerr"
 )
 
 // Image is the output of an assembly run: a byte image with a load origin
@@ -42,14 +44,14 @@ func (img *Image) Symbol(name string) (uint32, bool) {
 	return v, ok
 }
 
-// MustSymbol returns the value of a symbol that is known to exist and
-// panics otherwise; used by the ROM builder for symbols it itself defined.
-func (img *Image) MustSymbol(name string) uint32 {
+// SymbolErr returns the value of a symbol, or a simerr.ErrMissingSymbol
+// carrier when it was never defined.
+func (img *Image) SymbolErr(name string) (uint32, error) {
 	v, ok := img.Symbol(name)
 	if !ok {
-		panic(fmt.Sprintf("asm: symbol %q not defined", name))
+		return 0, simerr.New(simerr.ErrMissingSymbol, "asm", fmt.Errorf("symbol %q not defined", name))
 	}
-	return v
+	return v, nil
 }
 
 // Error is an assembly diagnostic tied to a source line.

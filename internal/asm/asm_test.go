@@ -7,6 +7,16 @@ import (
 	"palmsim/internal/m68k"
 )
 
+// mustSymbol resolves a symbol the test requires to exist.
+func mustSymbol(t *testing.T, img *Image, name string) uint32 {
+	t.Helper()
+	v, err := img.SymbolErr(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 // words assembles source at origin 0x1000 and returns the output as words.
 func words(t *testing.T, src string) []uint16 {
 	t.Helper()
@@ -255,13 +265,13 @@ func TestSymbolTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := img.MustSymbol("start"); v != 0x4000 {
+	if v := mustSymbol(t, img, "start"); v != 0x4000 {
 		t.Errorf("start = %#x", v)
 	}
-	if v := img.MustSymbol("mid"); v != 0x4002 {
+	if v := mustSymbol(t, img, "mid"); v != 0x4002 {
 		t.Errorf("mid = %#x", v)
 	}
-	if v := img.MustSymbol("k"); v != 42 {
+	if v := mustSymbol(t, img, "k"); v != 42 {
 		t.Errorf("k = %d", v)
 	}
 	if _, ok := img.Symbol("nope"); ok {
@@ -362,11 +372,11 @@ func TestAssembledProgramRuns(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		c.Step()
 	}
-	haltAddr := img.MustSymbol("halt")
+	haltAddr := mustSymbol(t, img, "halt")
 	if c.PC != haltAddr && c.PC != haltAddr+2 {
 		t.Fatalf("PC = %#x, want parked at halt %#x", c.PC, haltAddr)
 	}
-	result := b.Read(img.MustSymbol("result"), m68k.Long, m68k.Read)
+	result := b.Read(mustSymbol(t, img, "result"), m68k.Long, m68k.Read)
 	if result != 110 {
 		t.Errorf("result = %d, want 110 (2 * sum 1..10)", result)
 	}
@@ -409,7 +419,7 @@ func TestAssembledSubroutineWithStackFrame(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		c.Step()
 	}
-	if got := b.Read(img.MustSymbol("result"), m68k.Long, m68k.Read); got != 8 {
+	if got := b.Read(mustSymbol(t, img, "result"), m68k.Long, m68k.Read); got != 8 {
 		t.Errorf("result = %d, want 8", got)
 	}
 	if c.D[2] != 0x11111111 {

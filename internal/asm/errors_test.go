@@ -114,13 +114,13 @@ after:	dc.b 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := img.MustSymbol("start"); v != 0x108 {
+	if v := mustSymbol(t, img, "start"); v != 0x108 {
 		t.Errorf("org: start = %#x", v)
 	}
-	if v := img.MustSymbol("next"); v != 0x110 {
+	if v := mustSymbol(t, img, "next"); v != 0x110 {
 		t.Errorf("align: next = %#x", v)
 	}
-	if v := img.MustSymbol("after"); v != 0x118 {
+	if v := mustSymbol(t, img, "after"); v != 0x118 {
 		t.Errorf("ds.w: after = %#x", v)
 	}
 }

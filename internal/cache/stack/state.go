@@ -1,0 +1,51 @@
+// Checkpoint serialization for the stack engine: a Refinement's mutable
+// state is its per-set recency lists plus the two depth histograms, all
+// fixed-size functions of the (line size, set count, depth) geometry, so
+// the blob layout needs no internal framing.
+package stack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// stateLen returns the exact encoded size for this refinement.
+func (r *Refinement) stateLen() int {
+	return 4*len(r.lists) + 8*len(r.histRAM) + 8*len(r.histFlash)
+}
+
+// AppendState serializes the refinement's mutable state onto b.
+func (r *Refinement) AppendState(b []byte) []byte {
+	for _, v := range r.lists {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	for _, v := range r.histRAM {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	for _, v := range r.histFlash {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// RestoreState loads state previously produced by AppendState for the
+// same geometry.
+func (r *Refinement) RestoreState(b []byte) error {
+	if len(b) != r.stateLen() {
+		return fmt.Errorf("stack: state blob is %d bytes, want %d for %dB/%d-set refinement",
+			len(b), r.stateLen(), r.lineBytes, r.sets)
+	}
+	for i := range r.lists {
+		r.lists[i] = binary.LittleEndian.Uint32(b)
+		b = b[4:]
+	}
+	for i := range r.histRAM {
+		r.histRAM[i] = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	for i := range r.histFlash {
+		r.histFlash[i] = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	return nil
+}

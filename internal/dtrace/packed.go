@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
 )
 
 // PackedMagic is the 8-byte header identifying a packed trace.
@@ -212,7 +213,7 @@ func NewPackedSource(r io.Reader) (*PackedSource, error) {
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:]) != PackedMagic {
-		return nil, fmt.Errorf("dtrace: not a packed trace")
+		return nil, simerr.CorruptTrace("dtrace: open", 0, fmt.Errorf("not a packed trace"))
 	}
 	return &PackedSource{r: br}, nil
 }
@@ -230,7 +231,7 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 		if s.blockLeft == 0 {
 			count, err := binary.ReadUvarint(s.r)
 			if err != nil {
-				return n, fmt.Errorf("dtrace: truncated packed trace after %d refs: missing end-of-trace marker", s.refs)
+				return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("truncated packed trace after %d refs: missing end-of-trace marker", s.refs))
 			}
 			if count == 0 {
 				s.done = true
@@ -241,16 +242,16 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 		}
 		rec, err := binary.ReadUvarint(s.r)
 		if err != nil {
-			return n, fmt.Errorf("dtrace: corrupt packed trace after %d refs: %w", s.refs, err)
+			return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("corrupt packed trace after %d refs: %w", s.refs, err))
 		}
 		addr, hasKind := s.st.decode(rec)
 		if hasKind {
 			k, err := s.r.ReadByte()
 			if err != nil {
-				return n, fmt.Errorf("dtrace: corrupt packed trace after %d refs: missing kind byte", s.refs)
+				return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("corrupt packed trace after %d refs: missing kind byte", s.refs))
 			}
 			if k == 0 || k > maxKind {
-				return n, fmt.Errorf("dtrace: corrupt packed trace after %d refs: invalid kind byte %d", s.refs, k)
+				return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("corrupt packed trace after %d refs: invalid kind byte %d", s.refs, k))
 			}
 		}
 		buf[n] = addr
@@ -300,14 +301,14 @@ func PackTrace(addrs []uint32, kinds []uint8) ([]byte, error) {
 // UnpackTrace parses a packed trace back into addresses and kinds.
 func UnpackTrace(data []byte) (addrs []uint32, kinds []uint8, err error) {
 	if len(data) < len(PackedMagic) || string(data[:len(PackedMagic)]) != PackedMagic {
-		return nil, nil, fmt.Errorf("dtrace: not a packed trace")
+		return nil, nil, simerr.CorruptTrace("dtrace: unpack", 0, fmt.Errorf("not a packed trace"))
 	}
 	var st packedState
 	i := len(PackedMagic)
 	for {
 		count, n := binary.Uvarint(data[i:])
 		if n <= 0 {
-			return nil, nil, fmt.Errorf("dtrace: truncated packed trace at byte %d: missing end-of-trace marker", i)
+			return nil, nil, simerr.CorruptTrace("dtrace: unpack", int64(len(addrs)), fmt.Errorf("truncated packed trace at byte %d: missing end-of-trace marker", i))
 		}
 		i += n
 		if count == 0 {
@@ -316,18 +317,18 @@ func UnpackTrace(data []byte) (addrs []uint32, kinds []uint8, err error) {
 		for ; count > 0; count-- {
 			rec, n := binary.Uvarint(data[i:])
 			if n <= 0 {
-				return nil, nil, fmt.Errorf("dtrace: corrupt packed trace at byte %d", i)
+				return nil, nil, simerr.CorruptTrace("dtrace: unpack", int64(len(addrs)), fmt.Errorf("corrupt packed trace at byte %d", i))
 			}
 			i += n
 			addr, hasKind := st.decode(rec)
 			var kind uint8
 			if hasKind {
 				if i >= len(data) {
-					return nil, nil, fmt.Errorf("dtrace: corrupt packed trace at byte %d: missing kind byte", i)
+					return nil, nil, simerr.CorruptTrace("dtrace: unpack", int64(len(addrs)), fmt.Errorf("corrupt packed trace at byte %d: missing kind byte", i))
 				}
 				kind = data[i]
 				if kind == 0 || kind > maxKind {
-					return nil, nil, fmt.Errorf("dtrace: corrupt packed trace at byte %d: invalid kind byte %d", i, kind)
+					return nil, nil, simerr.CorruptTrace("dtrace: unpack", int64(len(addrs)), fmt.Errorf("corrupt packed trace at byte %d: invalid kind byte %d", i, kind))
 				}
 				i++
 			}

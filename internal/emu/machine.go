@@ -13,6 +13,7 @@
 package emu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -22,6 +23,7 @@ import (
 	"palmsim/internal/obs"
 	"palmsim/internal/palmos"
 	"palmsim/internal/rom"
+	"palmsim/internal/simerr"
 	"palmsim/internal/storage"
 )
 
@@ -67,6 +69,14 @@ type Machine struct {
 	// paths that already cross a tick boundary).
 	obsTickSyncs  *obs.Counter
 	obsLateInputs *obs.Counter
+
+	// ctx, when non-nil, is polled at tick-sync granularity by the run
+	// loops so a cancelled machine stops within one tick boundary. The
+	// nil default costs the hot loop one predicated nil compare per
+	// instruction, nothing more; ctxCheckCycle throttles the interface
+	// call to once per crossed tick.
+	ctx           context.Context
+	ctxCheckCycle uint64
 }
 
 // Options configures machine construction.
@@ -163,6 +173,36 @@ func (m *Machine) SoftReset() error {
 // Ticks returns the current tick count.
 func (m *Machine) Ticks() uint32 { return m.HW.Ticks() }
 
+// BindContext attaches a cancellation context to the machine. The run
+// loops (Boot, RunUntilTick, RunUntilIdle) poll it once per emulated
+// tick and return a simerr.ErrCanceled error — with the failing tick
+// attached — within one tick-sync boundary of cancellation. A nil ctx
+// (the default) disables the checks; the hot loop then pays only a nil
+// compare per instruction, which benchmarks cannot distinguish from the
+// previous loop shape.
+func (m *Machine) BindContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil // nothing to poll; keep the disabled fast path
+	}
+	m.ctx = ctx
+	m.ctxCheckCycle = 0 // poll on the next loop iteration
+}
+
+// canceled polls the bound context at most once per crossed tick and
+// returns the structured cancellation error when it has fired.
+func (m *Machine) canceled() error {
+	if m.ctx == nil || m.CPU.Cycles < m.ctxCheckCycle {
+		return nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		return simerr.Canceled(m.ctx, "emu: run", int64(m.Ticks()))
+	}
+	// nextTickCycle is maintained by tickSync; re-check once the clock
+	// crosses it (Schedule and BindContext reset it to force a poll).
+	m.ctxCheckCycle = m.nextTickCycle
+	return nil
+}
+
 // Schedule queues an external input for delivery at the given tick. Inputs
 // must be scheduled in nondecreasing tick order (activity logs are ordered).
 func (m *Machine) Schedule(tick uint32, ev hw.InputEvent) error {
@@ -189,6 +229,9 @@ func (m *Machine) PendingInputs() int { return len(m.schedule) - m.schedIdx }
 func (m *Machine) Boot() error {
 	const bootCap = 20_000_000 // instructions; the boot needs ~50k
 	for i := 0; i < bootCap; i++ {
+		if err := m.canceled(); err != nil {
+			return err
+		}
 		if m.CPU.Halted() {
 			return fmt.Errorf("%w during boot at PC=%#x: %v", ErrHalted, m.CPU.PC, m.CPU.Err())
 		}
@@ -275,6 +318,9 @@ func (m *Machine) RunUntilTick(target uint32) error {
 	// avoids a 64-bit division per executed instruction.
 	targetCycles := uint64(target) * hw.CyclesPerTick
 	for m.CPU.Cycles < targetCycles {
+		if err := m.canceled(); err != nil {
+			return err
+		}
 		if m.CPU.Halted() {
 			return fmt.Errorf("%w at PC=%#x: %v", ErrHalted, m.CPU.PC, m.CPU.Err())
 		}
@@ -314,6 +360,9 @@ func (m *Machine) RunUntilTick(target uint32) error {
 func (m *Machine) RunUntilIdle(maxInstr uint64) error {
 	start := m.CPU.Instructions
 	for {
+		if err := m.canceled(); err != nil {
+			return err
+		}
 		if m.CPU.Halted() {
 			return fmt.Errorf("%w at PC=%#x: %v", ErrHalted, m.CPU.PC, m.CPU.Err())
 		}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"palmsim/internal/cache"
 	"palmsim/internal/energy"
 	"palmsim/internal/sim"
@@ -26,25 +28,25 @@ type ProfilingAblation struct {
 }
 
 // RunProfilingAblation collects a session once and replays it both ways.
-func RunProfilingAblation(s user.Session) (*ProfilingAblation, error) {
-	col, err := sim.Collect(s)
+func RunProfilingAblation(ctx context.Context, s user.Session) (*ProfilingAblation, error) {
+	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	on, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: true, CollectTrace: true})
+	on, err := sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{Profiling: true, CollectTrace: true})
 	if err != nil {
 		return nil, err
 	}
-	off, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: false, CollectTrace: true})
+	off, err := sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{Profiling: false, CollectTrace: true})
 	if err != nil {
 		return nil, err
 	}
 	cfgs := cache.PaperSweep()
-	rOn, err := sweep.RunTrace(cfgs, on.Trace, sweep.Options{})
+	rOn, err := sweep.RunTrace(ctx, cfgs, on.Trace, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
-	rOff, err := sweep.RunTrace(cfgs, off.Trace, sweep.Options{})
+	rOff, err := sweep.RunTrace(ctx, cfgs, off.Trace, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -70,8 +72,8 @@ type EnergyRow struct {
 // paper's closing claim is that a small cache "can greatly reduce the
 // average effective memory access time and potentially reduce the battery
 // consumption".
-func EnergyStudy(s user.Session) ([]EnergyRow, error) {
-	run, results, err := CacheStudy(s)
+func EnergyStudy(ctx context.Context, s user.Session) ([]EnergyRow, error) {
+	run, results, err := CacheStudy(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -106,12 +108,12 @@ type WritePolicyRow struct {
 // WritePolicyStudy replays a session with access kinds recorded and
 // evaluates both write policies over a representative subset of the sweep
 // (direct-mapped and 4-way at each size, 32-byte lines).
-func WritePolicyStudy(s user.Session) ([]WritePolicyRow, error) {
-	col, err := sim.Collect(s)
+func WritePolicyStudy(ctx context.Context, s user.Session) ([]WritePolicyRow, error) {
+	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	pb, err := sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{
 		Profiling:    true,
 		CollectTrace: true,
 		CollectKinds: true,

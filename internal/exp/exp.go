@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"palmsim/internal/alog"
@@ -34,11 +35,12 @@ type PenSamplingResult struct {
 
 // PenSampling holds the stylus down for the given number of seconds on an
 // instrumented machine and counts logged pen events.
-func PenSampling(seconds int) (*PenSamplingResult, error) {
+func PenSampling(ctx context.Context, seconds int) (*PenSamplingResult, error) {
 	m, err := emu.New(emu.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
+	m.BindContext(ctx)
 	if err := m.Boot(); err != nil {
 		return nil, err
 	}
@@ -136,11 +138,12 @@ func hackTriggers() []hackTrigger {
 // runTrigger measures active cycles and logged-call count for one trigger
 // on a machine with or without the hack installed, with the activity log
 // pre-filled to the bucket size.
-func runTrigger(trig hackTrigger, prefill int, withHack bool) (cycles uint64, calls int, err error) {
+func runTrigger(ctx context.Context, trig hackTrigger, prefill int, withHack bool) (cycles uint64, calls int, err error) {
 	m, err := emu.New(emu.DefaultOptions())
 	if err != nil {
 		return 0, 0, err
 	}
+	m.BindContext(ctx)
 	if err := m.Boot(); err != nil {
 		return 0, 0, err
 	}
@@ -176,18 +179,18 @@ func runTrigger(trig hackTrigger, prefill int, withHack bool) (cycles uint64, ca
 // HackOverhead measures Figure 3: for each of the five hacks and each
 // database-size bucket, the per-call overhead (instrumented minus
 // uninstrumented active cycles, divided by logged calls).
-func HackOverhead(buckets []int) ([]OverheadPoint, error) {
+func HackOverhead(ctx context.Context, buckets []int) ([]OverheadPoint, error) {
 	if buckets == nil {
 		buckets = figure3Buckets
 	}
 	var out []OverheadPoint
 	for _, trig := range hackTriggers() {
 		for _, n := range buckets {
-			with, calls, err := runTrigger(trig, n, true)
+			with, calls, err := runTrigger(ctx, trig, n, true)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d records: %w", trig.name, n, err)
 			}
-			without, _, err := runTrigger(trig, n, false)
+			without, _, err := runTrigger(ctx, trig, n, false)
 			if err != nil {
 				return nil, err
 			}
@@ -215,12 +218,12 @@ func HackOverhead(buckets []int) ([]OverheadPoint, error) {
 
 // DesktopStudy streams the synthetic desktop address trace straight into
 // the 56-configuration parallel sweep — the trace is never materialized.
-func DesktopStudy(refs int) ([]cache.Result, error) {
+func DesktopStudy(ctx context.Context, refs int) ([]cache.Result, error) {
 	cfg := dtrace.DefaultConfig()
 	if refs > 0 {
 		cfg.Refs = refs
 	}
-	return sweep.Run(cache.PaperSweep(), dtrace.NewStream(cfg), sweep.Options{})
+	return sweep.Run(ctx, cache.PaperSweep(), dtrace.NewStream(cfg), sweep.Options{})
 }
 
 // --- trace file format -------------------------------------------------------
@@ -332,11 +335,12 @@ park:
 // the paper's own method: the hack is installed with its chain to the
 // original routine eliminated, the activity log is pre-filled to the
 // bucket size, and a 68k loop calls the trap `iterations` times.
-func TightLoop(prefill, iterations int) (*TightLoopResult, error) {
+func TightLoop(ctx context.Context, prefill, iterations int) (*TightLoopResult, error) {
 	m, err := emu.New(emu.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
+	m.BindContext(ctx)
 	if err := m.Boot(); err != nil {
 		return nil, err
 	}

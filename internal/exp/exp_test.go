@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // installed and the stylus held down, the full 50 samples per second must
 // be recorded — the paper's "no perceptible overhead" check.
 func TestPenSamplingRate(t *testing.T) {
-	res, err := PenSampling(5)
+	res, err := PenSampling(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestHackOverheadShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-machine measurement")
 	}
-	pts, err := HackOverhead([]int{0, 30000, 60000})
+	pts, err := HackOverhead(context.Background(), []int{0, 30000, 60000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replays four multi-day sessions")
 	}
-	runs, err := Table1()
+	runs, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestCacheStudyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 56-config sweep")
 	}
-	run, results, err := CacheStudy(user.PaperSessions()[0])
+	run, results, err := CacheStudy(context.Background(), user.PaperSessions()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestCacheStudyShape(t *testing.T) {
 // shows the same trends at higher absolute miss rates (bigger working
 // set).
 func TestDesktopStudyShape(t *testing.T) {
-	results, err := DesktopStudy(500_000)
+	results, err := DesktopStudy(context.Background(), 500_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestValidationWorkloads(t *testing.T) {
 		t.Skip("three collect+replay cycles")
 	}
 	for _, w := range ValidationWorkloads() {
-		res, err := ValidateSession(w)
+		res, err := ValidateSession(context.Background(), w)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -258,7 +259,7 @@ func TestValidationChain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three chained collect+replay cycles")
 	}
-	results, err := ValidateChain(ValidationWorkloads())
+	results, err := ValidateChain(context.Background(), ValidationWorkloads())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,11 +279,11 @@ func TestValidationChain(t *testing.T) {
 // TestOpcodeUsageStatistic exercises §2.4.2's opcode accounting: replay a
 // session with the histogram enabled and rank the mnemonics.
 func TestOpcodeUsageStatistic(t *testing.T) {
-	col, err := sim.Collect(ValidationWorkloads()[0])
+	col, err := sim.Collect(context.Background(), ValidationWorkloads()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	pb, err := sim.Replay(context.Background(), col.Initial, col.Log, sim.ReplayOptions{
 		Profiling:    true,
 		CountOpcodes: true,
 	})
@@ -319,7 +320,7 @@ func TestProfilingAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two replays + two sweeps")
 	}
-	ab, err := RunProfilingAblation(ValidationWorkloads()[0])
+	ab, err := RunProfilingAblation(context.Background(), ValidationWorkloads()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestEnergyStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full session study")
 	}
-	rows, err := EnergyStudy(ValidationWorkloads()[2])
+	rows, err := EnergyStudy(context.Background(), ValidationWorkloads()[2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,11 +373,11 @@ func TestEnergyStudy(t *testing.T) {
 
 // TestDineroExport checks the kind-aware trace path and the din format.
 func TestDineroExport(t *testing.T) {
-	col, err := sim.Collect(ValidationWorkloads()[0])
+	col, err := sim.Collect(context.Background(), ValidationWorkloads()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	pb, err := sim.Replay(context.Background(), col.Initial, col.Log, sim.ReplayOptions{
 		Profiling:    true,
 		CollectTrace: true,
 		CollectKinds: true,
@@ -419,11 +420,11 @@ func TestDineroExport(t *testing.T) {
 // records and ~15.5 ms averaged over 50-60k.
 func TestTightLoopMatchesFigure3(t *testing.T) {
 	avg := func(a, b int) float64 {
-		ra, err := TightLoop(a, 40)
+		ra, err := TightLoop(context.Background(), a, 40)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rb, err := TightLoop(b, 40)
+		rb, err := TightLoop(context.Background(), b, 40)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -477,7 +478,7 @@ func TestWritePolicyStudyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("session replay")
 	}
-	rows, err := WritePolicyStudy(ValidationWorkloads()[0])
+	rows, err := WritePolicyStudy(context.Background(), ValidationWorkloads()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +508,7 @@ func TestCacheStudyTypicalAcrossSessions(t *testing.T) {
 		t.Skip("replays and sweeps three more sessions")
 	}
 	for _, s := range user.PaperSessions()[1:] {
-		run, results, err := CacheStudy(s)
+		run, results, err := CacheStudy(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}

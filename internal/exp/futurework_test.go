@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"palmsim/internal/palmos"
@@ -35,7 +36,7 @@ func serialSession() user.Session {
 // get logged, and replay to an identical serial buffer — the future-work
 // item "replay activity logs that involve ... serial port activity".
 func TestSerialActivityLogsAndReplays(t *testing.T) {
-	col, err := sim.Collect(serialSession())
+	col, err := sim.Collect(context.Background(), serialSession())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSerialActivityLogsAndReplays(t *testing.T) {
 		t.Fatalf("device serial buffer %q", col.M.Kernel.SerialBuffer())
 	}
 
-	pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	pb, err := sim.Replay(context.Background(), col.Initial, col.Log, sim.ReplayOptions{
 		Profiling: true,
 		WithHacks: true,
 	})
@@ -78,7 +79,7 @@ func TestSerialActivityLogsAndReplays(t *testing.T) {
 // so logged readings drain over the session; replay serves queries from
 // the logged queue exactly as KeyCurrentState is handled (§2.4.2 pattern).
 func TestBatteryLoggingAndReplayOverride(t *testing.T) {
-	col, err := sim.Collect(serialSession())
+	col, err := sim.Collect(context.Background(), serialSession())
 	if err != nil {
 		t.Fatal(err)
 	}

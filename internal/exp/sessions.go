@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"palmsim/internal/cache"
@@ -33,12 +34,12 @@ type SessionRun struct {
 
 // RunSession collects one session and replays it with trace collection —
 // the full §2 pipeline for one Table 1 row.
-func RunSession(s user.Session) (*SessionRun, error) {
-	col, err := sim.Collect(s)
+func RunSession(ctx context.Context, s user.Session) (*SessionRun, error) {
+	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, fmt.Errorf("collect %s: %w", s.Name, err)
 	}
-	play, err := sim.Replay(col.Initial, col.Log, sim.DefaultReplayOptions())
+	play, err := sim.Replay(ctx, col.Initial, col.Log, sim.DefaultReplayOptions())
 	if err != nil {
 		return nil, fmt.Errorf("replay %s: %w", s.Name, err)
 	}
@@ -55,10 +56,10 @@ func RunSession(s user.Session) (*SessionRun, error) {
 }
 
 // Table1 runs all four paper sessions.
-func Table1() ([]*SessionRun, error) {
+func Table1(ctx context.Context) ([]*SessionRun, error) {
 	var out []*SessionRun
 	for _, s := range user.PaperSessions() {
-		run, err := RunSession(s)
+		run, err := RunSession(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -71,12 +72,12 @@ func Table1() ([]*SessionRun, error) {
 
 // CacheStudy replays one session and sweeps the 56 paper configurations
 // over its memory-reference trace, one worker per core.
-func CacheStudy(s user.Session) (*SessionRun, []cache.Result, error) {
-	run, err := RunSession(s)
+func CacheStudy(ctx context.Context, s user.Session) (*SessionRun, []cache.Result, error) {
+	run, err := RunSession(ctx, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := sweep.RunTrace(cache.PaperSweep(), run.Trace, sweep.Options{})
+	results, err := sweep.RunTrace(ctx, cache.PaperSweep(), run.Trace, sweep.Options{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -94,12 +95,12 @@ type ValidationResult struct {
 
 // ValidateSession collects a session, replays it with hacks installed, and
 // runs the §3.3 activity-log correlation and §3.4 final-state correlation.
-func ValidateSession(s user.Session) (*ValidationResult, error) {
-	col, err := sim.Collect(s)
+func ValidateSession(ctx context.Context, s user.Session) (*ValidationResult, error) {
+	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	play, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	play, err := sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{
 		Profiling: true,
 		WithHacks: true,
 	})
@@ -118,15 +119,15 @@ func ValidateSession(s user.Session) (*ValidationResult, error) {
 // final state ("the initial state of the second test workload is the same
 // as the final state for the first"), and each is replayed and validated
 // independently.
-func ValidateChain(workloads []user.Session) ([]*ValidationResult, error) {
+func ValidateChain(ctx context.Context, workloads []user.Session) ([]*ValidationResult, error) {
 	var prior *sim.State
 	var out []*ValidationResult
 	for _, w := range workloads {
-		col, err := sim.CollectFrom(prior, w)
+		col, err := sim.CollectFrom(ctx, prior, w)
 		if err != nil {
 			return nil, fmt.Errorf("collect %s: %w", w.Name, err)
 		}
-		play, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		play, err := sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{
 			Profiling: true,
 			WithHacks: true,
 		})
@@ -175,12 +176,12 @@ func ValidationWorkloads() []user.Session {
 
 // ReplayWithOpcodes collects a session and replays it with the opcode
 // histogram enabled (the §2.4.2 opcode statistic).
-func ReplayWithOpcodes(s user.Session) (*sim.Playback, error) {
-	col, err := sim.Collect(s)
+func ReplayWithOpcodes(ctx context.Context, s user.Session) (*sim.Playback, error) {
+	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+	return sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{
 		Profiling:    true,
 		CountOpcodes: true,
 	})

@@ -11,6 +11,7 @@ import (
 
 	"palmsim/internal/dtrace"
 	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
 	"palmsim/internal/sweep"
 )
 
@@ -24,7 +25,7 @@ func OpenTraceSource(r io.Reader) (sweep.Source, string, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic, err := br.Peek(8)
 	if err != nil {
-		return nil, "", fmt.Errorf("exp: not a trace file")
+		return nil, "", simerr.CorruptTrace("exp: open", 0, fmt.Errorf("not a trace file"))
 	}
 	switch string(magic) {
 	case "PALMTRC1":
@@ -40,7 +41,7 @@ func OpenTraceSource(r io.Reader) (sweep.Source, string, error) {
 		}
 		return src, "packed", nil
 	}
-	return nil, "", fmt.Errorf("exp: unrecognized trace magic %q", magic)
+	return nil, "", simerr.CorruptTrace("exp: open", 0, fmt.Errorf("unrecognized trace magic %q", magic))
 }
 
 // NewPackedSource streams a packed (PALMPKD1) trace; it is
@@ -68,7 +69,7 @@ func NewTraceSource(r io.Reader) (*TraceSource, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:8]) != "PALMTRC1" {
-		return nil, fmt.Errorf("exp: not a trace file")
+		return nil, simerr.CorruptTrace("exp: open", 0, fmt.Errorf("not a trace file"))
 	}
 	n := int(hdr[8])<<24 | int(hdr[9])<<16 | int(hdr[10])<<8 | int(hdr[11])
 	return &TraceSource{r: br, total: n, remaining: n}, nil
@@ -91,7 +92,7 @@ func (t *TraceSource) NextChunk(buf []uint32) (int, error) {
 	}
 	raw := t.scratch[:4*want]
 	if _, err := io.ReadFull(t.r, raw); err != nil {
-		return 0, fmt.Errorf("exp: truncated trace (%d refs claimed): %w", t.total, err)
+		return 0, simerr.CorruptTrace("exp: read", int64(t.total-t.remaining), fmt.Errorf("truncated trace (%d refs claimed): %w", t.total, err))
 	}
 	for i := 0; i < want; i++ {
 		buf[i] = uint32(raw[4*i])<<24 | uint32(raw[4*i+1])<<16 |
@@ -131,7 +132,7 @@ func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
 				break
 			}
 		} else if err != nil {
-			return 0, fmt.Errorf("exp: din line %d: %w", d.line+1, err)
+			return 0, simerr.CorruptTrace("exp: read", int64(d.line), fmt.Errorf("din line %d: %w", d.line+1, err))
 		}
 		d.line++
 		addr, perr := parseDinLine(raw, d.line)

@@ -1,6 +1,7 @@
 package gremlin
 
 import (
+	"context"
 	"testing"
 
 	"palmsim/internal/sim"
@@ -54,14 +55,14 @@ func TestGremlinFuzzSurvivesAndValidates(t *testing.T) {
 		cfg := DefaultConfig(seed)
 		cfg.Events = 120
 		s := Session(cfg)
-		col, err := sim.Collect(s)
+		col, err := sim.Collect(context.Background(), s)
 		if err != nil {
 			t.Fatalf("gremlin %d: collect: %v", seed, err)
 		}
 		if col.Log.Len() == 0 {
 			t.Fatalf("gremlin %d: empty log", seed)
 		}
-		pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{
+		pb, err := sim.Replay(context.Background(), col.Initial, col.Log, sim.ReplayOptions{
 			Profiling: true,
 			WithHacks: true,
 		})
@@ -88,11 +89,11 @@ func TestGremlinMarathon(t *testing.T) {
 	for seed := int64(10); seed < 20; seed++ {
 		cfg := DefaultConfig(seed)
 		cfg.Events = 200
-		col, err := sim.Collect(Session(cfg))
+		col, err := sim.Collect(context.Background(), Session(cfg))
 		if err != nil {
 			t.Fatalf("gremlin %d: %v", seed, err)
 		}
-		pb, err := sim.Replay(col.Initial, col.Log, sim.ReplayOptions{Profiling: true, WithHacks: true})
+		pb, err := sim.Replay(context.Background(), col.Initial, col.Log, sim.ReplayOptions{Profiling: true, WithHacks: true})
 		if err != nil {
 			t.Fatalf("gremlin %d replay: %v", seed, err)
 		}

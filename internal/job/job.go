@@ -1,0 +1,302 @@
+// Package job is the batch-run orchestrator: it schedules N independent
+// simulator runs (collect→replay→sweep pipelines, experiment tables,
+// validation passes) across a bounded worker pool, with per-job
+// deadlines, retry with exponential backoff, and a choice between
+// fail-fast and keep-going policies. It exists so every CLI that runs
+// "several experiments" shares one cancellation-correct engine instead
+// of an ad-hoc loop: cancelling the parent context stops in-flight jobs
+// at their next pipeline boundary and marks everything not yet started
+// as canceled.
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
+)
+
+// Job is one schedulable unit of work. Run receives a context that is
+// cancelled on parent cancellation, fail-fast abort, or per-attempt
+// timeout; well-behaved bodies thread it into sim/sweep calls.
+type Job struct {
+	Name string
+	Run  func(ctx context.Context) error
+	// Timeout bounds each attempt; zero means no per-attempt deadline.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first failure.
+	// Errors wrapped with Permanent, and cancellations, never retry.
+	Retries int
+}
+
+// Options tunes the runner.
+type Options struct {
+	// Workers bounds concurrent jobs; zero or negative selects
+	// GOMAXPROCS.
+	Workers int
+	// FailFast cancels every remaining job after the first permanent
+	// failure. The default keeps going and reports all failures at the
+	// end.
+	FailFast bool
+	// Backoff is the sleep before the first retry (doubling per
+	// attempt, cancellable); zero selects DefaultBackoff.
+	Backoff time.Duration
+	// Obs, when non-nil, receives live job-state gauges
+	// (job.pending/running/succeeded/failed/canceled) and a job.retries
+	// counter.
+	Obs *obs.Registry
+}
+
+// DefaultBackoff is the first-retry sleep when Options.Backoff is unset.
+const DefaultBackoff = 100 * time.Millisecond
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	Pending State = iota
+	Running
+	Succeeded
+	Failed
+	Canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Result records one job's outcome.
+type Result struct {
+	Name     string
+	State    State
+	Err      error // nil on success; the last attempt's error otherwise
+	Attempts int
+	Duration time.Duration // wall time across all attempts
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so the runner fails the job immediately instead
+// of burning its remaining retries (bad flags, corrupt input — anything
+// deterministic).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// gauges is the runner's obs bundle; the nil *gauges no-ops.
+type gauges struct {
+	pending, running, succeeded, failed, canceled *obs.Gauge
+	retries                                       *obs.Counter
+}
+
+func newGauges(r *obs.Registry, njobs int) *gauges {
+	if r == nil {
+		return nil
+	}
+	g := &gauges{
+		pending:   r.Gauge("job.pending"),
+		running:   r.Gauge("job.running"),
+		succeeded: r.Gauge("job.succeeded"),
+		failed:    r.Gauge("job.failed"),
+		canceled:  r.Gauge("job.canceled"),
+		retries:   r.Counter("job.retries"),
+	}
+	g.pending.Set(int64(njobs))
+	return g
+}
+
+func (g *gauges) start() {
+	if g == nil {
+		return
+	}
+	g.pending.Add(-1)
+	g.running.Add(1)
+}
+
+func (g *gauges) finish(st State) {
+	if g == nil {
+		return
+	}
+	g.running.Add(-1)
+	switch st {
+	case Succeeded:
+		g.succeeded.Add(1)
+	case Failed:
+		g.failed.Add(1)
+	case Canceled:
+		g.canceled.Add(1)
+	}
+}
+
+func (g *gauges) retried() {
+	if g == nil {
+		return
+	}
+	g.retries.Inc()
+}
+
+// Run executes jobs across a bounded worker pool and returns one Result
+// per job, in input order. The returned error is nil when every job
+// succeeded; a simerr.ErrJobFailed carrier when any failed; and a
+// simerr.ErrCanceled carrier when the parent context was cancelled
+// before the batch finished.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	g := newGauges(opts.Obs, len(jobs))
+
+	// runCtx is what jobs observe: fail-fast cancels it without
+	// cancelling the caller's ctx.
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
+
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(runCtx, jobs[i], backoff, g)
+				if results[i].State == Failed && opts.FailFast {
+					abort()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Jobs never dispatched keep their zero Result; mark them.
+	nfailed := 0
+	for i := range results {
+		if results[i].Name == "" && results[i].Attempts == 0 {
+			results[i] = Result{Name: jobs[i].Name, State: Canceled, Err: runCtx.Err()}
+			g.start()
+			g.finish(Canceled)
+		}
+		if results[i].State == Failed {
+			nfailed++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, simerr.New(simerr.ErrCanceled, "job: run", err)
+	}
+	if nfailed > 0 {
+		return results, simerr.New(simerr.ErrJobFailed, "job: run",
+			fmt.Errorf("%d of %d jobs failed", nfailed, len(jobs)))
+	}
+	return results, nil
+}
+
+// runOne drives a single job through its attempts.
+func runOne(ctx context.Context, j Job, backoff time.Duration, g *gauges) Result {
+	g.start()
+	res := Result{Name: j.Name}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		g.finish(res.State)
+	}()
+
+	if err := ctx.Err(); err != nil {
+		res.State = Canceled
+		res.Err = err
+		return res
+	}
+	wait := backoff
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		err := runAttempt(ctx, j)
+		if err == nil {
+			res.State = Succeeded
+			res.Err = nil
+			return res
+		}
+		res.Err = err
+		// Parent cancellation is not a job failure; per-attempt
+		// timeouts are (and retry, the run may just have been slow).
+		if ctx.Err() != nil {
+			res.State = Canceled
+			return res
+		}
+		if IsPermanent(err) || attempt >= j.Retries {
+			res.State = Failed
+			return res
+		}
+		g.retried()
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			res.State = Canceled
+			res.Err = ctx.Err()
+			return res
+		}
+		wait *= 2
+	}
+}
+
+// runAttempt runs one attempt under the per-attempt deadline.
+func runAttempt(ctx context.Context, j Job) error {
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	if j.Run == nil {
+		return Permanent(errors.New("job has no Run func"))
+	}
+	return j.Run(ctx)
+}

@@ -1,0 +1,234 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
+)
+
+func TestAllSucceedInInputOrder(t *testing.T) {
+	var ran atomic.Int32
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) error {
+				ran.Add(1)
+				return nil
+			},
+		}
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d jobs, want 5", ran.Load())
+	}
+	for i, r := range results {
+		if r.Name != fmt.Sprintf("j%d", i) {
+			t.Errorf("results[%d].Name = %q: results not in input order", i, r.Name)
+		}
+		if r.State != Succeeded || r.Err != nil || r.Attempts != 1 {
+			t.Errorf("results[%d] = %+v, want succeeded in 1 attempt", i, r)
+		}
+	}
+}
+
+func TestRetryWithBackoffThenSuccess(t *testing.T) {
+	var attempts atomic.Int32
+	jobs := []Job{{
+		Name:    "flaky",
+		Retries: 3,
+		Run: func(ctx context.Context) error {
+			if attempts.Add(1) < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	}}
+	reg := obs.NewRegistry()
+	results, err := Run(context.Background(), jobs, Options{Backoff: time.Millisecond, Obs: reg})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if results[0].State != Succeeded || results[0].Attempts != 3 {
+		t.Fatalf("result = %+v, want success on attempt 3", results[0])
+	}
+	if got := reg.Counter("job.retries").Value(); got != 2 {
+		t.Errorf("job.retries = %d, want 2", got)
+	}
+}
+
+func TestRetriesExhaustedIsJobFailed(t *testing.T) {
+	jobs := []Job{{
+		Name:    "doomed",
+		Retries: 2,
+		Run:     func(ctx context.Context) error { return errors.New("always") },
+	}}
+	results, err := Run(context.Background(), jobs, Options{Backoff: time.Millisecond})
+	if !errors.Is(err, simerr.ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if results[0].State != Failed || results[0].Attempts != 3 {
+		t.Fatalf("result = %+v, want failed after 3 attempts", results[0])
+	}
+}
+
+func TestPermanentErrorSkipsRetries(t *testing.T) {
+	var attempts atomic.Int32
+	jobs := []Job{{
+		Name:    "perma",
+		Retries: 5,
+		Run: func(ctx context.Context) error {
+			attempts.Add(1)
+			return Permanent(errors.New("bad input"))
+		},
+	}}
+	results, err := Run(context.Background(), jobs, Options{Backoff: time.Millisecond})
+	if !errors.Is(err, simerr.ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent error retried: %d attempts", attempts.Load())
+	}
+	if !IsPermanent(results[0].Err) {
+		t.Fatalf("result error lost its permanent marker: %v", results[0].Err)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	jobs := []Job{{
+		Name:    "slow",
+		Timeout: 10 * time.Millisecond,
+		Run: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return nil
+			}
+		},
+	}}
+	results, err := Run(context.Background(), jobs, Options{Backoff: time.Millisecond})
+	if !errors.Is(err, simerr.ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if results[0].State != Failed || !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("result = %+v, want deadline-exceeded failure", results[0])
+	}
+}
+
+func TestFailFastCancelsRemaining(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []Job{
+		{Name: "boom", Run: func(ctx context.Context) error { return Permanent(errors.New("x")) }},
+	}
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("later%d", i),
+			Run: func(ctx context.Context) error {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				ran.Add(1)
+				return nil
+			},
+		})
+	}
+	// One worker: jobs run strictly in order, so the failure lands first.
+	results, err := Run(context.Background(), jobs, Options{Workers: 1, FailFast: true, Backoff: time.Millisecond})
+	if !errors.Is(err, simerr.ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("fail-fast still ran %d later jobs", ran.Load())
+	}
+	canceled := 0
+	for _, r := range results[1:] {
+		if r.State == Canceled {
+			canceled++
+		}
+	}
+	if canceled != len(jobs)-1 {
+		t.Fatalf("%d of %d later jobs canceled, want all", canceled, len(jobs)-1)
+	}
+}
+
+func TestKeepGoingRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []Job{
+		{Name: "boom", Run: func(ctx context.Context) error { return Permanent(errors.New("x")) }},
+		{Name: "a", Run: func(ctx context.Context) error { ran.Add(1); return nil }},
+		{Name: "b", Run: func(ctx context.Context) error { ran.Add(1); return nil }},
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 1, Backoff: time.Millisecond})
+	if !errors.Is(err, simerr.ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("keep-going ran %d of 2 later jobs", ran.Load())
+	}
+	if results[1].State != Succeeded || results[2].State != Succeeded {
+		t.Fatalf("later jobs = %v/%v, want succeeded", results[1].State, results[2].State)
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	jobs := []Job{
+		{Name: "running", Run: func(ctx context.Context) error {
+			close(started)
+			<-ctx.Done()
+			return ctx.Err()
+		}},
+		{Name: "queued", Run: func(ctx context.Context) error { return nil }},
+	}
+	done := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		results, err = Run(ctx, jobs, Options{Workers: 1, Backoff: time.Millisecond})
+		close(done)
+	}()
+	<-started
+	cancel()
+	<-done
+	if !simerr.IsCanceled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	for i, r := range results {
+		if r.State != Canceled {
+			t.Errorf("results[%d] = %+v, want canceled", i, r)
+		}
+	}
+}
+
+func TestObsGaugesSettle(t *testing.T) {
+	reg := obs.NewRegistry()
+	jobs := []Job{
+		{Name: "ok1", Run: func(ctx context.Context) error { return nil }},
+		{Name: "ok2", Run: func(ctx context.Context) error { return nil }},
+		{Name: "bad", Run: func(ctx context.Context) error { return Permanent(errors.New("x")) }},
+	}
+	_, _ = Run(context.Background(), jobs, Options{Workers: 2, Backoff: time.Millisecond, Obs: reg})
+	if got := reg.Gauge("job.succeeded").Value(); got != 2 {
+		t.Errorf("job.succeeded = %d, want 2", got)
+	}
+	if got := reg.Gauge("job.failed").Value(); got != 1 {
+		t.Errorf("job.failed = %d, want 1", got)
+	}
+	if got := reg.Gauge("job.running").Value(); got != 0 {
+		t.Errorf("job.running = %d, want 0 at exit", got)
+	}
+	if got := reg.Gauge("job.pending").Value(); got != 0 {
+		t.Errorf("job.pending = %d, want 0 at exit", got)
+	}
+}

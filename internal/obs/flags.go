@@ -25,6 +25,7 @@ type Flags struct {
 	reporter *Reporter
 	man      *Manifest
 	out      io.Writer
+	status   string
 }
 
 // AddFlags registers -metrics, -metrics-addr, -progress and -manifest on
@@ -76,6 +77,10 @@ func (f *Flags) Note(key, value string) {
 	}
 }
 
+// SetStatus records how the run ended ("ok", "failed", "interrupted")
+// for the manifest written by Stop. Safe to call when disabled.
+func (f *Flags) SetStatus(status string) { f.status = status }
+
 // Stop halts the reporter and server, writes the manifest if requested and
 // prints the final snapshot if -metrics was given. Defer from main after a
 // successful Start.
@@ -86,6 +91,13 @@ func (f *Flags) Stop() error {
 	f.reporter.Stop()
 	if f.server != nil {
 		_ = f.server.Close()
+	}
+	if f.status != "" {
+		f.man.Status = f.status
+	}
+	if err := f.reg.Err(); err != nil {
+		f.man.Note("obs_error", err.Error())
+		fmt.Fprintf(f.out, "obs: metric registration conflict: %v\n", err)
 	}
 	f.man.Finish(f.reg)
 	if *f.manifest != "" {

@@ -19,8 +19,12 @@ type Manifest struct {
 	StartTime       time.Time         `json:"start_time"`
 	EndTime         time.Time         `json:"end_time"`
 	DurationSeconds float64           `json:"duration_seconds"`
-	Notes           map[string]string `json:"notes,omitempty"`
-	Metrics         []Sample          `json:"metrics"`
+	// Status records how the run ended: "ok", "failed" or
+	// "interrupted" (SIGINT/SIGTERM or deadline). Empty in manifests
+	// written by callers that never set it.
+	Status  string            `json:"status,omitempty"`
+	Notes   map[string]string `json:"notes,omitempty"`
+	Metrics []Sample          `json:"metrics"`
 }
 
 // NewManifest starts a manifest for the current process: command, raw

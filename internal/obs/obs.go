@@ -18,9 +18,12 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"palmsim/internal/simerr"
 )
 
 // Counter is a monotonically increasing uint64. All methods are safe on a
@@ -194,6 +197,7 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []*entry
 	byName  map[string]*entry
+	err     error // first registration conflict, sticky
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -202,21 +206,50 @@ func NewRegistry() *Registry {
 }
 
 // lookup returns the entry for name, creating it with mk when absent.
-// A kind mismatch on an existing name panics: it is a programming error
-// two subsystems can only commit by disagreeing about a metric.
-func (r *Registry) lookup(name string, k kind, mk func() *entry) *entry {
+// A kind mismatch on an existing name — a disagreement two subsystems
+// can only commit by both claiming a metric — returns nil (the caller
+// hands out the no-op nil metric) and records the conflict in the
+// registry's sticky Err, which the CLIs surface at shutdown. mk may
+// return (nil, err) to report a construction error the same way.
+func (r *Registry) lookup(name string, k kind, mk func() (*entry, error)) *entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.byName[name]; ok {
 		if e.kind != k {
-			panic("obs: metric " + name + " registered as " + e.kind.String() + " and " + k.String())
+			r.recordConflict(fmt.Errorf("metric %s registered as %s and %s", name, e.kind, k))
+			return nil
 		}
 		return e
 	}
-	e := mk()
+	e, err := mk()
+	if err != nil {
+		r.recordConflict(err)
+		return nil
+	}
 	r.byName[name] = e
 	r.entries = append(r.entries, e)
 	return e
+}
+
+// recordConflict keeps the first registration error. Callers hold r.mu.
+func (r *Registry) recordConflict(cause error) {
+	if r.err == nil {
+		r.err = simerr.New(simerr.ErrMetricConflict, "obs: register", cause)
+	}
+}
+
+// Err returns the first registration conflict as a
+// simerr.ErrMetricConflict carrier, or nil. Conflicting registrations
+// do not disturb the running simulation — the loser gets a no-op
+// metric — but the conflict is worth surfacing, so the CLI flag
+// wiring checks Err at shutdown. Nil-safe.
+func (r *Registry) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // Counter returns the named counter, creating it if needed. Returns nil
@@ -225,9 +258,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, kindCounter, func() *entry {
-		return &entry{name: name, kind: kindCounter, c: &Counter{}}
-	}).c
+	e := r.lookup(name, kindCounter, func() (*entry, error) {
+		return &entry{name: name, kind: kindCounter, c: &Counter{}}, nil
+	})
+	if e == nil {
+		return nil
+	}
+	return e.c
 }
 
 // Gauge returns the named gauge (nil on a nil registry).
@@ -235,9 +272,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, kindGauge, func() *entry {
-		return &entry{name: name, kind: kindGauge, g: &Gauge{}}
-	}).g
+	e := r.lookup(name, kindGauge, func() (*entry, error) {
+		return &entry{name: name, kind: kindGauge, g: &Gauge{}}, nil
+	})
+	if e == nil {
+		return nil
+	}
+	return e.g
 }
 
 // Max returns the named maximum tracker (nil on a nil registry).
@@ -245,9 +286,13 @@ func (r *Registry) Max(name string) *Max {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, kindMax, func() *entry {
-		return &entry{name: name, kind: kindMax, m: &Max{}}
-	}).m
+	e := r.lookup(name, kindMax, func() (*entry, error) {
+		return &entry{name: name, kind: kindMax, m: &Max{}}, nil
+	})
+	if e == nil {
+		return nil
+	}
+	return e.m
 }
 
 // Histogram returns the named histogram with the given strictly increasing
@@ -258,18 +303,22 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, kindHistogram, func() *entry {
+	e := r.lookup(name, kindHistogram, func() (*entry, error) {
 		for i := 1; i < len(bounds); i++ {
 			if bounds[i] <= bounds[i-1] {
-				panic("obs: histogram " + name + " bounds not strictly increasing")
+				return nil, fmt.Errorf("histogram %s bounds not strictly increasing", name)
 			}
 		}
 		b := append([]uint64(nil), bounds...)
 		return &entry{name: name, kind: kindHistogram, h: &Histogram{
 			bounds:  b,
 			buckets: make([]atomic.Uint64, len(b)+1),
-		}}
-	}).h
+		}}, nil
+	})
+	if e == nil {
+		return nil
+	}
+	return e.h
 }
 
 // Func registers (or rebinds) a polled metric: fn is called at snapshot
@@ -280,9 +329,12 @@ func (r *Registry) Func(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	e := r.lookup(name, kindFunc, func() *entry {
-		return &entry{name: name, kind: kindFunc}
+	e := r.lookup(name, kindFunc, func() (*entry, error) {
+		return &entry{name: name, kind: kindFunc}, nil
 	})
+	if e == nil {
+		return
+	}
 	r.mu.Lock()
 	e.fn = fn
 	r.mu.Unlock()

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"io"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"palmsim/internal/simerr"
 )
 
 func TestNilRegistryIsNoOp(t *testing.T) {
@@ -132,23 +135,46 @@ func TestHistogramBuckets(t *testing.T) {
 }
 
 func TestHistogramRejectsBadBounds(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("non-increasing bounds must panic")
-		}
-	}()
-	NewRegistry().Histogram("bad", []uint64{10, 10})
+	r := NewRegistry()
+	h := r.Histogram("bad", []uint64{10, 10})
+	if h != nil {
+		t.Fatalf("non-increasing bounds must yield the no-op nil histogram")
+	}
+	h.Observe(5) // nil histogram: must not crash
+	if !errors.Is(r.Err(), simerr.ErrMetricConflict) {
+		t.Fatalf("Err() = %v, want ErrMetricConflict", r.Err())
+	}
 }
 
-func TestKindMismatchPanics(t *testing.T) {
+func TestKindMismatchIsSticky(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("x")
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("registering x as gauge after counter must panic")
-		}
-	}()
-	r.Gauge("x")
+	c := r.Counter("x")
+	if g := r.Gauge("x"); g != nil {
+		t.Fatalf("conflicting kind must yield the no-op nil gauge")
+	}
+	err := r.Err()
+	if !errors.Is(err, simerr.ErrMetricConflict) {
+		t.Fatalf("Err() = %v, want ErrMetricConflict", err)
+	}
+	if !strings.Contains(err.Error(), "counter") || !strings.Contains(err.Error(), "gauge") {
+		t.Fatalf("Err() = %q, want both kinds named", err)
+	}
+	// The winner keeps working, and the first error sticks.
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("original counter broken after conflict")
+	}
+	r.Histogram("bad", []uint64{3, 2})
+	if got := r.Err(); !strings.Contains(got.Error(), "registered as") {
+		t.Fatalf("sticky error replaced: %v", got)
+	}
+}
+
+func TestNilRegistryErr(t *testing.T) {
+	var r *Registry
+	if r.Err() != nil {
+		t.Fatalf("nil registry Err must be nil")
+	}
 }
 
 func TestFuncRebinds(t *testing.T) {

@@ -47,16 +47,6 @@ func Build() (*Image, error) {
 	return built, buildErr
 }
 
-// MustBuild is Build for callers that treat a ROM assembly failure as a
-// programming error (the sources are compiled in).
-func MustBuild() *Image {
-	img, err := Build()
-	if err != nil {
-		panic(err)
-	}
-	return img
-}
-
 func build() (*Image, error) {
 	src := equates() + kernelSource + appsSource + inittabSource() + fontSource()
 	img, err := asm.Assemble(bus.ROMBase, src)

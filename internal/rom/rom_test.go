@@ -8,6 +8,16 @@ import (
 	"palmsim/internal/palmos"
 )
 
+// mustBuild assembles the ROM or fails the test.
+func mustBuild(t *testing.T) *Image {
+	t.Helper()
+	img, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
 func TestBuildSucceeds(t *testing.T) {
 	img, err := Build()
 	if err != nil {
@@ -33,7 +43,7 @@ func TestBuildIsCached(t *testing.T) {
 }
 
 func TestRequiredSymbolsPresent(t *testing.T) {
-	img := MustBuild()
+	img := mustBuild(t)
 	required := []string{
 		"boot", "trapdisp", "isr", "fatal", "kernel_main",
 		"t_evtgetevent", "t_evtenqueuekey", "t_evtenqueuepen",
@@ -51,7 +61,7 @@ func TestRequiredSymbolsPresent(t *testing.T) {
 }
 
 func TestInitTabCoversEveryImplementedTrap(t *testing.T) {
-	img := MustBuild()
+	img := mustBuild(t)
 	inittab := img.Symbols["inittab"]
 	fatal := img.Symbols["fatal"]
 	entry := func(i int) uint32 {
@@ -82,7 +92,7 @@ func TestInitTabCoversEveryImplementedTrap(t *testing.T) {
 }
 
 func TestAppsAreRelocatable(t *testing.T) {
-	img := MustBuild()
+	img := mustBuild(t)
 	begin := img.Symbols["apps_begin"]
 	end := img.Symbols["apps_end"]
 	if end <= begin {
@@ -102,7 +112,7 @@ func TestAppsAreRelocatable(t *testing.T) {
 }
 
 func TestFontHas96Glyphs(t *testing.T) {
-	img := MustBuild()
+	img := mustBuild(t)
 	font := img.Symbols["font"]
 	off := font - bus.ROMBase
 	if int(off)+96*8 > len(img.Data) {
@@ -254,7 +264,7 @@ func (b *imgBus) Write(addr uint32, size m68k.Size, v uint32) {}
 // it — raw dc.w output is only acceptable for the deliberate line-A trap
 // calls and line-F native gates.
 func TestDisassembleROMCode(t *testing.T) {
-	img := MustBuild()
+	img := mustBuild(t)
 	b := &imgBus{data: img.Data}
 	// Code runs from the ROM base up to apps_end; data tables follow.
 	end := img.Symbols["apps_end"]

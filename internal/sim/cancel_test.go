@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"palmsim/internal/simerr"
+)
+
+// TestCollectPreCancelled: a context cancelled before the call returns
+// the structured cancellation without running the session.
+func TestCollectPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Collect(ctx, tinySession("pre", 1))
+	if !errors.Is(err, simerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestCollectDeadline: an already-expired deadline cancels collection and
+// unwraps to context.DeadlineExceeded.
+func TestCollectDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Collect(ctx, tinySession("deadline", 1))
+	if !simerr.IsCanceled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not unwrap to DeadlineExceeded", err)
+	}
+}
+
+// TestReplayPreCancelled: replay honors cancellation too, and the error
+// carries the emulated tick it stopped at.
+func TestReplayPreCancelled(t *testing.T) {
+	col, err := Collect(context.Background(), tinySession("base", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Replay(ctx, col.Initial, col.Log, ReplayOptions{})
+	if !errors.Is(err, simerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("err %T is not a *simerr.Error", err)
+	}
+	if se.Tick < 0 {
+		t.Errorf("cancellation error carries no tick: %+v", se)
+	}
+}
+
+// TestBackgroundContextIsFree: context.Background must behave exactly
+// like no context at all — the normalization keeps the hot loop on the
+// nil fast path.
+func TestBackgroundContextIsFree(t *testing.T) {
+	a, err := Collect(context.Background(), tinySession("bg", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(context.TODO(), tinySession("bg", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.Len() != b.Log.Len() {
+		t.Errorf("Background vs TODO collections diverged: %d vs %d records", a.Log.Len(), b.Log.Len())
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -65,26 +66,29 @@ const settleTicks = 200
 
 // Collect boots an instrumented device, captures the initial state,
 // replays the synthetic user's inputs in simulated real time and returns
-// the activity log plus final state — the §2 collection pipeline.
-func Collect(s Session) (*Collection, error) {
-	return CollectFrom(nil, s)
+// the activity log plus final state — the §2 collection pipeline. The
+// context is polled at tick-sync granularity: cancelling it stops the
+// run within one emulated tick with a simerr.ErrCanceled error.
+func Collect(ctx context.Context, s Session) (*Collection, error) {
+	return CollectFrom(ctx, nil, s)
 }
 
 // CollectFrom is Collect starting from a previously captured device state,
 // enabling the paper's §3.1 chained workloads: "the initial state of the
 // second test workload is the same as the final state for the first". A
 // nil prior state collects from a factory-fresh boot.
-func CollectFrom(prior *State, s Session) (*Collection, error) {
-	return CollectObserved(prior, s, nil)
+func CollectFrom(ctx context.Context, prior *State, s Session) (*Collection, error) {
+	return CollectObserved(ctx, prior, s, nil)
 }
 
 // CollectObserved is CollectFrom with the collection machine bound to a
 // metrics registry (nil behaves exactly like CollectFrom).
-func CollectObserved(prior *State, s Session, reg *obs.Registry) (*Collection, error) {
+func CollectObserved(ctx context.Context, prior *State, s Session, reg *obs.Registry) (*Collection, error) {
 	m, err := emu.New(emu.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
+	m.BindContext(ctx)
 	m.RegisterObs(reg)
 	if err := m.Boot(); err != nil {
 		return nil, err
@@ -229,11 +233,12 @@ func (t *traceSink) Ref(r bus.Ref) {
 // activity log per §2.4.2: synchronous events are injected when the
 // emulated tick counter reaches their timestamps; KeyCurrentState and
 // SysRandom are serviced from the logged queues.
-func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
+func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
 	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes})
 	if err != nil {
 		return nil, err
 	}
+	m.BindContext(ctx)
 	// Bound before Boot so the tick-sync counters cover the whole run;
 	// func metrics rebind, superseding any earlier machine (e.g. the
 	// collection pass) in the same registry.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"palmsim/internal/user"
@@ -19,13 +20,13 @@ func tinySession(name string, seed int64) Session {
 
 func TestCollectRejectsEmptySession(t *testing.T) {
 	empty := Session{Name: "empty", Script: func(b *user.Builder) { b.IdleSeconds(1) }}
-	if _, err := Collect(empty); err == nil {
+	if _, err := Collect(context.Background(), empty); err == nil {
 		t.Fatal("empty session accepted")
 	}
 }
 
 func TestCollectFromChainsState(t *testing.T) {
-	first, err := Collect(tinySession("first", 1))
+	first, err := Collect(context.Background(), tinySession("first", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestCollectFromChainsState(t *testing.T) {
 		t.Fatalf("first session saved %d memos", len(memo1.Records))
 	}
 
-	second, err := CollectFrom(first.Final, tinySession("second", 2))
+	second, err := CollectFrom(context.Background(), first.Final, tinySession("second", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,15 +54,15 @@ func TestCollectFromChainsState(t *testing.T) {
 }
 
 func TestChainedReplayValidates(t *testing.T) {
-	first, err := Collect(tinySession("first", 1))
+	first, err := Collect(context.Background(), tinySession("first", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := CollectFrom(first.Final, tinySession("second", 2))
+	second, err := CollectFrom(context.Background(), first.Final, tinySession("second", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := Replay(second.Initial, second.Log, ReplayOptions{Profiling: true})
+	pb, err := Replay(context.Background(), second.Initial, second.Log, ReplayOptions{Profiling: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,12 +79,12 @@ func TestChainedReplayValidates(t *testing.T) {
 }
 
 func TestReplayOptionsIndependence(t *testing.T) {
-	col, err := Collect(tinySession("opts", 3))
+	col, err := Collect(context.Background(), tinySession("opts", 3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No trace requested: Trace must be nil, stats still populated.
-	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true})
+	pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Profiling: true})
 	if err != nil {
 		t.Fatal(err)
 	}

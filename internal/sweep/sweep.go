@@ -18,6 +18,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -27,6 +28,7 @@ import (
 	"palmsim/internal/cache"
 	"palmsim/internal/cache/stack"
 	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
 )
 
 // Source streams a reference trace in chunks, so traces never need to be
@@ -120,6 +122,25 @@ type Options struct {
 	// per-worker completions, queue depth) and post-run cache aggregates.
 	// Nil (the default) adds no allocations and no atomic traffic.
 	Obs *obs.Registry
+
+	// CheckpointPath, when non-empty, enables checkpointing: every
+	// CheckpointEveryChunks chunks (and on cancellation) the engine
+	// quiesces its workers and atomically writes every unit's
+	// aggregation state plus the consumed-reference count to this
+	// sidecar file. A sweep that dies — SIGKILL, power loss, a
+	// deliberate cancel — resumes from the sidecar via Resume and
+	// produces results bit-identical to an uninterrupted run. The file
+	// is removed when the sweep completes.
+	CheckpointPath string
+	// CheckpointEveryChunks is the checkpoint cadence in produced
+	// chunks; zero or negative selects DefaultCheckpointEveryChunks.
+	CheckpointEveryChunks int
+	// Resume, with CheckpointPath set, loads an existing sidecar before
+	// sweeping: unit states are restored and the already-consumed
+	// prefix of the trace is skipped. A missing sidecar starts from
+	// scratch; a sidecar written by a different configuration set or
+	// engine fails with simerr.ErrBadCheckpoint.
+	Resume bool
 }
 
 func (o Options) workers(nunits int) int {
@@ -200,16 +221,49 @@ type chunk struct {
 	pending int32
 }
 
+// ctxErr polls an optional context: nil contexts never cancel, so
+// callers that have no lifecycle to manage pass nil and pay one compare
+// per chunk.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // Run streams the trace from src through every configuration and returns
-// the results in configuration order.
-func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) {
+// the results in configuration order. The context is polled at every
+// chunk boundary: cancelling it stops the sweep within one chunk, shuts
+// every worker down without leaking a goroutine, writes a final
+// checkpoint when checkpointing is enabled, and returns a
+// simerr.ErrCanceled error with the failing chunk attached. A nil ctx
+// never cancels.
+func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) {
 	units, collect, err := build(cfgs, opts.engine())
 	if err != nil {
 		return nil, err
 	}
+	var ck *checkpointer
+	if opts.CheckpointPath != "" {
+		ck, err = newCheckpointer(opts.CheckpointPath, opts.checkpointEvery(), units, cfgs, opts.engine())
+		if err != nil {
+			return nil, err
+		}
+		if opts.Resume {
+			skip, found, err := ck.load()
+			if err != nil {
+				return nil, err
+			}
+			if found && skip > 0 {
+				if err := skipRefs(ctx, src, skip, opts.chunkRefs()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	if len(units) == 0 {
 		// Still drain the source so an erroring trace is reported.
-		if err := drain(src, opts.chunkRefs()); err != nil {
+		if err := drain(ctx, src, opts.chunkRefs()); err != nil {
 			return nil, err
 		}
 		return collect(), nil
@@ -218,12 +272,15 @@ func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) 
 	w := opts.workers(len(units))
 	m := newObsMetrics(opts.Obs, w, len(units))
 	if w == 1 {
-		err = runSerial(units, src, opts.chunkRefs(), m)
+		err = runSerial(ctx, units, src, opts.chunkRefs(), m, ck)
 	} else {
-		err = runParallel(units, src, w, opts.chunkRefs(), m)
+		err = runParallel(ctx, units, src, w, opts.chunkRefs(), m, ck)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		ck.removeSidecar()
 	}
 	results := collect()
 	registerResults(opts.Obs, results)
@@ -231,15 +288,37 @@ func Run(cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) 
 }
 
 // RunTrace is a convenience wrapper over an in-memory trace.
-func RunTrace(cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result, error) {
-	return Run(cfgs, NewSliceSource(trace), opts)
+func RunTrace(ctx context.Context, cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result, error) {
+	return Run(ctx, cfgs, NewSliceSource(trace), opts)
+}
+
+// saveOnCancel writes a final checkpoint when a run stopped on
+// cancellation, so the canceled sweep resumes exactly where it left off.
+// Called only after every produced chunk has been fully consumed.
+func saveOnCancel(ck *checkpointer, m *obsMetrics, runErr error) error {
+	if ck == nil || runErr == nil || !simerr.IsCanceled(runErr) {
+		return nil
+	}
+	if err := ck.save(); err != nil {
+		return err
+	}
+	m.checkpointed()
+	return nil
 }
 
 // runSerial is the workers=1 fallback: one goroutine, one chunk buffer,
 // the same chunked access pattern as the parallel path.
-func runSerial(units []unit, src Source, chunkRefs int, m *obsMetrics) error {
+func runSerial(ctx context.Context, units []unit, src Source, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
 	buf := make([]uint32, chunkRefs)
+	var produced int64
 	for {
+		if err := ctxErr(ctx); err != nil {
+			cerr := simerr.CanceledChunk(ctx, "sweep: run", produced)
+			if serr := saveOnCancel(ck, m, cerr); serr != nil {
+				return serr
+			}
+			return cerr
+		}
 		n, err := src.NextChunk(buf)
 		if err != nil && err != io.EOF {
 			return err
@@ -252,6 +331,16 @@ func runSerial(units []unit, src Source, chunkRefs int, m *obsMetrics) error {
 			}
 			m.workerDone(0, len(units))
 			m.retired()
+			produced++
+			if ck != nil {
+				ck.consumed(n)
+				if ck.due() {
+					if err := ck.save(); err != nil {
+						return err
+					}
+					m.checkpointed()
+				}
+			}
 		}
 		if n == 0 || err == io.EOF {
 			return nil
@@ -261,24 +350,31 @@ func runSerial(units []unit, src Source, chunkRefs int, m *obsMetrics) error {
 
 // runParallel fans chunks out to per-worker queues. Each worker owns a
 // contiguous shard of the units, so no unit is ever touched by two
-// goroutines and the per-unit access order is the trace order.
-func runParallel(units []unit, src Source, workers, chunkRefs int, m *obsMetrics) error {
+// goroutines and the per-unit access order is the trace order. The
+// producer polls ctx between chunks; on cancellation (or any read
+// error) it stops producing, closes the queues, and waits for the
+// workers to drain what was already published — bounded by
+// workers·queueDepth chunks — so no goroutine or pooled buffer leaks.
+func runParallel(ctx context.Context, units []unit, src Source, workers, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
 	pool := sync.Pool{New: func() any { return make([]uint32, chunkRefs) }}
 	queues := make([]chan *chunk, workers)
 	for w := range queues {
 		queues[w] = make(chan *chunk, queueDepth)
 	}
 
-	var wg sync.WaitGroup
+	// workerWG tracks worker goroutines; inflight tracks published
+	// chunks not yet retired by every worker, which is what a
+	// checkpoint must wait out to observe quiescent units.
+	var workerWG, inflight sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * len(units) / workers
 		hi := (w + 1) * len(units) / workers
 		shard := units[lo:hi]
 		q := queues[w]
 		wid := w
-		wg.Add(1)
+		workerWG.Add(1)
 		go func() {
-			defer wg.Done()
+			defer workerWG.Done()
 			for ck := range q {
 				for _, u := range shard {
 					u.AccessAll(ck.refs)
@@ -287,18 +383,24 @@ func runParallel(units []unit, src Source, workers, chunkRefs int, m *obsMetrics
 				if atomic.AddInt32(&ck.pending, -1) == 0 {
 					m.retired()
 					pool.Put(ck.refs[:cap(ck.refs)])
+					inflight.Done()
 				}
 			}
 		}()
 	}
 
-	var readErr error
+	var runErr error
+	var produced int64
 	for {
+		if err := ctxErr(ctx); err != nil {
+			runErr = simerr.CanceledChunk(ctx, "sweep: produce", produced)
+			break
+		}
 		buf := pool.Get().([]uint32)[:chunkRefs]
 		n, err := src.NextChunk(buf)
 		eof := err == io.EOF
 		if err != nil && !eof {
-			readErr = err
+			runErr = err
 			pool.Put(buf)
 			break
 		}
@@ -306,10 +408,23 @@ func runParallel(units []unit, src Source, workers, chunkRefs int, m *obsMetrics
 			pool.Put(buf)
 			break
 		}
-		ck := &chunk{refs: buf[:n], pending: int32(workers)}
+		c := &chunk{refs: buf[:n], pending: int32(workers)}
 		m.produced(n)
+		inflight.Add(1)
 		for _, q := range queues {
-			q <- ck
+			q <- c
+		}
+		produced++
+		if ck != nil {
+			ck.consumed(n)
+			if ck.due() {
+				inflight.Wait() // quiesce: every published chunk retired
+				if err := ck.save(); err != nil {
+					runErr = err
+					break
+				}
+				m.checkpointed()
+			}
 		}
 		if eof {
 			break
@@ -318,14 +433,21 @@ func runParallel(units []unit, src Source, workers, chunkRefs int, m *obsMetrics
 	for _, q := range queues {
 		close(q)
 	}
-	wg.Wait()
-	return readErr
+	workerWG.Wait()
+	if serr := saveOnCancel(ck, m, runErr); serr != nil {
+		return serr
+	}
+	return runErr
 }
 
 // drain consumes a source to completion, surfacing any read error.
-func drain(src Source, chunkRefs int) error {
+func drain(ctx context.Context, src Source, chunkRefs int) error {
 	buf := make([]uint32, chunkRefs)
+	var produced int64
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return simerr.CanceledChunk(ctx, "sweep: drain", produced)
+		}
 		n, err := src.NextChunk(buf)
 		if err != nil && err != io.EOF {
 			return err
@@ -333,6 +455,7 @@ func drain(src Source, chunkRefs int) error {
 		if n == 0 || err == io.EOF {
 			return nil
 		}
+		produced++
 	}
 }
 

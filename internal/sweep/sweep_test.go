@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -38,7 +39,7 @@ func TestRunMatchesSerialSweep(t *testing.T) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			for _, chunk := range []int{0, 1, 7, 4096} {
 				name := fmt.Sprintf("%s/workers=%d/chunk=%d", engine, workers, chunk)
-				got, err := RunTrace(cfgs, trace, Options{Workers: workers, ChunkRefs: chunk, Engine: engine})
+				got, err := RunTrace(context.Background(), cfgs, trace, Options{Workers: workers, ChunkRefs: chunk, Engine: engine})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -61,12 +62,12 @@ func TestRunMatchesSerialSweep(t *testing.T) {
 func TestStreamingSourceMatchesSlice(t *testing.T) {
 	cfg := dtrace.DefaultConfig()
 	cfg.Refs = 60_000
-	want, err := RunTrace(cache.PaperSweep(), dtrace.Generate(cfg), Options{Workers: 1})
+	want, err := RunTrace(context.Background(), cache.PaperSweep(), dtrace.Generate(cfg), Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		got, err := Run(cache.PaperSweep(), dtrace.NewStream(cfg), Options{Workers: workers, ChunkRefs: 1000})
+		got, err := Run(context.Background(), cache.PaperSweep(), dtrace.NewStream(cfg), Options{Workers: workers, ChunkRefs: 1000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func (e *errSource) NextChunk(buf []uint32) (int, error) {
 func TestSourceErrorPropagates(t *testing.T) {
 	cfgs := cache.PaperSweep()[:6]
 	for _, workers := range []int{1, 3} {
-		if _, err := Run(cfgs, &errSource{chunks: 3}, Options{Workers: workers, ChunkRefs: 64}); err == nil {
+		if _, err := Run(context.Background(), cfgs, &errSource{chunks: 3}, Options{Workers: workers, ChunkRefs: 64}); err == nil {
 			t.Errorf("workers=%d: error not propagated", workers)
 		}
 	}
@@ -107,7 +108,7 @@ func TestSourceErrorPropagates(t *testing.T) {
 // any trace is consumed.
 func TestInvalidConfigRejected(t *testing.T) {
 	bad := []cache.Config{{SizeBytes: 3000, LineBytes: 16, Ways: 1}}
-	if _, err := RunTrace(bad, fixedTrace(10), Options{}); err == nil {
+	if _, err := RunTrace(context.Background(), bad, fixedTrace(10), Options{}); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -115,7 +116,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 // TestEmptyInputs covers the degenerate shapes.
 func TestEmptyInputs(t *testing.T) {
 	// Empty trace: zero-access results for every config.
-	res, err := RunTrace(cache.PaperSweep()[:4], nil, Options{Workers: 4})
+	res, err := RunTrace(context.Background(), cache.PaperSweep()[:4], nil, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,12 +126,12 @@ func TestEmptyInputs(t *testing.T) {
 		}
 	}
 	// No configurations: empty result set, trace still drained cleanly.
-	res, err = RunTrace(nil, fixedTrace(100), Options{})
+	res, err = RunTrace(context.Background(), nil, fixedTrace(100), Options{})
 	if err != nil || len(res) != 0 {
 		t.Errorf("no-config sweep: res=%v err=%v", res, err)
 	}
 	// No configurations with an erroring source: the error still surfaces.
-	if _, err := Run(nil, &errSource{}, Options{}); err == nil {
+	if _, err := Run(context.Background(), nil, &errSource{}, Options{}); err == nil {
 		t.Error("no-config sweep swallowed source error")
 	}
 }
@@ -143,7 +144,7 @@ func TestWorkersClampedToConfigs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunTrace(cfgs, trace, Options{Workers: 64})
+	got, err := RunTrace(context.Background(), cfgs, trace, Options{Workers: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestSourceEOFContract(t *testing.T) {
 			for _, finalWithRefs := range []bool{true, false} {
 				name := fmt.Sprintf("%s/workers=%d/eofWithRefs=%v", engine, workers, finalWithRefs)
 				src := &eofSource{trace: trace, chunk: 100, finalWithRefs: finalWithRefs}
-				got, err := Run(cfgs, src, Options{Workers: workers, ChunkRefs: 256, Engine: engine})
+				got, err := Run(context.Background(), cfgs, src, Options{Workers: workers, ChunkRefs: 256, Engine: engine})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -214,7 +215,7 @@ func TestSourceEOFContract(t *testing.T) {
 				}
 				// Zero-length trace under the same convention.
 				empty := &eofSource{finalWithRefs: finalWithRefs, chunk: 100}
-				res, err := Run(cfgs, empty, Options{Workers: workers, Engine: engine})
+				res, err := Run(context.Background(), cfgs, empty, Options{Workers: workers, Engine: engine})
 				if err != nil {
 					t.Fatalf("%s empty: %v", name, err)
 				}

@@ -23,6 +23,8 @@
 package palmsim
 
 import (
+	"context"
+
 	"palmsim/internal/alog"
 	"palmsim/internal/hotsync"
 	"palmsim/internal/hw"
@@ -65,18 +67,22 @@ func NewBuilder(seed int64, startTick uint32) *Builder {
 // Collect boots an instrumented device, captures the initial state,
 // replays the synthetic user's inputs in simulated real time and returns
 // the activity log plus final state — the paper's §2 collection pipeline.
-func Collect(s Session) (*Collection, error) { return sim.Collect(s) }
+// Cancelling ctx stops the run within one tick-sync boundary with an
+// error matching simerr.ErrCanceled; a nil ctx never cancels.
+func Collect(ctx context.Context, s Session) (*Collection, error) {
+	return sim.Collect(ctx, s)
+}
 
 // CollectObserved is Collect with the collection machine bound to a
 // metrics registry (nil behaves exactly like Collect).
-func CollectObserved(s Session, reg *obs.Registry) (*Collection, error) {
-	return sim.CollectObserved(nil, s, reg)
+func CollectObserved(ctx context.Context, s Session, reg *obs.Registry) (*Collection, error) {
+	return sim.CollectObserved(ctx, nil, s, reg)
 }
 
 // Replay restores the initial state into a fresh machine and replays the
-// activity log per §2.4.2.
-func Replay(initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
-	return sim.Replay(initial, log, opt)
+// activity log per §2.4.2. Cancellation behaves as in Collect.
+func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
+	return sim.Replay(ctx, initial, log, opt)
 }
 
 // DefaultReplayOptions returns the case-study configuration: profiling

@@ -1,6 +1,7 @@
 package palmsim
 
 import (
+	"context"
 	"testing"
 
 	"palmsim/internal/user"
@@ -22,7 +23,7 @@ func shortSession() Session {
 }
 
 func TestCollectProducesLogAndStates(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,11 @@ func TestCollectProducesLogAndStates(t *testing.T) {
 // two equivalent systems started in the same state with the same inputs
 // follow the same execution path and end in the same state (§2.1).
 func TestDeterministicStateMachine(t *testing.T) {
-	a, err := Collect(shortSession())
+	a, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Collect(shortSession())
+	b, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +77,11 @@ func TestDeterministicStateMachine(t *testing.T) {
 }
 
 func TestReplayValidation(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := Replay(col.Initial, col.Log, ReplayOptions{
+	pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{
 		Profiling:    true,
 		WithHacks:    true,
 		CollectTrace: true,
@@ -134,11 +135,11 @@ func TestReplayValidation(t *testing.T) {
 }
 
 func TestReplayWithoutHacksMatchesFinalStateToo(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	pb, err := Replay(context.Background(), col.Initial, col.Log, DefaultReplayOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,15 +164,15 @@ func TestReplayWithoutHacksMatchesFinalStateToo(t *testing.T) {
 }
 
 func TestReplayTraceIsDeterministic(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	a, err := Replay(context.Background(), col.Initial, col.Log, DefaultReplayOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Replay(col.Initial, col.Log, DefaultReplayOptions())
+	b, err := Replay(context.Background(), col.Initial, col.Log, DefaultReplayOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +187,11 @@ func TestReplayTraceIsDeterministic(t *testing.T) {
 }
 
 func TestOpcodeHistogramDuringReplay(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, CountOpcodes: true})
+	pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Profiling: true, CountOpcodes: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestOpcodeHistogramDuringReplay(t *testing.T) {
 }
 
 func TestStateSerializationRoundTrip(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +241,11 @@ func TestFormatElapsed(t *testing.T) {
 // the PC stream must cover ROM (dispatcher), RAM app code and match the
 // retired-instruction count exactly.
 func TestInstructionTrace(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := Replay(col.Initial, col.Log, ReplayOptions{
+	pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{
 		Profiling:         true,
 		TraceInstructions: true,
 	})
@@ -272,14 +273,14 @@ func TestInstructionTrace(t *testing.T) {
 // odd word/long access; the synthetic ROM, the relocated apps and the
 // generated hack stubs must therefore never produce one.
 func TestNoMisalignedAccesses(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n := col.Stats.Bus.OddAccesses; n != 0 {
 		t.Errorf("collection produced %d misaligned word/long accesses", n)
 	}
-	pb, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
+	pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,15 +293,15 @@ func TestNoMisalignedAccesses(t *testing.T) {
 // (Profiling disabled) skips the ROM TrapDispatcher's instructions but
 // must not change behaviour — only the reference stream shrinks (§2.4.2).
 func TestProfilingOffReplayStillValidates(t *testing.T) {
-	col, err := Collect(shortSession())
+	col, err := Collect(context.Background(), shortSession())
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
+	on, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Profiling: true, WithHacks: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Replay(col.Initial, col.Log, ReplayOptions{Profiling: false, WithHacks: true})
+	off, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Profiling: false, WithHacks: true})
 	if err != nil {
 		t.Fatal(err)
 	}

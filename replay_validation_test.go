@@ -9,6 +9,7 @@
 package palmsim
 
 import (
+	"context"
 	"testing"
 
 	"palmsim/internal/gremlin"
@@ -30,7 +31,7 @@ func TestGremlinReplayValidation(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	s := gremlin.Session(gremlinConfig())
-	col, err := CollectObserved(s, reg)
+	col, err := CollectObserved(context.Background(), s, reg)
 	if err != nil {
 		t.Fatalf("collect: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestGremlinReplayValidation(t *testing.T) {
 		t.Fatalf("final state round-trip: %v", err)
 	}
 
-	pb, err := Replay(initial, logParsed, ReplayOptions{
+	pb, err := Replay(context.Background(), initial, logParsed, ReplayOptions{
 		Profiling:    true,
 		WithHacks:    true,
 		CollectTrace: true,
@@ -143,16 +144,16 @@ func TestGremlinReplayIsDeterministic(t *testing.T) {
 	}
 	cfg := gremlinConfig()
 	cfg.Events = 40 // shorter storm: this test replays twice
-	col, err := Collect(gremlin.Session(cfg))
+	col, err := Collect(context.Background(), gremlin.Session(cfg))
 	if err != nil {
 		t.Fatalf("collect: %v", err)
 	}
 	opt := ReplayOptions{Profiling: true, WithHacks: true}
-	a, err := Replay(col.Initial, col.Log, opt)
+	a, err := Replay(context.Background(), col.Initial, col.Log, opt)
 	if err != nil {
 		t.Fatalf("first replay: %v", err)
 	}
-	b, err := Replay(col.Initial, col.Log, opt)
+	b, err := Replay(context.Background(), col.Initial, col.Log, opt)
 	if err != nil {
 		t.Fatalf("second replay: %v", err)
 	}

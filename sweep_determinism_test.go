@@ -1,6 +1,7 @@
 package palmsim_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestParallelSweepMatchesSerialOnSessionTrace(t *testing.T) {
 	for _, engine := range []sweep.Engine{sweep.EngineAuto, sweep.EngineDirect, sweep.EngineStack} {
 		for _, workers := range []int{1, 4, 8} {
 			name := fmt.Sprintf("%s/workers=%d", engine, workers)
-			got, err := sweep.RunTrace(cfgs, trace, sweep.Options{Workers: workers, Engine: engine})
+			got, err := sweep.RunTrace(context.Background(), cfgs, trace, sweep.Options{Workers: workers, Engine: engine})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
