@@ -67,6 +67,7 @@ func main() {
 	algo := flag.String("algo", "auto", "sweep engine: auto, direct or stack")
 	crossValidate := flag.Bool("crossvalidate", false, "run both engines over the trace and verify bit-identical results")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
+	partitions := flag.Int("partitions", 0, "decode an indexed packed -trace with this many concurrent range decoders (0 = serial decode)")
 	chunk := flag.Int("chunk", 0, "references per streamed chunk (0 = default)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint sidecar file: saved periodically and on interrupt")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "chunks between checkpoint saves (0 = default)")
@@ -88,6 +89,7 @@ func main() {
 		algo:            *algo,
 		crossValidate:   *crossValidate,
 		workers:         *workers,
+		partitions:      *partitions,
 		chunk:           *chunk,
 		checkpoint:      *checkpoint,
 		checkpointEvery: *checkpointEvery,
@@ -100,6 +102,7 @@ func main() {
 type config struct {
 	traceFile, traceFormat, dinFile  string
 	sessionNum, refs, workers, chunk int
+	partitions                       int
 	desktop, crossValidate, resume   bool
 	policy, algo, checkpoint         string
 	checkpointEvery                  int
@@ -197,6 +200,23 @@ func sweepMain(ctx context.Context, c *config) error {
 			return attachSourceObs(exp.NewDineroSource(f), reg), nil
 		}
 		fmt.Printf("streaming din references from %s\n", c.dinFile)
+	case c.traceFile != "" && c.partitions > 0:
+		// Partitioned decode needs the PALMIDX1 index; validate it (and
+		// report how many ranges the index supports) before sweeping.
+		t, err := exp.OpenSeekableTrace(c.traceFile)
+		if err != nil {
+			return err
+		}
+		k := c.partitions
+		newSource = func() (sweep.Source, error) {
+			t, err := exp.OpenSeekableTrace(c.traceFile)
+			if err != nil {
+				return nil, err
+			}
+			return sweep.NewPartitionedSource(t, k, c.chunk)
+		}
+		fmt.Printf("streaming %d packed references from %s across %d partitions\n",
+			t.TotalRefs(), c.traceFile, len(t.SplitPoints(k))-1)
 	case c.traceFile != "":
 		newSource = func() (sweep.Source, error) {
 			src, err := openTraceFile(c.traceFile, c.traceFormat)
@@ -235,6 +255,9 @@ func sweepMain(ctx context.Context, c *config) error {
 			cache.NoCacheTeff(run.Row.RAMRefs, run.Row.FlashRefs))
 	default:
 		return usageError{fmt.Errorf("need one of -trace, -din, -session or -desktop")}
+	}
+	if c.partitions > 0 && c.traceFile == "" {
+		return usageError{fmt.Errorf("-partitions requires an indexed packed -trace file")}
 	}
 	if c.resume && c.checkpoint == "" {
 		return usageError{fmt.Errorf("-resume requires -checkpoint")}
@@ -324,13 +347,20 @@ func openTraceFile(path, format string) (sweep.Source, error) {
 	return nil, usageError{fmt.Errorf("unknown trace format %q (want auto, raw or packed)", format)}
 }
 
-// runOnce opens a fresh source and sweeps it.
+// runOnce opens a fresh source, sweeps it, and closes the source when it
+// owns resources (partitioned decoders hold goroutines and file handles).
 func runOnce(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
 	src, err := newSource()
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Run(ctx, cfgs, src, opts)
+	results, err := sweep.Run(ctx, cfgs, src, opts)
+	if cl, ok := src.(interface{ Close() error }); ok {
+		if cerr := cl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return results, err
 }
 
 // crossValidateEngines re-runs the sweep on the engine not used for the

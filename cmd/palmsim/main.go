@@ -47,6 +47,7 @@ type config struct {
 	list        bool
 	withTrace   bool
 	traceFormat string
+	seekTick    uint
 	screenshot  bool
 	dinero      bool
 	profiler    *prof.Profiler
@@ -60,6 +61,7 @@ func main() {
 	flag.BoolVar(&c.list, "list", false, "list built-in sessions and exit")
 	flag.BoolVar(&c.withTrace, "trace", true, "collect a memory-reference trace during replay")
 	flag.StringVar(&c.traceFormat, "trace-format", "raw", "trace artifact format: raw (.trace), packed (.ptrace) or both")
+	flag.UintVar(&c.seekTick, "seek-tick", 0, "fast-forward replay: emulate untraced until this tick, then start tracing")
 	flag.BoolVar(&c.screenshot, "screenshot", false, "write the final display as a PGM image (with -out)")
 	flag.BoolVar(&c.dinero, "dinero", false, "also write the trace in Dinero din format (with -out)")
 	c.profiler = prof.AddFlags()
@@ -144,12 +146,21 @@ func pipeline(ctx context.Context, c *config) error {
 		col.Log.Len(), palmsim.FormatElapsed(col.Stats.ElapsedSeconds))
 	fmt.Printf("  collection: %s\n", col.Stats.Bus.String())
 
+	// Packed trace artifacts carry a PALMIDX1 index; tick marks feed its
+	// per-block starting ticks, enabling SeekTick on the written file.
+	wantPacked := c.outDir != "" && c.withTrace &&
+		(c.traceFormat == "packed" || c.traceFormat == "both")
 	fmt.Println("replaying on a fresh machine (hacks installed for validation)...")
+	if c.seekTick > 0 {
+		fmt.Printf("  fast-forward: tracing starts at tick %d\n", c.seekTick)
+	}
 	pb, err := palmsim.Replay(ctx, col.Initial, col.Log, palmsim.ReplayOptions{
 		Profiling:    true,
 		WithHacks:    true,
 		CollectTrace: c.withTrace,
 		CollectKinds: c.dinero,
+		CollectTicks: wantPacked,
+		SeekTick:     uint32(c.seekTick),
 		// With metrics on, the opcode histogram feeds the per-group
 		// m68k.group.* func metrics.
 		CountOpcodes: reg != nil,
@@ -208,7 +219,7 @@ func pipeline(ctx context.Context, c *config) error {
 				}
 			}
 			if format == "packed" || format == "both" {
-				packed, err := dtrace.PackTrace(pb.Trace, pb.TraceKinds)
+				packed, err := dtrace.PackTraceIndexed(pb.Trace, pb.TraceKinds, pb.TraceTicks)
 				if err != nil {
 					return err
 				}

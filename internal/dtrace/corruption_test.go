@@ -61,6 +61,14 @@ func corruptPackedCases() []struct {
 	var stEsc packedState
 	kindRec := binary.AppendUvarint(nil, stEsc.encode(0x3000, 1)) // escape byte NOT appended
 
+	// A valid indexed trace to corrupt around: truncating the footer or
+	// flipping a checksummed byte must read as corruption, not as a
+	// shorter-but-valid trace. The flip lands in the totalRefs field
+	// (bytes -32..-24 from the end), which the checksum covers.
+	idxTrace, _ := PackTraceIndexed([]uint32{0x100, 0x102, 0x104, 0x200}, nil, nil)
+	idxFlipped := append([]byte(nil), idxTrace...)
+	idxFlipped[len(idxFlipped)-25] ^= 0xFF
+
 	return []struct {
 		name    string
 		data    []byte
@@ -121,6 +129,26 @@ func corruptPackedCases() []struct {
 			data: mk(craftBlock(1, recRead), craftBlock(2, rec1)),
 			// First block decodes fine; corruption must still surface.
 			wantErr: "packed trace",
+		},
+		{
+			name:    "trailing garbage after end marker",
+			data:    mk(craftBlock(1, rec1), endMarker, []byte("!!!JUNK!")),
+			wantErr: "not an index footer",
+		},
+		{
+			name:    "truncated index footer",
+			data:    idxTrace[:len(idxTrace)-5],
+			wantErr: "index footer",
+		},
+		{
+			name:    "corrupt index footer checksum",
+			data:    idxFlipped,
+			wantErr: "checksum",
+		},
+		{
+			name:    "garbage after valid index footer",
+			data:    append(append([]byte(nil), idxTrace...), 'x'),
+			wantErr: "index footer",
 		},
 	}
 }
@@ -216,6 +244,12 @@ func FuzzUnpackTrace(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(empty)
+	indexed, err := PackTraceIndexed(addrs[:500], kinds[:500],
+		[]TickMark{{Ref: 0, Tick: 1}, {Ref: 250, Tick: 40}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(indexed)
 	for _, tc := range corruptPackedCases() {
 		f.Add(tc.data)
 	}

@@ -27,6 +27,7 @@ package dtrace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -93,6 +94,24 @@ func (st *packedState) decode(rec uint64) (addr uint32, hasKind bool) {
 	return uint32(a), rec&4 != 0
 }
 
+// TickMark annotates a reference ordinal with the emulated tick current
+// when it was recorded. Collectors emit marks sparsely (one per tick
+// transition); the index writer folds them into per-block starting ticks.
+type TickMark struct {
+	// Ref is the ordinal of the first reference recorded at Tick.
+	Ref uint64
+	// Tick is the emulated tick counter value.
+	Tick uint64
+}
+
+// writerIndex accumulates PALMIDX1 entries while an indexed writer
+// streams blocks.
+type writerIndex struct {
+	entries []IndexEntry
+	pending IndexEntry
+	curTick uint64
+}
+
 // PackedWriter streams references into the packed format.
 type PackedWriter struct {
 	w          *bufio.Writer
@@ -101,6 +120,7 @@ type PackedWriter struct {
 	bytes      uint64
 	block      []byte
 	blockCount int
+	idx        *writerIndex
 	scratch    [binary.MaxVarintLen64 + 1]byte
 
 	// ObsRefs and ObsBytes, when non-nil, count written references and
@@ -110,14 +130,46 @@ type PackedWriter struct {
 	ObsBytes *obs.Counter
 }
 
-// NewPackedWriter writes the format header and prepares streaming.
+// NewPackedWriter writes the format header and prepares streaming. The
+// output carries no index; NewIndexedPackedWriter produces seekable
+// traces.
 func NewPackedWriter(w io.Writer) (*PackedWriter, error) {
+	return newPackedWriter(w, false)
+}
+
+// NewIndexedPackedWriter is NewPackedWriter plus a PALMIDX1 footer: every
+// block boundary is recorded (offset, starting ref ordinal, starting
+// tick, predictor snapshot) and the table is appended after the
+// end-of-trace marker on Close. The per-reference encoding — and thus the
+// hot path and every byte before the footer — is identical to the
+// index-less writer's.
+func NewIndexedPackedWriter(w io.Writer) (*PackedWriter, error) {
+	return newPackedWriter(w, true)
+}
+
+func newPackedWriter(w io.Writer, indexed bool) (*PackedWriter, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(PackedMagic); err != nil {
 		return nil, err
 	}
-	return &PackedWriter{w: bw, bytes: uint64(len(PackedMagic)),
-		block: make([]byte, 0, 2*blockRefs)}, nil
+	p := &PackedWriter{w: bw, bytes: uint64(len(PackedMagic)),
+		block: make([]byte, 0, 2*blockRefs)}
+	if indexed {
+		p.idx = &writerIndex{}
+	}
+	return p, nil
+}
+
+// NoteTick records the current emulated tick for the index: blocks whose
+// first reference is written after this call carry (at least) this
+// starting tick. Regressing ticks are ignored — StartTick is monotone by
+// format contract. A no-op on index-less writers, and O(1) always, so
+// collectors may call it as often as they like without touching the
+// encoding hot path.
+func (p *PackedWriter) NoteTick(tick uint64) {
+	if p.idx != nil && tick > p.idx.curTick {
+		p.idx.curTick = tick
+	}
 }
 
 // WriteRef appends one reference. kind carries an m68k.Access value
@@ -125,6 +177,18 @@ func NewPackedWriter(w io.Writer) (*PackedWriter, error) {
 func (p *PackedWriter) WriteRef(addr uint32, kind uint8) error {
 	if kind > maxKind {
 		return fmt.Errorf("dtrace: invalid access kind %d (max %d)", kind, maxKind)
+	}
+	if p.blockCount == 0 && p.idx != nil {
+		// Snapshot the predictor state as it stands before this block's
+		// first record; p.bytes is exactly where the block header will
+		// land, since everything before it has been accounted.
+		p.idx.pending = IndexEntry{
+			Offset:     p.bytes,
+			StartRef:   p.refs,
+			StartTick:  p.idx.curTick,
+			PrevAddr:   p.st.prevAddr,
+			PrevStride: p.st.prevStride,
+		}
 	}
 	p.block = binary.AppendUvarint(p.block, p.st.encode(addr, kind))
 	if kind != 0 {
@@ -153,6 +217,9 @@ func (p *PackedWriter) flushBlock() error {
 	p.bytes += uint64(n + len(p.block))
 	p.ObsRefs.Add(uint64(p.blockCount))
 	p.ObsBytes.Add(uint64(n + len(p.block)))
+	if p.idx != nil {
+		p.idx.entries = append(p.idx.entries, p.idx.pending)
+	}
 	p.block = p.block[:0]
 	p.blockCount = 0
 	return nil
@@ -176,9 +243,9 @@ func (p *PackedWriter) Refs() uint64 { return p.refs }
 // packed-vs-raw ratio against the 4 bytes/ref PALMTRC1 encoding.
 func (p *PackedWriter) Bytes() uint64 { return p.bytes }
 
-// Close writes the final block and the end-of-trace marker, then commits
-// buffered output to the underlying writer. No references may be written
-// after Close.
+// Close writes the final block, the end-of-trace marker and — for
+// indexed writers — the PALMIDX1 footer, then commits buffered output to
+// the underlying writer. No references may be written after Close.
 func (p *PackedWriter) Close() error {
 	if err := p.flushBlock(); err != nil {
 		return err
@@ -188,18 +255,58 @@ func (p *PackedWriter) Close() error {
 	}
 	p.bytes++
 	p.ObsBytes.Add(1)
+	if p.idx != nil {
+		foot := appendFooter(nil, p.idx.entries, p.refs, p.bytes)
+		if _, err := p.w.Write(foot); err != nil {
+			return err
+		}
+		p.bytes += uint64(len(foot))
+		p.ObsBytes.Add(uint64(len(foot)))
+	}
 	return p.w.Flush()
+}
+
+// countReader tracks how many bytes have been consumed from a buffered
+// reader, so the streaming decoder knows the file offset of whatever
+// follows the end-of-trace marker (the PALMIDX1 footer locates itself by
+// absolute offset).
+type countReader struct {
+	r *bufio.Reader
+	n uint64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
 }
 
 // PackedSource streams addresses out of a packed trace, implementing the
 // sweep engine's Source interface. Kinds are decoded but discarded — the
 // cache sweep consumes addresses only; UnpackTrace recovers both.
 type PackedSource struct {
-	r         *bufio.Reader
+	r         *countReader
 	st        packedState
 	refs      uint64
 	blockLeft uint64
 	done      bool
+
+	// limit and ranged bound index-seeked sources: the decoder stops
+	// cleanly once refs reaches limit and treats an earlier end-of-trace
+	// marker as corruption (the index promised more references).
+	limit  uint64
+	ranged bool
+	// closer, when non-nil, owns the underlying reader (ranged sources
+	// opened through an IndexedTrace hold their own file handle).
+	closer io.Closer
 
 	// ObsRefs, when non-nil, counts decoded references per NextChunk call.
 	ObsRefs *obs.Counter
@@ -211,15 +318,67 @@ func NewPackedSource(r io.Reader) (*PackedSource, error) {
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
 	}
+	cr := &countReader{r: br}
 	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:]) != PackedMagic {
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil || string(hdr[:]) != PackedMagic {
 		return nil, simerr.CorruptTrace("dtrace: open", 0, fmt.Errorf("not a packed trace"))
 	}
-	return &PackedSource{r: br}, nil
+	return &PackedSource{r: cr}, nil
 }
 
-// Refs returns how many references have been decoded so far.
+// newPackedSourceAt wraps a reader already positioned at e.Offset,
+// restoring e's predictor snapshot so decoding resumes bit-identically.
+// The source yields references [e.StartRef, limit) and then reports a
+// clean end of trace.
+func newPackedSourceAt(r io.Reader, e IndexEntry, limit uint64, closer io.Closer) *PackedSource {
+	src := &PackedSource{
+		r:      &countReader{r: bufio.NewReaderSize(r, 1<<16), n: e.Offset},
+		refs:   e.StartRef,
+		limit:  limit,
+		ranged: true,
+		closer: closer,
+	}
+	src.st.prevAddr = e.PrevAddr
+	src.st.prevStride = e.PrevStride
+	return src
+}
+
+// Refs returns how many references have been decoded so far (for ranged
+// sources, the absolute ordinal within the whole trace).
 func (s *PackedSource) Refs() uint64 { return s.refs }
+
+// Close releases the underlying reader when the source owns one; plain
+// NewPackedSource streams and in-memory ranges make it a no-op.
+func (s *PackedSource) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	err := s.closer.Close()
+	s.closer = nil
+	return err
+}
+
+// discard decodes and drops n references, advancing the source from an
+// indexed block boundary to an interior starting ordinal.
+func (s *PackedSource) discard(n uint64) error {
+	var buf [512]uint32
+	for n > 0 {
+		want := uint64(len(buf))
+		if n < want {
+			want = n
+		}
+		got, err := s.NextChunk(buf[:want])
+		if err != nil {
+			return err
+		}
+		if got == 0 {
+			return simerr.CorruptTrace("dtrace: seek", int64(s.refs),
+				fmt.Errorf("trace ended at ref %d while seeking", s.refs))
+		}
+		n -= uint64(got)
+	}
+	return nil
+}
 
 // NextChunk decodes up to len(buf) addresses. The trace ends only at the
 // zero end-of-trace marker ((n, nil) then (0, nil)); end of input
@@ -228,13 +387,24 @@ func (s *PackedSource) Refs() uint64 { return s.refs }
 func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 	n := 0
 	for n < len(buf) && !s.done {
+		if s.ranged && s.refs == s.limit {
+			s.done = true
+			break
+		}
 		if s.blockLeft == 0 {
 			count, err := binary.ReadUvarint(s.r)
 			if err != nil {
 				return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("truncated packed trace after %d refs: missing end-of-trace marker", s.refs))
 			}
 			if count == 0 {
+				if s.ranged {
+					return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs),
+						fmt.Errorf("trace ended at ref %d, index promised %d", s.refs, s.limit))
+				}
 				s.done = true
+				if err := s.checkTrailer(); err != nil {
+					return n, err
+				}
 				break
 			}
 			s.blockLeft = count
@@ -261,6 +431,26 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 	}
 	s.ObsRefs.Add(uint64(n))
 	return n, nil
+}
+
+// checkTrailer validates whatever follows the end-of-trace marker: either
+// nothing (an index-less trace) or a well-formed PALMIDX1 footer.
+// Trailing garbage and corrupt footers are reported as corruption, with
+// exactly the acceptance rule UnpackTrace applies, so the streaming and
+// one-shot decoders agree on every byte string.
+func (s *PackedSource) checkTrailer() error {
+	footOff := s.r.n
+	rest, err := io.ReadAll(s.r)
+	if err != nil {
+		return simerr.CorruptTrace("dtrace: unpack", int64(s.refs), err)
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	if _, err := parseIndexFooter(rest, footOff, s.refs, true); err != nil {
+		return simerr.CorruptTrace("dtrace: unpack", int64(s.refs), err)
+	}
+	return nil
 }
 
 // PackTrace serializes a whole trace into the packed format in memory.
@@ -312,6 +502,11 @@ func UnpackTrace(data []byte) (addrs []uint32, kinds []uint8, err error) {
 		}
 		i += n
 		if count == 0 {
+			if i < len(data) {
+				if _, err := parseIndexFooter(data[i:], uint64(i), uint64(len(addrs)), true); err != nil {
+					return nil, nil, simerr.CorruptTrace("dtrace: unpack", int64(len(addrs)), err)
+				}
+			}
 			return addrs, kinds, nil
 		}
 		for ; count > 0; count-- {
@@ -336,4 +531,38 @@ func UnpackTrace(data []byte) (addrs []uint32, kinds []uint8, err error) {
 			kinds = append(kinds, kind)
 		}
 	}
+}
+
+// PackTraceIndexed is PackTrace plus a PALMIDX1 footer, making the
+// output seekable. marks, which may be nil, carries sparse tick
+// annotations in ascending Ref order; each mark's tick applies from its
+// Ref until the next mark's.
+func PackTraceIndexed(addrs []uint32, kinds []uint8, marks []TickMark) ([]byte, error) {
+	if kinds != nil && len(kinds) != len(addrs) {
+		return nil, fmt.Errorf("dtrace: trace has %d refs but %d kinds", len(addrs), len(kinds))
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(PackedMagic) + 2*len(addrs))
+	w, err := NewIndexedPackedWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	mi := 0
+	for i, a := range addrs {
+		for mi < len(marks) && marks[mi].Ref <= uint64(i) {
+			w.NoteTick(marks[mi].Tick)
+			mi++
+		}
+		var k uint8
+		if kinds != nil {
+			k = kinds[i]
+		}
+		if err := w.WriteRef(a, k); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -1,0 +1,128 @@
+// Seekable-adapter and trailing-garbage coverage: the file-driven open
+// paths must surface indexed traces to the partitioned sweep and reject
+// streams with junk after a valid packed trace instead of a silent EOF.
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"palmsim/internal/dtrace"
+	"palmsim/internal/simerr"
+)
+
+// seekTestTrace builds a deterministic multi-block address trace.
+func seekTestTrace(n int) []uint32 {
+	rng := rand.New(rand.NewSource(1405))
+	trace := make([]uint32, n)
+	for i := range trace {
+		trace[i] = uint32(rng.Intn(1 << 20))
+	}
+	return trace
+}
+
+// TestOpenTraceSourceRejectsTrailingGarbage: junk after the packed
+// end-of-trace marker must fail as corruption during streaming, not
+// decode to a clean EOF — the index footer makes trailing bytes
+// legitimate, so anything else there is damage.
+func TestOpenTraceSourceRejectsTrailingGarbage(t *testing.T) {
+	packed, err := dtrace.PackTrace(seekTestTrace(10_000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append(append([]byte(nil), packed...), []byte("leftover junk")...)
+	src, format, err := OpenTraceSource(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("OpenTraceSource: %v", err)
+	}
+	if format != "packed" {
+		t.Fatalf("format = %q, want packed", format)
+	}
+	buf := make([]uint32, 4096)
+	for {
+		n, err := src.NextChunk(buf)
+		if err != nil {
+			if !errors.Is(err, simerr.ErrCorruptTrace) {
+				t.Fatalf("error %v is not ErrCorruptTrace", err)
+			}
+			if !strings.Contains(err.Error(), "index footer") {
+				t.Fatalf("error %q does not identify the trailing bytes", err)
+			}
+			return
+		}
+		if n == 0 {
+			t.Fatal("trailing garbage decoded to clean EOF")
+		}
+	}
+}
+
+// TestOpenSeekableTraceFile: the file adapter must open an indexed
+// .ptrace, fan out ranges that reproduce the serial decode, and report
+// ErrNoIndex (not corruption) for index-less files.
+func TestOpenSeekableTraceFile(t *testing.T) {
+	trace := seekTestTrace(3*4096 + 500)
+	indexed, err := dtrace.PackTraceIndexed(trace, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.ptrace")
+	if err := os.WriteFile(path, indexed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenSeekableTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalRefs() != uint64(len(trace)) {
+		t.Fatalf("TotalRefs = %d, want %d", st.TotalRefs(), len(trace))
+	}
+	points := st.SplitPoints(4)
+	var got []uint32
+	for i := 0; i+1 < len(points); i++ {
+		src, err := st.OpenRange(points[i], points[i+1]-points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]uint32, 2048)
+		for {
+			n, err := src.NextChunk(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("ranges decoded %d refs, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Fatalf("ref %d = %#x, want %#x", i, got[i], trace[i])
+		}
+	}
+
+	plain, err := dtrace.PackTrace(trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(dir, "plain.ptrace")
+	if err := os.WriteFile(plainPath, plain, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSeekableTrace(plainPath); !errors.Is(err, dtrace.ErrNoIndex) {
+		t.Fatalf("index-less file: %v, want ErrNoIndex", err)
+	}
+}

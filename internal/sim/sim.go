@@ -11,6 +11,7 @@ import (
 
 	"palmsim/internal/alog"
 	"palmsim/internal/bus"
+	"palmsim/internal/dtrace"
 	"palmsim/internal/emu"
 	"palmsim/internal/hack"
 	"palmsim/internal/hotsync"
@@ -179,6 +180,21 @@ type ReplayOptions struct {
 	// covering interrupt handlers, the trap dispatcher and user code.
 	TraceInstructions bool
 
+	// CollectTicks additionally records sparse tick marks — the ordinal
+	// of the first trace reference at each emulated tick — into
+	// Playback.TraceTicks. dtrace.PackTraceIndexed folds them into the
+	// PALMIDX1 index so sweeps can SeekTick. Off (the default) adds no
+	// work to the trace sink.
+	CollectTicks bool
+
+	// SeekTick, when nonzero, fast-forwards playback: the machine runs
+	// untraced until the emulated tick counter reaches this value and
+	// only then attaches the trace sink, so Trace (and TraceTicks)
+	// covers ticks >= SeekTick. The prefix is still emulated — replay
+	// correctness needs every instruction — but skips all trace memory
+	// and per-reference sink work.
+	SeekTick uint32
+
 	// Obs, when non-nil, binds the replay machine's metrics into this
 	// registry (see emu.RegisterObs). Nil — the default, and what every
 	// benchmark uses — keeps replay on the uninstrumented path.
@@ -208,20 +224,37 @@ type Playback struct {
 	// InstrTrace is the PC stream of every retired instruction when
 	// TraceInstructions was set.
 	InstrTrace []uint32
+	// TraceTicks holds sparse tick marks over Trace when CollectTicks
+	// was set: one entry per emulated tick that recorded references.
+	TraceTicks []dtrace.TickMark
 	Stats      RunStats
 	M          *Machine
 }
 
 // traceSink collects RAM/flash reference addresses (and, optionally, each
-// access's kind for Dinero export).
+// access's kind for Dinero export, plus sparse tick marks for indexing).
 type traceSink struct {
 	buf   []uint32
 	kinds []uint8
 	want  bool
+
+	// m and marks drive CollectTicks: one TickMark per emulated tick
+	// that records references. The tick comparison is one load and one
+	// compare per reference, paid only when marks is wanted.
+	m        *Machine
+	marks    []dtrace.TickMark
+	lastTick uint32
+	mark     bool
 }
 
 func (t *traceSink) Ref(r bus.Ref) {
 	if r.Region == bus.RegionRAM || r.Region == bus.RegionFlash {
+		if t.mark {
+			if tk := t.m.Ticks(); tk != t.lastTick || len(t.marks) == 0 {
+				t.marks = append(t.marks, dtrace.TickMark{Ref: uint64(len(t.buf)), Tick: uint64(tk)})
+				t.lastTick = tk
+			}
+		}
 		t.buf = append(t.buf, r.Addr)
 		if t.want {
 			t.kinds = append(t.kinds, uint8(r.Kind))
@@ -268,9 +301,11 @@ func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*
 	m.Kernel.Replay = replay.Queues()
 
 	var sink *traceSink
-	if opt.CollectTrace || opt.CollectKinds {
-		sink = &traceSink{want: opt.CollectKinds}
-		m.SetTracer(sink) // re-selects the CPU's traced bus port
+	if opt.CollectTrace || opt.CollectKinds || opt.CollectTicks {
+		sink = &traceSink{want: opt.CollectKinds, m: m, mark: opt.CollectTicks}
+		if opt.SeekTick == 0 {
+			m.SetTracer(sink) // re-selects the CPU's traced bus port
+		}
 	}
 	var end uint32
 	for _, ev := range replay.Synchronous {
@@ -288,6 +323,15 @@ func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*
 			end = tick
 		}
 	}
+	if sink != nil && opt.SeekTick > 0 {
+		// Fast-forward: emulate the prefix untraced, then attach the
+		// sink. The seek point may lie past the last scheduled event;
+		// the later RunUntilTick is then a no-op.
+		if err := m.RunUntilTick(opt.SeekTick); err != nil {
+			return nil, err
+		}
+		m.SetTracer(sink)
+	}
 	if err := m.RunUntilTick(end + settleTicks); err != nil {
 		return nil, err
 	}
@@ -299,6 +343,7 @@ func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*
 	if sink != nil {
 		out.Trace = sink.buf
 		out.TraceKinds = sink.kinds
+		out.TraceTicks = sink.marks
 	}
 	if opt.CountOpcodes {
 		out.OpcodeHist = m.CPU.OpcodeCount

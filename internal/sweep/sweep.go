@@ -118,6 +118,10 @@ type Options struct {
 	// Engine selects the simulation algorithm; the zero value
 	// (EngineAuto) selects the single-pass stack engine.
 	Engine Engine
+	// Partitions is the number of concurrent range decoders
+	// RunPartitioned opens over an indexed trace; zero or negative
+	// selects GOMAXPROCS. Ignored by Run, whose source is already built.
+	Partitions int
 	// Obs, when non-nil, receives sweep progress counters (chunks, refs,
 	// per-worker completions, queue depth) and post-run cache aggregates.
 	// Nil (the default) adds no allocations and no atomic traffic.
