@@ -8,7 +8,8 @@
 //	BenchmarkDesktopSweep       Figure 7  — desktop-trace sweep
 //	BenchmarkProfilingDispatch  ablation: ROM TrapDispatcher vs native
 //	BenchmarkReplacementPolicy  ablation: LRU vs FIFO vs Random
-//	BenchmarkEmulatorMIPS       raw interpreter speed
+//	BenchmarkEmulatorMIPS       raw table-interpreter speed
+//	BenchmarkBlockMIPS          superblock threaded-code engine speed
 package palmsim_test
 
 import (
@@ -325,14 +326,16 @@ func BenchmarkReplacementPolicy(b *testing.B) {
 	}
 }
 
-// BenchmarkEmulatorMIPS measures the raw interpreter: emulated
-// instructions per second of host time across a full replay.
-func BenchmarkEmulatorMIPS(b *testing.B) {
+// mipsReplay is the shared body of the engine-speed benchmarks: full
+// replays under one dispatch engine, reported as emulated instructions
+// per second of host time.
+func mipsReplay(b *testing.B, dispatch string) {
 	col, _ := benchSetup(b)
 	b.ResetTimer()
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log,
+			palmsim.ReplayOptions{Profiling: true, Dispatch: dispatch})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,6 +346,17 @@ func BenchmarkEmulatorMIPS(b *testing.B) {
 		b.ReportMetric(float64(emulated)/sec/1e6, "emulated-MIPS")
 	}
 }
+
+// BenchmarkEmulatorMIPS measures the raw table interpreter: emulated
+// instructions per second of host time across a full replay. Pinned to
+// the table engine so the series stays comparable with the pre-block
+// baselines; BenchmarkBlockMIPS is the superblock engine on the same
+// workload, and their ratio is the block speedup EXPERIMENTS.md records.
+func BenchmarkEmulatorMIPS(b *testing.B) { mipsReplay(b, "table") }
+
+// BenchmarkBlockMIPS measures the superblock threaded-code engine (the
+// default dispatch) on the same replay workload as BenchmarkEmulatorMIPS.
+func BenchmarkBlockMIPS(b *testing.B) { mipsReplay(b, "block") }
 
 // BenchmarkEmulatorMIPSObserved is the same replay with a live metrics
 // registry bound (the -metrics path). Most obs values are polled func
@@ -356,7 +370,8 @@ func BenchmarkEmulatorMIPSObserved(b *testing.B) {
 	b.ResetTimer()
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, palmsim.ReplayOptions{Profiling: true, Obs: reg})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log,
+			palmsim.ReplayOptions{Profiling: true, Dispatch: "table", Obs: reg})
 		if err != nil {
 			b.Fatal(err)
 		}

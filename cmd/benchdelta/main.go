@@ -111,6 +111,32 @@ func fmtValue(unit string, v float64) string {
 	return fmt.Sprintf("%.2f", v)
 }
 
+// derivedMIPSUnit labels the synthetic metric deriveMIPS adds.
+const derivedMIPSUnit = "MIPS(ns/op)"
+
+// deriveMIPS adds a wall-clock-derived MIPS metric to every benchmark that
+// reports emulated-MIPS in the baseline: the workload (emulated
+// instructions per iteration) is fixed, so MIPS scales as the inverse of
+// ns/op, and current = baselineMIPS · baseNs/curNs. Unlike the reported
+// emulated-MIPS — a whole-run average that -count and iteration-count
+// differences skew — the derived value moves exactly with the per-iteration
+// wall time the ns/op gate already tracks, so its delta IS the engine-speed
+// delta the job summary wants to surface.
+func deriveMIPS(base, cur map[string]metrics) {
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			continue
+		}
+		baseMIPS, baseNs, curNs := b["emulated-MIPS"], b["ns/op"], c["ns/op"]
+		if baseMIPS == 0 || baseNs == 0 || curNs == 0 {
+			continue
+		}
+		b[derivedMIPSUnit] = baseMIPS
+		c[derivedMIPSUnit] = baseMIPS * baseNs / curNs
+	}
+}
+
 // regressed reports whether a fractional growth d on the given unit trips
 // one of the enabled gates (ns/op wall time, allocs/op allocation count).
 func regressed(unit string, d, maxNs, maxAllocs float64) bool {
@@ -141,6 +167,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	deriveMIPS(base, cur)
 
 	var names []string
 	for name := range cur {

@@ -90,6 +90,30 @@ BenchmarkStackSweep/serial-8   3   90000000 ns/op   30.00 MB/s   520000 B/op   1
 	}
 }
 
+func TestDeriveMIPS(t *testing.T) {
+	base := map[string]metrics{
+		"BlockMIPS":  {"ns/op": 20e6, "emulated-MIPS": 40},
+		"CacheSweep": {"ns/op": 300e6, "MB/s": 9},
+	}
+	cur := map[string]metrics{
+		"BlockMIPS":  {"ns/op": 10e6, "emulated-MIPS": 78},
+		"CacheSweep": {"ns/op": 300e6, "MB/s": 9},
+	}
+	deriveMIPS(base, cur)
+	// Halving ns/op doubles the derived MIPS regardless of the reported
+	// whole-run average.
+	if v := cur["BlockMIPS"][derivedMIPSUnit]; math.Abs(v-80) > 1e-9 {
+		t.Errorf("derived current MIPS = %v, want 80", v)
+	}
+	if v := base["BlockMIPS"][derivedMIPSUnit]; math.Abs(v-40) > 1e-9 {
+		t.Errorf("derived baseline MIPS = %v, want 40", v)
+	}
+	// Benchmarks without emulated-MIPS gain no synthetic metric.
+	if _, ok := cur["CacheSweep"][derivedMIPSUnit]; ok {
+		t.Error("derived MIPS added to a non-MIPS benchmark")
+	}
+}
+
 func TestFmtValue(t *testing.T) {
 	cases := []struct {
 		unit string

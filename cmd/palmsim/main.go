@@ -50,6 +50,7 @@ type config struct {
 	seekTick    uint
 	screenshot  bool
 	dinero      bool
+	dispatch    string
 	profiler    *prof.Profiler
 	obsFlags    *obs.Flags
 }
@@ -64,6 +65,8 @@ func main() {
 	flag.UintVar(&c.seekTick, "seek-tick", 0, "fast-forward replay: emulate untraced until this tick, then start tracing")
 	flag.BoolVar(&c.screenshot, "screenshot", false, "write the final display as a PGM image (with -out)")
 	flag.BoolVar(&c.dinero, "dinero", false, "also write the trace in Dinero din format (with -out)")
+	flag.StringVar(&c.dispatch, "dispatch", "auto",
+		"replay CPU engine: auto, legacy, table or block (auto picks the fastest verified engine)")
 	c.profiler = prof.AddFlags()
 	c.obsFlags = obs.AddFlags()
 	flag.Parse()
@@ -136,6 +139,11 @@ func pipeline(ctx context.Context, c *config) error {
 		return usageError{fmt.Errorf("session %d out of range 1-%d", c.sessionNum, len(sessions))}
 	}
 	s := sessions[c.sessionNum-1]
+	switch c.dispatch {
+	case "auto", "legacy", "table", "block":
+	default:
+		return usageError{fmt.Errorf("unknown dispatch %q (want auto, legacy, table or block)", c.dispatch)}
+	}
 
 	fmt.Printf("collecting %s on the instrumented device...\n", s.Name)
 	col, err := palmsim.CollectObserved(ctx, s, reg)
@@ -165,6 +173,7 @@ func pipeline(ctx context.Context, c *config) error {
 		// m68k.group.* func metrics.
 		CountOpcodes: reg != nil,
 		Obs:          reg,
+		Dispatch:     c.dispatch,
 	})
 	if err != nil {
 		return err

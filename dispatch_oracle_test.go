@@ -1,0 +1,96 @@
+// Cross-engine replay oracle: the same recorded session replayed under
+// every CPU dispatch engine — the legacy nested switch, the pre-decoded
+// table and the superblock cache — must produce byte-identical reference
+// streams, identical activity logs and identical run statistics. This is
+// the end-to-end form of internal/m68k's differential tests: it exercises
+// the engines through the full machine (tick sync, interrupts, hacks,
+// trap dispatch, doze skipping) on a real session trace, so any
+// accounting or ordering drift the unit streams miss shows up here as a
+// stream diff.
+package palmsim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"palmsim/internal/gremlin"
+)
+
+func TestDispatchEnginesProduceIdenticalReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end session in -short mode")
+	}
+	cfg := gremlin.Config{Seed: 20260807, Events: 60, MaxThinkTicks: 50}
+	col, err := Collect(context.Background(), gremlin.Session(cfg))
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if col.Log.Len() == 0 {
+		t.Fatal("gremlin session produced an empty activity log")
+	}
+
+	replay := func(dispatch string) *Playback {
+		t.Helper()
+		pb, err := Replay(context.Background(), col.Initial, col.Log, ReplayOptions{
+			Profiling:    true,
+			WithHacks:    true,
+			CollectTrace: true,
+			CollectKinds: true,
+			Dispatch:     dispatch,
+		})
+		if err != nil {
+			t.Fatalf("replay (%s): %v", dispatch, err)
+		}
+		return pb
+	}
+
+	ref := replay("legacy")
+	if len(ref.Trace) == 0 {
+		t.Fatal("legacy replay recorded no references; vacuous oracle")
+	}
+	for _, dispatch := range []string{"table", "block", "auto"} {
+		got := replay(dispatch)
+		if got.Stats.Machine.Instructions != ref.Stats.Machine.Instructions {
+			t.Errorf("%s: %d instructions, legacy %d",
+				dispatch, got.Stats.Machine.Instructions, ref.Stats.Machine.Instructions)
+		}
+		if got.Stats.Bus != ref.Stats.Bus {
+			t.Errorf("%s: bus stats diverged:\n%s: %+v\nlegacy: %+v",
+				dispatch, dispatch, got.Stats.Bus, ref.Stats.Bus)
+		}
+		if len(got.Trace) != len(ref.Trace) {
+			t.Fatalf("%s: %d trace refs, legacy %d", dispatch, len(got.Trace), len(ref.Trace))
+		}
+		for i := range ref.Trace {
+			if got.Trace[i] != ref.Trace[i] || got.TraceKinds[i] != ref.TraceKinds[i] {
+				t.Fatalf("%s: ref %d = %#x kind %d, legacy %#x kind %d",
+					dispatch, i, got.Trace[i], got.TraceKinds[i], ref.Trace[i], ref.TraceKinds[i])
+			}
+		}
+		if got.Log.Len() != ref.Log.Len() {
+			t.Fatalf("%s: %d log records, legacy %d", dispatch, got.Log.Len(), ref.Log.Len())
+		}
+		for i := range ref.Log.Records {
+			if got.Log.Records[i] != ref.Log.Records[i] {
+				t.Fatalf("%s: log record %d = %+v, legacy %+v",
+					dispatch, i, got.Log.Records[i], ref.Log.Records[i])
+			}
+		}
+		if !bytes.Equal(got.Final.Marshal(), ref.Final.Marshal()) {
+			t.Errorf("%s: final device state diverged from legacy", dispatch)
+		}
+	}
+}
+
+func TestReplayRejectsUnknownDispatch(t *testing.T) {
+	cfg := gremlin.Config{Seed: 1, Events: 1, MaxThinkTicks: 1}
+	col, err := Collect(context.Background(), gremlin.Session(cfg))
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	_, err = Replay(context.Background(), col.Initial, col.Log, ReplayOptions{Dispatch: "jit"})
+	if err == nil {
+		t.Fatal("Replay accepted dispatch \"jit\"")
+	}
+}

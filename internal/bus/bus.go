@@ -154,6 +154,12 @@ type Bus struct {
 	// TraceNative controls whether Peek/Poke-style native OS accesses to
 	// record data are fed to the tracer (see ReadTraced/WriteTraced).
 	TraceNative bool
+
+	// Watch, when non-nil, is the block engine whose cached translations
+	// must be invalidated when code memory changes: every RAM write is
+	// reported via NoteWrite, and wholesale flash updates (LoadROM, Poke)
+	// bump its generation.
+	Watch *m68k.BlockEngine
 }
 
 // New creates a bus with fresh RAM and flash arrays.
@@ -171,6 +177,9 @@ func (b *Bus) LoadROM(offset uint32, data []byte) error {
 		return fmt.Errorf("bus: ROM image of %d bytes does not fit at offset %#x", len(data), offset)
 	}
 	copy(b.Flash[offset:], data)
+	if b.Watch != nil {
+		b.Watch.BumpGeneration()
+	}
 	return nil
 }
 
@@ -201,6 +210,9 @@ func (b *Bus) Write(addr uint32, size m68k.Size, v uint32) {
 	b.account(addr, size, m68k.Write, region)
 	switch region {
 	case RegionRAM:
+		if b.Watch != nil {
+			b.Watch.NoteWrite(addr, size)
+		}
 		writeBE(b.RAM, addr, size, v)
 	case RegionFlash:
 		b.Stats.FlashWrites++ // ROM: discard
@@ -263,8 +275,14 @@ func (b *Bus) Peek(addr uint32, size m68k.Size) uint32 {
 func (b *Bus) Poke(addr uint32, size m68k.Size, v uint32) {
 	switch Classify(addr) {
 	case RegionRAM:
+		if b.Watch != nil {
+			b.Watch.NoteWrite(addr, size)
+		}
 		writeBE(b.RAM, addr, size, v)
 	case RegionFlash:
+		if b.Watch != nil {
+			b.Watch.BumpGeneration()
+		}
 		writeBE(b.Flash, addr-ROMBase, size, v)
 	}
 }
@@ -302,6 +320,24 @@ func (b *Bus) PeekBytes(addr uint32, n int) []byte {
 func (b *Bus) PokeBytes(addr uint32, data []byte) {
 	for i, v := range data {
 		b.Poke(addr+uint32(i), m68k.Byte, uint32(v))
+	}
+}
+
+// BlockBinding describes this bus's memory system to a block engine:
+// region layout, per-reference accounting targets and the wake-compare
+// register (may be nil). Attach the resulting engine back via Watch so
+// writes invalidate its cache.
+func (b *Bus) BlockBinding(wakeAt *uint32) m68k.BlockBinding {
+	return m68k.BlockBinding{
+		Regions: []m68k.BlockRegion{
+			{Base: RAMBase, Mem: b.RAM, Cost: RAMCycles, Refs: &b.Stats.RAMRefs, Watched: true},
+			{Base: ROMBase, Mem: b.Flash, Cost: FlashCycles, Refs: &b.Stats.FlashRefs, RO: true, ROWrites: &b.Stats.FlashWrites},
+		},
+		Fetches: &b.Stats.Fetches,
+		Reads:   &b.Stats.Reads,
+		Writes:  &b.Stats.Writes,
+		Odd:     &b.Stats.OddAccesses,
+		WakeAt:  wakeAt,
 	}
 }
 

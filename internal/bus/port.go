@@ -79,6 +79,9 @@ func (p *fastPort) Write(addr uint32, size m68k.Size, v uint32) {
 	if addr < RAMSize {
 		st.RAMRefs++
 		*p.cycles += RAMCycles
+		if b.Watch != nil {
+			b.Watch.NoteWrite(addr, size)
+		}
 		writeBE(b.RAM, addr, size, v)
 		return
 	}
@@ -156,6 +159,9 @@ func (p *tracedPort) Write(addr uint32, size m68k.Size, v uint32) {
 		st.RAMRefs++
 		*p.cycles += RAMCycles
 		b.Tracer.Ref(Ref{Addr: addr, Size: size, Kind: m68k.Write, Region: RegionRAM})
+		if b.Watch != nil {
+			b.Watch.NoteWrite(addr, size)
+		}
 		writeBE(b.RAM, addr, size, v)
 		return
 	}

@@ -64,6 +64,10 @@ type Machine struct {
 	// Sync must see promptly). Zero forces a sync on the next step.
 	nextTickCycle uint64
 
+	// engine, when non-nil, is the superblock execution engine the step
+	// loop drives instead of per-instruction CPU.Step (Options.Dispatch).
+	engine *m68k.BlockEngine
+
 	// Observability counters (nil unless RegisterObs attached a registry;
 	// nil counters no-op, so the disabled cost is one predicated load on
 	// paths that already cross a tick boundary).
@@ -92,6 +96,12 @@ type Options struct {
 
 	// CountOpcodes allocates the 65536-entry opcode histogram.
 	CountOpcodes bool
+
+	// Dispatch selects the CPU execution engine. DispatchAuto (the zero
+	// value) resolves to the block engine, the fastest verified one; the
+	// legacy switch and plain table interpreter remain selectable for
+	// cross-checking (see cmd/palmsim -dispatch).
+	Dispatch m68k.DispatchKind
 }
 
 // DefaultOptions returns the configuration used for paper experiments.
@@ -131,6 +141,19 @@ func New(opts Options) (*Machine, error) {
 
 	if opts.CountOpcodes {
 		m.CPU.OpcodeCount = make([]uint64, 65536)
+	}
+
+	switch opts.Dispatch {
+	case m68k.DispatchLegacy:
+		m.CPU.SetLegacyDispatch(true)
+	case m68k.DispatchTable:
+		// plain table interpreter: nothing to wire
+	default: // DispatchAuto, DispatchBlock
+		m.engine = m68k.NewBlockEngine(m.CPU, m.Bus.BlockBinding(m.HW.WakeRef()))
+		m.Bus.Watch = m.engine
+		// No tracer yet (SetTracer re-decides), so the inline data path
+		// is safe to enable from the start.
+		m.engine.SetFastData(true)
 	}
 
 	if err := m.Bus.LoadROM(0, img.Data); err != nil {
@@ -216,9 +239,31 @@ func (m *Machine) Schedule(tick uint32, ev hw.InputEvent) error {
 
 // SetTracer attaches (or detaches, with nil) a reference tracer and
 // re-selects the CPU's bus port so the traced/untraced fast path matches.
+// With the block engine active it also re-decides the engine's fast paths:
+// tracing disables the inline data path (it emits no Ref events) and routes
+// code-window fetches to the tracer so the reference stream stays complete.
 func (m *Machine) SetTracer(t bus.Tracer) {
 	m.Bus.Tracer = t
 	m.CPU.SetBus(m.Bus.Port(&m.CPU.Cycles))
+	if m.engine != nil {
+		m.engine.SetFastData(t == nil)
+		if t == nil {
+			m.engine.SetFetchTrace(nil)
+		} else {
+			m.engine.SetFetchTrace(func(addr uint32, size m68k.Size) {
+				t.Ref(bus.Ref{Addr: addr, Size: size, Kind: m68k.Fetch, Region: bus.Classify(addr)})
+			})
+		}
+	}
+}
+
+// BlockStats returns the block engine's counters, or nil when another
+// dispatch engine is active.
+func (m *Machine) BlockStats() *m68k.BlockStats {
+	if m.engine == nil {
+		return nil
+	}
+	return &m.engine.Stats
 }
 
 // PendingInputs reports how many scheduled inputs have not been delivered.
@@ -246,7 +291,15 @@ func (m *Machine) Boot() error {
 
 func (m *Machine) step() {
 	before := m.CPU.Cycles
-	m.CPU.Step()
+	if m.engine != nil {
+		// Run whole blocks up to the next tick boundary. RunUntil breaks
+		// after every instruction the interpreter loop would have followed
+		// with a tick sync (limit reached, wake timer armed, stop/halt,
+		// interrupt delivery), so the sync points below are identical.
+		m.engine.RunUntil(m.nextTickCycle)
+	} else {
+		m.CPU.Step()
+	}
 	m.Stats.ActiveCycles += m.CPU.Cycles - before
 	m.Stats.Instructions = m.CPU.Instructions
 	// Sync and input delivery observe time at tick granularity, so they

@@ -40,6 +40,15 @@ func (m *Machine) RegisterObs(r *obs.Registry) {
 	r.Func("emu.elapsed_device_seconds", func() float64 { return m.ElapsedSeconds() })
 
 	r.Func("m68k.illegal_ops", func() float64 { return float64(m.CPU.IllegalOps) })
+	if m.engine != nil {
+		st := &m.engine.Stats
+		r.Func("m68k.block.translated", func() float64 { return float64(st.Translated) })
+		r.Func("m68k.block.hits", func() float64 { return float64(st.Hits) })
+		r.Func("m68k.block.misses", func() float64 { return float64(st.Misses) })
+		r.Func("m68k.block.invalidations", func() float64 { return float64(st.Invalidations) })
+		r.Func("m68k.block.fallbacks", func() float64 { return float64(st.Fallbacks) })
+		r.Func("m68k.block.avg_len", st.AvgBlockLen)
+	}
 	if m.CPU.OpcodeCount != nil {
 		counts := m.CPU.OpcodeCount
 		for g := 0; g < m68k.NumOpcodeGroups; g++ {

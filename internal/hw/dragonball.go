@@ -133,6 +133,11 @@ func (d *Dragonball) BatteryPercent() uint16 {
 // WakeAt returns the current wake-compare tick (0 = disabled).
 func (d *Dragonball) WakeAt() uint32 { return d.wakeCmp }
 
+// WakeRef exposes the wake-compare register by pointer so the block
+// execution engine can observe arming after every instruction without a
+// method call per op.
+func (d *Dragonball) WakeRef() *uint32 { return &d.wakeCmp }
+
 // FifoLen returns the number of input events waiting in the FIFO.
 func (d *Dragonball) FifoLen() int { return len(d.fifo) }
 

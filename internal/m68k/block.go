@@ -1,0 +1,650 @@
+// Superblock-caching execution engine. The pre-decoded table interpreter
+// (table.go) still pays per instruction for the Step preamble (halt/IRQ/
+// stop/trace tests), an indirect bus call per instruction-stream word and
+// the generic EA machinery's fetches. The block engine removes those costs
+// for straight-line code: it discovers a run of "block-safe" instructions
+// ending at a control transfer, decodes it once into a pre-bound array of
+// (handler, opEntry, opcode, pc) tuples — threaded code — and replays it
+// from a cache keyed by (PC, memory generation).
+//
+// Correctness strategy: the block engine does NOT reimplement any
+// instruction. It calls the exact same opEntry handlers the table
+// interpreter calls, in the same order, with the CPU in the same state the
+// interpreter would present (PC past the opcode word). Instruction-stream
+// fetches are served from a direct "code window" over the region's byte
+// slice, with cycle/stat/trace accounting replayed per reference at the
+// original program point (CPU.fetchRef), so the emitted bus-reference
+// stream — order, addresses, sizes, kinds, regions — is bit-identical to
+// the interpreter's by construction. Anything the whitelist cannot prove
+// straight-line and exception-free (bflags == 0 in table.go) ends the
+// block and executes through CPU.Step against live memory.
+//
+// Invalidation: blocks over watched (RAM) regions register page marks; any
+// watched write overlapping a marked page sweeps overlapping blocks from
+// the cache and, if the write landed inside the currently executing block,
+// stops it after the current instruction (whitelisted handlers fetch all
+// extension words before their store, so the in-flight instruction already
+// matches what the interpreter would have executed). Read-only regions
+// (flash) skip per-write watching entirely; wholesale flash updates
+// (LoadROM, debugger pokes) bump a generation counter that lazily
+// invalidates every cached block at lookup.
+package m68k
+
+import "fmt"
+
+const (
+	blockTableBits = 13
+	blockTableSize = 1 << blockTableBits
+
+	// maxBlockOps bounds translation effort and the tick-sync drift a
+	// single block can accumulate past the machine's cycle limit (the
+	// exec loop re-checks the limit after every instruction anyway; the
+	// cap just keeps pathological straight-line runs from translating
+	// forever).
+	maxBlockOps = 48
+
+	// watchPageShift: watched-region write marks have 512-byte
+	// granularity — coarse enough that the mark array stays small and
+	// cheap to test, fine enough that stack traffic rarely aliases code
+	// pages.
+	watchPageShift = 9
+)
+
+// DispatchKind selects the execution engine.
+type DispatchKind uint8
+
+// Dispatch engines. Auto resolves to the fastest verified engine (block).
+const (
+	DispatchAuto DispatchKind = iota
+	DispatchLegacy
+	DispatchTable
+	DispatchBlock
+)
+
+// ParseDispatch maps the CLI spelling to a DispatchKind.
+func ParseDispatch(s string) (DispatchKind, error) {
+	switch s {
+	case "", "auto":
+		return DispatchAuto, nil
+	case "legacy":
+		return DispatchLegacy, nil
+	case "table":
+		return DispatchTable, nil
+	case "block":
+		return DispatchBlock, nil
+	}
+	return DispatchAuto, fmt.Errorf("m68k: unknown dispatch engine %q (want legacy, table or block)", s)
+}
+
+func (k DispatchKind) String() string {
+	switch k {
+	case DispatchLegacy:
+		return "legacy"
+	case DispatchTable:
+		return "table"
+	case DispatchBlock:
+		return "block"
+	default:
+		return "auto"
+	}
+}
+
+// BlockRegion describes one directly addressable memory region to the
+// engine: where it sits, its backing bytes, and the accounting the bus
+// would perform per reference so the engine can replay it exactly.
+type BlockRegion struct {
+	Base uint32
+	Mem  []byte
+
+	// Cost is the wait-state charge per reference (bus.RAMCycles /
+	// bus.FlashCycles equivalents).
+	Cost uint64
+
+	// Refs is the region reference counter (e.g. Stats.RAMRefs). May be
+	// nil in tests; the engine substitutes a private sink.
+	Refs *uint64
+
+	// Watched marks a region whose writes must invalidate cached blocks
+	// (RAM). At most one region may be watched.
+	Watched bool
+
+	// RO marks a region whose data writes are discarded (flash ROM);
+	// ROWrites, when non-nil, counts the discards (Stats.FlashWrites).
+	RO       bool
+	ROWrites *uint64
+}
+
+// BlockBinding wires a BlockEngine to a concrete memory system: the
+// translatable regions plus the bus-level counters the engine's fast paths
+// must keep coherent with the ordinary bus ports.
+type BlockBinding struct {
+	Regions []BlockRegion
+
+	// Kind counters (Stats.Fetches/Reads/Writes) and the misaligned-access
+	// counter (Stats.OddAccesses). Any may be nil in tests.
+	Fetches *uint64
+	Reads   *uint64
+	Writes  *uint64
+	Odd     *uint64
+
+	// WakeAt, when non-nil, points at the hardware wake-compare register.
+	// The machine's step loop must observe time after every instruction
+	// while the wake timer is armed, so block execution breaks as soon as
+	// *WakeAt becomes nonzero.
+	WakeAt *uint32
+}
+
+// blockOp is one pre-decoded instruction of a translated block.
+type blockOp struct {
+	fn func(c *CPU, op uint16, e *opEntry)
+	e  *opEntry
+	op uint16
+	pc uint32
+}
+
+// block is a translated superblock: the instructions at [pc, end) under
+// memory generation gen. A "negative" block (ops == nil) records that pc is
+// not translatable (odd, unmapped, or starting with a non-whitelisted
+// opcode) so repeated lookups fall back to Step without re-deciding.
+type block struct {
+	pc      uint32
+	end     uint32
+	gen     uint64
+	region  int8
+	watched bool
+	ops     []blockOp
+}
+
+// BlockStats counts engine activity for the observability layer.
+type BlockStats struct {
+	Translated    uint64 // blocks translated (negative blocks excluded)
+	TranslatedOps uint64 // instructions across translated blocks
+	Hits          uint64 // cache hits
+	Misses        uint64 // cache misses (includes generation mismatches)
+	Invalidations uint64 // blocks dropped by watched writes
+	Fallbacks     uint64 // quanta executed via CPU.Step (untranslatable PC)
+}
+
+// AvgBlockLen returns the mean instructions per translated block.
+func (s *BlockStats) AvgBlockLen() float64 {
+	if s.Translated == 0 {
+		return 0
+	}
+	return float64(s.TranslatedOps) / float64(s.Translated)
+}
+
+// BlockEngine runs a CPU through cached superblocks. Create one with
+// NewBlockEngine; it is not safe for concurrent use (like the CPU itself).
+type BlockEngine struct {
+	c    *CPU
+	bind BlockBinding
+
+	// Stats is read by the observability layer between runs.
+	Stats BlockStats
+
+	gen   uint64
+	table []*block
+
+	// refs[i] is Regions[i].Refs normalized non-nil.
+	refs []*uint64
+
+	// Watched-region page marks: watch[p] counts cached blocks overlapping
+	// page p of the watched region, so data writes test one or two counters
+	// before paying for an invalidation sweep.
+	watch []uint32
+	wbase uint32
+	wlen  uint32
+
+	// cur/stop: the block being executed and the flag a mid-block
+	// invalidation sets to end it after the current instruction.
+	cur  *block
+	stop bool
+
+	wake *uint32
+	fm   fastMem
+
+	// Sinks for nil binding pointers. Per-engine (not package-level) so
+	// parallel tests under -race never share a plain uint64.
+	dummy    uint64
+	zeroWake uint32
+}
+
+// NewBlockEngine builds an engine for c bound to the given memory system.
+func NewBlockEngine(c *CPU, bind BlockBinding) *BlockEngine {
+	opTableOnce.Do(buildOpTable)
+	e := &BlockEngine{
+		c:     c,
+		bind:  bind,
+		table: make([]*block, blockTableSize),
+	}
+	norm := func(p *uint64) *uint64 {
+		if p == nil {
+			return &e.dummy
+		}
+		return p
+	}
+	e.refs = make([]*uint64, len(bind.Regions))
+	for i := range bind.Regions {
+		r := &bind.Regions[i]
+		e.refs[i] = norm(r.Refs)
+		if r.Watched {
+			if e.watch != nil {
+				panic("m68k: BlockBinding has more than one watched region")
+			}
+			e.wbase = r.Base
+			e.wlen = uint32(len(r.Mem))
+			pages := (len(r.Mem) + (1 << watchPageShift) - 1) >> watchPageShift
+			e.watch = make([]uint32, pages)
+		}
+	}
+	e.wake = bind.WakeAt
+	if e.wake == nil {
+		e.wake = &e.zeroWake
+	}
+	c.fetchKind = norm(bind.Fetches)
+	c.fetchRefs = &e.dummy // rebound per block in exec
+
+	e.fm = fastMem{
+		eng:     e,
+		odd:     norm(bind.Odd),
+		fetches: norm(bind.Fetches),
+		reads:   norm(bind.Reads),
+		writes:  norm(bind.Writes),
+		watch:   e.watch,
+	}
+	for i := range bind.Regions {
+		r := &bind.Regions[i]
+		e.fm.regions = append(e.fm.regions, fastRegion{
+			base:    r.Base,
+			mem:     r.Mem,
+			cost:    r.Cost,
+			refs:    e.refs[i],
+			watched: r.Watched,
+			ro:      r.RO,
+			roWr:    norm(r.ROWrites),
+		})
+	}
+	return e
+}
+
+// SetFastData enables (true) or disables (false) the inline data path that
+// serves RAM/flash reads and writes without the bus interface call. It must
+// be disabled whenever a tracer is attached: the inline path keeps counters
+// exact but emits no Ref events.
+func (e *BlockEngine) SetFastData(on bool) {
+	if on {
+		e.c.fast = &e.fm
+	} else {
+		e.c.fast = nil
+	}
+}
+
+// SetFetchTrace installs the tracer call for code-window fetches (nil
+// detaches). The machine passes a closure that forwards to the bus Tracer
+// so window fetches appear in the reference stream exactly where the
+// interpreter's bus fetches would.
+func (e *BlockEngine) SetFetchTrace(f func(addr uint32, size Size)) {
+	e.c.fTrace = f
+}
+
+// BumpGeneration invalidates every cached block lazily: lookups compare
+// generations, so stale blocks simply miss and retranslate. Called after
+// wholesale memory replacement (ROM load, flash pokes).
+func (e *BlockEngine) BumpGeneration() { e.gen++ }
+
+// NoteWrite records a data write to the watched region. Callers must
+// invoke it for every mutation of watched memory that bypasses the
+// engine's own fast path (bus ports, Poke). The page-mark test keeps the
+// common case — data writes nowhere near cached code — to a couple of
+// loads.
+func (e *BlockEngine) NoteWrite(addr uint32, size Size) {
+	off := addr - e.wbase
+	if off >= e.wlen {
+		return
+	}
+	p0 := off >> watchPageShift
+	p1 := (off + uint32(size) - 1) >> watchPageShift
+	if p1 >= uint32(len(e.watch)) {
+		p1 = uint32(len(e.watch)) - 1
+	}
+	marked := false
+	for p := p0; p <= p1; p++ {
+		if e.watch[p] != 0 {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		return
+	}
+	e.invalidate(addr, addr+uint32(size))
+}
+
+// invalidate sweeps cached blocks overlapping [lo, hi) and stops the
+// current block if the write landed inside it.
+func (e *BlockEngine) invalidate(lo, hi uint32) {
+	for i, b := range e.table {
+		if b != nil && b.watched && b.pc < hi && b.end > lo {
+			e.dropWatch(b)
+			e.table[i] = nil
+			e.Stats.Invalidations++
+		}
+	}
+	if b := e.cur; b != nil && b.pc < hi && b.end > lo {
+		e.stop = true
+	}
+}
+
+func (e *BlockEngine) addWatch(b *block) {
+	for p := (b.pc - e.wbase) >> watchPageShift; p <= (b.end-1-e.wbase)>>watchPageShift; p++ {
+		e.watch[p]++
+	}
+}
+
+func (e *BlockEngine) dropWatch(b *block) {
+	for p := (b.pc - e.wbase) >> watchPageShift; p <= (b.end-1-e.wbase)>>watchPageShift; p++ {
+		e.watch[p]--
+	}
+}
+
+// regionOf returns the index of the region containing pc, or -1.
+func (e *BlockEngine) regionOf(pc uint32) int {
+	for i := range e.bind.Regions {
+		r := &e.bind.Regions[i]
+		if pc-r.Base < uint32(len(r.Mem)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// translate decodes the superblock starting at pc, or a negative block when
+// pc cannot head one.
+func (e *BlockEngine) translate(pc uint32) *block {
+	b := &block{pc: pc, end: pc, gen: e.gen, region: -1}
+	if pc&1 != 0 {
+		return b
+	}
+	ri := e.regionOf(pc)
+	if ri < 0 {
+		return b
+	}
+	r := &e.bind.Regions[ri]
+	mem := r.Mem
+	off := uint64(pc - r.Base)
+	var ops []blockOp
+	for len(ops) < maxBlockOps {
+		if off+2 > uint64(len(mem)) {
+			break
+		}
+		op := uint16(mem[off])<<8 | uint16(mem[off+1])
+		ent := &opTable[op]
+		if ent.bflags == 0 {
+			break
+		}
+		ilen := uint64(2 + 2*uint32(ent.extw))
+		if off+ilen > uint64(len(mem)) {
+			break
+		}
+		ops = append(ops, blockOp{fn: ent.fn, e: ent, op: op, pc: r.Base + uint32(off)})
+		off += ilen
+		if ent.bflags&bEnd != 0 {
+			break
+		}
+	}
+	if len(ops) == 0 {
+		return b
+	}
+	b.ops = ops
+	b.end = r.Base + uint32(off)
+	b.region = int8(ri)
+	b.watched = r.Watched
+	e.Stats.Translated++
+	e.Stats.TranslatedOps += uint64(len(ops))
+	if b.watched {
+		e.addWatch(b)
+	}
+	return b
+}
+
+// lookup returns the cached block for pc under the current generation,
+// translating (and caching — negative results included) on miss.
+func (e *BlockEngine) lookup(pc uint32) *block {
+	i := pc >> 1 & (blockTableSize - 1)
+	if b := e.table[i]; b != nil {
+		if b.pc == pc && b.gen == e.gen {
+			e.Stats.Hits++
+			return b
+		}
+		if b.watched {
+			e.dropWatch(b)
+		}
+	}
+	e.Stats.Misses++
+	nb := e.translate(pc)
+	e.table[i] = nb
+	return nb
+}
+
+// exec runs a translated block until it ends or a break condition fires:
+// the cycle limit is reached, a mid-block invalidation stops it, the wake
+// timer is armed, or an unmasked interrupt becomes pending. Each
+// instruction replays exactly what the interpreter would do: PC advanced
+// past the opcode word, the opcode fetch accounted at its program point,
+// then the table handler.
+func (e *BlockEngine) exec(b *block, limit uint64) {
+	c := e.c
+	r := &e.bind.Regions[b.region]
+	c.code = r.Mem
+	c.codeBase = r.Base
+	c.fetchCost = r.Cost
+	c.fetchRefs = e.refs[b.region]
+	e.cur = b
+	e.stop = false
+	// Loop invariants hoisted: the fetch accounting targets and hooks
+	// cannot change while a block runs (SetTracer and rebinding happen
+	// only between machine quanta).
+	cost, refs, kind := c.fetchCost, c.fetchRefs, c.fetchKind
+	fTrace, opCount, onExec, wake := c.fTrace, c.OpcodeCount, c.OnExec, e.wake
+	// Opcode-fetch counters batch in a local and flush after the loop: the
+	// final sums are exact (handlers' own extension-word fetches RMW the
+	// same counters directly and addition commutes); only a mid-quantum
+	// metrics poll could see the lag, and obs snapshots are documented as
+	// approximate while the machine runs. Cycles cannot batch — the limit
+	// check needs it exact per instruction.
+	var n uint64
+	for i := range b.ops {
+		op := &b.ops[i]
+		// Same order as execOne: the opcode fetch (and its accounting,
+		// fetchRef inlined by hand) precedes the observation hooks, which
+		// precede the handler.
+		c.PC = op.pc + 2
+		c.Cycles += cost
+		n++
+		if fTrace != nil {
+			fTrace(op.pc, Word)
+		}
+		if opCount != nil {
+			opCount[op.op]++
+		}
+		if onExec != nil {
+			onExec(op.pc, op.op)
+		}
+		op.fn(c, op.op, op.e)
+		c.Instructions++
+		if c.Cycles >= limit || e.stop || *wake != 0 {
+			break
+		}
+		// No pending-IRQ check here: deliverability cannot change inside a
+		// block. Hardware asserts interrupts only between machine quanta
+		// (Dragonball.Sync/PushEvent), the only IRQ-related register a
+		// handler can reach mid-block (RegIntAck) deasserts, and no
+		// whitelisted handler writes the SR interrupt mask. RunUntil
+		// re-checks before the next quantum.
+	}
+	*refs += n
+	*kind += n
+	e.cur = nil
+	c.code = nil
+}
+
+// RunUntil executes instructions until the CPU's cycle counter reaches
+// limit, or a condition the machine loop must observe first arises: a
+// pending unmasked interrupt was delivered, the CPU stopped or halted, or
+// the wake timer is armed (the tick loop must sync after every instruction
+// while it is). A limit at or below the current cycle count executes
+// exactly one Step-equivalent quantum, which is what keeps the machine's
+// tick-sync points identical to the interpreter loop's.
+func (e *BlockEngine) RunUntil(limit uint64) {
+	c := e.c
+	for {
+		if c.halted {
+			return
+		}
+		if p := c.pendingIRQ; p != 0 && (p == 7 || p > c.IntMask()) {
+			c.Step()
+			return
+		}
+		if c.stopped {
+			c.Step()
+			return
+		}
+		if c.sr&FlagT != 0 {
+			c.Step()
+		} else if b := e.lookup(c.PC); b.ops != nil {
+			e.exec(b, limit)
+		} else {
+			e.Stats.Fallbacks++
+			c.Step()
+		}
+		if c.Cycles >= limit || c.halted || c.stopped || *e.wake != 0 {
+			return
+		}
+	}
+}
+
+// fastRegion / fastMem implement the inline data path: Bus-port semantics
+// (see bus.fastPort) for directly addressable regions without the
+// interface call, used only while tracing is off. Accounting order and
+// edge cases mirror the port exactly: odd-access check, kind counter,
+// region counter + wait states, then the access effect; accesses crossing
+// the end of a region's array are discarded whole, exactly like the bus
+// readBE/writeBE clamp.
+type fastRegion struct {
+	base    uint32
+	mem     []byte
+	cost    uint64
+	refs    *uint64
+	watched bool
+	ro      bool
+	roWr    *uint64
+}
+
+type fastMem struct {
+	regions []fastRegion
+	odd     *uint64
+	fetches *uint64
+	reads   *uint64
+	writes  *uint64
+	eng     *BlockEngine
+
+	// watch aliases the engine's page-mark array (never reallocated), so
+	// the write path can test for marks inline and skip the NoteWrite call
+	// entirely for the overwhelmingly common case of data writes far from
+	// cached code.
+	watch []uint32
+}
+
+func (f *fastMem) read(c *CPU, addr uint32, size Size, kind Access) (uint32, bool) {
+	for i := range f.regions {
+		r := &f.regions[i]
+		off := addr - r.base
+		if off >= uint32(len(r.mem)) {
+			continue
+		}
+		if size != Byte && addr&1 != 0 {
+			*f.odd++
+		}
+		switch kind {
+		case Fetch:
+			*f.fetches++
+		case Read:
+			*f.reads++
+		default:
+			*f.writes++
+		}
+		*r.refs++
+		c.Cycles += r.cost
+		return beRead(r.mem, off, size), true
+	}
+	return 0, false
+}
+
+func (f *fastMem) write(c *CPU, addr uint32, size Size, v uint32) bool {
+	for i := range f.regions {
+		r := &f.regions[i]
+		off := addr - r.base
+		if off >= uint32(len(r.mem)) {
+			continue
+		}
+		if size != Byte && addr&1 != 0 {
+			*f.odd++
+		}
+		*f.writes++
+		*r.refs++
+		c.Cycles += r.cost
+		if r.ro {
+			*r.roWr++
+			return true
+		}
+		if r.watched {
+			// Inline page-mark guard; NoteWrite repeats it, so only pay
+			// the call when a mark might overlap.
+			w := f.watch
+			p0 := off >> watchPageShift
+			p1 := (off + uint32(size) - 1) >> watchPageShift
+			if p1 >= uint32(len(w)) {
+				p1 = uint32(len(w)) - 1
+			}
+			if w[p0] != 0 || w[p1] != 0 {
+				f.eng.NoteWrite(addr, size)
+			}
+		}
+		beWrite(r.mem, off, size, v)
+		return true
+	}
+	return false
+}
+
+func beRead(mem []byte, off uint32, size Size) uint32 {
+	if uint64(off)+uint64(size) > uint64(len(mem)) {
+		return 0
+	}
+	switch size {
+	case Byte:
+		return uint32(mem[off])
+	case Word:
+		return uint32(mem[off])<<8 | uint32(mem[off+1])
+	default:
+		return uint32(mem[off])<<24 | uint32(mem[off+1])<<16 |
+			uint32(mem[off+2])<<8 | uint32(mem[off+3])
+	}
+}
+
+func beWrite(mem []byte, off uint32, size Size, v uint32) {
+	if uint64(off)+uint64(size) > uint64(len(mem)) {
+		return
+	}
+	switch size {
+	case Byte:
+		mem[off] = byte(v)
+	case Word:
+		mem[off] = byte(v >> 8)
+		mem[off+1] = byte(v)
+	default:
+		mem[off] = byte(v >> 24)
+		mem[off+1] = byte(v >> 16)
+		mem[off+2] = byte(v >> 8)
+		mem[off+3] = byte(v)
+	}
+}

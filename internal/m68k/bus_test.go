@@ -7,6 +7,13 @@ type testBus struct {
 	mem      [1 << 20]byte
 	accesses []busAccess
 	record   bool
+
+	// onWrite, when non-nil, observes every mutated byte (wrapped
+	// address) — the hook the block-engine tests use to invalidate cached
+	// translations. Per-byte because writes wrap around the RAM size: a
+	// word write at the top of memory mutates address 0 too, and a block
+	// cached there must see it.
+	onWrite func(addr uint32, size Size)
 }
 
 type busAccess struct {
@@ -35,6 +42,11 @@ func (b *testBus) Read(addr uint32, size Size, kind Access) uint32 {
 func (b *testBus) Write(addr uint32, size Size, v uint32) {
 	if b.record {
 		b.accesses = append(b.accesses, busAccess{addr, size, Write})
+	}
+	if b.onWrite != nil {
+		for i := uint32(0); i < uint32(size); i++ {
+			b.onWrite((addr+i)&testBusMask, Byte)
+		}
 	}
 	switch size {
 	case Byte:

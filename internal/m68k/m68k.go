@@ -187,6 +187,24 @@ type CPU struct {
 	// legacy selects the reference nested-switch dispatcher instead of
 	// the pre-decoded table; the differential tests run both.
 	legacy bool
+
+	// Block-execution state (block.go). While a BlockEngine runs a
+	// translated block, code/codeBase expose the block's bytes so fetch16
+	// and fetch32 read the instruction stream directly instead of calling
+	// through the bus interface; fetchRef replays the accounting the bus
+	// would have done. Outside block execution code is nil and the fields
+	// are inert.
+	code      []byte
+	codeBase  uint32
+	fetchCost uint64  // cycles per fetch reference in the active window
+	fetchRefs *uint64 // region reference counter for window fetches
+	fetchKind *uint64 // bus fetch-kind counter
+	fTrace    func(addr uint32, size Size)
+
+	// fast, when non-nil, short-circuits RAM and flash data accesses
+	// without the bus interface call (untraced block dispatch only); other
+	// regions fall through to the bus.
+	fast *fastMem
 }
 
 // New returns a CPU connected to bus. Call Reset to begin execution.
@@ -311,20 +329,72 @@ func (c *CPU) SetIRQ(level uint8) {
 func (c *CPU) PendingIRQ() uint8 { return c.pendingIRQ }
 
 func (c *CPU) read(addr uint32, size Size, kind Access) uint32 {
+	if c.fast != nil {
+		if v, ok := c.fast.read(c, addr, size, kind); ok {
+			return v
+		}
+	}
 	return c.bus.Read(addr, size, kind)
 }
 
 func (c *CPU) write(addr uint32, size Size, v uint32) {
+	if c.fast != nil && c.fast.write(c, addr, size, v) {
+		return
+	}
 	c.bus.Write(addr, size, v)
 }
 
+// fetchRef replays the accounting a bus fetch would have performed for an
+// instruction-stream reference served from the block code window: wait-state
+// cycles, the region and kind counters, and the tracer. Fetch addresses are
+// always even inside a block (translation refuses odd PCs and instruction
+// lengths are multiples of two), so no odd-access check is needed. The body
+// is replicated inline in fetch16/fetch32 and BlockEngine.exec — the three
+// per-instruction hot paths — where the call overhead is measurable; keep
+// all four sites in sync.
+func (c *CPU) fetchRef(addr uint32, size Size) {
+	c.Cycles += c.fetchCost
+	*c.fetchRefs++
+	*c.fetchKind++
+	if c.fTrace != nil {
+		c.fTrace(addr, size)
+	}
+}
+
 func (c *CPU) fetch16() uint16 {
+	// Block code window fast path: a direct big-endian slice read plus
+	// replayed accounting (fetchRef inlined by hand). When no window is
+	// bound, code is nil and the bound check fails (off wraps huge for PCs
+	// below codeBase).
+	if off := uint64(c.PC) - uint64(c.codeBase); off+2 <= uint64(len(c.code)) {
+		v := uint16(c.code[off])<<8 | uint16(c.code[off+1])
+		c.Cycles += c.fetchCost
+		*c.fetchRefs++
+		*c.fetchKind++
+		if c.fTrace != nil {
+			c.fTrace(c.PC, Word)
+		}
+		c.PC += 2
+		return v
+	}
 	v := uint16(c.read(c.PC, Word, Fetch))
 	c.PC += 2
 	return v
 }
 
 func (c *CPU) fetch32() uint32 {
+	if off := uint64(c.PC) - uint64(c.codeBase); off+4 <= uint64(len(c.code)) {
+		v := uint32(c.code[off])<<24 | uint32(c.code[off+1])<<16 |
+			uint32(c.code[off+2])<<8 | uint32(c.code[off+3])
+		c.Cycles += c.fetchCost
+		*c.fetchRefs++
+		*c.fetchKind++
+		if c.fTrace != nil {
+			c.fTrace(c.PC, Long)
+		}
+		c.PC += 4
+		return v
+	}
 	v := c.read(c.PC, Long, Fetch)
 	c.PC += 4
 	return v

@@ -35,7 +35,22 @@ type opEntry struct {
 	reg  uint8 // EA register field (bits 0-2)
 	rn   uint8 // data/address register or count field (bits 9-11)
 	x    uint8 // handler-specific: condition code, ALU op, quick value...
+
+	// Block-translation annotations (block.go). bflags classifies the
+	// opcode for superblock discovery; extw is the statically known count
+	// of extension words, so the translator can find the next instruction
+	// without a second decoder that could drift from this table.
+	bflags uint8
+	extw   uint8
 }
+
+// bflags bits. A zero bflags means the opcode may raise an exception, touch
+// SR system bits or otherwise needs the full Step path, so translation ends
+// before it and execution falls back to CPU.Step.
+const (
+	bSafe uint8 = 1 << 0 // straight-line: no PC change, no exception possible
+	bEnd  uint8 = 1 << 1 // control transfer: include as the block's final op
+)
 
 // ALU operation selectors stored in opEntry.x.
 const (
@@ -54,6 +69,38 @@ var (
 	opTable     [0x10000]opEntry
 	opTableOnce sync.Once
 )
+
+// eaExtWords returns the number of extension words an EA of the given
+// (mode, reg) consumes at the given operand size. It must agree exactly
+// with resolveEA's fetch behaviour (an absolute-long or long-immediate
+// operand is one Long fetch, i.e. two words).
+func eaExtWords(mode, reg int, size Size) uint8 {
+	switch mode {
+	case ModeDisp16, ModeIndex:
+		return 1
+	case ModeOther:
+		switch reg {
+		case RegAbsWord, RegPCDisp, RegPCIndex:
+			return 1
+		case RegAbsLong:
+			return 2
+		case RegImmediate:
+			if size == Long {
+				return 2
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// immExtWords is the immediate-operand prefix of the ALU-immediate forms.
+func immExtWords(size Size) uint8 {
+	if size == Long {
+		return 2
+	}
+	return 1
+}
 
 // buildOpTable fills the dispatch table; called once, at first CPU
 // construction (the table is immutable afterwards and shared by all CPUs).
@@ -96,9 +143,14 @@ func buildEntry(op uint16) opEntry {
 		} else {
 			e.fn = opBcc
 		}
+		e.bflags = bEnd
+		if op&0x00FF == 0 {
+			e.extw = 1 // 16-bit displacement form
+		}
 	case 0x7:
 		if op&0x0100 == 0 {
 			e.fn = opMOVEQ
+			e.bflags = bSafe
 		}
 	case 0x8:
 		buildGroup8C(op, &e, mode, reg, false)
@@ -152,6 +204,8 @@ func buildGroup0(op uint16, e *opEntry, mode, reg int) {
 		}
 		if validEA(mode, reg, "dm") {
 			e.fn = opImmLogic
+			e.bflags = bSafe
+			e.extw = immExtWords(size) + eaExtWords(mode, reg, size)
 		}
 	case 2, 3: // SUBI / ADDI
 		if op>>9&7 == 3 {
@@ -165,6 +219,8 @@ func buildGroup0(op uint16, e *opEntry, mode, reg int) {
 		}
 		e.size = size
 		e.fn = opImmArith
+		e.bflags = bSafe
+		e.extw = immExtWords(size) + eaExtWords(mode, reg, size)
 	case 4: // static bit ops: the extension word is fetched before the
 		// EA is validated, so even invalid forms go through the legacy
 		// path to keep the bus traffic identical.
@@ -176,6 +232,8 @@ func buildGroup0(op uint16, e *opEntry, mode, reg int) {
 		}
 		e.size = size
 		e.fn = opCMPI
+		e.bflags = bSafe
+		e.extw = immExtWords(size) + eaExtWords(mode, reg, size)
 	}
 }
 
@@ -191,6 +249,8 @@ func buildMove(op uint16, e *opEntry, size Size) {
 	if dstMode == ModeAddrReg {
 		if size != Byte {
 			e.fn = opMOVEA
+			e.bflags = bSafe
+			e.extw = eaExtWords(srcMode, srcReg, size)
 		} else {
 			// MOVEA.B: the legacy path resolves and loads the source
 			// (post-inc/pre-dec side effects, extension-word fetches)
@@ -203,6 +263,8 @@ func buildMove(op uint16, e *opEntry, size Size) {
 		e.fn = opMoveBadDst // same: source side effects precede the trap
 		return
 	}
+	e.bflags = bSafe
+	e.extw = eaExtWords(srcMode, srcReg, size) + eaExtWords(dstMode, int(e.rn), size)
 	if dstMode == ModeDataReg {
 		e.fn = opMoveToDn
 	} else {
@@ -215,6 +277,8 @@ func buildShift(op uint16, e *opEntry, mode, reg int) {
 		if validEA(mode, reg, "m") {
 			e.x = uint8(op>>9&3)<<1 | uint8(op>>8&1)
 			e.fn = opShiftMem
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, Word)
 		}
 		return
 	}
@@ -228,6 +292,7 @@ func buildShift(op uint16, e *opEntry, mode, reg int) {
 		e.x |= shiftCountInReg
 	}
 	e.fn = opShiftReg
+	e.bflags = bSafe
 }
 
 func buildGroup4(op uint16, e *opEntry, mode, reg int) {
@@ -237,6 +302,8 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 	case op&0xF1C0 == 0x41C0: // LEA
 		if controlEA(mode, reg) {
 			e.fn = opLEA
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, Long)
 		}
 	case op == 0x4AFC: // ILLEGAL
 		e.fn = opIllegal
@@ -244,27 +311,36 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 		e.fn = opGroup4
 	case op&0xFFF8 == 0x4E50: // LINK
 		e.fn = opLINK
+		e.bflags = bSafe
+		e.extw = 1
 	case op&0xFFF8 == 0x4E58: // UNLK
 		e.fn = opUNLK
+		e.bflags = bSafe
 	case op&0xFFF8 == 0x4E60 || op&0xFFF8 == 0x4E68: // MOVE USP
 		e.fn = opGroup4
 	case op == 0x4E70 || op == 0x4E72: // RESET / STOP
 		e.fn = opGroup4
 	case op == 0x4E71: // NOP
 		e.fn = opNOP
+		e.bflags = bSafe
 	case op == 0x4E73: // RTE
-		e.fn = opRTE
+		e.fn = opRTE // not block-safe: privilege check raises an exception
 	case op == 0x4E75: // RTS
 		e.fn = opRTS
+		e.bflags = bEnd
 	case op == 0x4E76 || op == 0x4E77: // TRAPV / RTR
 		e.fn = opGroup4
 	case op&0xFFC0 == 0x4E80: // JSR
 		if controlEA(mode, reg) {
 			e.fn = opJSR
+			e.bflags = bEnd
+			e.extw = eaExtWords(mode, reg, Long)
 		}
 	case op&0xFFC0 == 0x4EC0: // JMP
 		if controlEA(mode, reg) {
 			e.fn = opJMP
+			e.bflags = bEnd
+			e.extw = eaExtWords(mode, reg, Long)
 		}
 	case op&0xFFC0 == 0x40C0 || op&0xFFC0 == 0x44C0 || op&0xFFC0 == 0x46C0:
 		e.fn = opGroup4 // MOVE SR,<ea> / MOVE <ea>,CCR / MOVE <ea>,SR
@@ -272,9 +348,12 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 		e.fn = opGroup4
 	case op&0xFFF8 == 0x4840: // SWAP
 		e.fn = opSWAP
+		e.bflags = bSafe
 	case op&0xFFC0 == 0x4840: // PEA
 		if controlEA(mode, reg) {
 			e.fn = opPEA
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, Long)
 		}
 	case op&0xFFB8 == 0x4880 && mode == ModeDataReg: // EXT
 		if op&0x0040 == 0 {
@@ -282,6 +361,7 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 		} else {
 			e.fn = opEXTL
 		}
+		e.bflags = bSafe
 	case op&0xFB80 == 0x4880: // MOVEM
 		e.fn = opMOVEM
 	case op&0xFFC0 == 0x4AC0: // TAS
@@ -291,6 +371,8 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 		if ok && validEA(mode, reg, "dm") {
 			e.size = size
 			e.fn = opTST
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, size)
 		}
 	case op&0xFF00 == 0x4000 || op&0xFF00 == 0x4400 || op&0xFF00 == 0x4600:
 		e.fn = opGroup4 // NEGX / NEG / NOT
@@ -299,6 +381,8 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 		if ok && validEA(mode, reg, "dm") {
 			e.size = size
 			e.fn = opCLR
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, size)
 		}
 	case op&0xF1C0 == 0x4180: // CHK
 		e.fn = opGroup4
@@ -310,6 +394,8 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 		e.x = uint8(op >> 8 & 0xF)
 		if mode == ModeAddrReg {
 			e.fn = opDBcc
+			e.bflags = bEnd
+			e.extw = 1
 			return
 		}
 		if validEA(mode, reg, "dm") {
@@ -318,6 +404,8 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 			} else {
 				e.fn = opSccMem
 			}
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, Byte)
 		}
 		return
 	}
@@ -341,6 +429,7 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 		} else {
 			e.fn = opADDQA
 		}
+		e.bflags = bSafe
 		return
 	}
 	if !validEA(mode, reg, "dm") {
@@ -351,6 +440,8 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 	} else {
 		e.fn = opADDQ
 	}
+	e.bflags = bSafe
+	e.extw = eaExtWords(mode, reg, size)
 }
 
 // buildGroup8C covers groups 0x8 (OR/DIV/SBCD) and 0xC (AND/MUL/ABCD/EXG).
@@ -376,10 +467,13 @@ func buildGroup8C(op uint16, e *opEntry, mode, reg int, isC bool) {
 		}
 	case isC && op&0x01F8 == 0x0140:
 		e.fn = opEXGDD
+		e.bflags = bSafe
 	case isC && op&0x01F8 == 0x0148:
 		e.fn = opEXGAA
+		e.bflags = bSafe
 	case isC && op&0x01F8 == 0x0188:
 		e.fn = opEXGDA
+		e.bflags = bSafe
 	default: // OR / AND
 		if isC {
 			e.x = aluAnd
@@ -401,6 +495,8 @@ func buildAddSub(op uint16, e *opEntry, mode, reg int, alu uint8) {
 				e.size = Long
 			}
 			e.fn = opAddrOp
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, e.size)
 		}
 	case op&0x0130 == 0x0100: // ADDX / SUBX
 		if alu == aluAdd {
@@ -423,6 +519,8 @@ func buildDnEA(op uint16, e *opEntry, mode, reg int) {
 	if op&0x0100 != 0 { // <ea> destination
 		if validEA(mode, reg, "m") {
 			e.fn = opDnEAToEA
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, size)
 		}
 		return
 	}
@@ -432,6 +530,8 @@ func buildDnEA(op uint16, e *opEntry, mode, reg int) {
 	}
 	if validEA(mode, reg, class) {
 		e.fn = opDnEAToDn
+		e.bflags = bSafe
+		e.extw = eaExtWords(mode, reg, size)
 	}
 }
 
@@ -444,6 +544,8 @@ func buildGroupB(op uint16, e *opEntry, mode, reg int) {
 				e.size = Long
 			}
 			e.fn = opCMPA
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, e.size)
 		}
 	case op&0x0100 == 0: // CMP
 		size, _ := opSize(op >> 6 & 3)
@@ -454,18 +556,23 @@ func buildGroupB(op uint16, e *opEntry, mode, reg int) {
 		if validEA(mode, reg, class) {
 			e.size = size
 			e.fn = opCMP
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, size)
 		}
 	case op&0x0038 == 0x0008: // CMPM
 		size, ok := opSize(op >> 6 & 3)
 		if ok {
 			e.size = size
 			e.fn = opCMPM
+			e.bflags = bSafe
 		}
 	default: // EOR
 		size, ok := opSize(op >> 6 & 3)
 		if ok && validEA(mode, reg, "dm") {
 			e.size = size
 			e.fn = opEORToEA
+			e.bflags = bSafe
+			e.extw = eaExtWords(mode, reg, size)
 		}
 	}
 }

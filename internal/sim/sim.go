@@ -16,6 +16,7 @@ import (
 	"palmsim/internal/hack"
 	"palmsim/internal/hotsync"
 	"palmsim/internal/hw"
+	"palmsim/internal/m68k"
 	"palmsim/internal/obs"
 	"palmsim/internal/palmos"
 	"palmsim/internal/user"
@@ -199,6 +200,11 @@ type ReplayOptions struct {
 	// registry (see emu.RegisterObs). Nil — the default, and what every
 	// benchmark uses — keeps replay on the uninstrumented path.
 	Obs *obs.Registry
+
+	// Dispatch selects the CPU execution engine: "" or "auto" (the
+	// fastest verified engine, currently block), "legacy", "table" or
+	// "block" — so any engine can be cross-checked in the field.
+	Dispatch string
 }
 
 // DefaultReplayOptions returns the configuration the paper's case study
@@ -267,7 +273,11 @@ func (t *traceSink) Ref(r bus.Ref) {
 // emulated tick counter reaches their timestamps; KeyCurrentState and
 // SysRandom are serviced from the logged queues.
 func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*Playback, error) {
-	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes})
+	dispatch, err := m68k.ParseDispatch(opt.Dispatch)
+	if err != nil {
+		return nil, err
+	}
+	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes, Dispatch: dispatch})
 	if err != nil {
 		return nil, err
 	}
