@@ -24,6 +24,7 @@ import (
 	"palmsim/internal/cache"
 	"palmsim/internal/dtrace"
 	"palmsim/internal/exp"
+	"palmsim/internal/gremlin"
 	"palmsim/internal/obs"
 	"palmsim/internal/sweep"
 	"palmsim/internal/user"
@@ -331,15 +332,27 @@ func BenchmarkReplacementPolicy(b *testing.B) {
 // per second of host time.
 func mipsReplay(b *testing.B, dispatch string) {
 	col, _ := benchSetup(b)
+	mipsReplayOpts(b, col, palmsim.ReplayOptions{Profiling: true, Dispatch: dispatch}, false)
+}
+
+// mipsReplayOpts is the fully-parameterized engine-speed loop. With
+// release set, each replay's machine image is returned to emu's pool, so
+// every iteration after the first builds its machine on a recycled image —
+// the warm path batch drivers run on. Without it every machine pays the
+// cold 20 MB allocation, keeping the series comparable with pre-pool
+// baselines.
+func mipsReplayOpts(b *testing.B, col *palmsim.Collection, opt palmsim.ReplayOptions, release bool) {
 	b.ResetTimer()
 	var emulated uint64
 	for i := 0; i < b.N; i++ {
-		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log,
-			palmsim.ReplayOptions{Profiling: true, Dispatch: dispatch})
+		pb, err := palmsim.Replay(context.Background(), col.Initial, col.Log, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		emulated += pb.Stats.Machine.Instructions
+		if release {
+			pb.Release()
+		}
 	}
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {
@@ -354,9 +367,68 @@ func mipsReplay(b *testing.B, dispatch string) {
 // workload, and their ratio is the block speedup EXPERIMENTS.md records.
 func BenchmarkEmulatorMIPS(b *testing.B) { mipsReplay(b, "table") }
 
-// BenchmarkBlockMIPS measures the superblock threaded-code engine (the
-// default dispatch) on the same replay workload as BenchmarkEmulatorMIPS.
+// BenchmarkBlockMIPS measures the unspecialized superblock threaded-code
+// engine on the same replay workload as BenchmarkEmulatorMIPS.
 func BenchmarkBlockMIPS(b *testing.B) { mipsReplay(b, "block") }
+
+// BenchmarkSpecMIPS measures the specialized superblock engine with block
+// chaining — the default dispatch since PR 8 — on the same workload; its
+// ratio over BenchmarkBlockMIPS is the specialization speedup
+// EXPERIMENTS.md records.
+func BenchmarkSpecMIPS(b *testing.B) { mipsReplay(b, "spec") }
+
+// BenchmarkSpecMIPSWarm is BenchmarkSpecMIPS with every replay's machine
+// image recycled through emu's pool: iterations after the first build
+// their machine on a reclaimed image instead of allocating 20 MB. The
+// delta against BenchmarkSpecMIPS is the machine-image-reuse rung of the
+// PR 8 attribution.
+func BenchmarkSpecMIPSWarm(b *testing.B) {
+	col, _ := benchSetup(b)
+	mipsReplayOpts(b, col, palmsim.ReplayOptions{Profiling: true, Dispatch: "spec"}, true)
+}
+
+var (
+	busyOnce sync.Once
+	busyCol  *palmsim.Collection
+	busyErr  error
+)
+
+// busySetup collects the PR 8 A/B workload: a dense 1,500-event gremlin
+// storm with short think times, so the replay spends its time executing
+// code rather than doze-skipping — the session that makes engine speed
+// visible.
+func busySetup(tb testing.TB) *palmsim.Collection {
+	busyOnce.Do(func() {
+		busyCol, busyErr = palmsim.Collect(context.Background(),
+			gremlin.Session(gremlin.Config{Seed: 20260808, Events: 1500, MaxThinkTicks: 20}))
+	})
+	if busyErr != nil {
+		tb.Fatal(busyErr)
+	}
+	return busyCol
+}
+
+// BenchmarkBusyMIPS is the per-rung engine comparison on the busy session:
+// block is the PR 7 baseline, spec-nochain isolates per-block handler
+// specialization, spec adds successor chaining. All three run warm
+// (pooled images) so the rungs differ only in the engine knob under test.
+func BenchmarkBusyMIPS(b *testing.B) {
+	col := busySetup(b)
+	engines := []struct {
+		name, dispatch string
+		nochain        bool
+	}{
+		{"block", "block", false},
+		{"spec-nochain", "spec", true},
+		{"spec", "spec", false},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			mipsReplayOpts(b, col,
+				palmsim.ReplayOptions{Profiling: true, Dispatch: eng.dispatch, NoChain: eng.nochain}, true)
+		})
+	}
+}
 
 // BenchmarkEmulatorMIPSObserved is the same replay with a live metrics
 // registry bound (the -metrics path). Most obs values are polled func

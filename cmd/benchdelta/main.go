@@ -13,7 +13,9 @@
 // makes the command exit non-zero (0 disables gating; CI machines are too
 // noisy for a tight threshold to be useful). -max-alloc-regress gates
 // allocs/op the same way — allocation counts are deterministic, so a much
-// tighter threshold works there.
+// tighter threshold works there. -max-mips-regress gates the derived
+// MIPS(ns/op) metric, where a regression is a *decrease*: engine speed
+// going down is the failure, not up.
 package main
 
 import (
@@ -137,14 +139,18 @@ func deriveMIPS(base, cur map[string]metrics) {
 	}
 }
 
-// regressed reports whether a fractional growth d on the given unit trips
-// one of the enabled gates (ns/op wall time, allocs/op allocation count).
-func regressed(unit string, d, maxNs, maxAllocs float64) bool {
+// regressed reports whether a fractional delta d on the given unit trips
+// one of the enabled gates (ns/op wall time, allocs/op allocation count,
+// derived engine MIPS). For time and allocations growth is the regression;
+// for MIPS — a bigger-is-better rate — a drop is.
+func regressed(unit string, d, maxNs, maxAllocs, maxMIPS float64) bool {
 	switch unit {
 	case "ns/op":
 		return maxNs > 0 && d > maxNs
 	case "allocs/op":
 		return maxAllocs > 0 && d > maxAllocs
+	case derivedMIPSUnit:
+		return maxMIPS > 0 && d < -maxMIPS
 	}
 	return false
 }
@@ -154,6 +160,7 @@ func main() {
 	currentPath := flag.String("current", "", "current bench output (required)")
 	maxRegress := flag.Float64("max-regress", 0, "fail if any ns/op grows by more than this fraction (0 = report only)")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "fail if any allocs/op grows by more than this fraction (0 = report only)")
+	maxMIPSRegress := flag.Float64("max-mips-regress", 0, "fail if any derived MIPS(ns/op) drops by more than this fraction (0 = report only)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdelta: -current is required")
@@ -198,7 +205,7 @@ func main() {
 			if b != 0 {
 				d := (c - b) / b
 				delta = fmt.Sprintf("%+.1f%%", 100*d)
-				if regressed(unit, d, *maxRegress, *maxAllocRegress) {
+				if regressed(unit, d, *maxRegress, *maxAllocRegress, *maxMIPSRegress) {
 					delta += " REGRESSION"
 					failed = true
 				}

@@ -49,22 +49,27 @@ func TestParseIgnoresCommentsAndNoise(t *testing.T) {
 
 func TestRegressed(t *testing.T) {
 	cases := []struct {
-		unit               string
-		d, maxNs, maxAlloc float64
-		want               bool
+		unit                        string
+		d, maxNs, maxAlloc, maxMIPS float64
+		want                        bool
 	}{
-		{"ns/op", 0.6, 0.5, 0, true},
-		{"ns/op", 0.4, 0.5, 0, false},
-		{"ns/op", 9.9, 0, 0.1, false}, // ns gate disabled
-		{"allocs/op", 0.2, 0, 0.1, true},
-		{"allocs/op", 0.05, 0, 0.1, false},
-		{"allocs/op", 9.9, 0.5, 0, false}, // alloc gate disabled
-		{"MB/s", 9.9, 0.5, 0.1, false},    // throughput never gates
+		{"ns/op", 0.6, 0.5, 0, 0, true},
+		{"ns/op", 0.4, 0.5, 0, 0, false},
+		{"ns/op", 9.9, 0, 0.1, 0, false}, // ns gate disabled
+		{"allocs/op", 0.2, 0, 0.1, 0, true},
+		{"allocs/op", 0.05, 0, 0.1, 0, false},
+		{"allocs/op", 9.9, 0.5, 0, 0, false}, // alloc gate disabled
+		{"MB/s", 9.9, 0.5, 0.1, 0, false},    // throughput never gates
+		// MIPS is bigger-is-better: only a drop beyond the threshold gates.
+		{derivedMIPSUnit, -0.2, 0, 0, 0.1, true},
+		{derivedMIPSUnit, -0.05, 0, 0, 0.1, false},
+		{derivedMIPSUnit, 0.5, 0, 0, 0.1, false},    // speedups never gate
+		{derivedMIPSUnit, -9.9, 0.5, 0.1, 0, false}, // MIPS gate disabled
 	}
 	for _, c := range cases {
-		if got := regressed(c.unit, c.d, c.maxNs, c.maxAlloc); got != c.want {
-			t.Errorf("regressed(%q, %v, %v, %v) = %v, want %v",
-				c.unit, c.d, c.maxNs, c.maxAlloc, got, c.want)
+		if got := regressed(c.unit, c.d, c.maxNs, c.maxAlloc, c.maxMIPS); got != c.want {
+			t.Errorf("regressed(%q, %v, %v, %v, %v) = %v, want %v",
+				c.unit, c.d, c.maxNs, c.maxAlloc, c.maxMIPS, got, c.want)
 		}
 	}
 }

@@ -66,7 +66,7 @@ func main() {
 	flag.BoolVar(&c.screenshot, "screenshot", false, "write the final display as a PGM image (with -out)")
 	flag.BoolVar(&c.dinero, "dinero", false, "also write the trace in Dinero din format (with -out)")
 	flag.StringVar(&c.dispatch, "dispatch", "auto",
-		"replay CPU engine: auto, legacy, table or block (auto picks the fastest verified engine)")
+		"replay CPU engine: auto, legacy, table, block or spec (auto picks the fastest verified engine)")
 	c.profiler = prof.AddFlags()
 	c.obsFlags = obs.AddFlags()
 	flag.Parse()
@@ -140,9 +140,9 @@ func pipeline(ctx context.Context, c *config) error {
 	}
 	s := sessions[c.sessionNum-1]
 	switch c.dispatch {
-	case "auto", "legacy", "table", "block":
+	case "auto", "legacy", "table", "block", "spec":
 	default:
-		return usageError{fmt.Errorf("unknown dispatch %q (want auto, legacy, table or block)", c.dispatch)}
+		return usageError{fmt.Errorf("unknown dispatch %q (want auto, legacy, table, block or spec)", c.dispatch)}
 	}
 
 	fmt.Printf("collecting %s on the instrumented device...\n", s.Name)

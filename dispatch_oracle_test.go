@@ -1,6 +1,7 @@
 // Cross-engine replay oracle: the same recorded session replayed under
 // every CPU dispatch engine — the legacy nested switch, the pre-decoded
-// table and the superblock cache — must produce byte-identical reference
+// table, the superblock cache and the specialized/chaining spec engine
+// (also what "auto" resolves to) — must produce byte-identical reference
 // streams, identical activity logs and identical run statistics. This is
 // the end-to-end form of internal/m68k's differential tests: it exercises
 // the engines through the full machine (tick sync, interrupts, hacks,
@@ -49,7 +50,9 @@ func TestDispatchEnginesProduceIdenticalReplays(t *testing.T) {
 	if len(ref.Trace) == 0 {
 		t.Fatal("legacy replay recorded no references; vacuous oracle")
 	}
-	for _, dispatch := range []string{"table", "block", "auto"} {
+	// "auto" resolves to the spec engine; keeping both in the list means
+	// the default path is oracle-checked even if the auto mapping changes.
+	for _, dispatch := range []string{"table", "block", "spec", "auto"} {
 		got := replay(dispatch)
 		if got.Stats.Machine.Instructions != ref.Stats.Machine.Instructions {
 			t.Errorf("%s: %d instructions, legacy %d",

@@ -160,14 +160,29 @@ type Bus struct {
 	// reported via NoteWrite, and wholesale flash updates (LoadROM, Poke)
 	// bump its generation.
 	Watch *m68k.BlockEngine
+
+	// ramDirty/flashDirty alias the backing Image's dirty-page maps so
+	// every write path records which pages Reclaim must zero.
+	ramDirty   []byte
+	flashDirty []byte
 }
 
-// New creates a bus with fresh RAM and flash arrays.
+// New creates a bus over a fresh memory image.
 func New(device Device) *Bus {
+	return NewFromImage(device, NewImage())
+}
+
+// NewFromImage creates a bus backed by img's arrays — typically one
+// recycled through emu's image pool. The caller owns the image's
+// lifecycle: after the machine is done, img.Reclaim() restores the
+// all-zero state for the next user.
+func NewFromImage(device Device, img *Image) *Bus {
 	return &Bus{
-		RAM:    make([]byte, RAMSize),
-		Flash:  make([]byte, ROMSize),
-		device: device,
+		RAM:        img.ram,
+		Flash:      img.flash,
+		device:     device,
+		ramDirty:   img.ramDirty,
+		flashDirty: img.flashDirty,
 	}
 }
 
@@ -177,6 +192,11 @@ func (b *Bus) LoadROM(offset uint32, data []byte) error {
 		return fmt.Errorf("bus: ROM image of %d bytes does not fit at offset %#x", len(data), offset)
 	}
 	copy(b.Flash[offset:], data)
+	if len(data) > 0 {
+		for p := offset >> m68k.DirtyPageShift; p <= (offset+uint32(len(data))-1)>>m68k.DirtyPageShift && p < uint32(len(b.flashDirty)); p++ {
+			b.flashDirty[p] = 1
+		}
+	}
 	if b.Watch != nil {
 		b.Watch.BumpGeneration()
 	}
@@ -213,6 +233,7 @@ func (b *Bus) Write(addr uint32, size m68k.Size, v uint32) {
 		if b.Watch != nil {
 			b.Watch.NoteWrite(addr, size)
 		}
+		markDirty(b.ramDirty, addr, size)
 		writeBE(b.RAM, addr, size, v)
 	case RegionFlash:
 		b.Stats.FlashWrites++ // ROM: discard
@@ -278,11 +299,13 @@ func (b *Bus) Poke(addr uint32, size m68k.Size, v uint32) {
 		if b.Watch != nil {
 			b.Watch.NoteWrite(addr, size)
 		}
+		markDirty(b.ramDirty, addr, size)
 		writeBE(b.RAM, addr, size, v)
 	case RegionFlash:
 		if b.Watch != nil {
 			b.Watch.BumpGeneration()
 		}
+		markDirty(b.flashDirty, addr-ROMBase, size)
 		writeBE(b.Flash, addr-ROMBase, size, v)
 	}
 }
@@ -330,7 +353,7 @@ func (b *Bus) PokeBytes(addr uint32, data []byte) {
 func (b *Bus) BlockBinding(wakeAt *uint32) m68k.BlockBinding {
 	return m68k.BlockBinding{
 		Regions: []m68k.BlockRegion{
-			{Base: RAMBase, Mem: b.RAM, Cost: RAMCycles, Refs: &b.Stats.RAMRefs, Watched: true},
+			{Base: RAMBase, Mem: b.RAM, Cost: RAMCycles, Refs: &b.Stats.RAMRefs, Watched: true, Dirty: b.ramDirty},
 			{Base: ROMBase, Mem: b.Flash, Cost: FlashCycles, Refs: &b.Stats.FlashRefs, RO: true, ROWrites: &b.Stats.FlashWrites},
 		},
 		Fetches: &b.Stats.Fetches,

@@ -82,6 +82,7 @@ func (p *fastPort) Write(addr uint32, size m68k.Size, v uint32) {
 		if b.Watch != nil {
 			b.Watch.NoteWrite(addr, size)
 		}
+		markDirty(b.ramDirty, addr, size)
 		writeBE(b.RAM, addr, size, v)
 		return
 	}
@@ -162,6 +163,7 @@ func (p *tracedPort) Write(addr uint32, size m68k.Size, v uint32) {
 		if b.Watch != nil {
 			b.Watch.NoteWrite(addr, size)
 		}
+		markDirty(b.ramDirty, addr, size)
 		writeBE(b.RAM, addr, size, v)
 		return
 	}

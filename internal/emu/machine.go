@@ -81,6 +81,10 @@ type Machine struct {
 	// call to once per crossed tick.
 	ctx           context.Context
 	ctxCheckCycle uint64
+
+	// img is the pooled memory image backing Bus; Release returns it for
+	// reuse (see pool.go). Nil after Release.
+	img *bus.Image
 }
 
 // Options configures machine construction.
@@ -98,10 +102,16 @@ type Options struct {
 	CountOpcodes bool
 
 	// Dispatch selects the CPU execution engine. DispatchAuto (the zero
-	// value) resolves to the block engine, the fastest verified one; the
-	// legacy switch and plain table interpreter remain selectable for
-	// cross-checking (see cmd/palmsim -dispatch).
+	// value) resolves to the specialized block engine, the fastest verified
+	// one; the legacy switch, plain table interpreter and unspecialized
+	// block engine remain selectable for cross-checking (see cmd/palmsim
+	// -dispatch).
 	Dispatch m68k.DispatchKind
+
+	// NoChain disables successor-link following in the spec engine. It
+	// exists for per-rung performance attribution (EXPERIMENTS.md PR 8);
+	// correctness does not depend on it.
+	NoChain bool
 }
 
 // DefaultOptions returns the configuration used for paper experiments.
@@ -119,7 +129,8 @@ func New(opts Options) (*Machine, error) {
 	m := &Machine{ROM: img}
 
 	m.HW = hw.New(nil, nil) // wired below once CPU exists
-	m.Bus = bus.New(m.HW)
+	m.img = getImage()
+	m.Bus = bus.NewFromImage(m.HW, m.img)
 	m.Bus.TraceNative = opts.TraceNative
 	m.CPU = m68k.New(m.Bus)
 	m.HW.CyclesFn = func() uint64 { return m.CPU.Cycles }
@@ -148,15 +159,21 @@ func New(opts Options) (*Machine, error) {
 		m.CPU.SetLegacyDispatch(true)
 	case m68k.DispatchTable:
 		// plain table interpreter: nothing to wire
-	default: // DispatchAuto, DispatchBlock
+	default: // DispatchAuto, DispatchBlock, DispatchSpec
 		m.engine = m68k.NewBlockEngine(m.CPU, m.Bus.BlockBinding(m.HW.WakeRef()))
 		m.Bus.Watch = m.engine
 		// No tracer yet (SetTracer re-decides), so the inline data path
 		// is safe to enable from the start.
 		m.engine.SetFastData(true)
+		if opts.Dispatch != m68k.DispatchBlock {
+			// Auto resolves to the specialized engine.
+			m.engine.SetSpecialize(true)
+			m.engine.SetChaining(!opts.NoChain)
+		}
 	}
 
 	if err := m.Bus.LoadROM(0, img.Data); err != nil {
+		m.Release()
 		return nil, err
 	}
 	// The Dragonball boot overlay supplies the reset vectors; we poke

@@ -48,7 +48,33 @@ func (m *Machine) RegisterObs(r *obs.Registry) {
 		r.Func("m68k.block.invalidations", func() float64 { return float64(st.Invalidations) })
 		r.Func("m68k.block.fallbacks", func() float64 { return float64(st.Fallbacks) })
 		r.Func("m68k.block.avg_len", st.AvgBlockLen)
+		// Specialization and chaining health (PR 8). spec.share is the
+		// fraction of executed ops that ran through a specialized closure
+		// rather than the generic adapter — the number the per-block
+		// specializer exists to maximize; chain.follow_rate is block-to-block
+		// transitions that skipped the table lookup.
+		r.Func("m68k.spec.ops", func() float64 { return float64(st.SpecOps) })
+		r.Func("m68k.spec.exec", func() float64 { return float64(st.SpecExec) })
+		r.Func("m68k.spec.adapter_exec", func() float64 { return float64(st.AdapterExec) })
+		r.Func("m68k.spec.share", func() float64 {
+			total := st.SpecExec + st.AdapterExec
+			if total == 0 {
+				return 0
+			}
+			return float64(st.SpecExec) / float64(total)
+		})
+		r.Func("m68k.chain.patches", func() float64 { return float64(st.ChainPatches) })
+		r.Func("m68k.chain.follows", func() float64 { return float64(st.ChainFollows) })
+		r.Func("m68k.chain.follow_rate", func() float64 {
+			entries := st.Hits + st.Misses + st.ChainFollows
+			if entries == 0 {
+				return 0
+			}
+			return float64(st.ChainFollows) / float64(entries)
+		})
 	}
+	// Process-wide pool effectiveness: machines built on a recycled image.
+	r.Func("emu.image.reuses", func() float64 { return float64(ImageReuses()) })
 	if m.CPU.OpcodeCount != nil {
 		counts := m.CPU.OpcodeCount
 		for g := 0; g < m68k.NumOpcodeGroups; g++ {

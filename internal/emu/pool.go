@@ -1,0 +1,49 @@
+// Machine-image pooling. Every Machine owns a bus.Image — 16 MB RAM plus
+// 4 MB flash and the dirty-page maps — and for short replays the cost of
+// allocating and faulting in those 20 MB rivals the emulation itself.
+// Batch drivers (sweep, benchmarks) build thousands of machines; recycling
+// the image through a pool turns the per-machine memory cost into a sparse
+// Reclaim of only the pages the previous session touched.
+//
+// A machine that is never Released simply lets its image go to the garbage
+// collector — pooling is an optimization, not an obligation.
+package emu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"palmsim/internal/bus"
+)
+
+var imagePool = sync.Pool{New: func() any { return bus.NewImage() }}
+
+// imageReuses counts machines built over a recycled (pool-hit) image —
+// the observable proof that the pool is actually short-circuiting
+// allocation (surfaced as emu.image.reuses via RegisterObs).
+var imageReuses atomic.Uint64
+
+// ImageReuses reports how many machines have been constructed on a
+// recycled memory image since process start.
+func ImageReuses() uint64 { return imageReuses.Load() }
+
+func getImage() *bus.Image {
+	img := imagePool.Get().(*bus.Image)
+	if img.Recycled() {
+		imageReuses.Add(1)
+	}
+	return img
+}
+
+// Release returns the machine's memory image to the pool for reuse by a
+// future New. The machine must not be used afterwards: its bus, CPU and
+// engine all alias the reclaimed arrays. Calling Release twice is safe.
+func (m *Machine) Release() {
+	img := m.img
+	if img == nil {
+		return
+	}
+	m.img = nil
+	img.Reclaim()
+	imagePool.Put(img)
+}

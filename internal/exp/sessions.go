@@ -107,11 +107,16 @@ func ValidateSession(ctx context.Context, s user.Session) (*ValidationResult, er
 	if err != nil {
 		return nil, err
 	}
-	return &ValidationResult{
+	res := &ValidationResult{
 		Session: s,
 		Log:     validate.CorrelateLogs(col.Log, play.Log),
 		State:   validate.CorrelateStates(col.Final, play.Final),
-	}, nil
+	}
+	// The correlations only consume extracted copies; recycle both
+	// machines' memory images for the next validation.
+	col.Release()
+	play.Release()
+	return res, nil
 }
 
 // ValidateChain reproduces the paper's §3.1 setup exactly: the three test
@@ -139,7 +144,9 @@ func ValidateChain(ctx context.Context, workloads []user.Session) ([]*Validation
 			Log:     validate.CorrelateLogs(col.Log, play.Log),
 			State:   validate.CorrelateStates(col.Final, play.Final),
 		})
-		prior = col.Final
+		prior = col.Final // a captured copy: survives the machines below
+		col.Release()
+		play.Release()
 	}
 	return out, nil
 }
@@ -181,6 +188,7 @@ func ReplayWithOpcodes(ctx context.Context, s user.Session) (*sim.Playback, erro
 	if err != nil {
 		return nil, err
 	}
+	defer col.Release()
 	return sim.Replay(ctx, col.Initial, col.Log, sim.ReplayOptions{
 		Profiling:    true,
 		CountOpcodes: true,

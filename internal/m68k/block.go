@@ -28,6 +28,15 @@
 // (flash) skip per-write watching entirely; wholesale flash updates
 // (LoadROM, debugger pokes) bump a generation counter that lazily
 // invalidates every cached block at lookup.
+//
+// The spec engine (SetSpecialize) layers two more optimizations on the
+// same cache. Per-block specialization (spec.go) compiles each block's
+// instructions into specialized step functions with operands pre-resolved
+// at translation time. Block chaining patches a direct successor pointer
+// into a block after its first fall-through, so hot loops run
+// block-to-block without the cache lookup; links are validated against a
+// chain epoch that every invalidation path bumps (see execSpec), so a
+// severed or stale link simply degrades to a lookup, never to stale code.
 package m68k
 
 import "fmt"
@@ -53,12 +62,13 @@ const (
 // DispatchKind selects the execution engine.
 type DispatchKind uint8
 
-// Dispatch engines. Auto resolves to the fastest verified engine (block).
+// Dispatch engines. Auto resolves to the fastest verified engine (spec).
 const (
 	DispatchAuto DispatchKind = iota
 	DispatchLegacy
 	DispatchTable
 	DispatchBlock
+	DispatchSpec
 )
 
 // ParseDispatch maps the CLI spelling to a DispatchKind.
@@ -72,8 +82,10 @@ func ParseDispatch(s string) (DispatchKind, error) {
 		return DispatchTable, nil
 	case "block":
 		return DispatchBlock, nil
+	case "spec":
+		return DispatchSpec, nil
 	}
-	return DispatchAuto, fmt.Errorf("m68k: unknown dispatch engine %q (want legacy, table or block)", s)
+	return DispatchAuto, fmt.Errorf("m68k: unknown dispatch engine %q (want legacy, table, block or spec)", s)
 }
 
 func (k DispatchKind) String() string {
@@ -84,6 +96,8 @@ func (k DispatchKind) String() string {
 		return "table"
 	case DispatchBlock:
 		return "block"
+	case DispatchSpec:
+		return "spec"
 	default:
 		return "auto"
 	}
@@ -112,7 +126,18 @@ type BlockRegion struct {
 	// ROWrites, when non-nil, counts the discards (Stats.FlashWrites).
 	RO       bool
 	ROWrites *uint64
+
+	// Dirty, when non-nil, is the region's dirty-page map (one byte per
+	// 1<<DirtyPageShift bytes): the engine's inline write path marks it so
+	// a pooled memory image (bus.Image) knows which pages to zero on
+	// reclaim. The bus-side write paths mark their own copy of the map.
+	Dirty []byte
 }
+
+// DirtyPageShift is the dirty-tracking page granularity (64 KB): coarse
+// enough that a map covers 16 MB RAM in 256 bytes, fine enough that a
+// short session dirties only a fraction of the image.
+const DirtyPageShift = 16
 
 // BlockBinding wires a BlockEngine to a concrete memory system: the
 // translatable regions plus the bus-level counters the engine's fast paths
@@ -153,6 +178,22 @@ type block struct {
 	region  int8
 	watched bool
 	ops     []blockOp
+
+	// sops is the specialized form of ops, built only when the engine runs
+	// with specialization on (same length, same order).
+	sops []specOp
+
+	// succ/succEp: chained successor, patched by execSpec after the first
+	// fall-through from this block. The link is trusted only while succEp
+	// matches the engine's chain epoch AND the successor's generation and
+	// pc still match; otherwise execSpec re-looks-up and re-patches.
+	// Two slots: succ is the most-recently-taken successor, succ2 the one
+	// before it, so a two-way fork (a conditional branch alternating
+	// targets) chains both ways instead of re-patching every transition.
+	succ    *block
+	succEp  uint64
+	succ2   *block
+	succ2Ep uint64
 }
 
 // BlockStats counts engine activity for the observability layer.
@@ -163,6 +204,13 @@ type BlockStats struct {
 	Misses        uint64 // cache misses (includes generation mismatches)
 	Invalidations uint64 // blocks dropped by watched writes
 	Fallbacks     uint64 // quanta executed via CPU.Step (untranslatable PC)
+
+	// Spec-engine activity (zero unless specialization is on).
+	SpecOps      uint64 // specialized (non-adapter) ops across translated blocks
+	SpecExec     uint64 // specialized op executions
+	AdapterExec  uint64 // generic-adapter op executions
+	ChainFollows uint64 // block transitions taken via a successor link
+	ChainPatches uint64 // successor links patched (first or re-patched)
 }
 
 // AvgBlockLen returns the mean instructions per translated block.
@@ -184,6 +232,14 @@ type BlockEngine struct {
 
 	gen   uint64
 	table []*block
+
+	// spec/chain: run blocks through specialized step functions (spec.go)
+	// and follow/patch direct successor links. chainEp is the chain epoch:
+	// bumping it (on any invalidation or generation bump) atomically
+	// distrusts every successor link ever patched, without walking blocks.
+	spec    bool
+	chain   bool
+	chainEp uint64
 
 	// refs[i] is Regions[i].Refs normalized non-nil.
 	refs []*uint64
@@ -216,6 +272,7 @@ func NewBlockEngine(c *CPU, bind BlockBinding) *BlockEngine {
 		c:     c,
 		bind:  bind,
 		table: make([]*block, blockTableSize),
+		chain: true,
 	}
 	norm := func(p *uint64) *uint64 {
 		if p == nil {
@@ -262,6 +319,7 @@ func NewBlockEngine(c *CPU, bind BlockBinding) *BlockEngine {
 			watched: r.Watched,
 			ro:      r.RO,
 			roWr:    norm(r.ROWrites),
+			dirty:   r.Dirty,
 		})
 	}
 	return e
@@ -287,10 +345,31 @@ func (e *BlockEngine) SetFetchTrace(f func(addr uint32, size Size)) {
 	e.c.fTrace = f
 }
 
+// SetSpecialize switches the engine between plain threaded-code execution
+// (false, the PR 7 behaviour) and specialized execution with block
+// chaining (true). Flip it only between runs: already-cached blocks keep
+// whichever form they were translated with, so the engine bumps the
+// generation to force retranslation.
+func (e *BlockEngine) SetSpecialize(on bool) {
+	if e.spec != on {
+		e.spec = on
+		e.BumpGeneration()
+	}
+}
+
+// SetChaining enables or disables successor-link following in the spec
+// engine. On by default; the off position exists for A/B attribution
+// (EXPERIMENTS.md) and debugging.
+func (e *BlockEngine) SetChaining(on bool) { e.chain = on }
+
 // BumpGeneration invalidates every cached block lazily: lookups compare
 // generations, so stale blocks simply miss and retranslate. Called after
-// wholesale memory replacement (ROM load, flash pokes).
-func (e *BlockEngine) BumpGeneration() { e.gen++ }
+// wholesale memory replacement (ROM load, flash pokes). Chained successor
+// links die with the epoch.
+func (e *BlockEngine) BumpGeneration() {
+	e.gen++
+	e.chainEp++
+}
 
 // NoteWrite records a data write to the watched region. Callers must
 // invoke it for every mutation of watched memory that bypasses the
@@ -345,6 +424,13 @@ func (e *BlockEngine) dropWatch(b *block) {
 	for p := (b.pc - e.wbase) >> watchPageShift; p <= (b.end-1-e.wbase)>>watchPageShift; p++ {
 		e.watch[p]--
 	}
+	// A watched block leaving the cache (invalidation sweep or collision
+	// eviction) loses its page marks, so writes into its range would no
+	// longer be noticed — any successor link still pointing at it must die.
+	// Bumping the epoch severs every link; live ones re-patch on the next
+	// fall-through. (Unwatched flash blocks are immutable and generation-
+	// checked, so their eviction needs no epoch bump.)
+	e.chainEp++
 }
 
 // regionOf returns the index of the region containing pc, or -1.
@@ -401,6 +487,16 @@ func (e *BlockEngine) translate(pc uint32) *block {
 	b.watched = r.Watched
 	e.Stats.Translated++
 	e.Stats.TranslatedOps += uint64(len(ops))
+	if e.spec {
+		b.sops = make([]specOp, len(ops))
+		for i := range ops {
+			o := &ops[i]
+			specialize(&b.sops[i], o.e, o.op, o.pc, mem, r.Base)
+			if b.sops[i].gfn == nil {
+				e.Stats.SpecOps++
+			}
+		}
+	}
 	if b.watched {
 		e.addWatch(b)
 	}
@@ -488,6 +584,113 @@ func (e *BlockEngine) exec(b *block, limit uint64) {
 	c.code = nil
 }
 
+// execSpec is exec's specialized twin: it steps a block's specOp array and,
+// when the block runs to its natural end with cycles to spare, continues
+// directly into the successor block instead of returning to RunUntil.
+//
+// The chain transition is safe under exactly the conditions the outer loop
+// would re-establish anyway: the successor link is only followed when the
+// chain epoch is current (no invalidation or eviction of any watched block
+// since patching), the successor's pc equals the live PC, and its
+// generation is current. The per-instruction IRQ argument from exec holds
+// across the seam too — hardware asserts interrupts only between machine
+// quanta, and no whitelisted op changes the SR mask, halts or stops — so
+// nothing the interpreter would observe between two blocks is skipped.
+// Links are never patched toward a negative (untranslatable) block: the
+// loop breaks to RunUntil, which falls back to Step.
+func (e *BlockEngine) execSpec(b *block, limit uint64) {
+	c := e.c
+	fTrace, opCount, onExec, wake := c.fTrace, c.OpcodeCount, c.OnExec, e.wake
+	for {
+		r := &e.bind.Regions[b.region]
+		c.code = r.Mem
+		c.codeBase = r.Base
+		c.fetchCost = r.Cost
+		c.fetchRefs = e.refs[b.region]
+		e.cur = b
+		e.stop = false
+		cost, refs, kind := c.fetchCost, c.fetchRefs, c.fetchKind
+		// n/gn batch the opcode-fetch counters, the retired-instruction
+		// count and the spec/adapter split, flushed after the loop (same
+		// exactness argument as exec: nothing inside a block reads them).
+		var n, gn uint64
+		broke := false
+		if fTrace == nil && opCount == nil && onExec == nil {
+			// Hook-free fast loop: the common replay configuration. Kept in
+			// lockstep with the hooked loop below; only the per-op hook
+			// checks and counter increments differ.
+			for i := range b.sops {
+				s := &b.sops[i]
+				c.PC = s.npc
+				c.Cycles += cost
+				if s.gad != 0 {
+					gn++
+				}
+				s.fn(c, s)
+				if c.Cycles >= limit || e.stop || *wake != 0 {
+					n = uint64(i) + 1
+					broke = true
+					break
+				}
+			}
+			if !broke {
+				n = uint64(len(b.sops))
+			}
+		} else {
+			for i := range b.sops {
+				s := &b.sops[i]
+				c.PC = s.npc
+				c.Cycles += cost
+				n++
+				if fTrace != nil {
+					fTrace(s.pc, Word)
+				}
+				if opCount != nil {
+					opCount[s.op]++
+				}
+				if onExec != nil {
+					onExec(s.pc, s.op)
+				}
+				if s.gad != 0 {
+					gn++
+				}
+				s.fn(c, s)
+				if c.Cycles >= limit || e.stop || *wake != 0 {
+					broke = true
+					break
+				}
+			}
+		}
+		c.Instructions += n
+		*refs += n
+		*kind += n
+		e.Stats.SpecExec += n - gn
+		e.Stats.AdapterExec += gn
+		e.cur = nil
+		if broke || !e.chain {
+			break
+		}
+		nb := b.succ
+		if nb != nil && b.succEp == e.chainEp && nb.pc == c.PC && nb.gen == e.gen && nb.sops != nil {
+			e.Stats.ChainFollows++
+		} else if nb = b.succ2; nb != nil && b.succ2Ep == e.chainEp && nb.pc == c.PC && nb.gen == e.gen && nb.sops != nil {
+			// Promote the second slot to most-recently-taken; the demoted
+			// link keeps its own epoch and is re-validated before any use.
+			b.succ, b.succEp, b.succ2, b.succ2Ep = nb, e.chainEp, b.succ, b.succEp
+			e.Stats.ChainFollows++
+		} else {
+			nb = e.lookup(c.PC)
+			if nb.sops == nil {
+				break
+			}
+			b.succ, b.succEp, b.succ2, b.succ2Ep = nb, e.chainEp, b.succ, b.succEp
+			e.Stats.ChainPatches++
+		}
+		b = nb
+	}
+	c.code = nil
+}
+
 // RunUntil executes instructions until the CPU's cycle counter reaches
 // limit, or a condition the machine loop must observe first arises: a
 // pending unmasked interrupt was delivered, the CPU stopped or halted, or
@@ -512,7 +715,11 @@ func (e *BlockEngine) RunUntil(limit uint64) {
 		if c.sr&FlagT != 0 {
 			c.Step()
 		} else if b := e.lookup(c.PC); b.ops != nil {
-			e.exec(b, limit)
+			if e.spec {
+				e.execSpec(b, limit)
+			} else {
+				e.exec(b, limit)
+			}
 		} else {
 			e.Stats.Fallbacks++
 			c.Step()
@@ -538,6 +745,7 @@ type fastRegion struct {
 	watched bool
 	ro      bool
 	roWr    *uint64
+	dirty   []byte
 }
 
 type fastMem struct {
@@ -599,15 +807,29 @@ func (f *fastMem) write(c *CPU, addr uint32, size Size, v uint32) bool {
 		}
 		if r.watched {
 			// Inline page-mark guard; NoteWrite repeats it, so only pay
-			// the call when a mark might overlap.
+			// the call when a mark might overlap. The second page is only
+			// computed (and loaded) when the access actually straddles a
+			// page boundary, which a <= 4-byte access almost never does.
 			w := f.watch
 			p0 := off >> watchPageShift
-			p1 := (off + uint32(size) - 1) >> watchPageShift
-			if p1 >= uint32(len(w)) {
-				p1 = uint32(len(w)) - 1
-			}
-			if w[p0] != 0 || w[p1] != 0 {
+			if w[p0] != 0 {
 				f.eng.NoteWrite(addr, size)
+			} else if p1 := (off + uint32(size) - 1) >> watchPageShift; p1 != p0 {
+				if p1 >= uint32(len(w)) {
+					p1 = uint32(len(w)) - 1
+				}
+				if w[p1] != 0 {
+					f.eng.NoteWrite(addr, size)
+				}
+			}
+		}
+		if d := r.dirty; d != nil {
+			p := off >> DirtyPageShift
+			if p < uint32(len(d)) {
+				d[p] = 1
+				if p1 := (off + uint32(size) - 1) >> DirtyPageShift; p1 != p && p1 < uint32(len(d)) {
+					d[p1] = 1
+				}
 			}
 		}
 		beWrite(r.mem, off, size, v)

@@ -90,19 +90,22 @@ func TestBlockSMCInvalidation(t *testing.T) {
 	// One-shot quantum: the whole block runs in a single exec call, so the
 	// store must trip the mid-block stop and force retranslation of the
 	// tail — the interpreters see the new opcode because they fetch live.
-	cpus, buses, eng := diffTriple(words, 7)
-	milestoneCompare(t, cpus, buses, eng, 2, 10000)
-	if eng.Stats.Invalidations == 0 {
+	cpus, buses, engs := diffQuad(words, 7)
+	milestoneCompare(t, cpus, buses, engs, 2, 10000)
+	if engs[0].Stats.Invalidations == 0 {
 		t.Fatalf("self-modifying store did not invalidate the block")
 	}
 	if got := cpus[2].D[1]; got != 0x42 {
 		t.Fatalf("block engine executed stale code: D1 = %#x, want 0x42", got)
 	}
+	if got := cpus[3].D[1]; got != 0x42 {
+		t.Fatalf("spec engine executed stale code: D1 = %#x, want 0x42", got)
+	}
 
-	// And per-instruction lockstep over a fresh triple for good measure.
-	cpus, buses, eng = diffTriple(words, 7)
-	lockstepCompare(t, cpus, buses, eng, 6)
-	if eng.Stats.Invalidations == 0 {
+	// And per-instruction lockstep over a fresh quad for good measure.
+	cpus, buses, engs = diffQuad(words, 7)
+	lockstepCompare(t, cpus, buses, engs, 6)
+	if engs[0].Stats.Invalidations == 0 {
 		t.Fatalf("lockstep run did not invalidate the block")
 	}
 }
@@ -274,6 +277,7 @@ func TestParseDispatch(t *testing.T) {
 		{"legacy", DispatchLegacy, false},
 		{"table", DispatchTable, false},
 		{"block", DispatchBlock, false},
+		{"spec", DispatchSpec, false},
 		{"jit", DispatchAuto, true},
 	} {
 		got, err := ParseDispatch(tc.in)
@@ -282,7 +286,8 @@ func TestParseDispatch(t *testing.T) {
 		}
 	}
 	if DispatchBlock.String() != "block" || DispatchAuto.String() != "auto" ||
-		DispatchLegacy.String() != "legacy" || DispatchTable.String() != "table" {
+		DispatchLegacy.String() != "legacy" || DispatchTable.String() != "table" ||
+		DispatchSpec.String() != "spec" {
 		t.Errorf("DispatchKind.String mapping wrong")
 	}
 }

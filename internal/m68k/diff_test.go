@@ -5,24 +5,28 @@ import (
 	"testing"
 )
 
-// Differential tests: three execution engines over identical recording
+// Differential tests: four execution engines over identical recording
 // buses — the legacy nested-switch dispatcher (decode.go), the pre-decoded
-// dispatch table (table.go) and the superblock engine (block.go) — must be
+// dispatch table (table.go), the superblock engine (block.go) and the
+// specialized superblock engine (spec.go, chaining on) — must be
 // externally indistinguishable: same registers, flags, cycle counts,
 // instruction counts, halt state and, access for access, the same bus
 // traffic.
 
-// diffTriple builds three CPUs on identical recording buses executing the
-// same code: [0] legacy switch, [1] table, [2] block engine (returned so
-// tests can drive and inspect it).
-func diffTriple(words []uint16, seed int64) ([3]*CPU, [3]*testBus, *BlockEngine) {
-	var cpus [3]*CPU
-	var buses [3]*testBus
+// diffQuad builds four CPUs on identical recording buses executing the
+// same code: [0] legacy switch, [1] table, [2] block engine, [3] spec
+// engine (both engines returned so tests can drive and inspect them).
+func diffQuad(words []uint16, seed int64) ([4]*CPU, [4]*testBus, [2]*BlockEngine) {
+	var cpus [4]*CPU
+	var buses [4]*testBus
 	for i := range cpus {
 		cpus[i], buses[i] = newTestCPU(words...)
 	}
 	cpus[0].SetLegacyDispatch(true)
-	eng := newTestEngine(cpus[2], buses[2])
+	var engs [2]*BlockEngine
+	engs[0] = newTestEngine(cpus[2], buses[2])
+	engs[1] = newTestEngine(cpus[3], buses[3])
+	engs[1].SetSpecialize(true)
 	rng := rand.New(rand.NewSource(seed))
 	for i := range cpus[0].D {
 		v := rng.Uint32()
@@ -41,7 +45,7 @@ func diffTriple(words []uint16, seed int64) ([3]*CPU, [3]*testBus, *BlockEngine)
 	for _, b := range buses {
 		b.record = true
 	}
-	return cpus, buses, eng
+	return cpus, buses, engs
 }
 
 // newTestEngine binds a block engine to a testBus CPU: the whole test RAM
@@ -87,32 +91,35 @@ func compareEngines(t *testing.T, step int, name string, ref, got *CPU, rb, gb *
 	}
 }
 
-// lockstepCompare advances all three engines one instruction at a time and
+// lockstepCompare advances all four engines one instruction at a time and
 // fails on the first divergence. RunUntil with a limit already reached
 // executes exactly one Step-equivalent quantum, which is what makes
 // per-instruction lockstep possible against a block engine.
-func lockstepCompare(t *testing.T, cpus [3]*CPU, buses [3]*testBus, eng *BlockEngine, steps int) {
+func lockstepCompare(t *testing.T, cpus [4]*CPU, buses [4]*testBus, engs [2]*BlockEngine, steps int) {
 	t.Helper()
-	legacy, table, blk := cpus[0], cpus[1], cpus[2]
+	legacy, table, blk, spc := cpus[0], cpus[1], cpus[2], cpus[3]
 	for step := 0; step < steps; step++ {
 		legacy.Step()
 		table.Step()
-		eng.RunUntil(blk.Cycles + 1)
+		engs[0].RunUntil(blk.Cycles + 1)
+		engs[1].RunUntil(spc.Cycles + 1)
 		compareEngines(t, step, "table", legacy, table, buses[0], buses[1])
 		compareEngines(t, step, "block", legacy, blk, buses[0], buses[2])
+		compareEngines(t, step, "spec", legacy, spc, buses[0], buses[3])
 		if legacy.halted {
 			return
 		}
 	}
 }
 
-// milestoneCompare drives all three engines to shared cycle milestones —
-// the way emu.Machine drives the block engine to tick boundaries — so
-// whole multi-instruction blocks execute between comparisons, including
-// blocks cut short mid-run by the cycle limit.
-func milestoneCompare(t *testing.T, cpus [3]*CPU, buses [3]*testBus, eng *BlockEngine, rounds int, quantum uint64) {
+// milestoneCompare drives all four engines to shared cycle milestones —
+// the way emu.Machine drives the engines to tick boundaries — so whole
+// multi-instruction blocks (and, for the spec engine, whole chained block
+// sequences) execute between comparisons, including blocks cut short
+// mid-run by the cycle limit.
+func milestoneCompare(t *testing.T, cpus [4]*CPU, buses [4]*testBus, engs [2]*BlockEngine, rounds int, quantum uint64) {
 	t.Helper()
-	legacy, table, blk := cpus[0], cpus[1], cpus[2]
+	legacy, table, blk, spc := cpus[0], cpus[1], cpus[2], cpus[3]
 	for round := 0; round < rounds; round++ {
 		limit := legacy.Cycles + quantum
 		for legacy.Cycles < limit && !legacy.halted {
@@ -122,10 +129,14 @@ func milestoneCompare(t *testing.T, cpus [3]*CPU, buses [3]*testBus, eng *BlockE
 			table.Step()
 		}
 		for blk.Cycles < limit && !blk.halted {
-			eng.RunUntil(limit)
+			engs[0].RunUntil(limit)
+		}
+		for spc.Cycles < limit && !spc.halted {
+			engs[1].RunUntil(limit)
 		}
 		compareEngines(t, round, "table", legacy, table, buses[0], buses[1])
 		compareEngines(t, round, "block", legacy, blk, buses[0], buses[2])
+		compareEngines(t, round, "spec", legacy, spc, buses[0], buses[3])
 		if legacy.halted {
 			return
 		}
@@ -133,17 +144,17 @@ func milestoneCompare(t *testing.T, cpus [3]*CPU, buses [3]*testBus, eng *BlockE
 }
 
 // TestDifferentialOpcodeSweep runs every single opcode, with fixed
-// extension words, through all three engines in lockstep.
+// extension words, through all four engines in lockstep.
 func TestDifferentialOpcodeSweep(t *testing.T) {
 	for op := 0; op < 0x10000; op++ {
 		words := []uint16{uint16(op), 0x0004, 0x0010, 0x0002}
-		cpus, buses, eng := diffTriple(words, int64(op))
-		lockstepCompare(t, cpus, buses, eng, 3)
+		cpus, buses, engs := diffQuad(words, int64(op))
+		lockstepCompare(t, cpus, buses, engs, 3)
 	}
 }
 
 // TestDifferentialRandomStreams runs seeded random instruction streams
-// through all three engines for many steps, letting exceptions, stack
+// through all four engines for many steps, letting exceptions, stack
 // traffic and EA side effects accumulate.
 func TestDifferentialRandomStreams(t *testing.T) {
 	rng := rand.New(rand.NewSource(20050405))
@@ -152,8 +163,8 @@ func TestDifferentialRandomStreams(t *testing.T) {
 		for i := range words {
 			words[i] = uint16(rng.Intn(0x10000))
 		}
-		cpus, buses, eng := diffTriple(words, int64(trial))
-		lockstepCompare(t, cpus, buses, eng, 400)
+		cpus, buses, engs := diffQuad(words, int64(trial))
+		lockstepCompare(t, cpus, buses, engs, 400)
 	}
 }
 
@@ -202,23 +213,93 @@ func blockSafeStream(rng *rand.Rand, n int) []uint16 {
 }
 
 // TestDifferentialBlockStreams runs block-dense instruction streams through
-// all three engines, comparing at coarse cycle milestones so real
+// all four engines, comparing at coarse cycle milestones so real
 // multi-instruction blocks (and mid-block cycle-limit breaks) execute
-// between checks, then re-runs a fresh triple in per-instruction lockstep.
+// between checks, then re-runs a fresh quad in per-instruction lockstep.
 func TestDifferentialBlockStreams(t *testing.T) {
 	rng := rand.New(rand.NewSource(20050406))
 	for trial := 0; trial < 100; trial++ {
 		words := blockSafeStream(rng, 80)
 		quantum := uint64(1 + rng.Intn(300))
-		cpus, buses, eng := diffTriple(words, int64(trial))
-		milestoneCompare(t, cpus, buses, eng, 50, quantum)
-		cpus, buses, eng = diffTriple(words, int64(trial))
-		lockstepCompare(t, cpus, buses, eng, 600)
+		cpus, buses, engs := diffQuad(words, int64(trial))
+		milestoneCompare(t, cpus, buses, engs, 50, quantum)
+		cpus, buses, engs = diffQuad(words, int64(trial))
+		lockstepCompare(t, cpus, buses, engs, 600)
+	}
+}
+
+// TestDifferentialSpecNoChain re-runs the block-dense streams with
+// chaining off, isolating the specialized handlers from the chaining
+// layer: a divergence here but not in TestDifferentialBlockStreams points
+// at a handler, and vice versa at the chain transition.
+func TestDifferentialSpecNoChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050407))
+	for trial := 0; trial < 50; trial++ {
+		words := blockSafeStream(rng, 80)
+		quantum := uint64(1 + rng.Intn(300))
+		cpus, buses, engs := diffQuad(words, int64(trial))
+		engs[1].SetChaining(false)
+		milestoneCompare(t, cpus, buses, engs, 50, quantum)
+	}
+}
+
+// TestDifferentialSpecFastLoop runs the spec engine with no fetch-trace,
+// opcode-count or exec hooks bound — the configuration execSpec's
+// hook-free fast loop serves, and the one benchmarks and untraced
+// replays measure — comparing architectural state, cycle and instruction
+// counts against the legacy interpreter at cycle milestones. The
+// recording variants above cannot reach that loop: binding the fetch
+// tracer routes execution through the hooked twin.
+func TestDifferentialSpecFastLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050408))
+	for trial := 0; trial < 50; trial++ {
+		words := blockSafeStream(rng, 80)
+		quantum := uint64(1 + rng.Intn(300))
+		ref, _ := newTestCPU(words...)
+		ref.SetLegacyDispatch(true)
+		got, gb := newTestCPU(words...)
+		eng := NewBlockEngine(got, BlockBinding{
+			Regions: []BlockRegion{{Base: 0, Mem: gb.mem[:], Watched: true}},
+		})
+		gb.onWrite = eng.NoteWrite
+		eng.SetSpecialize(true)
+		seed := rand.New(rand.NewSource(int64(trial)))
+		for i := range ref.D {
+			v := seed.Uint32()
+			ref.D[i] = v
+			got.D[i] = v
+		}
+		for i := 0; i < 7; i++ {
+			v := uint32(0x2000+seed.Intn(0xC000)) &^ 1
+			ref.A[i] = v
+			got.A[i] = v
+		}
+		for round := 0; round < 50; round++ {
+			limit := ref.Cycles + quantum
+			for ref.Cycles < limit && !ref.halted {
+				ref.Step()
+			}
+			for got.Cycles < limit && !got.halted {
+				eng.RunUntil(limit)
+			}
+			if ref.D != got.D || ref.A != got.A || ref.PC != got.PC ||
+				ref.sr != got.sr || ref.Cycles != got.Cycles ||
+				ref.Instructions != got.Instructions ||
+				ref.halted != got.halted || ref.stopped != got.stopped {
+				t.Fatalf("trial %d round %d: fast-loop divergence:\nref PC=%#x SR=%#x cyc=%d instr=%d D=%x A=%x\ngot PC=%#x SR=%#x cyc=%d instr=%d D=%x A=%x",
+					trial, round,
+					ref.PC, ref.sr, ref.Cycles, ref.Instructions, ref.D, ref.A,
+					got.PC, got.sr, got.Cycles, got.Instructions, got.D, got.A)
+			}
+			if ref.halted {
+				break
+			}
+		}
 	}
 }
 
 // FuzzDifferentialDispatch is the go-fuzz form: arbitrary bytes as code,
-// all three engines in per-instruction lockstep. CI runs this for a 10 s
+// all four engines in per-instruction lockstep. CI runs this for a 10 s
 // smoke per PR.
 func FuzzDifferentialDispatch(f *testing.F) {
 	f.Add([]byte{0x70, 0x05})                         // MOVEQ #5,D0
@@ -232,12 +313,12 @@ func FuzzDifferentialDispatch(f *testing.F) {
 		for i := 0; i+1 < len(code) && len(words) < 64; i += 2 {
 			words = append(words, uint16(code[i])<<8|uint16(code[i+1]))
 		}
-		cpus, buses, eng := diffTriple(words, int64(len(code)))
-		lockstepCompare(t, cpus, buses, eng, 300)
+		cpus, buses, engs := diffQuad(words, int64(len(code)))
+		lockstepCompare(t, cpus, buses, engs, 300)
 	})
 }
 
-// FuzzBlockDifferential stresses the block engine specifically: arbitrary
+// FuzzBlockDifferential stresses the block engines specifically: arbitrary
 // code runs to fuzzer-chosen cycle milestones (whole blocks between
 // comparisons, mid-block limit breaks, invalidation by self-modifying
 // stores) and must match the legacy and table engines exactly.
@@ -252,7 +333,42 @@ func FuzzBlockDifferential(f *testing.F) {
 			words = append(words, uint16(code[i])<<8|uint16(code[i+1]))
 		}
 		quantum := uint64(q)%311 + 1
-		cpus, buses, eng := diffTriple(words, int64(len(code)))
-		milestoneCompare(t, cpus, buses, eng, 40, quantum)
+		cpus, buses, engs := diffQuad(words, int64(len(code)))
+		milestoneCompare(t, cpus, buses, engs, 40, quantum)
+	})
+}
+
+// FuzzSpecDifferential aims the fuzzer at the spec engine's unique
+// machinery — specialized handlers, the generic-adapter seam and chain
+// patching/severing — by interleaving fuzzer code with SMC-prone stores
+// and comparing only legacy vs spec at fuzzer-chosen milestones, leaving
+// the whole cycle budget to the engine under test.
+func FuzzSpecDifferential(f *testing.F) {
+	f.Add([]byte{0x70, 0x05, 0x4E, 0x71, 0x4E, 0x71}, uint8(40))  // MOVEQ; NOP; NOP
+	f.Add([]byte{0x31, 0xFC, 0x4E, 0x71, 0x10, 0x06}, uint8(10))  // MOVE.W #NOP,$1006 (SMC)
+	f.Add([]byte{0x51, 0xC8, 0xFF, 0xFE}, uint8(90))              // DBF D0,*-0
+	f.Add([]byte{0x61, 0x02, 0x4E, 0x71, 0x4E, 0x75}, uint8(120)) // BSR.S; NOP; RTS
+	f.Add([]byte{0x41, 0xFA, 0x00, 0x04, 0x20, 0x50}, uint8(60))  // LEA d16(PC),A0; MOVEA.L (A0),A0
+	f.Fuzz(func(t *testing.T, code []byte, q uint8) {
+		words := make([]uint16, 0, 64)
+		for i := 0; i+1 < len(code) && len(words) < 64; i += 2 {
+			words = append(words, uint16(code[i])<<8|uint16(code[i+1]))
+		}
+		quantum := uint64(q)%311 + 1
+		cpus, buses, engs := diffQuad(words, int64(len(code)))
+		legacy, spc := cpus[0], cpus[3]
+		for round := 0; round < 40; round++ {
+			limit := legacy.Cycles + quantum
+			for legacy.Cycles < limit && !legacy.halted {
+				legacy.Step()
+			}
+			for spc.Cycles < limit && !spc.halted {
+				engs[1].RunUntil(limit)
+			}
+			compareEngines(t, round, "spec", legacy, spc, buses[0], buses[3])
+			if legacy.halted {
+				return
+			}
+		}
 	})
 }

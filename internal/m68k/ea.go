@@ -55,7 +55,10 @@ var eaCalcCycles = [8][2]uint64{
 	ModeOther:    {8, 12}, // refined in eaTiming
 }
 
-func (c *CPU) eaTiming(mode, reg int, size Size) {
+// eaCost is the pure form of eaTiming: the EA-calculation cycle charge for
+// (mode, reg) at the given size. The spec engine (spec.go) folds it into
+// each specialized op's precomputed cycle constant at translation time.
+func eaCost(mode, reg int, size Size) uint64 {
 	i := 0
 	if size == Long {
 		i = 1
@@ -71,7 +74,11 @@ func (c *CPU) eaTiming(mode, reg int, size Size) {
 			cyc -= 4
 		}
 	}
-	c.Cycles += cyc
+	return cyc
+}
+
+func (c *CPU) eaTiming(mode, reg int, size Size) {
+	c.Cycles += eaCost(mode, reg, size)
 }
 
 // indexExt decodes a brief extension word: D/A register, word/long index,

@@ -1,0 +1,1176 @@
+// Per-block handler specialization for the superblock engine ("spec"
+// dispatch). The block engine (block.go) already removed the dispatch
+// costs; the CPU profile says the remaining time sits inside the shared
+// table handlers — generic EA resolution (resolveEA's mode switch and a
+// windowed fetch16 per extension word), the operand struct threaded
+// through resolveEA/loadOp/storeOp, per-op eaTiming lookups, and flag
+// helper calls. This file moves that work to translation time.
+//
+// The specializer decodes each whitelisted instruction's operands once —
+// extension words are read directly from the region bytes, which the
+// invalidation machinery already guarantees cannot change under a cached
+// block — and emits a specOp: a specialized step function plus
+// pre-resolved operands (displacements folded, absolute and PC-relative
+// addresses final, immediates pre-masked, post-increment steps with the
+// A7 byte quirk baked in, branch targets computed) and a precomputed
+// fixed cycle charge (base cycles + size extras + the eaTiming table
+// contribution).
+//
+// Correctness contract, same as block.go: bit-identical architectural
+// state AND bus streams. Every extension-word fetch the interpreter would
+// perform is replayed via CPU.fetchRef at the same program point, in the
+// same order relative to data accesses and with the same size; data
+// accesses go through CPU.read/write so both the inline fast path and the
+// traced bus observe them; flag updates either call the exact shared
+// helpers (addFlags/subFlags/cmpFlags/shiftValue) or fuse the setNZ
+// pattern with precomputed mask/msb constants. Anything without a
+// specialized form — or using an index addressing mode, whose extension
+// word names a runtime register — executes through a generic adapter that
+// calls the pre-bound table handler with PC positioned exactly as the
+// interpreter would (past the opcode word), so coverage is never lost.
+package m68k
+
+// Specialization families (opEntry.sfam), tagged in table.go at the same
+// sites that bind the handler. sfNone means "no specialized form".
+const (
+	sfNone uint8 = iota
+	sfMOVEQ
+	sfMoveToDn
+	sfMoveToMem
+	sfMOVEA
+	sfDnEAToDn
+	sfDnEAToEA
+	sfCMP
+	sfCMPA
+	sfAddrOp
+	sfADDQ
+	sfSUBQ
+	sfADDQA
+	sfSUBQA
+	sfCMPI
+	sfImmArith
+	sfTST
+	sfCLR
+	sfLEA
+	sfPEA
+	sfBcc
+	sfBSR
+	sfDBcc
+	sfJMP
+	sfJSR
+	sfRTS
+	sfShiftReg
+	sfSccDn
+	sfNOP
+	sfSWAP
+	sfEXTW
+	sfEXTL
+	sfEXGDD
+	sfEXGAA
+	sfEXGDA
+)
+
+// specEA kinds: where a pre-resolved operand lives. The index modes
+// (d8(An,Xn) and d8(PC,Xn)) have no kind — their extension word names a
+// register read at run time, so instructions using them stay generic.
+const (
+	seDn   uint8 = iota // data register direct
+	seAn                // address register direct
+	seInd               // (An)
+	sePost              // (An)+  — step pre-computed, A7 byte quirk baked in
+	sePre               // -(An)
+	seDisp              // d16(An) — val = sign-extended displacement
+	seAbs               // abs.w / abs.l / d16(PC) — val = final address
+	seImm               // #imm — val = pre-masked value
+)
+
+// specEA is one pre-resolved effective address. faddr/fsz describe the
+// extension-word fetch the interpreter would perform (faddr = address of
+// the first extension word, fsz = 0 none / Word / Long), replayed through
+// CPU.fetchRef so the bus stream keeps every reference.
+type specEA struct {
+	kind  uint8
+	reg   uint8
+	step  uint8
+	fsz   uint8
+	faddr uint32
+	val   uint32
+}
+
+// load resolves the operand and returns its value zero-extended to size
+// (register values masked by mask), replaying extension fetches and
+// post-increment/pre-decrement side effects exactly like resolveEA+loadOp.
+func (a *specEA) load(c *CPU, size Size, mask uint32) uint32 {
+	switch a.kind {
+	case seDn:
+		return c.D[a.reg] & mask
+	case seAn:
+		return c.A[a.reg] & mask
+	case seInd:
+		return c.read(c.A[a.reg], size, Read)
+	case sePost:
+		p := c.A[a.reg]
+		c.A[a.reg] = p + uint32(a.step)
+		return c.read(p, size, Read)
+	case sePre:
+		p := c.A[a.reg] - uint32(a.step)
+		c.A[a.reg] = p
+		return c.read(p, size, Read)
+	case seDisp:
+		c.fetchRef(a.faddr, Word)
+		return c.read(c.A[a.reg]+a.val, size, Read)
+	case seAbs:
+		c.fetchRef(a.faddr, Size(a.fsz))
+		return c.read(a.val, size, Read)
+	default: // seImm
+		c.fetchRef(a.faddr, Size(a.fsz))
+		return a.val
+	}
+}
+
+// calc resolves a memory operand to its final address (kinds seInd..seAbs
+// only), replaying fetches and address-register side effects. Used by
+// read-modify-write handlers, which resolve once and then read and write
+// the same address — calling load and store separately would apply the
+// post-increment twice.
+func (a *specEA) calc(c *CPU) uint32 {
+	switch a.kind {
+	case seInd:
+		return c.A[a.reg]
+	case sePost:
+		p := c.A[a.reg]
+		c.A[a.reg] = p + uint32(a.step)
+		return p
+	case sePre:
+		p := c.A[a.reg] - uint32(a.step)
+		c.A[a.reg] = p
+		return p
+	case seDisp:
+		c.fetchRef(a.faddr, Word)
+		return c.A[a.reg] + a.val
+	default: // seAbs
+		c.fetchRef(a.faddr, Size(a.fsz))
+		return a.val
+	}
+}
+
+// storeTo resolves a memory destination and writes v (already masked to
+// size) — the MOVE-destination pattern, where resolve and store happen
+// back to back.
+func (a *specEA) storeTo(c *CPU, size Size, v uint32) {
+	switch a.kind {
+	case seInd:
+		c.write(c.A[a.reg], size, v)
+	case sePost:
+		p := c.A[a.reg]
+		c.A[a.reg] = p + uint32(a.step)
+		c.write(p, size, v)
+	case sePre:
+		p := c.A[a.reg] - uint32(a.step)
+		c.A[a.reg] = p
+		c.write(p, size, v)
+	case seDisp:
+		c.fetchRef(a.faddr, Word)
+		c.write(c.A[a.reg]+a.val, size, v)
+	default: // seAbs
+		c.fetchRef(a.faddr, Size(a.fsz))
+		c.write(a.val, size, v)
+	}
+}
+
+// specOp is one pre-decoded instruction of a specialized block. The exec
+// loop (BlockEngine.execSpec) accounts the opcode fetch, sets PC to npc
+// and calls fn; everything else the instruction needs was computed at
+// translation time. Generic (non-specialized) ops carry gfn/e and npc =
+// pc+2 so the table handler runs with the CPU positioned exactly as the
+// interpreter would have it.
+//
+// Field order is deliberate: everything the hook-free exec loop and the
+// specialized handlers touch per instruction (fn, operands, npc, flag
+// constants, size, rn/x, the adapter flag and the cycle charge) packs
+// into the first 64 bytes — one cache line per op — while pc/op/gfn/e,
+// which only the hook loop and the rare generic adapters read, sit in
+// the cold tail. Branch handlers that replay their displacement-word
+// fetch take the address from src.faddr (src is otherwise unused there)
+// so they stay on the hot line too.
+type specOp struct {
+	fn  func(c *CPU, s *specOp)
+	src specEA
+	dst specEA
+
+	imm  uint32 // branch target / MOVEQ value / static shift count
+	npc  uint32 // address of the next instruction (past all extension words)
+	mask uint32
+	msb  uint32
+	size Size
+	rn   uint8 // primary register (Dn/An number, family-specific)
+	x    uint8 // condition code / quick value / shift encoding
+	gad  uint8 // 1 if fn is the generic adapter (counts AdapterExec)
+
+	cyc uint64 // precomputed fixed cycle charge
+
+	// Cold tail: hook loop and generic adapters only.
+	pc  uint32 // address of the opcode word
+	op  uint16
+	gfn func(c *CPU, op uint16, e *opEntry)
+	e   *opEntry
+}
+
+// specialize fills s for the instruction (ent, op) at pc, reading
+// extension words from the region bytes mem (based at base).
+func specialize(s *specOp, ent *opEntry, op uint16, pc uint32, mem []byte, base uint32) {
+	size := ent.size
+	*s = specOp{
+		imm:  0,
+		pc:   pc,
+		npc:  pc + 2 + 2*uint32(ent.extw),
+		mask: size.Mask(),
+		msb:  size.MSB(),
+		size: size,
+		op:   op,
+		rn:   ent.rn,
+		x:    ent.x,
+	}
+	ext := pc + 2
+	mode, reg := int(ent.mode), int(ent.reg)
+	long4 := uint64(0)
+	if size == Long {
+		long4 = 4
+	}
+
+	switch ent.sfam {
+	case sfMOVEQ:
+		s.fn = sMOVEQ
+		s.imm = uint32(int32(int8(op)))
+		s.cyc = 4
+
+	case sfMoveToDn:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		if src.kind == seDn {
+			s.fn = sMoveDnToDn
+		} else {
+			s.fn = sMoveToDn
+		}
+		s.cyc = 4 + eaCost(mode, reg, size)
+
+	case sfMoveToMem:
+		src, next, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		dst, _, ok := decodeSpecEA(int(ent.x), int(ent.rn), size, mem, base, next)
+		if !ok {
+			break
+		}
+		s.src, s.dst = src, dst
+		// MOVE to memory dominates the profile; pick a per-destination-kind
+		// variant so the hot path skips storeTo's dispatch switch, and for
+		// the hottest source kinds (register moves, and the (An)+ -> (An)+
+		// copy-loop shape) fold the source load in as well.
+		switch dst.kind {
+		case seInd:
+			if src.kind == seDn {
+				s.fn = sMoveDnToMemInd
+			} else {
+				s.fn = sMoveToMemInd
+			}
+		case sePost:
+			switch src.kind {
+			case seDn:
+				s.fn = sMoveDnToMemPost
+			case sePost:
+				s.fn = sMovePostToMemPost
+			default:
+				s.fn = sMoveToMemPost
+			}
+		case sePre:
+			if src.kind == seDn {
+				s.fn = sMoveDnToMemPre
+			} else {
+				s.fn = sMoveToMemPre
+			}
+		case seDisp:
+			if src.kind == seDn {
+				s.fn = sMoveDnToMemDisp
+			} else {
+				s.fn = sMoveToMemDisp
+			}
+		default: // seAbs
+			s.fn = sMoveToMemAbs
+		}
+		s.cyc = 8 + long4 + eaCost(mode, reg, size)
+
+	case sfMOVEA:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		if size == Word {
+			s.fn = sMoveAW
+		} else {
+			s.fn = sMoveAL
+		}
+		s.cyc = 4 + eaCost(mode, reg, size)
+
+	case sfDnEAToDn:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		switch ent.x {
+		case aluOr:
+			s.fn = sOrToDn
+		case aluAnd:
+			s.fn = sAndToDn
+		case aluAdd:
+			s.fn = sAddToDn
+		default:
+			s.fn = sSubToDn
+		}
+		s.cyc = 4 + long4 + eaCost(mode, reg, size)
+
+	case sfDnEAToEA:
+		dst, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.dst = dst
+		switch ent.x {
+		case aluOr:
+			s.fn = sOrToEA
+		case aluAnd:
+			s.fn = sAndToEA
+		case aluAdd:
+			s.fn = sAddToEA
+		default:
+			s.fn = sSubToEA
+		}
+		s.cyc = 8 + long4 + eaCost(mode, reg, size)
+
+	case sfCMP:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sCmp
+		s.cyc = 4 + eaCost(mode, reg, size)
+		if size == Long {
+			s.cyc += 2
+		}
+
+	case sfCMPA:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sCmpA
+		s.cyc = 8 + eaCost(mode, reg, size)
+
+	case sfAddrOp:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		if ent.x == aluAdd {
+			s.fn = sAddA
+		} else {
+			s.fn = sSubA
+		}
+		s.cyc = 8 + eaCost(mode, reg, size)
+
+	case sfADDQ, sfSUBQ:
+		isAdd := ent.sfam == sfADDQ
+		if mode == ModeDataReg {
+			s.rn = ent.reg
+			if isAdd {
+				s.fn = sAddQDn
+			} else {
+				s.fn = sSubQDn
+			}
+			s.cyc = 4 + long4
+			break
+		}
+		dst, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.dst = dst
+		if isAdd {
+			s.fn = sAddQMem
+		} else {
+			s.fn = sSubQMem
+		}
+		s.cyc = 8 + long4 + eaCost(mode, reg, size)
+
+	case sfADDQA:
+		s.rn = ent.reg
+		s.fn = sAddQA
+		s.cyc = 8
+
+	case sfSUBQA:
+		s.rn = ent.reg
+		s.fn = sSubQA
+		s.cyc = 8
+
+	case sfCMPI:
+		imm, next, _ := decodeSpecEA(ModeOther, RegImmediate, size, mem, base, ext)
+		dst, _, ok := decodeSpecEA(mode, reg, size, mem, base, next)
+		if !ok {
+			break
+		}
+		s.src, s.dst = imm, dst
+		s.fn = sCmpI
+		s.cyc = 8 + eaCost(mode, reg, size)
+
+	case sfImmArith:
+		imm, next, _ := decodeSpecEA(ModeOther, RegImmediate, size, mem, base, ext)
+		dst, _, ok := decodeSpecEA(mode, reg, size, mem, base, next)
+		if !ok {
+			break
+		}
+		s.src, s.dst = imm, dst
+		if ent.x == aluAdd {
+			s.fn = sAddI
+		} else {
+			s.fn = sSubI
+		}
+		if dst.kind == seDn {
+			s.cyc = 8
+		} else {
+			s.cyc = 12
+		}
+		s.cyc += 2 * long4
+		s.cyc += eaCost(mode, reg, size)
+
+	case sfTST:
+		src, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sTst
+		s.cyc = 4 + eaCost(mode, reg, size)
+
+	case sfCLR:
+		dst, _, ok := decodeSpecEA(mode, reg, size, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.dst = dst
+		s.fn = sClr
+		s.cyc = 4 + eaCost(mode, reg, size)
+		if dst.kind != seDn {
+			s.cyc += 4
+		}
+
+	case sfLEA:
+		src, _, ok := decodeSpecEA(mode, reg, Long, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sLea
+		s.cyc = 4
+
+	case sfPEA:
+		src, _, ok := decodeSpecEA(mode, reg, Long, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sPea
+		s.cyc = 12
+
+	case sfBcc:
+		if ent.extw == 1 {
+			d := signExtend(beRead(mem, ext-base, Word), Word)
+			s.imm = ext + d
+			s.src.faddr = ext
+			s.fn = sBccW
+		} else {
+			s.imm = ext + uint32(int32(int8(op)))
+			s.fn = sBccB
+		}
+
+	case sfBSR:
+		if ent.extw == 1 {
+			d := signExtend(beRead(mem, ext-base, Word), Word)
+			s.imm = ext + d
+			s.src.faddr = ext
+			s.fn = sBsrW
+		} else {
+			s.imm = ext + uint32(int32(int8(op)))
+			s.fn = sBsrB
+		}
+		s.cyc = 18
+
+	case sfDBcc:
+		d := signExtend(beRead(mem, ext-base, Word), Word)
+		s.imm = ext + d
+		s.src.faddr = ext
+		s.rn = ent.reg
+		s.fn = sDBcc
+
+	case sfJMP:
+		src, _, ok := decodeSpecEA(mode, reg, Long, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sJmp
+		s.cyc = 8
+
+	case sfJSR:
+		src, _, ok := decodeSpecEA(mode, reg, Long, mem, base, ext)
+		if !ok {
+			break
+		}
+		s.src = src
+		s.fn = sJsr
+		s.cyc = 16
+
+	case sfRTS:
+		s.fn = sRts
+		s.cyc = 16
+
+	case sfShiftReg:
+		s.rn = ent.reg
+		if ent.x&shiftCountInReg != 0 {
+			s.src.reg = ent.rn
+			s.fn = sShiftDyn
+			s.cyc = 6
+			if size == Long {
+				s.cyc += 2
+			}
+		} else {
+			cnt := uint32(ent.rn)
+			if cnt == 0 {
+				cnt = 8
+			}
+			s.imm = cnt
+			s.fn = sShiftImm
+			s.cyc = 6 + 2*uint64(cnt)
+			if size == Long {
+				s.cyc += 2
+			}
+		}
+
+	case sfSccDn:
+		s.rn = ent.reg
+		s.fn = sSccDn
+		s.cyc = 4
+
+	case sfNOP:
+		s.fn = sNop
+		s.cyc = 4
+
+	case sfSWAP:
+		s.rn = ent.reg
+		s.fn = sSwap
+		s.cyc = 4
+
+	case sfEXTW:
+		s.rn = ent.reg
+		s.fn = sExtW
+		s.cyc = 4
+
+	case sfEXTL:
+		s.rn = ent.reg
+		s.fn = sExtL
+		s.cyc = 4
+
+	case sfEXGDD:
+		s.rn = ent.rn
+		s.src.reg = ent.reg
+		s.fn = sExgDD
+		s.cyc = 6
+
+	case sfEXGAA:
+		s.rn = ent.rn
+		s.src.reg = ent.reg
+		s.fn = sExgAA
+		s.cyc = 6
+
+	case sfEXGDA:
+		s.rn = ent.rn
+		s.src.reg = ent.reg
+		s.fn = sExgDA
+		s.cyc = 6
+	}
+
+	if s.fn == nil {
+		// No specialized form (sfNone or an index addressing mode): run the
+		// pre-bound table handler with PC past the opcode word, exactly as
+		// the block engine's exec loop would.
+		s.fn = sGeneric
+		s.gfn = ent.fn
+		s.e = ent
+		s.gad = 1
+		s.npc = pc + 2
+	}
+}
+
+// decodeSpecEA pre-resolves the EA (mode, reg) at the given operand size,
+// reading extension words from mem at address ext. It returns the operand,
+// the address following the EA's extension words, and ok=false for the
+// index modes (runtime register in the extension word) that specialization
+// punts on. It must agree exactly with resolveEA's fetch behaviour and
+// side effects.
+func decodeSpecEA(mode, reg int, size Size, mem []byte, base, ext uint32) (specEA, uint32, bool) {
+	switch mode {
+	case ModeDataReg:
+		return specEA{kind: seDn, reg: uint8(reg)}, ext, true
+	case ModeAddrReg:
+		return specEA{kind: seAn, reg: uint8(reg)}, ext, true
+	case ModeIndirect:
+		return specEA{kind: seInd, reg: uint8(reg)}, ext, true
+	case ModePostInc, ModePreDec:
+		step := uint8(size)
+		if reg == 7 && size == Byte {
+			step = 2 // keep SP word-aligned
+		}
+		k := sePost
+		if mode == ModePreDec {
+			k = sePre
+		}
+		return specEA{kind: k, reg: uint8(reg), step: step}, ext, true
+	case ModeDisp16:
+		d := signExtend(beRead(mem, ext-base, Word), Word)
+		return specEA{kind: seDisp, reg: uint8(reg), val: d, faddr: ext}, ext + 2, true
+	case ModeIndex:
+		return specEA{}, ext, false
+	default: // ModeOther
+		switch reg {
+		case RegAbsWord:
+			v := signExtend(beRead(mem, ext-base, Word), Word)
+			return specEA{kind: seAbs, val: v, faddr: ext, fsz: uint8(Word)}, ext + 2, true
+		case RegAbsLong:
+			v := beRead(mem, ext-base, Long)
+			return specEA{kind: seAbs, val: v, faddr: ext, fsz: uint8(Long)}, ext + 4, true
+		case RegPCDisp:
+			// resolveEA's base is PC at the displacement word, which is ext.
+			d := signExtend(beRead(mem, ext-base, Word), Word)
+			return specEA{kind: seAbs, val: ext + d, faddr: ext, fsz: uint8(Word)}, ext + 2, true
+		case RegImmediate:
+			switch size {
+			case Byte:
+				v := beRead(mem, ext-base, Word) & 0xFF
+				return specEA{kind: seImm, val: v, faddr: ext, fsz: uint8(Word)}, ext + 2, true
+			case Word:
+				v := beRead(mem, ext-base, Word)
+				return specEA{kind: seImm, val: v, faddr: ext, fsz: uint8(Word)}, ext + 2, true
+			default:
+				v := beRead(mem, ext-base, Long)
+				return specEA{kind: seImm, val: v, faddr: ext, fsz: uint8(Long)}, ext + 4, true
+			}
+		}
+		return specEA{}, ext, false // PC-index
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Specialized step functions. Each mirrors its table.go counterpart with
+// operands pre-resolved and fixed cycles pre-summed; dynamic cycle terms
+// (branch taken/not, shift counts) stay in the handler.
+
+func sGeneric(c *CPU, s *specOp) { s.gfn(c, s.op, s.e) }
+
+func sMOVEQ(c *CPU, s *specOp) {
+	v := s.imm
+	c.D[s.rn] = v
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if v&0x80000000 != 0 {
+		sr |= FlagN
+	}
+	if v == 0 {
+		sr |= FlagZ
+	}
+	c.sr = sr
+	c.Cycles += 4
+}
+
+func sMoveToDn(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | v
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if v&s.msb != 0 {
+		sr |= FlagN
+	}
+	if v == 0 {
+		sr |= FlagZ
+	}
+	c.sr = sr
+	c.Cycles += s.cyc
+}
+
+// The sMoveToMem* variants are storeTo's cases unrolled per destination
+// kind (chosen at specialization time): same fetch replay, same
+// address-register side effects, same flag fuse, minus the per-execution
+// dispatch switch. moveFlags is the shared MOVE condition-code tail.
+func moveFlags(c *CPU, s *specOp, v uint32) {
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if v&s.msb != 0 {
+		sr |= FlagN
+	}
+	if v == 0 {
+		sr |= FlagZ
+	}
+	c.sr = sr
+	c.Cycles += s.cyc
+}
+
+func sMoveToMemInd(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	c.write(c.A[s.dst.reg], s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveToMemPost(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	p := c.A[s.dst.reg]
+	c.A[s.dst.reg] = p + uint32(s.dst.step)
+	c.write(p, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveToMemPre(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	p := c.A[s.dst.reg] - uint32(s.dst.step)
+	c.A[s.dst.reg] = p
+	c.write(p, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveToMemDisp(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	c.fetchRef(s.dst.faddr, Word)
+	c.write(c.A[s.dst.reg]+s.dst.val, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveToMemAbs(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	c.fetchRef(s.dst.faddr, Size(s.dst.fsz))
+	c.write(s.dst.val, s.size, v)
+	moveFlags(c, s, v)
+}
+
+// Register-source variants: the load switch collapses to a masked
+// register read, so the whole MOVE runs without an extra call.
+func sMoveDnToDn(c *CPU, s *specOp) {
+	v := c.D[s.src.reg] & s.mask
+	c.D[s.rn] = c.D[s.rn]&^s.mask | v
+	moveFlags(c, s, v)
+}
+
+func sMoveDnToMemInd(c *CPU, s *specOp) {
+	v := c.D[s.src.reg] & s.mask
+	c.write(c.A[s.dst.reg], s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveDnToMemPost(c *CPU, s *specOp) {
+	v := c.D[s.src.reg] & s.mask
+	p := c.A[s.dst.reg]
+	c.A[s.dst.reg] = p + uint32(s.dst.step)
+	c.write(p, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveDnToMemPre(c *CPU, s *specOp) {
+	v := c.D[s.src.reg] & s.mask
+	p := c.A[s.dst.reg] - uint32(s.dst.step)
+	c.A[s.dst.reg] = p
+	c.write(p, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveDnToMemDisp(c *CPU, s *specOp) {
+	v := c.D[s.src.reg] & s.mask
+	c.fetchRef(s.dst.faddr, Word)
+	c.write(c.A[s.dst.reg]+s.dst.val, s.size, v)
+	moveFlags(c, s, v)
+}
+
+// The (An)+ -> (An)+ copy-loop shape. Source side effect lands before
+// the read and before the destination register is sampled, exactly like
+// load followed by storeTo (same-register MOVE (A0)+,(A0)+ included).
+func sMovePostToMemPost(c *CPU, s *specOp) {
+	sp := c.A[s.src.reg]
+	c.A[s.src.reg] = sp + uint32(s.src.step)
+	v := c.read(sp, s.size, Read)
+	dp := c.A[s.dst.reg]
+	c.A[s.dst.reg] = dp + uint32(s.dst.step)
+	c.write(dp, s.size, v)
+	moveFlags(c, s, v)
+}
+
+func sMoveAW(c *CPU, s *specOp) {
+	v := s.src.load(c, Word, 0xFFFF)
+	c.A[s.rn] = uint32(int32(int16(v)))
+	c.Cycles += s.cyc
+}
+
+func sMoveAL(c *CPU, s *specOp) {
+	c.A[s.rn] = s.src.load(c, Long, 0xFFFFFFFF)
+	c.Cycles += s.cyc
+}
+
+func sOrToDn(c *CPU, s *specOp) {
+	res := s.src.load(c, s.size, s.mask) | c.D[s.rn]
+	c.setNZ(res, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sAndToDn(c *CPU, s *specOp) {
+	res := s.src.load(c, s.size, s.mask) & c.D[s.rn]
+	c.setNZ(res, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sAddToDn(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	d := c.D[s.rn]
+	res := d + v
+	c.addFlags(v, d, res, s.size)
+	c.D[s.rn] = d&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sSubToDn(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	d := c.D[s.rn]
+	res := d - v
+	c.subFlags(v, d, res, s.size)
+	c.D[s.rn] = d&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sOrToEA(c *CPU, s *specOp) {
+	addr := s.dst.calc(c)
+	res := c.read(addr, s.size, Read) | c.D[s.rn]
+	c.setNZ(res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sAndToEA(c *CPU, s *specOp) {
+	addr := s.dst.calc(c)
+	res := c.read(addr, s.size, Read) & c.D[s.rn]
+	c.setNZ(res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sAddToEA(c *CPU, s *specOp) {
+	addr := s.dst.calc(c)
+	d := c.read(addr, s.size, Read)
+	v := c.D[s.rn]
+	res := d + v
+	c.addFlags(v, d, res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sSubToEA(c *CPU, s *specOp) {
+	addr := s.dst.calc(c)
+	d := c.read(addr, s.size, Read)
+	v := c.D[s.rn]
+	res := d - v
+	c.subFlags(v, d, res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sCmp(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	d := c.D[s.rn] & s.mask
+	c.cmpFlags(v, d, d-v, s.size)
+	c.Cycles += s.cyc
+}
+
+func sCmpA(c *CPU, s *specOp) {
+	v := signExtend(s.src.load(c, s.size, s.mask), s.size)
+	d := c.A[s.rn]
+	c.cmpFlags(v, d, d-v, Long)
+	c.Cycles += s.cyc
+}
+
+func sAddA(c *CPU, s *specOp) {
+	c.A[s.rn] += signExtend(s.src.load(c, s.size, s.mask), s.size)
+	c.Cycles += s.cyc
+}
+
+func sSubA(c *CPU, s *specOp) {
+	c.A[s.rn] -= signExtend(s.src.load(c, s.size, s.mask), s.size)
+	c.Cycles += s.cyc
+}
+
+func sAddQDn(c *CPU, s *specOp) {
+	q := uint32(s.x)
+	d := c.D[s.rn] & s.mask
+	res := d + q
+	c.addFlags(q, d, res, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sSubQDn(c *CPU, s *specOp) {
+	q := uint32(s.x)
+	d := c.D[s.rn] & s.mask
+	res := d - q
+	c.subFlags(q, d, res, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sAddQMem(c *CPU, s *specOp) {
+	q := uint32(s.x)
+	addr := s.dst.calc(c)
+	d := c.read(addr, s.size, Read)
+	res := d + q
+	c.addFlags(q, d, res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sSubQMem(c *CPU, s *specOp) {
+	q := uint32(s.x)
+	addr := s.dst.calc(c)
+	d := c.read(addr, s.size, Read)
+	res := d - q
+	c.subFlags(q, d, res, s.size)
+	c.write(addr, s.size, res&s.mask)
+	c.Cycles += s.cyc
+}
+
+func sAddQA(c *CPU, s *specOp) {
+	c.A[s.rn] += uint32(s.x)
+	c.Cycles += 8
+}
+
+func sSubQA(c *CPU, s *specOp) {
+	c.A[s.rn] -= uint32(s.x)
+	c.Cycles += 8
+}
+
+func sCmpI(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	var d uint32
+	if s.dst.kind == seDn {
+		d = c.D[s.dst.reg] & s.mask
+	} else {
+		d = c.read(s.dst.calc(c), s.size, Read)
+	}
+	c.cmpFlags(v, d, d-v, s.size)
+	c.Cycles += s.cyc
+}
+
+func sAddI(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	if s.dst.kind == seDn {
+		r := s.dst.reg
+		d := c.D[r] & s.mask
+		res := d + v
+		c.addFlags(v, d, res, s.size)
+		c.D[r] = c.D[r]&^s.mask | res&s.mask
+	} else {
+		addr := s.dst.calc(c)
+		d := c.read(addr, s.size, Read)
+		res := d + v
+		c.addFlags(v, d, res, s.size)
+		c.write(addr, s.size, res&s.mask)
+	}
+	c.Cycles += s.cyc
+}
+
+func sSubI(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	if s.dst.kind == seDn {
+		r := s.dst.reg
+		d := c.D[r] & s.mask
+		res := d - v
+		c.subFlags(v, d, res, s.size)
+		c.D[r] = c.D[r]&^s.mask | res&s.mask
+	} else {
+		addr := s.dst.calc(c)
+		d := c.read(addr, s.size, Read)
+		res := d - v
+		c.subFlags(v, d, res, s.size)
+		c.write(addr, s.size, res&s.mask)
+	}
+	c.Cycles += s.cyc
+}
+
+func sTst(c *CPU, s *specOp) {
+	v := s.src.load(c, s.size, s.mask)
+	sr := c.sr &^ (FlagN | FlagZ | FlagV | FlagC)
+	if v&s.msb != 0 {
+		sr |= FlagN
+	}
+	if v == 0 {
+		sr |= FlagZ
+	}
+	c.sr = sr
+	c.Cycles += s.cyc
+}
+
+func sClr(c *CPU, s *specOp) {
+	if s.dst.kind == seDn {
+		c.D[s.dst.reg] &^= s.mask
+	} else {
+		c.write(s.dst.calc(c), s.size, 0)
+	}
+	c.sr = c.sr&^(FlagN|FlagZ|FlagV|FlagC) | FlagZ
+	c.Cycles += s.cyc
+}
+
+func sLea(c *CPU, s *specOp) {
+	c.A[s.rn] = s.src.calc(c)
+	c.Cycles += 4
+}
+
+func sPea(c *CPU, s *specOp) {
+	addr := s.src.calc(c)
+	c.push32(addr)
+	c.Cycles += 12
+}
+
+func sBccB(c *CPU, s *specOp) {
+	if c.testCond(int(s.x)) {
+		c.PC = s.imm
+		c.Cycles += 10
+	} else {
+		c.Cycles += 8
+	}
+}
+
+func sBccW(c *CPU, s *specOp) {
+	c.fetchRef(s.src.faddr, Word)
+	if c.testCond(int(s.x)) {
+		c.PC = s.imm
+		c.Cycles += 10
+	} else {
+		c.Cycles += 8
+	}
+}
+
+func sBsrB(c *CPU, s *specOp) {
+	c.push32(s.npc)
+	c.PC = s.imm
+	c.Cycles += 18
+}
+
+func sBsrW(c *CPU, s *specOp) {
+	c.fetchRef(s.src.faddr, Word)
+	c.push32(s.npc)
+	c.PC = s.imm
+	c.Cycles += 18
+}
+
+func sDBcc(c *CPU, s *specOp) {
+	c.fetchRef(s.src.faddr, Word)
+	if c.testCond(int(s.x)) {
+		c.Cycles += 12
+		return
+	}
+	cnt := uint16(c.D[s.rn]) - 1
+	c.D[s.rn] = c.D[s.rn]&0xFFFF0000 | uint32(cnt)
+	if cnt != 0xFFFF {
+		c.PC = s.imm
+		c.Cycles += 10
+	} else {
+		c.Cycles += 14
+	}
+}
+
+func sJmp(c *CPU, s *specOp) {
+	c.PC = s.src.calc(c)
+	c.Cycles += 8
+}
+
+func sJsr(c *CPU, s *specOp) {
+	addr := s.src.calc(c)
+	c.push32(s.npc)
+	c.PC = addr
+	c.Cycles += 16
+}
+
+func sRts(c *CPU, s *specOp) {
+	c.PC = c.pop32()
+	c.Cycles += 16
+}
+
+func sShiftImm(c *CPU, s *specOp) {
+	v := c.D[s.rn] & s.mask
+	res := c.shiftValue(int(s.x>>1&3), s.x&1 != 0, v, s.imm, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc
+}
+
+func sShiftDyn(c *CPU, s *specOp) {
+	count := c.D[s.src.reg] & 63
+	v := c.D[s.rn] & s.mask
+	res := c.shiftValue(int(s.x>>1&3), s.x&1 != 0, v, count, s.size)
+	c.D[s.rn] = c.D[s.rn]&^s.mask | res&s.mask
+	c.Cycles += s.cyc + 2*uint64(count)
+}
+
+func sSccDn(c *CPU, s *specOp) {
+	var v uint32
+	if c.testCond(int(s.x)) {
+		v = 0xFF
+	}
+	c.D[s.rn] = c.D[s.rn]&^uint32(0xFF) | v
+	c.Cycles += 4
+}
+
+func sNop(c *CPU, _ *specOp) { c.Cycles += 4 }
+
+func sSwap(c *CPU, s *specOp) {
+	v := c.D[s.rn]
+	v = v>>16 | v<<16
+	c.D[s.rn] = v
+	c.setNZ(v, Long)
+	c.Cycles += 4
+}
+
+func sExtW(c *CPU, s *specOp) {
+	v := signExtend(c.D[s.rn], Byte)
+	c.D[s.rn] = c.D[s.rn]&0xFFFF0000 | v&0xFFFF
+	c.setNZ(v, Word)
+	c.Cycles += 4
+}
+
+func sExtL(c *CPU, s *specOp) {
+	v := signExtend(c.D[s.rn], Word)
+	c.D[s.rn] = v
+	c.setNZ(v, Long)
+	c.Cycles += 4
+}
+
+func sExgDD(c *CPU, s *specOp) {
+	c.D[s.rn], c.D[s.src.reg] = c.D[s.src.reg], c.D[s.rn]
+	c.Cycles += 6
+}
+
+func sExgAA(c *CPU, s *specOp) {
+	c.A[s.rn], c.A[s.src.reg] = c.A[s.src.reg], c.A[s.rn]
+	c.Cycles += 6
+}
+
+func sExgDA(c *CPU, s *specOp) {
+	c.D[s.rn], c.A[s.src.reg] = c.A[s.src.reg], c.D[s.rn]
+	c.Cycles += 6
+}

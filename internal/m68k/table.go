@@ -42,6 +42,13 @@ type opEntry struct {
 	// without a second decoder that could drift from this table.
 	bflags uint8
 	extw   uint8
+
+	// sfam names the specialization family (spec.go) for the spec engine's
+	// per-block handler selection. It is tagged here, at the same sites that
+	// assign fn, so the specializer never re-derives the decode tree. Zero
+	// (sfNone) means "no specialized form": the spec engine wraps the table
+	// handler in a generic adapter.
+	sfam uint8
 }
 
 // bflags bits. A zero bflags means the opcode may raise an exception, touch
@@ -140,8 +147,10 @@ func buildEntry(op uint16) opEntry {
 		e.x = uint8(op >> 8 & 0xF)
 		if e.x == 1 {
 			e.fn = opBSR
+			e.sfam = sfBSR
 		} else {
 			e.fn = opBcc
+			e.sfam = sfBcc
 		}
 		e.bflags = bEnd
 		if op&0x00FF == 0 {
@@ -151,6 +160,7 @@ func buildEntry(op uint16) opEntry {
 		if op&0x0100 == 0 {
 			e.fn = opMOVEQ
 			e.bflags = bSafe
+			e.sfam = sfMOVEQ
 		}
 	case 0x8:
 		buildGroup8C(op, &e, mode, reg, false)
@@ -221,6 +231,7 @@ func buildGroup0(op uint16, e *opEntry, mode, reg int) {
 		e.fn = opImmArith
 		e.bflags = bSafe
 		e.extw = immExtWords(size) + eaExtWords(mode, reg, size)
+		e.sfam = sfImmArith
 	case 4: // static bit ops: the extension word is fetched before the
 		// EA is validated, so even invalid forms go through the legacy
 		// path to keep the bus traffic identical.
@@ -234,6 +245,7 @@ func buildGroup0(op uint16, e *opEntry, mode, reg int) {
 		e.fn = opCMPI
 		e.bflags = bSafe
 		e.extw = immExtWords(size) + eaExtWords(mode, reg, size)
+		e.sfam = sfCMPI
 	}
 }
 
@@ -251,6 +263,7 @@ func buildMove(op uint16, e *opEntry, size Size) {
 			e.fn = opMOVEA
 			e.bflags = bSafe
 			e.extw = eaExtWords(srcMode, srcReg, size)
+			e.sfam = sfMOVEA
 		} else {
 			// MOVEA.B: the legacy path resolves and loads the source
 			// (post-inc/pre-dec side effects, extension-word fetches)
@@ -267,8 +280,10 @@ func buildMove(op uint16, e *opEntry, size Size) {
 	e.extw = eaExtWords(srcMode, srcReg, size) + eaExtWords(dstMode, int(e.rn), size)
 	if dstMode == ModeDataReg {
 		e.fn = opMoveToDn
+		e.sfam = sfMoveToDn
 	} else {
 		e.fn = opMoveToMem
+		e.sfam = sfMoveToMem
 	}
 }
 
@@ -293,6 +308,7 @@ func buildShift(op uint16, e *opEntry, mode, reg int) {
 	}
 	e.fn = opShiftReg
 	e.bflags = bSafe
+	e.sfam = sfShiftReg
 }
 
 func buildGroup4(op uint16, e *opEntry, mode, reg int) {
@@ -304,6 +320,7 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opLEA
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, Long)
+			e.sfam = sfLEA
 		}
 	case op == 0x4AFC: // ILLEGAL
 		e.fn = opIllegal
@@ -323,11 +340,13 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 	case op == 0x4E71: // NOP
 		e.fn = opNOP
 		e.bflags = bSafe
+		e.sfam = sfNOP
 	case op == 0x4E73: // RTE
 		e.fn = opRTE // not block-safe: privilege check raises an exception
 	case op == 0x4E75: // RTS
 		e.fn = opRTS
 		e.bflags = bEnd
+		e.sfam = sfRTS
 	case op == 0x4E76 || op == 0x4E77: // TRAPV / RTR
 		e.fn = opGroup4
 	case op&0xFFC0 == 0x4E80: // JSR
@@ -335,12 +354,14 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opJSR
 			e.bflags = bEnd
 			e.extw = eaExtWords(mode, reg, Long)
+			e.sfam = sfJSR
 		}
 	case op&0xFFC0 == 0x4EC0: // JMP
 		if controlEA(mode, reg) {
 			e.fn = opJMP
 			e.bflags = bEnd
 			e.extw = eaExtWords(mode, reg, Long)
+			e.sfam = sfJMP
 		}
 	case op&0xFFC0 == 0x40C0 || op&0xFFC0 == 0x44C0 || op&0xFFC0 == 0x46C0:
 		e.fn = opGroup4 // MOVE SR,<ea> / MOVE <ea>,CCR / MOVE <ea>,SR
@@ -349,17 +370,21 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 	case op&0xFFF8 == 0x4840: // SWAP
 		e.fn = opSWAP
 		e.bflags = bSafe
+		e.sfam = sfSWAP
 	case op&0xFFC0 == 0x4840: // PEA
 		if controlEA(mode, reg) {
 			e.fn = opPEA
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, Long)
+			e.sfam = sfPEA
 		}
 	case op&0xFFB8 == 0x4880 && mode == ModeDataReg: // EXT
 		if op&0x0040 == 0 {
 			e.fn = opEXTW
+			e.sfam = sfEXTW
 		} else {
 			e.fn = opEXTL
+			e.sfam = sfEXTL
 		}
 		e.bflags = bSafe
 	case op&0xFB80 == 0x4880: // MOVEM
@@ -373,6 +398,7 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opTST
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, size)
+			e.sfam = sfTST
 		}
 	case op&0xFF00 == 0x4000 || op&0xFF00 == 0x4400 || op&0xFF00 == 0x4600:
 		e.fn = opGroup4 // NEGX / NEG / NOT
@@ -383,6 +409,7 @@ func buildGroup4(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opCLR
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, size)
+			e.sfam = sfCLR
 		}
 	case op&0xF1C0 == 0x4180: // CHK
 		e.fn = opGroup4
@@ -396,11 +423,13 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opDBcc
 			e.bflags = bEnd
 			e.extw = 1
+			e.sfam = sfDBcc
 			return
 		}
 		if validEA(mode, reg, "dm") {
 			if mode == ModeDataReg {
 				e.fn = opSccDn
+				e.sfam = sfSccDn
 			} else {
 				e.fn = opSccMem
 			}
@@ -426,8 +455,10 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 		}
 		if isSub {
 			e.fn = opSUBQA
+			e.sfam = sfSUBQA
 		} else {
 			e.fn = opADDQA
+			e.sfam = sfADDQA
 		}
 		e.bflags = bSafe
 		return
@@ -437,8 +468,10 @@ func buildGroup5(op uint16, e *opEntry, mode, reg int) {
 	}
 	if isSub {
 		e.fn = opSUBQ
+		e.sfam = sfSUBQ
 	} else {
 		e.fn = opADDQ
+		e.sfam = sfADDQ
 	}
 	e.bflags = bSafe
 	e.extw = eaExtWords(mode, reg, size)
@@ -468,12 +501,15 @@ func buildGroup8C(op uint16, e *opEntry, mode, reg int, isC bool) {
 	case isC && op&0x01F8 == 0x0140:
 		e.fn = opEXGDD
 		e.bflags = bSafe
+		e.sfam = sfEXGDD
 	case isC && op&0x01F8 == 0x0148:
 		e.fn = opEXGAA
 		e.bflags = bSafe
+		e.sfam = sfEXGAA
 	case isC && op&0x01F8 == 0x0188:
 		e.fn = opEXGDA
 		e.bflags = bSafe
+		e.sfam = sfEXGDA
 	default: // OR / AND
 		if isC {
 			e.x = aluAnd
@@ -497,6 +533,7 @@ func buildAddSub(op uint16, e *opEntry, mode, reg int, alu uint8) {
 			e.fn = opAddrOp
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, e.size)
+			e.sfam = sfAddrOp
 		}
 	case op&0x0130 == 0x0100: // ADDX / SUBX
 		if alu == aluAdd {
@@ -521,6 +558,7 @@ func buildDnEA(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opDnEAToEA
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, size)
+			e.sfam = sfDnEAToEA
 		}
 		return
 	}
@@ -532,6 +570,7 @@ func buildDnEA(op uint16, e *opEntry, mode, reg int) {
 		e.fn = opDnEAToDn
 		e.bflags = bSafe
 		e.extw = eaExtWords(mode, reg, size)
+		e.sfam = sfDnEAToDn
 	}
 }
 
@@ -546,6 +585,7 @@ func buildGroupB(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opCMPA
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, e.size)
+			e.sfam = sfCMPA
 		}
 	case op&0x0100 == 0: // CMP
 		size, _ := opSize(op >> 6 & 3)
@@ -558,6 +598,7 @@ func buildGroupB(op uint16, e *opEntry, mode, reg int) {
 			e.fn = opCMP
 			e.bflags = bSafe
 			e.extw = eaExtWords(mode, reg, size)
+			e.sfam = sfCMP
 		}
 	case op&0x0038 == 0x0008: // CMPM
 		size, ok := opSize(op >> 6 & 3)

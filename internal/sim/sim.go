@@ -63,6 +63,15 @@ type Collection struct {
 	M *Machine
 }
 
+// Release returns the collection machine's pooled memory image to emu
+// (see Playback.Release). M must not be used afterwards.
+func (c *Collection) Release() {
+	if c.M != nil {
+		c.M.Release()
+		c.M = nil
+	}
+}
+
 // settleTicks is the margin run after the last scheduled input.
 const settleTicks = 200
 
@@ -202,9 +211,14 @@ type ReplayOptions struct {
 	Obs *obs.Registry
 
 	// Dispatch selects the CPU execution engine: "" or "auto" (the
-	// fastest verified engine, currently block), "legacy", "table" or
-	// "block" — so any engine can be cross-checked in the field.
+	// fastest verified engine, currently spec), "legacy", "table",
+	// "block" or "spec" — so any engine can be cross-checked in the
+	// field.
 	Dispatch string
+
+	// NoChain disables block chaining in the spec engine, for per-rung
+	// performance attribution (EXPERIMENTS.md PR 8).
+	NoChain bool
 }
 
 // DefaultReplayOptions returns the configuration the paper's case study
@@ -235,6 +249,18 @@ type Playback struct {
 	TraceTicks []dtrace.TickMark
 	Stats      RunStats
 	M          *Machine
+}
+
+// Release returns the playback machine's pooled memory image to emu for
+// reuse and drops the machine. The extracted results (Final, Log, Trace,
+// Stats, ...) stay valid — they are copies — but M must not be inspected
+// afterwards. Batch drivers that replay many logs should call this after
+// consuming each Playback; one-shot callers may simply let the GC work.
+func (p *Playback) Release() {
+	if p.M != nil {
+		p.M.Release()
+		p.M = nil
+	}
 }
 
 // traceSink collects RAM/flash reference addresses (and, optionally, each
@@ -277,7 +303,7 @@ func Replay(ctx context.Context, initial *State, log *Log, opt ReplayOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes, Dispatch: dispatch})
+	m, err := emu.New(emu.Options{Profiling: opt.Profiling, TraceNative: true, CountOpcodes: opt.CountOpcodes, Dispatch: dispatch, NoChain: opt.NoChain})
 	if err != nil {
 		return nil, err
 	}

@@ -132,6 +132,22 @@ func TestGremlinReplayValidation(t *testing.T) {
 		t.Errorf("%v hack calls exceeded the 10 ms budget (max %v us)",
 			byName["hack.budget_exceeded"], byName["hack.max_latency_us"])
 	}
+
+	// The default dispatch is the specialized block engine: the PR 8
+	// metrics must show specialized closures carrying the bulk of the
+	// work and the chain links actually being followed.
+	if byName["m68k.spec.exec"] == 0 {
+		t.Error("m68k.spec.exec is zero under the default (spec) dispatch")
+	}
+	if share := byName["m68k.spec.share"]; share < 0.5 {
+		t.Errorf("m68k.spec.share = %v, want >= 0.5 (specializer missing the hot families)", share)
+	}
+	if byName["m68k.chain.follows"] == 0 {
+		t.Error("m68k.chain.follows is zero: successor links never followed")
+	}
+	if _, ok := byName["emu.image.reuses"]; !ok {
+		t.Error("emu.image.reuses metric not registered")
+	}
 }
 
 // TestGremlinReplayIsDeterministic replays the same gremlin artifacts
