@@ -282,6 +282,68 @@ func BenchmarkPartitionedSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkOptSweep is the 56-configuration paper grid under Belady's
+// MIN: the per-configuration direct OPT simulator versus the single-pass
+// per-line-size families (what EngineStack routes OPT configs to). Both
+// run serially so the ratio is the algorithmic speedup EXPERIMENTS.md
+// records; the backward next-use annotation is part of each measured
+// iteration for both engines.
+func BenchmarkOptSweep(b *testing.B) {
+	_, trace := benchSetup(b)
+	var cfgs []cache.Config
+	for _, c := range cache.PaperSweep() {
+		c.Policy = cache.OPT
+		cfgs = append(cfgs, c)
+	}
+	for _, eng := range []struct {
+		name string
+		eng  sweep.Engine
+	}{{"direct", sweep.EngineDirect}, {"family", sweep.EngineStack}} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.SetBytes(int64(len(trace) * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := sweep.Options{Workers: 1, Engine: eng.eng}
+				if _, err := sweep.RunTrace(context.Background(), cfgs, trace, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicySweep is the same grid under the PR 9 single-pass
+// families: FIFO and tree-PLRU, stack engine versus per-configuration
+// direct simulation, serial. The family-vs-direct ratios are the
+// headline policy-sweep speedups EXPERIMENTS.md records.
+func BenchmarkPolicySweep(b *testing.B) {
+	_, trace := benchSetup(b)
+	for _, pol := range []cache.Policy{cache.FIFO, cache.PLRU} {
+		var cfgs []cache.Config
+		for _, c := range cache.PaperSweep() {
+			c.Policy = pol
+			cfgs = append(cfgs, c)
+		}
+		for _, eng := range []struct {
+			name string
+			eng  sweep.Engine
+		}{{"direct", sweep.EngineDirect}, {"family", sweep.EngineStack}} {
+			b.Run(pol.String()+"-"+eng.name, func(b *testing.B) {
+				b.SetBytes(int64(len(trace) * 4))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opts := sweep.Options{Workers: 1, Engine: eng.eng}
+					if _, err := sweep.RunTrace(context.Background(), cfgs, trace, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkProfilingDispatch quantifies DESIGN.md ablation 1: the cost of
 // running the real ROM TrapDispatcher (Profiling on, complete traces)
 // versus POSE's native dispatch shortcut.

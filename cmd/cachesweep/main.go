@@ -24,6 +24,13 @@
 //	cachesweep -session 1 -algo direct                (per-config simulation)
 //	cachesweep -session 1 -crossvalidate              (stack vs direct diff)
 //	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
+//	cachesweep -session 1 -policies LRU,FIFO,PLRU,OPT (policy grid)
+//	cachesweep -session 1 -write-policy back -pareto  (write-back energy front)
+//
+// OPT (Belady's optimal) buffers the whole trace for its backward
+// next-use pass; -write-policy needs a kind-carrying trace (a session
+// replay, a din file, or a packed trace recorded with kinds) and is
+// rejected with a clear error on address-only traces.
 //
 // Exit codes: 0 success, 1 failure, 2 bad usage, 3 interrupted.
 package main
@@ -63,7 +70,10 @@ func main() {
 	sessionNum := flag.Int("session", 0, "replay built-in session (1-4) to obtain the trace")
 	desktop := flag.Bool("desktop", false, "use the synthetic desktop trace (Figure 7)")
 	refs := flag.Int("refs", 0, "override the synthetic desktop trace length (references; 0 = default)")
-	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO or Random")
+	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO, Random, PLRU or OPT")
+	policies := flag.String("policies", "", "comma-separated policy list; sweeps the paper grid once per policy (overrides -policy)")
+	writePolicy := flag.String("write-policy", "", "write policy: ignore (default), through or back; requires a kind-carrying trace")
+	pareto := flag.Bool("pareto", false, "print the energy/latency Pareto front over all swept configurations")
 	algo := flag.String("algo", "auto", "sweep engine: auto, direct or stack")
 	crossValidate := flag.Bool("crossvalidate", false, "run both engines over the trace and verify bit-identical results")
 	workers := flag.Int("workers", 0, "concurrent sweep workers (0 = one per core, 1 = serial)")
@@ -86,6 +96,9 @@ func main() {
 		desktop:         *desktop,
 		refs:            *refs,
 		policy:          *policy,
+		policies:        *policies,
+		writePolicy:     *writePolicy,
+		pareto:          *pareto,
 		algo:            *algo,
 		crossValidate:   *crossValidate,
 		workers:         *workers,
@@ -104,7 +117,9 @@ type config struct {
 	sessionNum, refs, workers, chunk int
 	partitions                       int
 	desktop, crossValidate, resume   bool
-	policy, algo, checkpoint         string
+	policy, policies, algo           string
+	writePolicy, checkpoint          string
+	pareto                           bool
 	checkpointEvery                  int
 	profiler                         *prof.Profiler
 	obsFlags                         *obs.Flags
@@ -163,16 +178,21 @@ func isUsage(err error) bool {
 func sweepMain(ctx context.Context, c *config) error {
 	reg := c.obsFlags.Registry()
 
-	var pol cache.Policy
-	switch strings.ToUpper(c.policy) {
-	case "LRU":
-		pol = cache.LRU
-	case "FIFO":
-		pol = cache.FIFO
-	case "RANDOM":
-		pol = cache.Random
-	default:
-		return usageError{fmt.Errorf("unknown policy %q", c.policy)}
+	polNames := []string{c.policy}
+	if c.policies != "" {
+		polNames = strings.Split(c.policies, ",")
+	}
+	var pols []cache.Policy
+	for _, name := range polNames {
+		p, err := cache.ParsePolicy(strings.TrimSpace(name))
+		if err != nil {
+			return usageError{err}
+		}
+		pols = append(pols, p)
+	}
+	wp, err := cache.ParseWritePolicy(c.writePolicy)
+	if err != nil {
+		return usageError{err}
 	}
 
 	var eng sweep.Engine
@@ -248,7 +268,9 @@ func sweepMain(ctx context.Context, c *config) error {
 		if err != nil {
 			return err
 		}
-		newSource = func() (sweep.Source, error) { return sweep.NewSliceSource(run.Trace), nil }
+		// Session replays collect kinds alongside addresses, so the same
+		// trace serves address-only and write-policy sweeps.
+		newSource = func() (sweep.Source, error) { return sweep.NewKindedSliceSource(run.Trace, run.Kinds), nil }
 		fmt.Printf("trace: %d references (%.1f%% flash), no-cache Teff %.3f\n",
 			len(run.Trace),
 			100*float64(run.Row.FlashRefs)/float64(run.Row.RAMRefs+run.Row.FlashRefs),
@@ -263,10 +285,18 @@ func sweepMain(ctx context.Context, c *config) error {
 		return usageError{fmt.Errorf("-resume requires -checkpoint")}
 	}
 
-	cfgs := cache.PaperSweep()
-	for i := range cfgs {
-		cfgs[i].Policy = pol
+	var cfgs []cache.Config
+	var polLabels []string
+	for _, p := range pols {
+		grid := cache.PaperSweep()
+		for i := range grid {
+			grid[i].Policy = p
+			grid[i].Write = wp
+		}
+		cfgs = append(cfgs, grid...)
+		polLabels = append(polLabels, p.String())
 	}
+	polLabel := strings.Join(polLabels, ",")
 	opts := sweep.Options{
 		Workers:               c.workers,
 		ChunkRefs:             c.chunk,
@@ -276,9 +306,21 @@ func sweepMain(ctx context.Context, c *config) error {
 		CheckpointEveryChunks: c.checkpointEvery,
 		Resume:                c.resume,
 	}
+	info, err := sweep.Plan(opts, cfgs)
+	if err != nil {
+		return err
+	}
+	if info.FallbackConfigs > 0 {
+		fmt.Fprintf(os.Stderr, "cachesweep: warning: %d of %d configurations have no single-pass engine and fall back to per-config direct simulation\n",
+			info.FallbackConfigs, len(cfgs))
+	}
+	c.obsFlags.Note("fallback_configs", fmt.Sprintf("%d", info.FallbackConfigs))
 	fmt.Printf("sweep: %s\n", sweep.Describe(opts, cfgs))
 	c.obsFlags.Note("engine", sweep.Describe(opts, cfgs))
-	c.obsFlags.Note("policy", pol.String())
+	c.obsFlags.Note("policy", polLabel)
+	if wp != cache.WriteIgnore {
+		c.obsFlags.Note("write_policy", wp.String())
+	}
 
 	results, err := runOnce(ctx, cfgs, newSource, opts)
 	if err != nil {
@@ -300,14 +342,41 @@ func sweepMain(ctx context.Context, c *config) error {
 	}
 
 	model := energy.Default()
-	t := report.New(fmt.Sprintf("56-configuration sweep (%s)", pol),
-		"config", "miss rate", "Teff (Eq.2)", "Teff exact", "mem energy saved")
-	for _, r := range results {
-		t.Addf("%s\t%s\t%.3f\t%.3f\t%s", r.Config, report.Pct(r.MissRate()),
-			r.TeffPaper(), r.TeffExact(), report.Pct(model.MemorySaving(r)))
+	if wp == cache.WriteIgnore {
+		t := report.New(fmt.Sprintf("%d-configuration sweep (%s)", len(cfgs), polLabel),
+			"config", "miss rate", "Teff (Eq.2)", "Teff exact", "mem energy saved")
+		for _, r := range results {
+			t.Addf("%s\t%s\t%.3f\t%.3f\t%s", r.Config, report.Pct(r.MissRate()),
+				r.TeffPaper(), r.TeffExact(), report.Pct(model.MemorySaving(r)))
+		}
+		fmt.Print(t)
+	} else {
+		t := report.New(fmt.Sprintf("%d-configuration sweep (%s, %s)", len(cfgs), polLabel, wp),
+			"config", "miss rate", "Teff exact", "Teff +writes", "writebacks", "mem energy saved")
+		for _, r := range results {
+			t.Addf("%s\t%s\t%.3f\t%.3f\t%d\t%s", r.Config, report.Pct(r.MissRate()),
+				r.TeffExact(), r.TeffWriteAware(), r.Writebacks, report.Pct(model.MemorySaving(r)))
+		}
+		fmt.Print(t)
 	}
-	fmt.Print(t)
 	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+	if c.pareto {
+		pts := make([]report.ParetoPoint, len(results))
+		for i, r := range results {
+			pts[i] = report.ParetoPoint{
+				Label: r.Config.String(),
+				X:     model.MemoryPerAccessNJ(r),
+				Y:     r.TeffWriteAware(),
+			}
+		}
+		front := report.ParetoFront(pts)
+		pt := report.New(fmt.Sprintf("energy/latency Pareto front (%d of %d configurations non-dominated)", len(front), len(results)),
+			"config", "mem nJ/access", "Teff +writes")
+		for _, p := range front {
+			pt.Addf("%s\t%.4f\t%.4f", p.Label, p.X, p.Y)
+		}
+		fmt.Print(pt)
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -48,6 +49,99 @@ func runCachesweep(t *testing.T, args string, extraEnv ...string) (string, error
 	cmd.Env = append(cmd.Env, extraEnv...)
 	out, err := cmd.CombinedOutput()
 	return string(out), err
+}
+
+// writeTestDin writes a small kind-carrying din trace: a hot loop of
+// fetches with interleaved reads and writes over two data regions.
+func writeTestDin(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < 6000; i++ {
+		fmt.Fprintf(&b, "2 %x\n", 0x10000+4*(i%1024))  // fetch
+		fmt.Fprintf(&b, "0 %x\n", 0x400000+64*(i%512)) // read
+		fmt.Fprintf(&b, "1 %x\n", 0x500000+16*(i%128)) // write
+	}
+	path := filepath.Join(t.TempDir(), "kinds.din")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPolicyGridWithOPTAndPareto(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -policies LRU,FIFO,PLRU,OPT -pareto -workers 2")
+	if err != nil {
+		t.Fatalf("policy-grid sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "224-configuration sweep (LRU,FIFO,PLRU,OPT)") {
+		t.Errorf("output missing the 4x56 grid title:\n%s", out)
+	}
+	if !strings.Contains(out, "OPT") || !strings.Contains(out, "PLRU") {
+		t.Errorf("output missing policy rows:\n%s", out)
+	}
+	if !strings.Contains(out, "Pareto front") {
+		t.Errorf("output missing the Pareto front:\n%s", out)
+	}
+}
+
+func TestWritePolicyRejectsAddressOnlyTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -write-policy back")
+	if err == nil {
+		t.Fatalf("write-policy sweep over a kindless raw trace exited zero:\n%s", out)
+	}
+	if !strings.Contains(out, "no access kinds") {
+		t.Errorf("error does not explain the missing kinds:\n%s", out)
+	}
+}
+
+func TestWritePolicySweepOverDinTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	din := writeTestDin(t)
+	out, err := runCachesweep(t, "-din "+din+" -write-policy back -policies LRU,PLRU -workers 2")
+	if err != nil {
+		t.Fatalf("write-back din sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "write-back") || !strings.Contains(out, "writebacks") {
+		t.Errorf("output missing write-back accounting:\n%s", out)
+	}
+}
+
+// TestFallbackReportedInManifest pins the observability satellite: a
+// sweep with direct-fallback configurations must say so on stderr and
+// record the count in the run manifest — never silently.
+func TestFallbackReportedInManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	out, err := runCachesweep(t, "-trace "+trace+" -policy Random -manifest "+manifest)
+	if err != nil {
+		t.Fatalf("Random sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "fall back to per-config direct simulation") {
+		t.Errorf("stderr does not warn about the fallback:\n%s", out)
+	}
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"fallback_configs": "56"`) {
+		t.Errorf("manifest does not record the fallback count:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), "sweep.fallback_configs") {
+		t.Errorf("manifest metrics missing the fallback gauge:\n%s", raw)
+	}
 }
 
 func TestCrossValidatePassesExitZero(t *testing.T) {

@@ -8,6 +8,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"palmsim/internal/bus"
 )
@@ -16,11 +17,17 @@ import (
 type Policy uint8
 
 // Replacement policies. The paper uses LRU exclusively; FIFO and Random
-// exist for the ablation benchmark.
+// exist for the ablation benchmark. PLRU is the tree pseudo-LRU found in
+// real embedded parts, and OPT is Belady's MIN — the offline optimal that
+// bounds every other policy from below. OPT needs future knowledge, so
+// the direct Cache rejects it; the opt package implements it with a
+// two-pass next-use annotation.
 const (
 	LRU Policy = iota
 	FIFO
 	Random
+	PLRU
+	OPT
 )
 
 func (p Policy) String() string {
@@ -29,10 +36,85 @@ func (p Policy) String() string {
 		return "LRU"
 	case FIFO:
 		return "FIFO"
-	default:
+	case Random:
 		return "Random"
+	case PLRU:
+		return "PLRU"
+	case OPT:
+		return "OPT"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
 }
+
+// ParsePolicy converts a case-insensitive policy name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "LRU":
+		return LRU, nil
+	case "FIFO":
+		return FIFO, nil
+	case "RANDOM", "RAND":
+		return Random, nil
+	case "PLRU":
+		return PLRU, nil
+	case "OPT", "MIN", "BELADY":
+		return OPT, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q (want LRU, FIFO, Random, PLRU, or OPT)", s)
+}
+
+// WritePolicy selects how write references are accounted. All variants
+// are write-allocate, so the replacement state — and therefore every
+// hit/miss counter — is identical across write policies; only the
+// write-traffic bookkeeping differs.
+type WritePolicy uint8
+
+// Write policies. WriteIgnore is the zero value and reproduces the
+// paper's read-latency-only accounting.
+const (
+	WriteIgnore WritePolicy = iota
+	WriteThrough
+	WriteBack
+)
+
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteIgnore:
+		return "ignore"
+	case WriteThrough:
+		return "write-through"
+	case WriteBack:
+		return "write-back"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", uint8(w))
+	}
+}
+
+// ParseWritePolicy converts a case-insensitive write-policy name.
+func ParseWritePolicy(s string) (WritePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "ignore", "none":
+		return WriteIgnore, nil
+	case "through", "write-through", "wt":
+		return WriteThrough, nil
+	case "back", "write-back", "wb":
+		return WriteBack, nil
+	}
+	return 0, fmt.Errorf("cache: unknown write policy %q (want ignore, through, or back)", s)
+}
+
+// Access kinds carried by kinded traces, matching internal/m68k's Access
+// encoding byte-for-byte (asserted in tests so the packages cannot
+// drift).
+const (
+	KindFetch uint8 = 0
+	KindRead  uint8 = 1
+	KindWrite uint8 = 2
+)
+
+// IsWrite reports whether a trace kind byte denotes a data write.
+func IsWrite(kind uint8) bool { return kind == KindWrite }
 
 // Config describes one cache configuration.
 type Config struct {
@@ -40,10 +122,18 @@ type Config struct {
 	LineBytes int
 	Ways      int
 	Policy    Policy
+	Write     WritePolicy
 }
 
 func (c Config) String() string {
-	return fmt.Sprintf("%dKB/%dB/%d-way/%s", c.SizeBytes/1024, c.LineBytes, c.Ways, c.Policy)
+	s := fmt.Sprintf("%dKB/%dB/%d-way/%s", c.SizeBytes/1024, c.LineBytes, c.Ways, c.Policy)
+	switch c.Write {
+	case WriteThrough:
+		s += "/WT"
+	case WriteBack:
+		s += "/WB"
+	}
+	return s
 }
 
 // Validate checks the configuration for coherence.
@@ -59,6 +149,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache: associativity %d not a power of two", c.Ways)
 	case c.SizeBytes < c.LineBytes*c.Ways:
 		return fmt.Errorf("cache: %v has fewer than one set", c)
+	case c.Policy > OPT:
+		return fmt.Errorf("cache: unknown policy %d", c.Policy)
+	case c.Write > WriteBack:
+		return fmt.Errorf("cache: unknown write policy %d", c.Write)
 	}
 	return nil
 }
@@ -108,6 +202,27 @@ type Result struct {
 	FlashRefs   uint64
 	RAMMisses   uint64
 	FlashMisses uint64
+
+	// Write-policy accounting, populated only by the kinded access paths
+	// (AccessKind and the kinded sweep engines). Writes counts write
+	// references regardless of write policy; Writebacks counts dirty-line
+	// evictions and is nonzero only under WriteBack.
+	Writes     uint64
+	Writebacks uint64
+}
+
+// WriteTrafficBytes returns the memory write traffic implied by the
+// configuration's write policy: every write propagates as one 16-bit bus
+// transaction under write-through; dirty evictions flush whole lines
+// under write-back. WriteIgnore carries no write traffic.
+func (r Result) WriteTrafficBytes() uint64 {
+	switch r.Config.Write {
+	case WriteThrough:
+		return r.Writes * 2
+	case WriteBack:
+		return r.Writebacks * uint64(r.Config.LineBytes)
+	}
+	return 0
 }
 
 // MissRate returns misses/accesses.
@@ -141,6 +256,17 @@ func (r Result) TeffExact() float64 {
 	return THit + (float64(r.RAMMisses)*TRAMMiss+float64(r.FlashMisses)*TFlashMiss)/float64(r.Accesses)
 }
 
+// TeffWriteAware extends TeffExact with the write policy's memory
+// traffic: every 16-bit bus transfer of write-through or write-back
+// traffic (WriteTrafficBytes) occupies the bus for one RAM-class cycle,
+// amortized over all accesses. Under WriteIgnore it equals TeffExact.
+func (r Result) TeffWriteAware() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return r.TeffExact() + float64(r.WriteTrafficBytes()/2)*TRAMMiss/float64(r.Accesses)
+}
+
 // NoCacheTeff computes Equation 3 — the cacheless average access time —
 // from a reference mix.
 func NoCacheTeff(ramRefs, flashRefs uint64) float64 {
@@ -168,6 +294,8 @@ type Cache struct {
 	waysMask  uint32
 	lines     []uint32 // sets*ways entries: line number + 1; 0 = invalid
 	order     []uint8  // per-line LRU/FIFO rank (0 = most recent / newest)
+	plru      []uint8  // per-set PLRU tree bits (PLRU policy only)
+	dirty     []bool   // per-line dirty bits (WriteBack policy only)
 	ways      int
 	randState uint32
 	res       Result
@@ -177,6 +305,9 @@ type Cache struct {
 func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Policy == OPT {
+		return nil, fmt.Errorf("cache: %v requires future knowledge; use the opt package engines", cfg)
 	}
 	sets := cfg.Sets()
 	c := &Cache{
@@ -188,6 +319,12 @@ func New(cfg Config) (*Cache, error) {
 		order:     make([]uint8, sets*cfg.Ways),
 		ways:      cfg.Ways,
 		randState: 0x2005,
+	}
+	if cfg.Policy == PLRU {
+		c.plru = make([]uint8, sets)
+	}
+	if cfg.Write == WriteBack {
+		c.dirty = make([]bool, sets*cfg.Ways)
 	}
 	// Ranks form a permutation within each set; promote preserves that
 	// invariant, so initialize it here.
@@ -216,7 +353,8 @@ func (c *Cache) Access(addr uint32) bool {
 	}
 
 	line := addr >> c.lineShift
-	base := int(line&c.setMask) * c.ways
+	si := int(line & c.setMask)
+	base := si * c.ways
 	key := line + 1
 
 	// Probe. The re-slice bounds the loop for the compiler, eliminating
@@ -224,8 +362,11 @@ func (c *Cache) Access(addr uint32) bool {
 	set := c.lines[base : base+c.ways]
 	for w := range set {
 		if set[w] == key {
-			if c.cfg.Policy == LRU {
+			switch c.cfg.Policy {
+			case LRU:
 				c.promote(base, w)
+			case PLRU:
+				c.plru[si] = PLRUTouch(c.plru[si], c.ways, w)
 			}
 			return true
 		}
@@ -238,10 +379,85 @@ func (c *Cache) Access(addr uint32) bool {
 	} else {
 		c.res.RAMMisses++
 	}
-	victim := c.victim(base)
+	victim := c.victim(base, si)
 	set[victim] = key
-	c.promote(base, victim) // new line is most recent / newest
+	// The new line is most recent / newest.
+	if c.cfg.Policy == PLRU {
+		c.plru[si] = PLRUTouch(c.plru[si], c.ways, victim)
+	} else {
+		c.promote(base, victim)
+	}
 	return false
+}
+
+// AccessKind performs one reference carrying its access kind (KindFetch,
+// KindRead, or KindWrite). Replacement behaves exactly as Access — every
+// write policy is write-allocate — so the hit/miss counters are
+// independent of the trace kinds; only the Writes/Writebacks accounting
+// differs.
+func (c *Cache) AccessKind(addr uint32, kind uint8) bool {
+	write := kind == KindWrite
+	if write {
+		c.res.Writes++
+	}
+	isFlash := addr-bus.ROMBase < bus.ROMSize
+	c.res.Accesses++
+	if isFlash {
+		c.res.FlashRefs++
+	} else {
+		c.res.RAMRefs++
+	}
+
+	line := addr >> c.lineShift
+	si := int(line & c.setMask)
+	base := si * c.ways
+	key := line + 1
+
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if set[w] == key {
+			switch c.cfg.Policy {
+			case LRU:
+				c.promote(base, w)
+			case PLRU:
+				c.plru[si] = PLRUTouch(c.plru[si], c.ways, w)
+			}
+			if write && c.dirty != nil {
+				c.dirty[base+w] = true
+			}
+			return true
+		}
+	}
+
+	c.res.Misses++
+	if isFlash {
+		c.res.FlashMisses++
+	} else {
+		c.res.RAMMisses++
+	}
+	victim := c.victim(base, si)
+	if c.dirty != nil {
+		if set[victim] != 0 && c.dirty[base+victim] {
+			c.res.Writebacks++
+		}
+		c.dirty[base+victim] = write
+	}
+	set[victim] = key
+	if c.cfg.Policy == PLRU {
+		c.plru[si] = PLRUTouch(c.plru[si], c.ways, victim)
+	} else {
+		c.promote(base, victim)
+	}
+	return false
+}
+
+// AccessAllKinded performs each (reference, kind) pair in order — the
+// kinded sweep engines' chunk entry point. kinds must be at least as
+// long as refs.
+func (c *Cache) AccessAllKinded(refs []uint32, kinds []uint8) {
+	for i, addr := range refs {
+		c.AccessKind(addr, kinds[i])
+	}
 }
 
 // AccessAll performs each reference in order — the sweep engines' chunk
@@ -268,7 +484,7 @@ func (c *Cache) promote(base, w int) {
 }
 
 // victim selects the way to replace in the set.
-func (c *Cache) victim(base int) int {
+func (c *Cache) victim(base, si int) int {
 	// An invalid way always wins.
 	set := c.lines[base : base+c.ways]
 	for w := range set {
@@ -282,6 +498,8 @@ func (c *Cache) victim(base int) int {
 		// Ways is a power of two (Validate), so masking the 16-bit draw
 		// equals the modulo the paper sweep was recorded with.
 		return int(c.randState >> 16 & c.waysMask)
+	case PLRU:
+		return PLRUVictim(c.plru[si], c.ways)
 	default: // LRU and FIFO both evict the highest rank; they differ in
 		// whether hits refresh the rank (see Access).
 		ord := c.order[base : base+c.ways]
@@ -293,6 +511,44 @@ func (c *Cache) victim(base int) int {
 		}
 		return worst
 	}
+}
+
+// PLRUTouch returns the tree bits after an access to way w in a
+// ways-associative set. The tree is heap-indexed: node 0 is the root and
+// node i's children are 2i+1 (left) and 2i+2 (right); a set bit means
+// the next victim lies in the right half of that node's way range.
+// Touching a way flips every bit on its root-to-leaf path to point away
+// from it, and is therefore idempotent on repeat accesses. Exported so
+// the direct simulator and the single-pass family engine share one
+// definition and stay bit-exact.
+func PLRUTouch(tree uint8, ways, w int) uint8 {
+	node, lo, hi := 0, 0, ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			tree |= 1 << uint(node) // accessed left half; point victim right
+			node, hi = 2*node+1, mid
+		} else {
+			tree &^= 1 << uint(node)
+			node, lo = 2*node+2, mid
+		}
+	}
+	return tree
+}
+
+// PLRUVictim returns the way the tree bits currently select for
+// eviction in a ways-associative set.
+func PLRUVictim(tree uint8, ways int) int {
+	node, lo, hi := 0, 0, ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if tree&(1<<uint(node)) != 0 {
+			node, lo = 2*node+2, mid
+		} else {
+			node, hi = 2*node+1, mid
+		}
+	}
+	return lo
 }
 
 // Simulate runs a whole address trace through a fresh cache.

@@ -1,0 +1,83 @@
+// Package opt implements Belady's MIN replacement (OPT): the offline
+// optimal policy that evicts the line whose next use lies farthest in
+// the future. OPT is not implementable online — it needs future
+// knowledge — but a stored trace makes it a two-pass problem:
+//
+//  1. A backward pass over the whole trace computes, for every
+//     reference position i, the position of the next reference to the
+//     same cache line (Annotation.Next; NoNextUse if there is none).
+//     One annotation serves every configuration sharing a line size,
+//     because next-use is a property of the line stream alone.
+//  2. A forward single pass then simulates any number of OPT
+//     configurations in lockstep, each set tracking the annotated
+//     next-use position per resident way; the victim is the way whose
+//     stored next use is farthest away (ties broken toward the lowest
+//     way index, the same deterministic rule in every engine here).
+//
+// The package provides two independent implementations — DirectCache, a
+// deliberately plain per-configuration reference simulator, and Family,
+// the per-line-size multi-configuration engine that rides the sweep
+// fan-out — so the differential suite can hold them against each other.
+// OPT results give every paper table a measured-vs-optimal headroom
+// column: no replacement policy can miss less on the same trace.
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NoNextUse marks a reference whose line is never referenced again.
+// It is the maximum uint32, so "farthest next use" scans need no
+// special case: dead lines always win eviction.
+const NoNextUse = ^uint32(0)
+
+// Annotation holds the per-reference next-use chain of one trace for
+// one line size.
+type Annotation struct {
+	LineBytes int
+	Next      []uint32 // Next[i] = position of next ref to trace[i]'s line, or NoNextUse
+}
+
+// Annotate computes the next-use chain of a trace for one line size
+// with a single backward pass.
+func Annotate(trace []uint32, lineBytes int) (*Annotation, error) {
+	if lineBytes <= 0 || bits.OnesCount(uint(lineBytes)) != 1 {
+		return nil, fmt.Errorf("opt: line size %d not a power of two", lineBytes)
+	}
+	// Positions are uint32 with NoNextUse as the sentinel; a trace that
+	// long (4 Gi refs, 16 GiB of addresses) would not fit in memory
+	// anyway, but fail loudly rather than alias the sentinel.
+	if uint64(len(trace)) >= uint64(NoNextUse) {
+		return nil, fmt.Errorf("opt: trace of %d refs overflows the position space", len(trace))
+	}
+	shift := uint(bits.TrailingZeros(uint(lineBytes)))
+	next := make([]uint32, len(trace))
+	last := make(map[uint32]uint32, 1<<12)
+	for i := len(trace) - 1; i >= 0; i-- {
+		line := trace[i] >> shift
+		if j, ok := last[line]; ok {
+			next[i] = j
+		} else {
+			next[i] = NoNextUse
+		}
+		last[line] = uint32(i)
+	}
+	return &Annotation{LineBytes: lineBytes, Next: next}, nil
+}
+
+// AnnotateAll computes annotations for each distinct line size.
+func AnnotateAll(trace []uint32, lineSizes []int) (map[int]*Annotation, error) {
+	out := make(map[int]*Annotation, len(lineSizes))
+	for _, lb := range lineSizes {
+		if _, ok := out[lb]; ok {
+			continue
+		}
+		ann, err := Annotate(trace, lb)
+		if err != nil {
+			return nil, err
+		}
+		out[lb] = ann
+	}
+	return out, nil
+}

@@ -19,14 +19,32 @@
 // collapses to 20 refinements, each probing a <=8-entry list per
 // reference instead of driving 56 independent caches.
 //
-// Exactness holds only for LRU, whose eviction order is a pure function
-// of the reference stream. FIFO depends on insertion order and Random on
-// each cache's private PRNG state, so non-LRU configurations fall back to
-// direct per-config simulation (cache.Cache) behind the same Unit
-// interface.
+// Exactness of the depth-histogram sharing holds only for LRU, whose
+// eviction order is a pure function of the reference stream and which
+// satisfies the inclusion property across associativities. FIFO and
+// tree-PLRU lack inclusion (Belady's anomaly), so they cannot share one
+// histogram across ways — but they are still deterministic functions of
+// the reference stream, so a single-pass "family" unit (family.go)
+// simulates every configuration of one (policy, line size) group in
+// lockstep, sharing the per-reference region/line work and an MRU
+// shortcut across the group. Random depends on each cache's private PRNG
+// state and falls back to direct per-config simulation (cache.Cache)
+// behind the same Unit interface; OPT needs future knowledge and is
+// served by the opt package via the sweep layer, never by this engine.
+//
+// Write policies ride along without splitting any grouping: every
+// variant is write-allocate, so replacement state is kind-blind and the
+// kinded entry points (AccessAllKinded) differ from the plain ones only
+// in accounting. For LRU write-back the refinement tracks, per resident
+// line, the maximum recency depth reached since the line was last
+// written ("wmax", 0xFF = clean): a line is dirty in the A-way cache
+// exactly when wmax < A, so crossing depth j-1 -> j with wmax < j is
+// precisely the j-way cache's dirty eviction, counted once into a
+// writeback histogram indexed by j.
 package stack
 
 import (
+	"fmt"
 	"sort"
 
 	"palmsim/internal/bus"
@@ -64,7 +82,15 @@ type Refinement struct {
 	// (misses for every served configuration).
 	histRAM   []uint64
 	histFlash []uint64
-	cfgs      []refCfg
+	writes    uint64 // write references seen (kinded entry point only)
+	// Write-back accounting, allocated only when a served configuration
+	// uses WriteBack. wmax parallels lists: per entry, the maximum
+	// recency depth reached since the line was last written (0xFF =
+	// clean, never written since fill). wbHist[j] counts dirty crossings
+	// into depth j — exactly the j-way configuration's writebacks.
+	wmax   []uint8
+	wbHist []uint64
+	cfgs   []refCfg
 }
 
 // LineBytes returns the line size this refinement serves.
@@ -127,6 +153,87 @@ func (r *Refinement) AccessAll(refs []uint32) {
 	}
 }
 
+// AccessAllKinded advances the refinement over one kinded chunk,
+// counting write references and — when a served configuration is
+// write-back — maintaining the per-entry wmax dirty bound alongside
+// every recency-list shift. Replacement behaves exactly as AccessAll
+// (write-allocate), so the depth histograms are kind-blind.
+func (r *Refinement) AccessAllKinded(refs []uint32, kinds []uint8) {
+	depth := r.depth
+	track := r.wmax != nil
+	for i, addr := range refs {
+		write := cache.IsWrite(kinds[i])
+		if write {
+			r.writes++
+		}
+		hist := r.histRAM
+		if addr-bus.ROMBase < bus.ROMSize {
+			hist = r.histFlash
+		}
+		line := addr >> r.lineShift
+		key := line + 1
+		base := int(line&r.setMask) * depth
+		set := r.lists[base : base+depth]
+		if set[0] == key {
+			hist[0]++
+			if track && write {
+				r.wmax[base] = 0 // rewritten at the front: dirty everywhere
+			}
+			continue
+		}
+		p := 1
+		for p < depth && set[p] != key && set[p] != 0 {
+			p++
+		}
+		bucket := depth
+		pos := p
+		if p == depth {
+			pos = depth - 1
+		} else if set[p] == key {
+			bucket = p
+		}
+		hist[bucket]++
+		if !track {
+			for j := pos; j > 0; j-- {
+				set[j] = set[j-1]
+			}
+			set[0] = key
+			continue
+		}
+		wm := r.wmax[base : base+depth]
+		// The front entry's wmax after this access: a found line keeps
+		// its bound on a read (still dirty wherever it stayed resident)
+		// and resets on a write; a fresh fill is clean unless written.
+		front := uint8(0xFF)
+		if bucket != depth {
+			front = wm[p]
+		}
+		if write {
+			front = 0
+		}
+		// A full-set insert drops the LRU tail across depth-1 -> depth:
+		// the depth-way configuration's eviction.
+		if bucket == depth && set[depth-1] != 0 && wm[depth-1] < uint8(depth) {
+			r.wbHist[depth]++
+		}
+		// Shift entries 0..pos-1 down one depth each; every occupied
+		// entry crossing j-1 -> j with wmax < j is the j-way cache's
+		// dirty eviction, after which that cache holds the line clean
+		// (if at all), so the bound advances to j.
+		for j := pos; j > 0; j-- {
+			set[j] = set[j-1]
+			w := wm[j-1]
+			if w < uint8(j) {
+				r.wbHist[j]++
+				w = uint8(j)
+			}
+			wm[j] = w
+		}
+		set[0] = key
+		wm[0] = front
+	}
+}
+
 // results fills the served configurations' slots of out from the depth
 // histograms: a reference at depth d hits (S, A) iff d < A.
 func (r *Refinement) results(out []cache.Result) {
@@ -143,60 +250,97 @@ func (r *Refinement) results(out []cache.Result) {
 				res.FlashMisses += flash
 			}
 		}
+		res.Writes = r.writes
+		if rc.cfg.Write == cache.WriteBack && r.wbHist != nil {
+			res.Writebacks = r.wbHist[rc.cfg.Ways]
+		}
 		out[rc.index] = res
 	}
 }
 
-// fallback is a non-LRU configuration simulated directly.
+// fallback is a configuration simulated directly.
 type fallback struct {
 	index int
 	c     *cache.Cache
 }
 
-// Engine partitions a configuration set into refinements (LRU) and
-// direct-simulation fallbacks (everything else) and assembles results in
-// the original configuration order.
+// Engine partitions a configuration set into refinements (LRU),
+// single-pass families (FIFO, PLRU), and direct-simulation fallbacks
+// (Random) and assembles results in the original configuration order.
+// OPT configurations are rejected: they need whole-trace annotation,
+// which the sweep layer provides through the opt package.
 type Engine struct {
 	refinements []*Refinement
+	families    []*Family
 	fallbacks   []fallback
 	nconfigs    int
 }
 
 // New validates the configurations and builds the refinement tree:
-// configurations group by line size, then by set count; each group's
-// recency depth is its deepest associativity.
+// LRU configurations group by line size, then by set count, each
+// group's recency depth being its deepest associativity; FIFO and PLRU
+// configurations group into per-(policy, line size) families.
 func New(cfgs []cache.Config) (*Engine, error) {
 	e := &Engine{nconfigs: len(cfgs)}
 	type geom struct{ line, sets int }
 	byGeom := map[geom]*Refinement{}
+	type famKey struct {
+		policy cache.Policy
+		line   int
+	}
+	byFam := map[famKey]*Family{}
 	for i, cfg := range cfgs {
-		if cfg.Policy != cache.LRU {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		switch cfg.Policy {
+		case cache.LRU:
+			g := geom{line: cfg.LineBytes, sets: cfg.Sets()}
+			r := byGeom[g]
+			if r == nil {
+				r = &Refinement{
+					lineBytes: cfg.LineBytes,
+					sets:      cfg.Sets(),
+					lineShift: cfg.IndexShift(),
+					setMask:   uint32(cfg.Sets() - 1),
+				}
+				byGeom[g] = r
+				e.refinements = append(e.refinements, r)
+			}
+			if cfg.Ways > r.depth {
+				r.depth = cfg.Ways
+			}
+			r.cfgs = append(r.cfgs, refCfg{index: i, cfg: cfg})
+		case cache.FIFO, cache.PLRU:
+			k := famKey{policy: cfg.Policy, line: cfg.LineBytes}
+			f := byFam[k]
+			if f == nil {
+				f = &Family{
+					policy:     cfg.Policy,
+					lineBytes:  cfg.LineBytes,
+					lineShift:  cfg.IndexShift(),
+					minSetMask: ^uint32(0),
+				}
+				byFam[k] = f
+				e.families = append(e.families, f)
+			}
+			v := newFamilyVariant(i, cfg)
+			if v.setMask < f.minSetMask {
+				f.minSetMask = v.setMask
+			}
+			f.variants = append(f.variants, v)
+			if v.dirty != nil {
+				f.dirtyVariants = append(f.dirtyVariants, v)
+			}
+		case cache.OPT:
+			return nil, fmt.Errorf("stack: %v needs whole-trace annotation; the sweep layer serves OPT through the opt package", cfg)
+		default: // Random: private PRNG state, simulated directly.
 			c, err := cache.New(cfg)
 			if err != nil {
 				return nil, err
 			}
 			e.fallbacks = append(e.fallbacks, fallback{index: i, c: c})
-			continue
 		}
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		g := geom{line: cfg.LineBytes, sets: cfg.Sets()}
-		r := byGeom[g]
-		if r == nil {
-			r = &Refinement{
-				lineBytes: cfg.LineBytes,
-				sets:      cfg.Sets(),
-				lineShift: cfg.IndexShift(),
-				setMask:   uint32(cfg.Sets() - 1),
-			}
-			byGeom[g] = r
-			e.refinements = append(e.refinements, r)
-		}
-		if cfg.Ways > r.depth {
-			r.depth = cfg.Ways
-		}
-		r.cfgs = append(r.cfgs, refCfg{index: i, cfg: cfg})
 	}
 	// Deterministic unit order regardless of map iteration.
 	sort.Slice(e.refinements, func(i, j int) bool {
@@ -206,20 +350,40 @@ func New(cfgs []cache.Config) (*Engine, error) {
 		}
 		return a.sets < b.sets
 	})
+	sort.Slice(e.families, func(i, j int) bool {
+		a, b := e.families[i], e.families[j]
+		if a.policy != b.policy {
+			return a.policy < b.policy
+		}
+		return a.lineBytes < b.lineBytes
+	})
 	for _, r := range e.refinements {
 		r.lists = make([]uint32, r.sets*r.depth)
 		r.histRAM = make([]uint64, r.depth+1)
 		r.histFlash = make([]uint64, r.depth+1)
+		for _, rc := range r.cfgs {
+			if rc.cfg.Write == cache.WriteBack {
+				r.wmax = make([]uint8, r.sets*r.depth)
+				for j := range r.wmax {
+					r.wmax[j] = 0xFF
+				}
+				r.wbHist = make([]uint64, r.depth+1)
+				break
+			}
+		}
 	}
 	return e, nil
 }
 
 // Units returns the engine's independently advanceable shards:
-// refinements first, then direct-simulation fallbacks.
+// refinements first, then families, then direct-simulation fallbacks.
 func (e *Engine) Units() []Unit {
-	units := make([]Unit, 0, len(e.refinements)+len(e.fallbacks))
+	units := make([]Unit, 0, len(e.refinements)+len(e.families)+len(e.fallbacks))
 	for _, r := range e.refinements {
 		units = append(units, r)
+	}
+	for _, f := range e.families {
+		units = append(units, f)
 	}
 	for _, f := range e.fallbacks {
 		units = append(units, f.c)
@@ -231,8 +395,21 @@ func (e *Engine) Units() []Unit {
 // grouping-invariant tests).
 func (e *Engine) Refinements() []*Refinement { return e.refinements }
 
+// Families exposes the FIFO/PLRU family units.
+func (e *Engine) Families() []*Family { return e.families }
+
+// FamilyConfigs returns how many configurations are served by
+// single-pass families.
+func (e *Engine) FamilyConfigs() int {
+	n := 0
+	for _, f := range e.families {
+		n += len(f.variants)
+	}
+	return n
+}
+
 // FallbackConfigs returns how many configurations are simulated directly
-// rather than through a refinement.
+// rather than through a refinement or family.
 func (e *Engine) FallbackConfigs() int { return len(e.fallbacks) }
 
 // Results assembles per-configuration results in the order the
@@ -241,6 +418,9 @@ func (e *Engine) Results() []cache.Result {
 	out := make([]cache.Result, e.nconfigs)
 	for _, r := range e.refinements {
 		r.results(out)
+	}
+	for _, f := range e.families {
+		f.results(out)
 	}
 	for _, f := range e.fallbacks {
 		out[f.index] = f.c.Result()
@@ -258,6 +438,26 @@ func Sweep(cfgs []cache.Config, trace []uint32) ([]cache.Result, error) {
 	}
 	for _, u := range e.Units() {
 		u.AccessAll(trace)
+	}
+	return e.Results(), nil
+}
+
+// SweepKinded is the kinded counterpart of Sweep: every unit sees the
+// (reference, kind) stream, producing write and writeback accounting on
+// top of the identical hit/miss counts.
+func SweepKinded(cfgs []cache.Config, trace []uint32, kinds []uint8) ([]cache.Result, error) {
+	e, err := New(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range e.refinements {
+		r.AccessAllKinded(trace, kinds)
+	}
+	for _, f := range e.families {
+		f.AccessAllKinded(trace, kinds)
+	}
+	for _, f := range e.fallbacks {
+		f.c.AccessAllKinded(trace, kinds)
 	}
 	return e.Results(), nil
 }

@@ -161,9 +161,10 @@ func TestRefinementTreeGeometry(t *testing.T) {
 	}
 }
 
-// TestNonLRUFallsBackToDirect mixes policies: the engine must route FIFO
-// and Random configurations to direct simulation and still return results
-// identical to cache.Sweep in the original order.
+// TestNonLRUFallsBackToDirect mixes policies: the engine must route
+// FIFO and PLRU configurations to single-pass families, Random to
+// direct simulation, and still return results identical to cache.Sweep
+// in the original order.
 func TestNonLRUFallsBackToDirect(t *testing.T) {
 	trace := mixedTrace(40_000, 9)
 	cfgs := []cache.Config{
@@ -171,13 +172,17 @@ func TestNonLRUFallsBackToDirect(t *testing.T) {
 		{SizeBytes: 4 << 10, LineBytes: 16, Ways: 2, Policy: cache.FIFO},
 		{SizeBytes: 8 << 10, LineBytes: 32, Ways: 4, Policy: cache.Random},
 		{SizeBytes: 8 << 10, LineBytes: 32, Ways: 4, Policy: cache.LRU},
+		{SizeBytes: 8 << 10, LineBytes: 32, Ways: 4, Policy: cache.PLRU},
 	}
 	e, err := New(cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.FallbackConfigs() != 2 {
-		t.Fatalf("%d fallback configs, want 2", e.FallbackConfigs())
+	if e.FallbackConfigs() != 1 {
+		t.Fatalf("%d fallback configs, want 1 (only Random lacks a single-pass engine)", e.FallbackConfigs())
+	}
+	if e.FamilyConfigs() != 2 {
+		t.Fatalf("%d family configs, want 2 (FIFO + PLRU)", e.FamilyConfigs())
 	}
 	want, err := cache.Sweep(cfgs, trace)
 	if err != nil {

@@ -1,7 +1,11 @@
-// Checkpoint serialization for the stack engine: a Refinement's mutable
-// state is its per-set recency lists plus the two depth histograms, all
-// fixed-size functions of the (line size, set count, depth) geometry, so
-// the blob layout needs no internal framing.
+// Checkpoint serialization for the stack engine. A Refinement's mutable
+// state is its per-set recency lists, the two depth histograms, the
+// kinded write counter, and — when write-back accounting is on — the
+// wmax array and writeback histogram; a Family's is the shared MRU
+// shortcut state plus every variant's lines, replacement bookkeeping,
+// and dirty bits. All sizes are fixed functions of the configuration
+// set, which the sweep checkpointer fingerprints (including replacement
+// and write policies), so the blob layouts need no internal framing.
 package stack
 
 import (
@@ -11,7 +15,8 @@ import (
 
 // stateLen returns the exact encoded size for this refinement.
 func (r *Refinement) stateLen() int {
-	return 4*len(r.lists) + 8*len(r.histRAM) + 8*len(r.histFlash)
+	return 4*len(r.lists) + 8*len(r.histRAM) + 8*len(r.histFlash) + 8 +
+		len(r.wmax) + 8*len(r.wbHist)
 }
 
 // AppendState serializes the refinement's mutable state onto b.
@@ -23,6 +28,11 @@ func (r *Refinement) AppendState(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
 	for _, v := range r.histFlash {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	b = binary.LittleEndian.AppendUint64(b, r.writes)
+	b = append(b, r.wmax...)
+	for _, v := range r.wbHist {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
 	return b
@@ -46,6 +56,103 @@ func (r *Refinement) RestoreState(b []byte) error {
 	for i := range r.histFlash {
 		r.histFlash[i] = binary.LittleEndian.Uint64(b)
 		b = b[8:]
+	}
+	r.writes = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	copy(r.wmax, b)
+	b = b[len(r.wmax):]
+	for i := range r.wbHist {
+		r.wbHist[i] = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	return nil
+}
+
+func (v *familyVariant) stateLen() int {
+	return 8*8 + 4 + 4*len(v.lines) + len(v.rr) + len(v.plru) + len(v.dirty)
+}
+
+func (v *familyVariant) appendState(b []byte) []byte {
+	for _, x := range []uint64{
+		v.res.Accesses, v.res.Misses, v.res.RAMRefs, v.res.FlashRefs,
+		v.res.RAMMisses, v.res.FlashMisses, v.res.Writes, v.res.Writebacks,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, x)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(v.lastIdx))
+	for _, x := range v.lines {
+		b = binary.LittleEndian.AppendUint32(b, x)
+	}
+	b = append(b, v.rr...)
+	b = append(b, v.plru...)
+	for _, d := range v.dirty {
+		if d {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func (v *familyVariant) restoreState(b []byte) []byte {
+	for _, p := range []*uint64{
+		&v.res.Accesses, &v.res.Misses, &v.res.RAMRefs, &v.res.FlashRefs,
+		&v.res.RAMMisses, &v.res.FlashMisses, &v.res.Writes, &v.res.Writebacks,
+	} {
+		*p = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	v.lastIdx = int32(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	for i := range v.lines {
+		v.lines[i] = binary.LittleEndian.Uint32(b)
+		b = b[4:]
+	}
+	copy(v.rr, b)
+	b = b[len(v.rr):]
+	copy(v.plru, b)
+	b = b[len(v.plru):]
+	for i := range v.dirty {
+		v.dirty[i] = b[i] != 0
+	}
+	return b[len(v.dirty):]
+}
+
+// AppendState serializes the family's mutable state onto b.
+func (f *Family) AppendState(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, f.last)
+	b = binary.LittleEndian.AppendUint32(b, f.last2)
+	for _, x := range []uint64{f.totRAM, f.totFlash, f.totWrites} {
+		b = binary.LittleEndian.AppendUint64(b, x)
+	}
+	for _, v := range f.variants {
+		b = v.appendState(b)
+	}
+	return b
+}
+
+// RestoreState loads state previously produced by AppendState for the
+// same configuration group.
+func (f *Family) RestoreState(b []byte) error {
+	want := 4 + 4 + 3*8
+	for _, v := range f.variants {
+		want += v.stateLen()
+	}
+	if len(b) != want {
+		return fmt.Errorf("stack: family state blob is %d bytes, want %d for %s/%dB family",
+			len(b), want, f.policy, f.lineBytes)
+	}
+	f.last = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	f.last2 = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	for _, p := range []*uint64{&f.totRAM, &f.totFlash, &f.totWrites} {
+		*p = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	for _, v := range f.variants {
+		b = v.restoreState(b)
 	}
 	return nil
 }

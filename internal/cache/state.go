@@ -1,8 +1,9 @@
 // Checkpoint serialization for the direct simulator: a Cache's complete
 // mutable state — result counters, replacement bookkeeping, the line
-// array, and the Random policy's PRNG word — round-trips through a flat
-// little-endian blob, so a sweep interrupted mid-trace resumes
-// bit-identical to an uninterrupted run for every policy, not just LRU.
+// array, the Random policy's PRNG word, and the optional PLRU tree bits
+// and write-back dirty bits — round-trips through a flat little-endian
+// blob, so a sweep interrupted mid-trace resumes bit-identical to an
+// uninterrupted run for every policy, not just LRU.
 package cache
 
 import (
@@ -10,9 +11,13 @@ import (
 	"fmt"
 )
 
-// stateLen returns the exact encoded size for this configuration.
+// stateLen returns the exact encoded size for this configuration. The
+// PLRU and dirty sections exist only when the configuration allocates
+// them, and the sweep checkpointer fingerprints the configuration
+// (including the replacement and write policies), so blob lengths are
+// unambiguous per config.
 func (c *Cache) stateLen() int {
-	return 6*8 + 4 + 4*len(c.lines) + len(c.order)
+	return 8*8 + 4 + 4*len(c.lines) + len(c.order) + len(c.plru) + len(c.dirty)
 }
 
 // AppendState serializes the cache's mutable state onto b. The
@@ -22,6 +27,7 @@ func (c *Cache) AppendState(b []byte) []byte {
 	for _, v := range []uint64{
 		c.res.Accesses, c.res.Misses, c.res.RAMRefs,
 		c.res.FlashRefs, c.res.RAMMisses, c.res.FlashMisses,
+		c.res.Writes, c.res.Writebacks,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
@@ -29,7 +35,16 @@ func (c *Cache) AppendState(b []byte) []byte {
 	for _, v := range c.lines {
 		b = binary.LittleEndian.AppendUint32(b, v)
 	}
-	return append(b, c.order...)
+	b = append(b, c.order...)
+	b = append(b, c.plru...)
+	for _, d := range c.dirty {
+		if d {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
 }
 
 // RestoreState loads state previously produced by AppendState for the
@@ -41,6 +56,7 @@ func (c *Cache) RestoreState(b []byte) error {
 	counters := []*uint64{
 		&c.res.Accesses, &c.res.Misses, &c.res.RAMRefs,
 		&c.res.FlashRefs, &c.res.RAMMisses, &c.res.FlashMisses,
+		&c.res.Writes, &c.res.Writebacks,
 	}
 	for _, p := range counters {
 		*p = binary.LittleEndian.Uint64(b)
@@ -53,5 +69,11 @@ func (c *Cache) RestoreState(b []byte) error {
 		b = b[4:]
 	}
 	copy(c.order, b)
+	b = b[len(c.order):]
+	copy(c.plru, b)
+	b = b[len(c.plru):]
+	for i := range c.dirty {
+		c.dirty[i] = b[i] != 0
+	}
 	return nil
 }

@@ -13,7 +13,7 @@ import (
 	"palmsim/internal/m68k"
 )
 
-var errRandomTraffic = errors.New("cache: traffic simulation supports LRU and FIFO only")
+var errRandomTraffic = errors.New("cache: traffic simulation supports LRU, FIFO, and PLRU only")
 
 // TrafficResult extends Result with write-policy traffic accounting.
 type TrafficResult struct {
@@ -93,7 +93,7 @@ func (t *trafficCache) access(addr uint32, write bool) {
 	}
 	// Miss path: find the victim the base cache will choose, account for
 	// its dirtiness, then perform the access.
-	victim := c.victim(base)
+	victim := c.victim(base, int(line&c.setMask))
 	if c.lines[base+victim] != 0 && t.dirty[base+victim] {
 		t.res.Writebacks++
 	}

@@ -289,9 +289,10 @@ func (c *countReader) ReadByte() (byte, error) {
 	return b, err
 }
 
-// PackedSource streams addresses out of a packed trace, implementing the
-// sweep engine's Source interface. Kinds are decoded but discarded — the
-// cache sweep consumes addresses only; UnpackTrace recovers both.
+// PackedSource streams addresses out of a packed trace, implementing
+// the sweep engine's Source and KindedSource interfaces. NextChunk
+// decodes and discards the kind escape bytes (address-only sweeps);
+// NextChunkKinded surfaces them, which write-policy sweeps require.
 type PackedSource struct {
 	r         *countReader
 	st        packedState
@@ -385,6 +386,20 @@ func (s *PackedSource) discard(n uint64) error {
 // anywhere else — mid-record, mid-block, or in place of a block header —
 // is reported as corruption, so truncated files never decode silently.
 func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
+	return s.next(buf, nil)
+}
+
+// NextChunkKinded decodes up to min(len(buf), len(kinds)) (address,
+// kind) pairs; references encoded without an escape byte are fetches
+// (kind 0). Both entry points advance the same stream position.
+func (s *PackedSource) NextChunkKinded(buf []uint32, kinds []uint8) (int, error) {
+	if len(kinds) < len(buf) {
+		buf = buf[:len(kinds)]
+	}
+	return s.next(buf, kinds)
+}
+
+func (s *PackedSource) next(buf []uint32, kinds []uint8) (int, error) {
 	n := 0
 	for n < len(buf) && !s.done {
 		if s.ranged && s.refs == s.limit {
@@ -415,8 +430,9 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 			return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("corrupt packed trace after %d refs: %w", s.refs, err))
 		}
 		addr, hasKind := s.st.decode(rec)
+		var k uint8
 		if hasKind {
-			k, err := s.r.ReadByte()
+			k, err = s.r.ReadByte()
 			if err != nil {
 				return n, simerr.CorruptTrace("dtrace: unpack", int64(s.refs), fmt.Errorf("corrupt packed trace after %d refs: missing kind byte", s.refs))
 			}
@@ -425,6 +441,9 @@ func (s *PackedSource) NextChunk(buf []uint32) (int, error) {
 			}
 		}
 		buf[n] = addr
+		if kinds != nil {
+			kinds[n] = k
+		}
 		n++
 		s.refs++
 		s.blockLeft--

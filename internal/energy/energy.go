@@ -24,6 +24,7 @@ type Model struct {
 	RAMAccessNJ   float64 // energy per RAM access
 	FlashAccessNJ float64 // energy per flash access (reads are expensive)
 	CacheAccessNJ float64 // energy per cache probe (hit or miss)
+	WriteByteNJ   float64 // energy per byte of write traffic behind the cache
 	CPUCycleNJ    float64 // core energy per active cycle
 	DozeMW        float64 // doze-mode power draw
 }
@@ -37,6 +38,7 @@ func Default() Model {
 		RAMAccessNJ:   2.0,
 		FlashAccessNJ: 9.0,
 		CacheAccessNJ: 0.4,
+		WriteByteNJ:   1.0, // per byte: one RAM access moves 2 bytes for 2.0 nJ
 		CPUCycleNJ:    0.9,
 		DozeMW:        6.0,
 	}
@@ -68,16 +70,31 @@ func (m Model) NoCache(ramRefs, flashRefs, activeCycles uint64, dozeSeconds floa
 }
 
 // WithCache estimates the same run with a cache in front of memory: every
-// reference probes the cache; only misses pay the region access energy.
+// reference probes the cache; only misses pay the region access energy,
+// and the configuration's write policy adds its memory write traffic
+// (write-through stores, write-back dirty evictions) at WriteByteNJ per
+// byte. Address-only results carry no write traffic and cost what they
+// always did.
 func (m Model) WithCache(r cache.Result, activeCycles uint64, dozeSeconds float64) Estimate {
 	mem := float64(r.Accesses) * m.CacheAccessNJ
 	mem += float64(r.RAMMisses) * m.RAMAccessNJ
 	mem += float64(r.FlashMisses) * m.FlashAccessNJ
+	mem += float64(r.WriteTrafficBytes()) * m.WriteByteNJ
 	return Estimate{
 		MemoryJ: mem * 1e-9,
 		CoreJ:   float64(activeCycles) * m.CPUCycleNJ * 1e-9,
 		DozeJ:   dozeSeconds * m.DozeMW * 1e-3,
 	}
+}
+
+// MemoryPerAccessNJ returns the cache-inclusive memory energy per
+// reference in nanojoules, write traffic included — the energy axis of
+// the configuration Pareto front.
+func (m Model) MemoryPerAccessNJ(r cache.Result) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return m.WithCache(r, 0, 0).MemoryJ * 1e9 / float64(r.Accesses)
 }
 
 // MemorySaving returns the fraction of memory-system energy a cache

@@ -70,6 +70,55 @@ func TestZeroRunIsZero(t *testing.T) {
 	}
 }
 
+func TestWriteTrafficEnergy(t *testing.T) {
+	m := Default()
+	base := cache.Result{
+		Config:     cache.Config{SizeBytes: 4 << 10, LineBytes: 16, Ways: 2},
+		Accesses:   1_000_000,
+		RAMRefs:    1_000_000,
+		RAMMisses:  10_000,
+		Misses:     10_000,
+		Writes:     200_000,
+		Writebacks: 5_000,
+	}
+	ignore := base
+	wt := base
+	wt.Config.Write = cache.WriteThrough
+	wb := base
+	wb.Config.Write = cache.WriteBack
+
+	eIgnore := m.WithCache(ignore, 0, 0).MemoryJ
+	eWT := m.WithCache(wt, 0, 0).MemoryJ
+	eWB := m.WithCache(wb, 0, 0).MemoryJ
+	if eWT <= eIgnore || eWB <= eIgnore {
+		t.Errorf("write traffic should cost energy: ignore %g, WT %g, WB %g", eIgnore, eWT, eWB)
+	}
+	wantWT := eIgnore + float64(wt.WriteTrafficBytes())*m.WriteByteNJ*1e-9
+	if math.Abs(eWT-wantWT) > 1e-12 {
+		t.Errorf("WT energy = %g, want %g", eWT, wantWT)
+	}
+	wantWB := eIgnore + float64(wb.WriteTrafficBytes())*m.WriteByteNJ*1e-9
+	if math.Abs(eWB-wantWB) > 1e-12 {
+		t.Errorf("WB energy = %g, want %g", eWB, wantWB)
+	}
+
+	// Per-access helper agrees with the breakdown.
+	if got, want := m.MemoryPerAccessNJ(wb), eWB*1e9/float64(wb.Accesses); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MemoryPerAccessNJ = %g, want %g", got, want)
+	}
+	if m.MemoryPerAccessNJ(cache.Result{}) != 0 {
+		t.Error("empty result nonzero per-access energy")
+	}
+
+	// The write-aware access time moves the same direction.
+	if wt.TeffWriteAware() <= ignore.TeffWriteAware() {
+		t.Error("write-through traffic should raise the effective access time")
+	}
+	if ignore.TeffWriteAware() != ignore.TeffExact() {
+		t.Error("WriteIgnore must not change the access time")
+	}
+}
+
 func TestBiggerCacheSavesMore(t *testing.T) {
 	m := Default()
 	low := cache.Result{Accesses: 1e6, RAMRefs: 3e5, FlashRefs: 7e5, RAMMisses: 6e4, FlashMisses: 14e4}

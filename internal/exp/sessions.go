@@ -30,16 +30,23 @@ type SessionRun struct {
 	Col   *sim.Collection
 	Play  *sim.Playback
 	Trace []uint32
+	// Kinds holds each Trace entry's access kind (m68k.Access values),
+	// so session traces can feed write-policy (kinded) sweeps.
+	Kinds []uint8
 }
 
 // RunSession collects one session and replays it with trace collection —
-// the full §2 pipeline for one Table 1 row.
+// the full §2 pipeline for one Table 1 row. Access kinds are collected
+// alongside addresses so the trace works for write-policy sweeps and
+// Dinero export without a second replay.
 func RunSession(ctx context.Context, s user.Session) (*SessionRun, error) {
 	col, err := sim.Collect(ctx, s)
 	if err != nil {
 		return nil, fmt.Errorf("collect %s: %w", s.Name, err)
 	}
-	play, err := sim.Replay(ctx, col.Initial, col.Log, sim.DefaultReplayOptions())
+	opts := sim.DefaultReplayOptions()
+	opts.CollectKinds = true
+	play, err := sim.Replay(ctx, col.Initial, col.Log, opts)
 	if err != nil {
 		return nil, fmt.Errorf("replay %s: %w", s.Name, err)
 	}
@@ -52,7 +59,7 @@ func RunSession(ctx context.Context, s user.Session) (*SessionRun, error) {
 		ElapsedSeconds: elapsed,
 		AvgMemCycles:   play.Stats.Bus.AvgMemCycles(),
 	}
-	return &SessionRun{Row: row, Col: col, Play: play, Trace: play.Trace}, nil
+	return &SessionRun{Row: row, Col: col, Play: play, Trace: play.Trace, Kinds: play.TraceKinds}, nil
 }
 
 // Table1 runs all four paper sessions.

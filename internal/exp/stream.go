@@ -10,9 +10,16 @@ import (
 	"io"
 
 	"palmsim/internal/dtrace"
+	"palmsim/internal/m68k"
 	"palmsim/internal/obs"
 	"palmsim/internal/simerr"
 	"palmsim/internal/sweep"
+)
+
+// Kind-carrying sources must satisfy the sweep engine's kinded face.
+var (
+	_ sweep.KindedSource = (*DineroSource)(nil)
+	_ sweep.KindedSource = (*dtrace.PackedSource)(nil)
 )
 
 // OpenTraceSource sniffs a trace stream's 8-byte magic and returns the
@@ -105,8 +112,10 @@ func (t *TraceSource) NextChunk(buf []uint32) (int, error) {
 }
 
 // DineroSource streams a din-format trace ("<label> <hexaddr>" lines, as
-// written by MarshalDinero). Labels are validated but not returned — the
-// cache sweep consumes addresses only.
+// written by MarshalDinero). NextChunk validates but discards the
+// labels; NextChunkKinded maps them to m68k.Access kinds (din 0 = data
+// read, 1 = data write, 2 = instruction fetch), which write-policy
+// sweeps require.
 type DineroSource struct {
 	r    *bufio.Reader
 	line int
@@ -123,6 +132,20 @@ func NewDineroSource(r io.Reader) *DineroSource {
 
 // NextChunk parses up to len(buf) din lines into addresses.
 func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
+	return d.next(buf, nil)
+}
+
+// NextChunkKinded parses up to min(len(buf), len(kinds)) din lines into
+// (address, kind) pairs. Both entry points advance the same stream
+// position.
+func (d *DineroSource) NextChunkKinded(buf []uint32, kinds []uint8) (int, error) {
+	if len(kinds) < len(buf) {
+		buf = buf[:len(kinds)]
+	}
+	return d.next(buf, kinds)
+}
+
+func (d *DineroSource) next(buf []uint32, kinds []uint8) (int, error) {
 	n := 0
 	for n < len(buf) && !d.done {
 		raw, err := d.r.ReadSlice('\n')
@@ -135,11 +158,14 @@ func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
 			return 0, simerr.CorruptTrace("exp: read", int64(d.line), fmt.Errorf("din line %d: %w", d.line+1, err))
 		}
 		d.line++
-		addr, perr := parseDinLine(raw, d.line)
+		addr, kind, perr := parseDinLine(raw, d.line)
 		if perr != nil {
 			return 0, perr
 		}
 		buf[n] = addr
+		if kinds != nil {
+			kinds[n] = kind
+		}
 		n++
 	}
 	d.ObsRefs.Add(uint64(n))
@@ -147,18 +173,24 @@ func (d *DineroSource) NextChunk(buf []uint32) (int, error) {
 }
 
 // parseDinLine decodes one "<label> <hexaddr>" line (trailing newline
-// optional), mirroring UnmarshalDinero's validation.
-func parseDinLine(raw []byte, line int) (uint32, error) {
+// optional), mirroring UnmarshalDinero's validation and label mapping.
+func parseDinLine(raw []byte, line int) (uint32, uint8, error) {
 	if len(raw) > 0 && raw[len(raw)-1] == '\n' {
 		raw = raw[:len(raw)-1]
 	}
 	if len(raw) < 3 || raw[1] != ' ' {
-		return 0, fmt.Errorf("exp: din line %d malformed", line)
+		return 0, 0, fmt.Errorf("exp: din line %d malformed", line)
 	}
+	var kind uint8
 	switch raw[0] {
-	case '0', '1', '2':
+	case '0':
+		kind = uint8(m68k.Read)
+	case '1':
+		kind = uint8(m68k.Write)
+	case '2':
+		kind = uint8(m68k.Fetch)
 	default:
-		return 0, fmt.Errorf("exp: din line %d has label %q", line, raw[0])
+		return 0, 0, fmt.Errorf("exp: din line %d has label %q", line, raw[0])
 	}
 	var addr uint32
 	for _, c := range raw[2:] {
@@ -170,8 +202,8 @@ func parseDinLine(raw []byte, line int) (uint32, error) {
 		case c >= 'A' && c <= 'F':
 			addr = addr<<4 | uint32(c-'A'+10)
 		default:
-			return 0, fmt.Errorf("exp: din line %d has bad address", line)
+			return 0, 0, fmt.Errorf("exp: din line %d has bad address", line)
 		}
 	}
-	return addr, nil
+	return addr, kind, nil
 }

@@ -5,6 +5,8 @@ package report
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 )
 
@@ -65,6 +67,40 @@ func (t *Table) String() string {
 		line(row)
 	}
 	return b.String()
+}
+
+// ParetoPoint is one candidate in a two-objective minimization — for
+// the cache study, a configuration's energy per access (X) and
+// effective access time (Y).
+type ParetoPoint struct {
+	Label string
+	X, Y  float64
+}
+
+// ParetoFront returns the non-dominated subset of points, sorted by X
+// ascending (and Y descending along the front, by construction). A
+// point is dominated when another is no worse in both coordinates and
+// strictly better in at least one; of coincident points the first in
+// input order survives. The input is not modified.
+func ParetoFront(points []ParetoPoint) []ParetoPoint {
+	sorted := make([]ParetoPoint, len(points))
+	copy(sorted, points)
+	// Stable insertion keeps input order among exact ties.
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	var front []ParetoPoint
+	bestY := math.Inf(1)
+	for _, p := range sorted {
+		if p.Y < bestY {
+			front = append(front, p)
+			bestY = p.Y
+		}
+	}
+	return front
 }
 
 // Millions renders a count as millions with one decimal, Table 1 style.

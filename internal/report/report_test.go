@@ -38,6 +38,47 @@ func TestAddf(t *testing.T) {
 	}
 }
 
+func TestParetoFront(t *testing.T) {
+	points := []ParetoPoint{
+		{Label: "a", X: 1, Y: 5},
+		{Label: "b", X: 2, Y: 3}, // non-dominated
+		{Label: "c", X: 2, Y: 4}, // dominated by b (same X, worse Y)
+		{Label: "d", X: 3, Y: 3}, // dominated by b (worse X, same Y)
+		{Label: "e", X: 4, Y: 1}, // non-dominated
+		{Label: "f", X: 5, Y: 2}, // dominated by e
+		{Label: "g", X: 0.5, Y: 9},
+	}
+	front := ParetoFront(points)
+	var labels []string
+	for _, p := range front {
+		labels = append(labels, p.Label)
+	}
+	want := []string{"g", "a", "b", "e"}
+	if len(labels) != len(want) {
+		t.Fatalf("front = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("front = %v, want %v", labels, want)
+		}
+	}
+	// The front is sorted by X and strictly improving in Y.
+	for i := 1; i < len(front); i++ {
+		if front[i].X <= front[i-1].X || front[i].Y >= front[i-1].Y {
+			t.Errorf("front not monotone at %d: %+v", i, front)
+		}
+	}
+	// Input order preserved among coincident points.
+	dup := []ParetoPoint{{Label: "first", X: 1, Y: 1}, {Label: "second", X: 1, Y: 1}}
+	f := ParetoFront(dup)
+	if len(f) != 1 || f[0].Label != "first" {
+		t.Errorf("coincident points: %+v", f)
+	}
+	if f = ParetoFront(nil); len(f) != 0 {
+		t.Errorf("empty input: %+v", f)
+	}
+}
+
 func TestMillions(t *testing.T) {
 	if got := Millions(443_000_000); got != "443.0" {
 		t.Errorf("Millions = %q", got)

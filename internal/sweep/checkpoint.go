@@ -43,8 +43,9 @@ func (o Options) checkpointEvery() int {
 	return o.CheckpointEveryChunks
 }
 
-// stateful is the checkpointable face of a unit. Both unit kinds — the
-// direct cache.Cache and the stack engine's Refinement — implement it.
+// stateful is the checkpointable face of a unit. Every unit kind — the
+// direct cache.Cache, the stack engine's Refinement and Family, and the
+// OPT direct simulator and Family — implements it.
 type stateful interface {
 	AppendState(b []byte) []byte
 	RestoreState(b []byte) error
@@ -73,8 +74,10 @@ func newCheckpointer(path string, every int, units []unit, cfgs []cache.Config, 
 	return c, nil
 }
 
-// configHash fingerprints the engine choice and configuration set so a
-// sidecar written by one sweep cannot silently resume another.
+// configHash fingerprints the engine choice and configuration set —
+// geometry, replacement policy, and write policy — so a sidecar written
+// by one sweep cannot silently resume another (a foreign-policy sidecar
+// is rejected even when the geometries coincide).
 func configHash(cfgs []cache.Config, eng Engine) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -89,6 +92,7 @@ func configHash(cfgs []cache.Config, eng Engine) uint64 {
 		put(uint64(cfg.LineBytes))
 		put(uint64(cfg.Ways))
 		put(uint64(cfg.Policy))
+		put(uint64(cfg.Write))
 	}
 	return h.Sum64()
 }

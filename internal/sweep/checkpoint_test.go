@@ -3,11 +3,13 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"palmsim/internal/cache"
+	"palmsim/internal/cache/opt"
 	"palmsim/internal/simerr"
 )
 
@@ -275,4 +277,190 @@ func (s *crashSource) NextChunk(buf []uint32) (int, error) {
 	}
 	s.chunks++
 	return s.inner.NextChunk(buf)
+}
+
+// kindedCountingSource wraps a KindedSliceSource and fires cancel after
+// `after` kinded chunks — the kinded-mode counterpart of countingSource.
+type kindedCountingSource struct {
+	inner  *KindedSliceSource
+	after  int
+	cancel context.CancelFunc
+	chunks int
+}
+
+func (s *kindedCountingSource) NextChunk(buf []uint32) (int, error) {
+	return s.inner.NextChunk(buf)
+}
+
+func (s *kindedCountingSource) NextChunkKinded(buf []uint32, kinds []uint8) (int, error) {
+	s.chunks++
+	if s.chunks == s.after {
+		s.cancel()
+	}
+	return s.inner.NextChunkKinded(buf, kinds)
+}
+
+// kindedCheckpointSweep exercises the PR 9 state: PLRU trees, FIFO
+// round-robin pointers, and write-back dirty/wmax tracking all have to
+// survive the sidecar round trip.
+func kindedCheckpointSweep() []cache.Config {
+	var cfgs []cache.Config
+	for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.PLRU} {
+		for _, wp := range []cache.WritePolicy{cache.WriteThrough, cache.WriteBack} {
+			cfgs = append(cfgs,
+				cache.Config{SizeBytes: 2048, LineBytes: 16, Ways: 2, Policy: pol, Write: wp},
+				cache.Config{SizeBytes: 8192, LineBytes: 32, Ways: 4, Policy: pol, Write: wp},
+			)
+		}
+	}
+	return cfgs
+}
+
+// TestCheckpointResumeKindedWritePolicies: interrupt a kinded write-policy
+// sweep mid-trace, resume from the sidecar, and demand results identical
+// to the direct per-configuration oracle — including the write and
+// writeback counters, which live in the checkpointed unit state.
+func TestCheckpointResumeKindedWritePolicies(t *testing.T) {
+	trace, kinds := kindedFixedTrace(40_000)
+	cfgs := kindedCheckpointSweep()
+	want := directKindedOracle(t, cfgs, trace, kinds)
+	for _, eng := range []Engine{EngineStack, EngineDirect} {
+		for _, after := range []int{3, 9} {
+			name := fmt.Sprintf("%s/after=%d", eng, after)
+			path := filepath.Join(t.TempDir(), "kinded.ckpt")
+			ctx, cancel := context.WithCancel(context.Background())
+			src := &kindedCountingSource{inner: NewKindedSliceSource(trace, kinds), after: after, cancel: cancel}
+			_, err := Run(ctx, cfgs, src, Options{
+				Workers: 3, ChunkRefs: 1024, Engine: eng,
+				CheckpointPath: path, CheckpointEveryChunks: 2,
+			})
+			cancel()
+			if !simerr.IsCanceled(err) {
+				t.Fatalf("%s: interrupted run: err = %v, want cancellation", name, err)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("%s: no sidecar after cancellation: %v", name, err)
+			}
+
+			got, err := Run(context.Background(), cfgs, NewKindedSliceSource(trace, kinds), Options{
+				Workers: 2, ChunkRefs: 1024, Engine: eng,
+				CheckpointPath: path, CheckpointEveryChunks: 2, Resume: true,
+			})
+			if err != nil {
+				t.Fatalf("%s: resume: %v", name, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: %v diverged after resume: got %+v want %+v",
+						name, cfgs[i], got[i], want[i])
+				}
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("%s: sidecar survived a completed sweep", name)
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeOptSweep: an OPT sweep materializes its source
+// before the checkpointer exists, so a cancelling source cannot
+// interrupt it mid-run. Instead, build the production plan directly,
+// feed it a prefix, write a sidecar through the production checkpointer,
+// and let Run resume from it — the resumed sweep must match an
+// uninterrupted one in every counter.
+func TestCheckpointResumeOptSweep(t *testing.T) {
+	trace := fixedTrace(30_000)
+	cfgs := []cache.Config{
+		{SizeBytes: 1 << 10, LineBytes: 16, Ways: 2, Policy: cache.OPT},
+		{SizeBytes: 4 << 10, LineBytes: 32, Ways: 4, Policy: cache.OPT},
+		{SizeBytes: 4 << 10, LineBytes: 32, Ways: 4, Policy: cache.LRU},
+		{SizeBytes: 2 << 10, LineBytes: 16, Ways: 2, Policy: cache.PLRU},
+	}
+	want := directKindedOracle(t, cfgs, trace, nil)
+
+	for _, eng := range []Engine{EngineStack, EngineDirect} {
+		anns, err := opt.AnnotateAll(trace, optLineSizes(cfgs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := build(cfgs, eng, anns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const prefix = 13_312 // 13 chunks of 1024
+		for lo := 0; lo < prefix; lo += 1024 {
+			for _, u := range p.units {
+				u.AccessAll(trace[lo : lo+1024])
+			}
+		}
+		path := filepath.Join(t.TempDir(), "opt.ckpt")
+		ck, err := newCheckpointer(path, 1, p.units, cfgs, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck.consumed(prefix)
+		if err := ck.save(); err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := RunTrace(context.Background(), cfgs, trace, Options{
+			Workers: 2, ChunkRefs: 1024, Engine: eng,
+			CheckpointPath: path, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: resume: %v", eng, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: %v diverged after OPT resume: got %+v want %+v",
+					eng, cfgs[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResumeRejectsForeignPolicySidecar: a sidecar is fingerprinted by
+// replacement policy AND write policy — resuming the same geometries
+// under a different policy of either kind must fail with
+// ErrBadCheckpoint, never blend the two runs' numbers.
+func TestResumeRejectsForeignPolicySidecar(t *testing.T) {
+	trace, kinds := kindedFixedTrace(20_000)
+	geoms := []cache.Config{
+		{SizeBytes: 2048, LineBytes: 16, Ways: 2},
+		{SizeBytes: 8192, LineBytes: 32, Ways: 4},
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	interruptRun(t, path, geoms, trace, 3, 2, 512, EngineStack)
+
+	resume := func(cfgs []cache.Config) error {
+		_, err := Run(context.Background(), cfgs, NewKindedSliceSource(trace, kinds), Options{
+			Workers: 2, ChunkRefs: 512, Engine: EngineStack,
+			CheckpointPath: path, Resume: true,
+		})
+		return err
+	}
+
+	// Same geometries, different replacement policy.
+	foreign := make([]cache.Config, len(geoms))
+	copy(foreign, geoms)
+	for i := range foreign {
+		foreign[i].Policy = cache.PLRU
+	}
+	if err := resume(foreign); !errors.Is(err, simerr.ErrBadCheckpoint) {
+		t.Errorf("foreign replacement policy: err = %v, want ErrBadCheckpoint", err)
+	}
+
+	// Same geometries and replacement policy, different write policy.
+	copy(foreign, geoms)
+	for i := range foreign {
+		foreign[i].Write = cache.WriteBack
+	}
+	if err := resume(foreign); !errors.Is(err, simerr.ErrBadCheckpoint) {
+		t.Errorf("foreign write policy: err = %v, want ErrBadCheckpoint", err)
+	}
+
+	// The original configuration set still resumes cleanly.
+	if err := resume(geoms); err != nil {
+		t.Errorf("original config set failed to resume: %v", err)
+	}
 }

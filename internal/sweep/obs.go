@@ -78,6 +78,19 @@ func (m *obsMetrics) checkpointed() {
 	m.checkpoints.Inc()
 }
 
+// registerPlan publishes the engine plan's structure — most importantly
+// how many configurations fell back to per-config direct simulation
+// inside the stack engine, so the fallback shows up in metrics and run
+// manifests instead of being a silent performance cliff.
+func registerPlan(r *obs.Registry, info PlanInfo) {
+	if r == nil {
+		return
+	}
+	r.Gauge("sweep.fallback_configs").Set(int64(info.FallbackConfigs))
+	r.Gauge("sweep.family_configs").Set(int64(info.FamilyConfigs))
+	r.Gauge("sweep.opt_configs").Set(int64(info.OptConfigs))
+}
+
 // registerResults publishes sweep-wide cache aggregates (accesses, misses,
 // RAM/flash splits summed across configurations) as polled funcs. Funcs
 // rebind on re-registration, so a later sweep in the same process (e.g.
@@ -86,7 +99,7 @@ func registerResults(r *obs.Registry, results []cache.Result) {
 	if r == nil {
 		return
 	}
-	var acc, miss, ramRefs, flashRefs, ramMiss, flashMiss uint64
+	var acc, miss, ramRefs, flashRefs, ramMiss, flashMiss, writes, wbs uint64
 	for _, res := range results {
 		acc += res.Accesses
 		miss += res.Misses
@@ -94,6 +107,8 @@ func registerResults(r *obs.Registry, results []cache.Result) {
 		flashRefs += res.FlashRefs
 		ramMiss += res.RAMMisses
 		flashMiss += res.FlashMisses
+		writes += res.Writes
+		wbs += res.Writebacks
 	}
 	r.Func("cache.accesses", func() float64 { return float64(acc) })
 	r.Func("cache.misses", func() float64 { return float64(miss) })
@@ -101,5 +116,7 @@ func registerResults(r *obs.Registry, results []cache.Result) {
 	r.Func("cache.flash_refs", func() float64 { return float64(flashRefs) })
 	r.Func("cache.ram_misses", func() float64 { return float64(ramMiss) })
 	r.Func("cache.flash_misses", func() float64 { return float64(flashMiss) })
+	r.Func("cache.writes", func() float64 { return float64(writes) })
+	r.Func("cache.writebacks", func() float64 { return float64(wbs) })
 	r.Func("cache.configs", func() float64 { return float64(len(results)) })
 }

@@ -10,11 +10,24 @@
 // cache.Cache per configuration — 56 independent caches. The stack
 // engine (internal/cache/stack) exploits the LRU inclusion property to
 // collapse all configurations sharing a (line size, set count) geometry
-// into one single-pass refinement — 20 units for the paper sweep — and
-// falls back to direct simulation for non-LRU configurations. Every
-// unit still observes the full trace in order, so both engines produce
-// results bit-identical to the serial cache.Sweep loop for any worker
-// count — determinism is an invariant here, not a best effort.
+// into one single-pass refinement — 20 units for the paper sweep —
+// serves FIFO and PLRU through single-pass per-line-size families, and
+// falls back to direct simulation only for Random (private PRNG state).
+// OPT (Belady) configurations are served by internal/cache/opt under
+// either engine: Run materializes the trace, computes the per-line-size
+// next-use annotation, and then streams the buffered trace through the
+// normal fan-out, so checkpointing, partitioning, and cancellation all
+// compose with OPT unchanged. Every unit still observes the full trace
+// in order, so both engines produce results bit-identical to the serial
+// cache.Sweep loop for any worker count — determinism is an invariant
+// here, not a best effort.
+//
+// Write-policy accounting needs to know which references are writes, so
+// when any configuration sets a write policy the sweep runs in kinded
+// mode: the source must implement KindedSource, chunks carry a parallel
+// kind byte per reference, and every unit consumes the kinded entry
+// point. Address-only sweeps are untouched — no kind buffers exist and
+// the hot paths are the same as before.
 package sweep
 
 import (
@@ -26,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"palmsim/internal/cache"
+	"palmsim/internal/cache/opt"
 	"palmsim/internal/cache/stack"
 	"palmsim/internal/obs"
 	"palmsim/internal/simerr"
@@ -61,6 +75,57 @@ func NewSliceSource(trace []uint32) *SliceSource {
 // every call, never an error.
 func (s *SliceSource) NextChunk(buf []uint32) (int, error) {
 	n := copy(buf, s.trace[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// KindedSource is a Source that also knows each reference's access kind
+// (cache.KindFetch/KindRead/KindWrite). Both methods advance the same
+// stream position, so a consumer may mix them — resume's skipRefs uses
+// the address-only path even on kinded sweeps. Write-policy sweeps
+// require a KindedSource; address-only sources are rejected with a
+// clear error rather than silently treating every reference as a read.
+type KindedSource interface {
+	Source
+	// NextChunkKinded fills refs and kinds in lockstep with up to
+	// min(len(refs), len(kinds)) references and returns how many it
+	// wrote. End-of-trace signalling matches NextChunk.
+	NextChunkKinded(refs []uint32, kinds []uint8) (n int, err error)
+}
+
+// KindedSliceSource adapts a fully materialized trace with per-reference
+// access kinds to the KindedSource interface.
+type KindedSliceSource struct {
+	trace []uint32
+	kinds []uint8
+	pos   int
+}
+
+// NewKindedSliceSource wraps an in-memory trace and its parallel kind
+// array; the streams are clamped to the shorter of the two.
+func NewKindedSliceSource(trace []uint32, kinds []uint8) *KindedSliceSource {
+	if len(kinds) < len(trace) {
+		trace = trace[:len(kinds)]
+	} else {
+		kinds = kinds[:len(trace)]
+	}
+	return &KindedSliceSource{trace: trace, kinds: kinds}
+}
+
+// NextChunk copies addresses only, advancing the shared position.
+func (s *KindedSliceSource) NextChunk(buf []uint32) (int, error) {
+	n := copy(buf, s.trace[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// NextChunkKinded copies the next run of (address, kind) pairs.
+func (s *KindedSliceSource) NextChunkKinded(refs []uint32, kinds []uint8) (int, error) {
+	if len(kinds) < len(refs) {
+		refs = refs[:len(kinds)]
+	}
+	n := copy(refs, s.trace[s.pos:])
+	copy(kinds[:n], s.kinds[s.pos:s.pos+n])
 	s.pos += n
 	return n, nil
 }
@@ -176,52 +241,213 @@ func (o Options) engine() Engine {
 }
 
 // unit is one independently advanceable simulation shard: a direct
-// cache.Cache or a stack-engine refinement. No unit is ever touched by
-// two goroutines, and each observes the complete trace in order.
+// cache.Cache, a stack-engine refinement or family, or an OPT family.
+// No unit is ever touched by two goroutines, and each observes the
+// complete trace in order.
 type unit interface {
 	AccessAll(refs []uint32)
 }
 
+// kindedUnit is a unit that can consume (address, kind) chunks; every
+// engine unit implements it, which the kinded-mode check in Run
+// enforces once up front rather than per chunk.
+type kindedUnit interface {
+	AccessAllKinded(refs []uint32, kinds []uint8)
+}
+
+// PlanInfo summarizes how a configuration set maps onto engine units —
+// in particular, which configurations fall back to per-config direct
+// simulation inside the stack engine (satellite observability: the
+// fallback is visible in sweep metrics and run manifests, never
+// silent).
+type PlanInfo struct {
+	// Engine is the resolved engine (never EngineAuto).
+	Engine Engine
+	// Configs is the number of swept configurations.
+	Configs int
+	// Units is the number of independently advanceable shards.
+	Units int
+	// FallbackConfigs counts configurations the stack engine serves by
+	// per-config direct simulation because no single-pass algorithm
+	// exists for their policy (currently: Random). Always zero under
+	// EngineDirect, where direct simulation is the point.
+	FallbackConfigs int
+	// FamilyConfigs counts configurations served by single-pass FIFO or
+	// PLRU families in the stack engine.
+	FamilyConfigs int
+	// OptConfigs counts OPT (Belady) configurations, served by the
+	// internal/cache/opt engines under either Engine setting.
+	OptConfigs int
+	// NeedsKinds reports whether any configuration's write policy
+	// requires a kind-carrying source.
+	NeedsKinds bool
+	// BuffersTrace reports whether Run materializes the whole trace in
+	// memory first — required by OPT's backward next-use pass.
+	BuffersTrace bool
+}
+
+// enginePlan is an instantiated engine: its units, their kinded faces
+// (aligned with units; nil entries mean address-only), the
+// configuration-order result collector, and the structural summary.
+type enginePlan struct {
+	units   []unit
+	kinded  []kindedUnit
+	collect func() []cache.Result
+	info    PlanInfo
+}
+
+// needsKinds reports whether any configuration's write policy needs
+// per-reference access kinds.
+func needsKinds(cfgs []cache.Config) bool {
+	for _, cfg := range cfgs {
+		if cfg.Write != cache.WriteIgnore {
+			return true
+		}
+	}
+	return false
+}
+
+// optLineSizes returns the distinct line sizes of OPT configurations,
+// i.e. the annotations a run must compute.
+func optLineSizes(cfgs []cache.Config) []int {
+	seen := map[int]bool{}
+	var lines []int
+	for _, cfg := range cfgs {
+		if cfg.Policy == cache.OPT && !seen[cfg.LineBytes] {
+			seen[cfg.LineBytes] = true
+			lines = append(lines, cfg.LineBytes)
+		}
+	}
+	return lines
+}
+
 // build instantiates the selected engine's units and a collector that
 // assembles results in configuration order after the trace has drained.
-func build(cfgs []cache.Config, eng Engine) ([]unit, func() []cache.Result, error) {
+// OPT configurations are split out and served by internal/cache/opt
+// (per-config direct simulators under EngineDirect, per-line-size
+// families otherwise); anns may be nil for planning, in which case the
+// OPT units are constructed but must not be advanced.
+func build(cfgs []cache.Config, eng Engine, anns map[int]*opt.Annotation) (*enginePlan, error) {
+	p := &enginePlan{info: PlanInfo{Engine: eng, Configs: len(cfgs), NeedsKinds: needsKinds(cfgs)}}
+	var optIdx, restIdx []int
+	var optCfgs, restCfgs []cache.Config
+	for i, cfg := range cfgs {
+		if cfg.Policy == cache.OPT {
+			optIdx = append(optIdx, i)
+			optCfgs = append(optCfgs, cfg)
+		} else {
+			restIdx = append(restIdx, i)
+			restCfgs = append(restCfgs, cfg)
+		}
+	}
+	p.info.OptConfigs = len(optCfgs)
+	p.info.BuffersTrace = len(optCfgs) > 0
+
+	var collectRest, collectOpt func() []cache.Result
 	if eng == EngineDirect {
-		caches := make([]*cache.Cache, len(cfgs))
-		units := make([]unit, len(cfgs))
-		for i, cfg := range cfgs {
+		caches := make([]*cache.Cache, len(restCfgs))
+		for i, cfg := range restCfgs {
 			c, err := cache.New(cfg)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			caches[i] = c
-			units[i] = c
+			p.units = append(p.units, c)
 		}
-		collect := func() []cache.Result {
+		collectRest = func() []cache.Result {
 			out := make([]cache.Result, len(caches))
 			for i, c := range caches {
 				out[i] = c.Result()
 			}
 			return out
 		}
-		return units, collect, nil
+	} else {
+		se, err := stack.New(restCfgs)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range se.Units() {
+			p.units = append(p.units, u)
+		}
+		p.info.FallbackConfigs = se.FallbackConfigs()
+		p.info.FamilyConfigs = se.FamilyConfigs()
+		collectRest = se.Results
 	}
-	se, err := stack.New(cfgs)
-	if err != nil {
-		return nil, nil, err
+	if len(optCfgs) > 0 {
+		if eng == EngineDirect {
+			directs := make([]*opt.DirectCache, len(optCfgs))
+			for i, cfg := range optCfgs {
+				var ann *opt.Annotation
+				if anns != nil {
+					ann = anns[cfg.LineBytes]
+				}
+				d, err := opt.NewDirect(cfg, ann)
+				if err != nil {
+					return nil, err
+				}
+				directs[i] = d
+				p.units = append(p.units, d)
+			}
+			collectOpt = func() []cache.Result {
+				out := make([]cache.Result, len(directs))
+				for i, d := range directs {
+					out[i] = d.Result()
+				}
+				return out
+			}
+		} else {
+			oe, err := opt.NewEngine(optCfgs, anns)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range oe.Families() {
+				p.units = append(p.units, f)
+			}
+			collectOpt = oe.Results
+		}
 	}
-	su := se.Units()
-	units := make([]unit, len(su))
-	for i, u := range su {
-		units[i] = u
+	p.info.Units = len(p.units)
+	p.kinded = make([]kindedUnit, len(p.units))
+	for i, u := range p.units {
+		if ku, ok := u.(kindedUnit); ok {
+			p.kinded[i] = ku
+		}
 	}
-	return units, se.Results, nil
+	p.collect = func() []cache.Result {
+		out := make([]cache.Result, len(cfgs))
+		for j, r := range collectRest() {
+			out[restIdx[j]] = r
+		}
+		if collectOpt != nil {
+			for j, r := range collectOpt() {
+				out[optIdx[j]] = r
+			}
+		}
+		return out
+	}
+	return p, nil
 }
 
-// chunk is one block of references broadcast to every worker. pending
-// counts the workers that have not finished with it yet; the last one
-// returns the buffer to the pool.
+// Plan reports how a configuration set would be executed — engine,
+// unit count, single-pass family coverage, direct fallbacks, OPT
+// presence, and whether a kinded source or trace buffering is needed —
+// without touching a trace. CLIs surface this so the stack engine's
+// per-config direct fallback is never a silent performance cliff.
+func Plan(opts Options, cfgs []cache.Config) (PlanInfo, error) {
+	p, err := build(cfgs, opts.engine(), nil)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	return p.info, nil
+}
+
+// chunk is one block of references broadcast to every worker. kinds is
+// nil on address-only sweeps and exactly parallel to refs on kinded
+// ones. pending counts the workers that have not finished with it yet;
+// the last one returns the buffers to the pools.
 type chunk struct {
 	refs    []uint32
+	kinds   []uint8
 	pending int32
 }
 
@@ -243,13 +469,48 @@ func ctxErr(ctx context.Context) error {
 // simerr.ErrCanceled error with the failing chunk attached. A nil ctx
 // never cancels.
 func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]cache.Result, error) {
-	units, collect, err := build(cfgs, opts.engine())
+	var ks KindedSource
+	if needsKinds(cfgs) {
+		var ok bool
+		if ks, ok = src.(KindedSource); !ok {
+			return nil, fmt.Errorf("sweep: configurations use write policies but source %T carries no access kinds", src)
+		}
+	}
+	// OPT needs the whole trace up front: the backward next-use pass
+	// cannot stream. Materialize once, annotate per line size, and swap
+	// in a slice source so the rest of the machinery — checkpointing,
+	// resume's skipRefs, the worker fan-out — runs unchanged.
+	var anns map[int]*opt.Annotation
+	if lines := optLineSizes(cfgs); len(lines) > 0 {
+		trace, kinds, err := materialize(ctx, src, ks, opts.chunkRefs())
+		if err != nil {
+			return nil, err
+		}
+		anns, err = opt.AnnotateAll(trace, lines)
+		if err != nil {
+			return nil, err
+		}
+		if ks != nil {
+			kss := NewKindedSliceSource(trace, kinds)
+			src, ks = kss, kss
+		} else {
+			src = NewSliceSource(trace)
+		}
+	}
+	p, err := build(cfgs, opts.engine(), anns)
 	if err != nil {
 		return nil, err
 	}
+	if ks != nil {
+		for i, ku := range p.kinded {
+			if ku == nil {
+				return nil, fmt.Errorf("sweep: unit %d (%T) cannot consume kinded chunks", i, p.units[i])
+			}
+		}
+	}
 	var ck *checkpointer
 	if opts.CheckpointPath != "" {
-		ck, err = newCheckpointer(opts.CheckpointPath, opts.checkpointEvery(), units, cfgs, opts.engine())
+		ck, err = newCheckpointer(opts.CheckpointPath, opts.checkpointEvery(), p.units, cfgs, opts.engine())
 		if err != nil {
 			return nil, err
 		}
@@ -265,20 +526,21 @@ func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]
 			}
 		}
 	}
-	if len(units) == 0 {
+	registerPlan(opts.Obs, p.info)
+	if len(p.units) == 0 {
 		// Still drain the source so an erroring trace is reported.
 		if err := drain(ctx, src, opts.chunkRefs()); err != nil {
 			return nil, err
 		}
-		return collect(), nil
+		return p.collect(), nil
 	}
 
-	w := opts.workers(len(units))
-	m := newObsMetrics(opts.Obs, w, len(units))
+	w := opts.workers(len(p.units))
+	m := newObsMetrics(opts.Obs, w, len(p.units))
 	if w == 1 {
-		err = runSerial(ctx, units, src, opts.chunkRefs(), m, ck)
+		err = runSerial(ctx, p, src, ks, opts.chunkRefs(), m, ck)
 	} else {
-		err = runParallel(ctx, units, src, w, opts.chunkRefs(), m, ck)
+		err = runParallel(ctx, p, src, ks, w, opts.chunkRefs(), m, ck)
 	}
 	if err != nil {
 		return nil, err
@@ -286,14 +548,67 @@ func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]
 	if ck != nil {
 		ck.removeSidecar()
 	}
-	results := collect()
+	results := p.collect()
 	registerResults(opts.Obs, results)
 	return results, nil
+}
+
+// materialize drains src into memory, returning the full trace and —
+// when ks is non-nil — its parallel kind array. Slice-backed sources
+// short-circuit to their remaining backing arrays without copying.
+func materialize(ctx context.Context, src Source, ks KindedSource, chunkRefs int) ([]uint32, []uint8, error) {
+	switch s := src.(type) {
+	case *SliceSource:
+		t := s.trace[s.pos:]
+		s.pos = len(s.trace)
+		return t, nil, nil
+	case *KindedSliceSource:
+		t, k := s.trace[s.pos:], s.kinds[s.pos:]
+		s.pos = len(s.trace)
+		return t, k, nil
+	}
+	var trace []uint32
+	var kinds []uint8
+	buf := make([]uint32, chunkRefs)
+	var kbuf []uint8
+	if ks != nil {
+		kbuf = make([]uint8, chunkRefs)
+	}
+	var produced int64
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, simerr.CanceledChunk(ctx, "sweep: materialize", produced)
+		}
+		var n int
+		var err error
+		if ks != nil {
+			n, err = ks.NextChunkKinded(buf, kbuf)
+		} else {
+			n, err = src.NextChunk(buf)
+		}
+		if err != nil && err != io.EOF {
+			return nil, nil, err
+		}
+		trace = append(trace, buf[:n]...)
+		if ks != nil {
+			kinds = append(kinds, kbuf[:n]...)
+		}
+		produced++
+		if n == 0 || err == io.EOF {
+			return trace, kinds, nil
+		}
+	}
 }
 
 // RunTrace is a convenience wrapper over an in-memory trace.
 func RunTrace(ctx context.Context, cfgs []cache.Config, trace []uint32, opts Options) ([]cache.Result, error) {
 	return Run(ctx, cfgs, NewSliceSource(trace), opts)
+}
+
+// RunTraceKinded is a convenience wrapper over an in-memory trace with
+// per-reference access kinds.
+func RunTraceKinded(ctx context.Context, cfgs []cache.Config, trace []uint32, kinds []uint8, opts Options) ([]cache.Result, error) {
+	return Run(ctx, cfgs, NewKindedSliceSource(trace, kinds), opts)
 }
 
 // saveOnCancel writes a final checkpoint when a run stopped on
@@ -311,9 +626,14 @@ func saveOnCancel(ck *checkpointer, m *obsMetrics, runErr error) error {
 }
 
 // runSerial is the workers=1 fallback: one goroutine, one chunk buffer,
-// the same chunked access pattern as the parallel path.
-func runSerial(ctx context.Context, units []unit, src Source, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
+// the same chunked access pattern as the parallel path. A non-nil ks
+// selects kinded mode.
+func runSerial(ctx context.Context, p *enginePlan, src Source, ks KindedSource, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
 	buf := make([]uint32, chunkRefs)
+	var kbuf []uint8
+	if ks != nil {
+		kbuf = make([]uint8, chunkRefs)
+	}
 	var produced int64
 	for {
 		if err := ctxErr(ctx); err != nil {
@@ -323,17 +643,30 @@ func runSerial(ctx context.Context, units []unit, src Source, chunkRefs int, m *
 			}
 			return cerr
 		}
-		n, err := src.NextChunk(buf)
+		var n int
+		var err error
+		if ks != nil {
+			n, err = ks.NextChunkKinded(buf, kbuf)
+		} else {
+			n, err = src.NextChunk(buf)
+		}
 		if err != nil && err != io.EOF {
 			return err
 		}
 		if n > 0 {
 			m.produced(n)
 			refs := buf[:n]
-			for _, u := range units {
-				u.AccessAll(refs)
+			if ks != nil {
+				kinds := kbuf[:n]
+				for _, u := range p.kinded {
+					u.AccessAllKinded(refs, kinds)
+				}
+			} else {
+				for _, u := range p.units {
+					u.AccessAll(refs)
+				}
 			}
-			m.workerDone(0, len(units))
+			m.workerDone(0, len(p.units))
 			m.retired()
 			produced++
 			if ck != nil {
@@ -359,8 +692,10 @@ func runSerial(ctx context.Context, units []unit, src Source, chunkRefs int, m *
 // error) it stops producing, closes the queues, and waits for the
 // workers to drain what was already published — bounded by
 // workers·queueDepth chunks — so no goroutine or pooled buffer leaks.
-func runParallel(ctx context.Context, units []unit, src Source, workers, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
+func runParallel(ctx context.Context, p *enginePlan, src Source, ks KindedSource, workers, chunkRefs int, m *obsMetrics, ck *checkpointer) error {
+	units := p.units
 	pool := sync.Pool{New: func() any { return make([]uint32, chunkRefs) }}
+	kpool := sync.Pool{New: func() any { return make([]uint8, chunkRefs) }}
 	queues := make([]chan *chunk, workers)
 	for w := range queues {
 		queues[w] = make(chan *chunk, queueDepth)
@@ -374,19 +709,29 @@ func runParallel(ctx context.Context, units []unit, src Source, workers, chunkRe
 		lo := w * len(units) / workers
 		hi := (w + 1) * len(units) / workers
 		shard := units[lo:hi]
+		kshard := p.kinded[lo:hi]
 		q := queues[w]
 		wid := w
 		workerWG.Add(1)
 		go func() {
 			defer workerWG.Done()
 			for ck := range q {
-				for _, u := range shard {
-					u.AccessAll(ck.refs)
+				if ck.kinds != nil {
+					for _, u := range kshard {
+						u.AccessAllKinded(ck.refs, ck.kinds)
+					}
+				} else {
+					for _, u := range shard {
+						u.AccessAll(ck.refs)
+					}
 				}
 				m.workerDone(wid, len(shard))
 				if atomic.AddInt32(&ck.pending, -1) == 0 {
 					m.retired()
 					pool.Put(ck.refs[:cap(ck.refs)])
+					if ck.kinds != nil {
+						kpool.Put(ck.kinds[:cap(ck.kinds)])
+					}
 					inflight.Done()
 				}
 			}
@@ -401,18 +746,35 @@ func runParallel(ctx context.Context, units []unit, src Source, workers, chunkRe
 			break
 		}
 		buf := pool.Get().([]uint32)[:chunkRefs]
-		n, err := src.NextChunk(buf)
+		var kbuf []uint8
+		var n int
+		var err error
+		if ks != nil {
+			kbuf = kpool.Get().([]uint8)[:chunkRefs]
+			n, err = ks.NextChunkKinded(buf, kbuf)
+		} else {
+			n, err = src.NextChunk(buf)
+		}
 		eof := err == io.EOF
 		if err != nil && !eof {
 			runErr = err
 			pool.Put(buf)
+			if kbuf != nil {
+				kpool.Put(kbuf)
+			}
 			break
 		}
 		if n == 0 {
 			pool.Put(buf)
+			if kbuf != nil {
+				kpool.Put(kbuf)
+			}
 			break
 		}
 		c := &chunk{refs: buf[:n], pending: int32(workers)}
+		if kbuf != nil {
+			c.kinds = kbuf[:n]
+		}
 		m.produced(n)
 		inflight.Add(1)
 		for _, q := range queues {
@@ -463,12 +825,26 @@ func drain(ctx context.Context, src Source, chunkRefs int) error {
 	}
 }
 
-// Describe renders the engine configuration for logs and CLIs.
+// Describe renders the engine configuration for logs and CLIs,
+// including any per-config direct fallbacks so they are never silent.
 func Describe(opts Options, cfgs []cache.Config) string {
-	units, _, err := build(cfgs, opts.engine())
+	info, err := Plan(opts, cfgs)
 	if err != nil {
 		return fmt.Sprintf("%s engine (invalid configuration: %v)", opts.engine(), err)
 	}
-	return fmt.Sprintf("%s engine: %d workers over %d units (%d configurations), %d refs/chunk",
-		opts.engine(), opts.workers(len(units)), len(units), len(cfgs), opts.chunkRefs())
+	s := fmt.Sprintf("%s engine: %d workers over %d units (%d configurations), %d refs/chunk",
+		info.Engine, opts.workers(info.Units), info.Units, info.Configs, opts.chunkRefs())
+	if info.FamilyConfigs > 0 {
+		s += fmt.Sprintf(", %d family configs", info.FamilyConfigs)
+	}
+	if info.FallbackConfigs > 0 {
+		s += fmt.Sprintf(", %d direct-fallback configs", info.FallbackConfigs)
+	}
+	if info.OptConfigs > 0 {
+		s += fmt.Sprintf(", %d OPT configs (trace buffered for annotation)", info.OptConfigs)
+	}
+	if info.NeedsKinds {
+		s += ", kinded"
+	}
+	return s
 }
