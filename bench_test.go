@@ -179,6 +179,57 @@ func BenchmarkStackSweep(b *testing.B) {
 	}
 }
 
+// benchHierarchies is the L1×L2 grid for the hierarchy benchmark: two
+// L1 geometries, each paired with four L2 candidates, non-inclusive.
+// Eight hierarchies per L1 group is enough for the shared-L1 engine's
+// advantage — simulate each L1 once, fan its filtered miss stream to
+// every candidate L2 — to dominate the naive per-pair cost.
+func benchHierarchies() []cache.Hierarchy {
+	var hs []cache.Hierarchy
+	for _, l1 := range []cache.Config{
+		{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1, Policy: cache.LRU},
+		{SizeBytes: 4 << 10, LineBytes: 16, Ways: 2, Policy: cache.LRU},
+	} {
+		for _, kb := range []int{16, 32, 64, 128} {
+			for _, ways := range []int{2, 8} {
+				l2 := cache.Config{SizeBytes: kb << 10, LineBytes: 32, Ways: ways, Policy: cache.LRU}
+				hs = append(hs, cache.Hierarchy{Levels: []cache.Config{l1, l2}})
+			}
+		}
+	}
+	return hs
+}
+
+// BenchmarkHierarchySweep measures the two-level L1→L2 sweep: "shared"
+// is the stack engine's shared-L1 plan (one L1 simulation per group,
+// miss stream fanned out), "naive" the per-pair fused baseline the
+// EXPERIMENTS.md speedup protocol compares against. Serial workers on
+// both sides so the ratio isolates the plan, not the parallelism.
+func BenchmarkHierarchySweep(b *testing.B) {
+	_, trace := benchSetup(b)
+	hs := benchHierarchies()
+	for _, eng := range []struct {
+		name   string
+		engine sweep.Engine
+	}{
+		{"shared", sweep.EngineStack},
+		{"naive", sweep.EngineDirect},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.SetBytes(int64(len(trace) * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := sweep.Options{Workers: 1, Engine: eng.engine}
+				src := sweep.NewSliceSource(trace)
+				if _, err := sweep.RunHierarchies(context.Background(), hs, src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCacheSingle measures one cache configuration (1 KB, 16 B,
 // direct-mapped) in isolation.
 func BenchmarkCacheSingle(b *testing.B) {

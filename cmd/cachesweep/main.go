@@ -26,21 +26,36 @@
 //	cachesweep -session 1 -policy FIFO    (ablation beyond the paper)
 //	cachesweep -session 1 -policies LRU,FIFO,PLRU,OPT (policy grid)
 //	cachesweep -session 1 -write-policy back -pareto  (write-back energy front)
+//	cachesweep -session 1 -l2-sizes 32,64             (L1 grid × L2 hierarchy sweep)
+//	cachesweep -desktop -l2-sizes 64 -hierarchy inclusive -plan  (dry-run plan)
+//
+// -l2-sizes turns the configuration sweep into a two-level hierarchy
+// sweep: every L1 grid point is paired with every L2 candidate
+// (-l2-sizes KB × -l2-assoc ways, -l2-line bytes or the L1's line when
+// 0), under the -hierarchy content policy (nine = non-inclusive,
+// inclusive, or exclusive). Non-inclusive stack sweeps share each L1:
+// it is simulated once and its filtered miss stream fanned out to every
+// candidate L2. -plan prints the resolved engine plan — units, shared-L1
+// groups, fused hierarchies, fallbacks — and exits without simulating.
 //
 // OPT (Belady's optimal) buffers the whole trace for its backward
-// next-use pass; -write-policy needs a kind-carrying trace (a session
-// replay, a din file, or a packed trace recorded with kinds) and is
-// rejected with a clear error on address-only traces.
+// next-use pass; it is therefore rejected (exit 2) under -partitions,
+// whose point is streaming range decode. -write-policy needs a
+// kind-carrying trace (a session replay, a din file, or a packed trace
+// recorded with kinds) and is rejected with a clear error on
+// address-only traces.
 //
 // Exit codes: 0 success, 1 failure, 2 bad usage, 3 interrupted.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -73,6 +88,11 @@ func main() {
 	policy := flag.String("policy", "LRU", "replacement policy: LRU, FIFO, Random, PLRU or OPT")
 	policies := flag.String("policies", "", "comma-separated policy list; sweeps the paper grid once per policy (overrides -policy)")
 	writePolicy := flag.String("write-policy", "", "write policy: ignore (default), through or back; requires a kind-carrying trace")
+	l2Sizes := flag.String("l2-sizes", "", "comma-separated L2 sizes in KB; pairs every L1 grid point with every L2 candidate (hierarchy sweep)")
+	l2Line := flag.Int("l2-line", 0, "L2 line size in bytes (0 = match each L1's line size)")
+	l2Assoc := flag.String("l2-assoc", "4", "comma-separated L2 associativities")
+	hierarchy := flag.String("hierarchy", "nine", "multi-level content policy: nine (non-inclusive), inclusive or exclusive")
+	planOnly := flag.Bool("plan", false, "print the resolved sweep plan and exit without simulating")
 	pareto := flag.Bool("pareto", false, "print the energy/latency Pareto front over all swept configurations")
 	algo := flag.String("algo", "auto", "sweep engine: auto, direct or stack")
 	crossValidate := flag.Bool("crossvalidate", false, "run both engines over the trace and verify bit-identical results")
@@ -98,6 +118,11 @@ func main() {
 		policy:          *policy,
 		policies:        *policies,
 		writePolicy:     *writePolicy,
+		l2Sizes:         *l2Sizes,
+		l2Line:          *l2Line,
+		l2Assoc:         *l2Assoc,
+		hierarchy:       *hierarchy,
+		planOnly:        *planOnly,
 		pareto:          *pareto,
 		algo:            *algo,
 		crossValidate:   *crossValidate,
@@ -119,7 +144,9 @@ type config struct {
 	desktop, crossValidate, resume   bool
 	policy, policies, algo           string
 	writePolicy, checkpoint          string
-	pareto                           bool
+	l2Sizes, l2Assoc, hierarchy      string
+	l2Line                           int
+	planOnly, pareto                 bool
 	checkpointEvery                  int
 	profiler                         *prof.Profiler
 	obsFlags                         *obs.Flags
@@ -156,7 +183,10 @@ func run(ctx context.Context, c *config) (code int) {
 		c.obsFlags.SetStatus("interrupted")
 		fmt.Fprintln(os.Stderr, "cachesweep: interrupted:", err)
 		return exitInterrupted
-	case isUsage(err):
+	case isUsage(err) || errors.Is(err, simerr.ErrUnsupportedPlan):
+		// Unsupported plans (e.g. OPT under -partitions) are flag
+		// combinations the engine refuses by design, not runtime
+		// failures: surface them as usage errors.
 		c.obsFlags.SetStatus("failed")
 		fmt.Fprintln(os.Stderr, "cachesweep:", err)
 		return exitUsage
@@ -223,20 +253,14 @@ func sweepMain(ctx context.Context, c *config) error {
 	case c.traceFile != "" && c.partitions > 0:
 		// Partitioned decode needs the PALMIDX1 index; validate it (and
 		// report how many ranges the index supports) before sweeping.
+		// runOnce routes this mode through sweep.RunPartitioned, which
+		// owns the range decoders — newSource stays nil.
 		t, err := exp.OpenSeekableTrace(c.traceFile)
 		if err != nil {
 			return err
 		}
-		k := c.partitions
-		newSource = func() (sweep.Source, error) {
-			t, err := exp.OpenSeekableTrace(c.traceFile)
-			if err != nil {
-				return nil, err
-			}
-			return sweep.NewPartitionedSource(t, k, c.chunk)
-		}
 		fmt.Printf("streaming %d packed references from %s across %d partitions\n",
-			t.TotalRefs(), c.traceFile, len(t.SplitPoints(k))-1)
+			t.TotalRefs(), c.traceFile, len(t.SplitPoints(c.partitions))-1)
 	case c.traceFile != "":
 		newSource = func() (sweep.Source, error) {
 			src, err := openTraceFile(c.traceFile, c.traceFormat)
@@ -305,6 +329,14 @@ func sweepMain(ctx context.Context, c *config) error {
 		CheckpointPath:        c.checkpoint,
 		CheckpointEveryChunks: c.checkpointEvery,
 		Resume:                c.resume,
+		Partitions:            c.partitions,
+	}
+	if c.l2Sizes != "" {
+		hs, err := hierarchyGrid(cfgs, c, wp)
+		if err != nil {
+			return usageError{err}
+		}
+		return hierarchyMain(ctx, c, hs, newSource, opts, wp, polLabel)
 	}
 	info, err := sweep.Plan(opts, cfgs)
 	if err != nil {
@@ -321,8 +353,12 @@ func sweepMain(ctx context.Context, c *config) error {
 	if wp != cache.WriteIgnore {
 		c.obsFlags.Note("write_policy", wp.String())
 	}
+	if c.planOnly {
+		printPlanSummary(info)
+		return nil
+	}
 
-	results, err := runOnce(ctx, cfgs, newSource, opts)
+	results, err := runOnce(ctx, c, cfgs, newSource, opts)
 	if err != nil {
 		if c.checkpoint != "" && simerr.IsCanceled(err) {
 			fmt.Fprintf(os.Stderr, "cachesweep: checkpoint saved to %s; re-run with -resume to continue\n", c.checkpoint)
@@ -335,7 +371,7 @@ func sweepMain(ctx context.Context, c *config) error {
 		vopts := opts
 		vopts.CheckpointPath = ""
 		vopts.Resume = false
-		if err := crossValidateEngines(ctx, cfgs, newSource, vopts, results); err != nil {
+		if err := crossValidateEngines(ctx, c, cfgs, newSource, vopts, results); err != nil {
 			return err
 		}
 		c.obsFlags.Note("crossvalidate", "OK")
@@ -380,6 +416,150 @@ func sweepMain(ctx context.Context, c *config) error {
 	return nil
 }
 
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s, what string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s %q (want a comma-separated list of positive integers)", what, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// hierarchyGrid pairs every L1 grid configuration with every L2
+// candidate from the -l2-* flags under the -hierarchy content policy.
+// Both levels inherit the L1's replacement policy and the sweep's write
+// policy; an -l2-line of 0 matches each L1's own line size (which also
+// satisfies the exclusive policy's equal-line-size requirement).
+func hierarchyGrid(l1s []cache.Config, c *config, wp cache.WritePolicy) ([]cache.Hierarchy, error) {
+	content, err := cache.ParseContentPolicy(c.hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := parseIntList(c.l2Sizes, "-l2-sizes entry")
+	if err != nil {
+		return nil, err
+	}
+	assocs, err := parseIntList(c.l2Assoc, "-l2-assoc entry")
+	if err != nil {
+		return nil, err
+	}
+	var hs []cache.Hierarchy
+	for _, l1 := range l1s {
+		for _, kb := range sizes {
+			for _, ways := range assocs {
+				line := c.l2Line
+				if line == 0 {
+					line = l1.LineBytes
+				}
+				l2 := cache.Config{SizeBytes: kb << 10, LineBytes: line, Ways: ways,
+					Policy: l1.Policy, Write: wp}
+				h := cache.Hierarchy{Levels: []cache.Config{l1, l2}, Content: content}
+				if err := h.Validate(); err != nil {
+					return nil, err
+				}
+				hs = append(hs, h)
+			}
+		}
+	}
+	return hs, nil
+}
+
+// hierarchyMain is sweepMain's back half for -l2-sizes runs: plan,
+// sweep, and report over hierarchies instead of single configurations.
+func hierarchyMain(ctx context.Context, c *config, hs []cache.Hierarchy, newSource func() (sweep.Source, error), opts sweep.Options, wp cache.WritePolicy, polLabel string) error {
+	if c.crossValidate {
+		return usageError{fmt.Errorf("-crossvalidate applies to single-level sweeps; hierarchy engine agreement is covered by -algo direct")}
+	}
+	info, err := sweep.PlanHierarchies(opts, hs)
+	if err != nil {
+		return usageError{err}
+	}
+	if info.FallbackConfigs > 0 {
+		fmt.Fprintf(os.Stderr, "cachesweep: warning: %d level configurations have no single-pass engine and fall back to per-config direct simulation\n",
+			info.FallbackConfigs)
+	}
+	desc := sweep.DescribeHierarchies(opts, hs)
+	fmt.Printf("sweep: %s\n", desc)
+	c.obsFlags.Note("engine", desc)
+	c.obsFlags.Note("policy", polLabel)
+	c.obsFlags.Note("hierarchy", hs[0].Content.String())
+	if wp != cache.WriteIgnore {
+		c.obsFlags.Note("write_policy", wp.String())
+	}
+	if c.planOnly {
+		printPlanSummary(info)
+		return nil
+	}
+
+	results, err := runHierOnce(ctx, c, hs, newSource, opts)
+	if err != nil {
+		if c.checkpoint != "" && simerr.IsCanceled(err) {
+			fmt.Fprintf(os.Stderr, "cachesweep: checkpoint saved to %s; re-run with -resume to continue\n", c.checkpoint)
+		}
+		return err
+	}
+
+	model := energy.Default()
+	if wp == cache.WriteIgnore {
+		t := report.New(fmt.Sprintf("%d-hierarchy sweep (%s, %s)", len(hs), polLabel, hs[0].Content),
+			"hierarchy", "L1 miss", "global miss", "Teff exact", "mem energy saved")
+		for _, r := range results {
+			t.Addf("%s\t%s\t%s\t%.3f\t%s", r.Hierarchy, report.Pct(r.L1().MissRate()),
+				report.Pct(r.MissRate()), r.TeffExact(), report.Pct(model.HierarchyMemorySaving(r)))
+		}
+		fmt.Print(t)
+	} else {
+		t := report.New(fmt.Sprintf("%d-hierarchy sweep (%s, %s, %s)", len(hs), polLabel, hs[0].Content, wp),
+			"hierarchy", "L1 miss", "global miss", "Teff exact", "Teff +writes", "mem wr bytes", "mem energy saved")
+		for _, r := range results {
+			t.Addf("%s\t%s\t%s\t%.3f\t%.3f\t%d\t%s", r.Hierarchy, report.Pct(r.L1().MissRate()),
+				report.Pct(r.MissRate()), r.TeffExact(), r.TeffWriteAware(),
+				r.MemoryWriteTrafficBytes(), report.Pct(model.HierarchyMemorySaving(r)))
+		}
+		fmt.Print(t)
+	}
+	fmt.Println("\n(energy column: first-order memory-system energy model; see internal/energy)")
+	if c.pareto {
+		pts := make([]report.ParetoPoint, len(results))
+		for i, r := range results {
+			pts[i] = report.ParetoPoint{
+				Label: r.Hierarchy.String(),
+				X:     model.HierarchyMemoryPerAccessNJ(r),
+				Y:     r.TeffWriteAware(),
+			}
+		}
+		front := report.ParetoFront(pts)
+		pt := report.New(fmt.Sprintf("energy/latency Pareto front (%d of %d hierarchies non-dominated)", len(front), len(results)),
+			"hierarchy", "mem nJ/access", "Teff +writes")
+		for _, p := range front {
+			pt.Addf("%s\t%.4f\t%.4f", p.Label, p.X, p.Y)
+		}
+		fmt.Print(pt)
+	}
+	return nil
+}
+
+// printPlanSummary renders the resolved engine plan for -plan dry runs.
+func printPlanSummary(info sweep.PlanInfo) {
+	t := report.New("sweep plan (dry run; nothing simulated)", "field", "value")
+	t.Addf("engine\t%v", info.Engine)
+	t.Addf("configurations\t%d", info.Configs)
+	t.Addf("units\t%d", info.Units)
+	t.Addf("max levels\t%d", info.MaxLevels)
+	t.Addf("shared-L1 groups\t%d", info.SharedL1Groups)
+	t.Addf("fused hierarchies\t%d", info.FusedHierarchies)
+	t.Addf("family configs\t%d", info.FamilyConfigs)
+	t.Addf("direct-fallback configs\t%d", info.FallbackConfigs)
+	t.Addf("OPT configs\t%d", info.OptConfigs)
+	t.Addf("needs kinds\t%v", info.NeedsKinds)
+	t.Addf("buffers trace\t%v", info.BuffersTrace)
+	fmt.Print(t)
+}
+
 // attachSourceObs binds a streaming source's read counters into the
 // registry (no-op when observability is off).
 func attachSourceObs(src sweep.Source, reg *obs.Registry) sweep.Source {
@@ -418,7 +598,16 @@ func openTraceFile(path, format string) (sweep.Source, error) {
 
 // runOnce opens a fresh source, sweeps it, and closes the source when it
 // owns resources (partitioned decoders hold goroutines and file handles).
-func runOnce(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
+// Partitioned mode routes through sweep.RunPartitioned, so the engine's
+// own plan checks — OPT is incompatible with range decode — apply.
+func runOnce(ctx context.Context, c *config, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.Result, error) {
+	if c.partitions > 0 {
+		t, err := exp.OpenSeekableTrace(c.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return sweep.RunPartitioned(ctx, cfgs, t, opts)
+	}
 	src, err := newSource()
 	if err != nil {
 		return nil, err
@@ -432,17 +621,39 @@ func runOnce(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.S
 	return results, err
 }
 
+// runHierOnce is runOnce for hierarchy sweeps.
+func runHierOnce(ctx context.Context, c *config, hs []cache.Hierarchy, newSource func() (sweep.Source, error), opts sweep.Options) ([]cache.HierarchyResult, error) {
+	if c.partitions > 0 {
+		t, err := exp.OpenSeekableTrace(c.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return sweep.RunPartitionedHierarchies(ctx, hs, t, opts)
+	}
+	src, err := newSource()
+	if err != nil {
+		return nil, err
+	}
+	results, err := sweep.RunHierarchies(ctx, hs, src, opts)
+	if cl, ok := src.(interface{ Close() error }); ok {
+		if cerr := cl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return results, err
+}
+
 // crossValidateEngines re-runs the sweep on the engine not used for the
 // headline results and verifies every per-configuration counter matches
 // bit for bit.
-func crossValidateEngines(ctx context.Context, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options, got []cache.Result) error {
+func crossValidateEngines(ctx context.Context, c *config, cfgs []cache.Config, newSource func() (sweep.Source, error), opts sweep.Options, got []cache.Result) error {
 	ran := opts.Engine
 	other := sweep.EngineDirect
 	if ran == sweep.EngineDirect {
 		other = sweep.EngineStack
 	}
 	opts.Engine = other
-	want, err := runOnce(ctx, cfgs, newSource, opts)
+	want, err := runOnce(ctx, c, cfgs, newSource, opts)
 	if err != nil {
 		return fmt.Errorf("cross-validation sweep (%v engine): %w", other, err)
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"palmsim/internal/dtrace"
 	"palmsim/internal/exp"
 )
 
@@ -63,6 +64,35 @@ func writeTestDin(t *testing.T) string {
 	}
 	path := filepath.Join(t.TempDir(), "kinds.din")
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeIndexedPackedTrace writes a small PALMPKD1 trace with a PALMIDX1
+// footer, the input format -partitions requires.
+func writeIndexedPackedTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "indexed.ptrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dtrace.NewIndexedPackedWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 6000; i++ {
+		for _, a := range []uint32{0x10000 + 4*i, 0x400000 + 64*(i%512), 0x10F00000 + 8*(i%64)} {
+			if err := w.WriteRef(a, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -180,5 +210,128 @@ func TestCrossValidateMismatchExitsNonZero(t *testing.T) {
 	}
 	if !strings.Contains(out, "cross-validation FAILED") {
 		t.Errorf("output does not report the failure:\n%s", out)
+	}
+}
+
+// TestHierarchySweepAndPareto drives the two-level flags end to end: a
+// small L2 grid over the paper's L1 grid, with the hierarchy Pareto
+// front printed at the bottom.
+func TestHierarchySweepAndPareto(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -l2-sizes 32,64 -l2-assoc 4 -pareto -workers 2")
+	if err != nil {
+		t.Fatalf("hierarchy sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "112-hierarchy sweep (LRU, nine)") {
+		t.Errorf("output missing the 56x2 hierarchy title:\n%s", out)
+	}
+	if !strings.Contains(out, "shared-L1 groups") {
+		t.Errorf("plan line does not report shared-L1 grouping:\n%s", out)
+	}
+	if !strings.Contains(out, " + 32KB/") && !strings.Contains(out, " + 64KB/") {
+		t.Errorf("output missing L1 + L2 hierarchy rows:\n%s", out)
+	}
+	if !strings.Contains(out, "Pareto front") {
+		t.Errorf("output missing the hierarchy Pareto front:\n%s", out)
+	}
+}
+
+// TestHierarchyWriteBackSweepOverDin exercises the kinded hierarchy path:
+// write-back at both levels over a kind-carrying din trace.
+func TestHierarchyWriteBackSweepOverDin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	din := writeTestDin(t)
+	out, err := runCachesweep(t, "-din "+din+" -write-policy back -l2-sizes 32 -hierarchy inclusive -workers 2")
+	if err != nil {
+		t.Fatalf("write-back inclusive hierarchy sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "inclusive, write-back") {
+		t.Errorf("title missing content and write policy:\n%s", out)
+	}
+	if !strings.Contains(out, "mem wr bytes") {
+		t.Errorf("output missing memory write traffic column:\n%s", out)
+	}
+}
+
+// TestPlanDryRun pins the -plan contract: the resolved plan — including
+// the hierarchy grouping — is printed and nothing is simulated.
+func TestPlanDryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeTestTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -l2-sizes 32,64 -plan")
+	if err != nil {
+		t.Fatalf("-plan dry run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sweep plan (dry run; nothing simulated)",
+		"shared-L1 groups",
+		"fused hierarchies",
+		"max levels",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "hierarchy sweep (") {
+		t.Errorf("-plan must not print sweep results:\n%s", out)
+	}
+	// Single-level -plan works too and reports the flat grid.
+	out, err = runCachesweep(t, "-trace "+trace+" -policies LRU,OPT -plan")
+	if err != nil {
+		t.Fatalf("single-level -plan failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "sweep plan (dry run; nothing simulated)") {
+		t.Errorf("single-level plan output missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "buffers trace") {
+		t.Errorf("plan output missing OPT buffering field:\n%s", out)
+	}
+}
+
+// TestPartitionedOptExitsUsage is the exit-code contract for unsupported
+// plans: OPT needs the whole trace for its backward next-use pass, so
+// requesting it under -partitions must exit 2 (bad usage), not 1, and
+// name the offending configuration.
+func TestPartitionedOptExitsUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep in -short mode")
+	}
+	trace := writeIndexedPackedTrace(t)
+	out, err := runCachesweep(t, "-trace "+trace+" -partitions 2 -policy OPT")
+	if err == nil {
+		t.Fatalf("partitioned OPT sweep exited zero:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("subprocess did not run: %v", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code = %d, want 2 (usage)", code)
+	}
+	if !strings.Contains(out, "unsupported plan") || !strings.Contains(out, "OPT") {
+		t.Errorf("error does not name the unsupported plan:\n%s", out)
+	}
+	// The same trace sweeps fine partitioned under LRU...
+	out, err = runCachesweep(t, "-trace "+trace+" -partitions 2 -policy LRU")
+	if err != nil {
+		t.Fatalf("partitioned LRU sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "across 2 partitions") {
+		t.Errorf("output missing the partition count:\n%s", out)
+	}
+	// ...and partitioned hierarchy sweeps take the same road.
+	out, err = runCachesweep(t, "-trace "+trace+" -partitions 2 -l2-sizes 32")
+	if err != nil {
+		t.Fatalf("partitioned hierarchy sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "56-hierarchy sweep") {
+		t.Errorf("partitioned hierarchy output missing results:\n%s", out)
 	}
 }

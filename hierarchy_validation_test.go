@@ -1,0 +1,98 @@
+package palmsim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/cache/hier"
+	"palmsim/internal/sweep"
+)
+
+// TestHierarchySweepMatchesFusedOnSessionTrace is the session-trace leg
+// of the hierarchy differential suite (the synthetic and desktop legs
+// live in internal/sweep and internal/cache/hier): on a real fixed-seed
+// session trace, the shared-L1 stack plan and the per-pair direct plan
+// at several worker counts must match a serial fused-simulator oracle
+// counter for counter.
+func TestHierarchySweepMatchesFusedOnSessionTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects and replays a session")
+	}
+	_, trace := benchSetup(t)
+	if len(trace) == 0 {
+		t.Fatal("empty session trace")
+	}
+	hs := benchHierarchies()
+
+	want := make([]cache.HierarchyResult, len(hs))
+	for i, h := range hs {
+		sim, err := hier.New(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.AccessAll(trace)
+		want[i] = sim.Results()
+	}
+
+	for _, engine := range []sweep.Engine{sweep.EngineAuto, sweep.EngineDirect, sweep.EngineStack} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%s/workers=%d", engine, workers)
+			got, err := sweep.RunHierarchies(context.Background(), hs, sweep.NewSliceSource(trace),
+				sweep.Options{Workers: workers, Engine: engine})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].BackInvalidations != want[i].BackInvalidations ||
+					got[i].BackInvalDirty != want[i].BackInvalDirty {
+					t.Errorf("%s: %v back-invalidation counters diverged", name, hs[i])
+				}
+				for lvl := range want[i].Levels {
+					if got[i].Levels[lvl] != want[i].Levels[lvl] {
+						t.Errorf("%s: %v L%d diverged:\n got %+v\nwant %+v",
+							name, hs[i], lvl+1, got[i].Levels[lvl], want[i].Levels[lvl])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSingleLevelHierarchyMatchesSweepOnSessionTrace pins the refactor's
+// compatibility contract on a real trace: a one-level hierarchy sweep is
+// bit-identical to the plain configuration sweep, counters and derived
+// latencies alike.
+func TestSingleLevelHierarchyMatchesSweepOnSessionTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects and replays a session")
+	}
+	_, trace := benchSetup(t)
+	cfgs := cache.PaperSweep()[:8]
+	hs := make([]cache.Hierarchy, len(cfgs))
+	for i, cfg := range cfgs {
+		hs[i] = cache.Single(cfg)
+	}
+	flat, err := sweep.RunTrace(context.Background(), cfgs, trace, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrs, err := sweep.RunHierarchies(context.Background(), hs, sweep.NewSliceSource(trace), sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if len(hrs[i].Levels) != 1 || hrs[i].Levels[0] != flat[i] {
+			t.Errorf("%v: single-level hierarchy diverged from flat sweep:\n got %+v\nwant %+v",
+				cfgs[i], hrs[i].Levels[0], flat[i])
+		}
+		if hrs[i].TeffExact() != flat[i].TeffExact() {
+			t.Errorf("%v: TeffExact not bit-identical: %v vs %v",
+				cfgs[i], hrs[i].TeffExact(), flat[i].TeffExact())
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"palmsim/internal/bus"
+)
+
+// hierKindedTrace builds a mixed RAM/flash trace with all three access
+// kinds: flash fetches, RAM reads over a loop-ish working set, and
+// writes concentrated on a hot region so write-back caches accumulate
+// dirty lines that actually get evicted.
+func hierKindedTrace(n int, seed int64) ([]uint32, []uint8) {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]uint32, n)
+	kinds := make([]uint8, n)
+	for i := range refs {
+		switch r := rng.Intn(10); {
+		case r < 3: // instruction fetch from flash
+			refs[i] = bus.ROMBase + uint32(rng.Intn(1<<14))
+			kinds[i] = KindFetch
+		case r < 7: // data read over a working set larger than small caches
+			refs[i] = uint32(rng.Intn(1 << 13))
+			kinds[i] = KindRead
+		default: // write to a hot region
+			refs[i] = 0x8000 + uint32(rng.Intn(1<<11))
+			kinds[i] = KindWrite
+		}
+	}
+	return refs, kinds
+}
+
+func wcfg(size, line, ways int, p Policy, w WritePolicy) Config {
+	return Config{SizeBytes: size, LineBytes: line, Ways: ways, Policy: p, Write: w}
+}
+
+// TestAccessKindEvMatchesAccessKind drives two identical caches through
+// the same kinded trace, one via AccessKind and one via AccessKindEv,
+// and requires identical counters plus correct per-event hit reporting.
+func TestAccessKindEvMatchesAccessKind(t *testing.T) {
+	refs, kinds := hierKindedTrace(20000, 1105)
+	for _, p := range []Policy{LRU, FIFO, Random, PLRU} {
+		for _, w := range []WritePolicy{WriteIgnore, WriteThrough, WriteBack} {
+			cfg := wcfg(1024, 16, 2, p, w)
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := New(cfg)
+			for i, addr := range refs {
+				hitA := a.AccessKind(addr, kinds[i])
+				ev := b.AccessKindEv(addr, kinds[i])
+				if hitA != ev.Hit {
+					t.Fatalf("%v/%v ref %d: AccessKind hit=%v, AccessKindEv hit=%v", p, w, i, hitA, ev.Hit)
+				}
+				if ev.Hit && (ev.Evicted || ev.EvictedDirty) {
+					t.Fatalf("%v/%v ref %d: hit reported an eviction", p, w, i)
+				}
+			}
+			if a.Result() != b.Result() {
+				t.Errorf("%v/%v: counters diverge:\n AccessKind   %+v\n AccessKindEv %+v", p, w, a.Result(), b.Result())
+			}
+		}
+	}
+}
+
+// TestAccessKindEvEvictionEvents pins eviction reporting on a 1-set
+// direct-mapped cache where every conflict is predictable.
+func TestAccessKindEvEvictionEvents(t *testing.T) {
+	c, err := New(wcfg(16, 16, 1, LRU, WriteBack)) // one line total
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.AccessKindEv(0x00, KindWrite) // cold miss, line 0 dirty
+	if ev.Hit || ev.Evicted {
+		t.Fatalf("cold miss: %+v", ev)
+	}
+	ev = c.AccessKindEv(0x04, KindRead) // hit, same line
+	if !ev.Hit {
+		t.Fatalf("want hit: %+v", ev)
+	}
+	ev = c.AccessKindEv(0x100, KindRead) // evicts dirty line 0
+	if ev.Hit || !ev.Evicted || ev.EvictedLine != 0 || !ev.EvictedDirty {
+		t.Fatalf("dirty eviction: %+v", ev)
+	}
+	ev = c.AccessKindEv(0x200, KindRead) // evicts clean line 0x10
+	if !ev.Evicted || ev.EvictedLine != 0x10 || ev.EvictedDirty {
+		t.Fatalf("clean eviction: %+v", ev)
+	}
+	if got := c.Result().Writebacks; got != 1 {
+		t.Errorf("Writebacks = %d, want 1", got)
+	}
+}
+
+// TestFilterChunkKindedMatchesPerRef derives the miss stream two ways —
+// chunked via FilterChunkKinded and per reference via AccessKindEv with
+// the canonical event order applied by hand — and requires identical
+// streams and counters.
+func TestFilterChunkKindedMatchesPerRef(t *testing.T) {
+	refs, kinds := hierKindedTrace(20000, 77)
+	for _, w := range []WritePolicy{WriteIgnore, WriteThrough, WriteBack} {
+		cfg := wcfg(2048, 32, 4, LRU, w)
+		chunked, _ := New(cfg)
+		perRef, _ := New(cfg)
+
+		var frefs []uint32
+		var fkinds []uint8
+		// Filter in several chunks to exercise append-and-grow.
+		for lo := 0; lo < len(refs); lo += 3000 {
+			hi := lo + 3000
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			frefs, fkinds = chunked.FilterChunkKinded(refs[lo:hi], kinds[lo:hi], frefs, fkinds)
+		}
+
+		var wantRefs []uint32
+		var wantKinds []uint8
+		lineMask := uint32(cfg.LineBytes - 1)
+		for i, addr := range refs {
+			ev := perRef.AccessKindEv(addr, kinds[i])
+			if ev.EvictedDirty {
+				wantRefs = append(wantRefs, ev.EvictedLine<<5)
+				wantKinds = append(wantKinds, KindWrite)
+			}
+			if !ev.Hit {
+				wantRefs = append(wantRefs, addr&^lineMask)
+				wantKinds = append(wantKinds, KindRead)
+			}
+			if w == WriteThrough && kinds[i] == KindWrite {
+				wantRefs = append(wantRefs, addr)
+				wantKinds = append(wantKinds, KindWrite)
+			}
+		}
+
+		if len(frefs) != len(wantRefs) {
+			t.Fatalf("%v: stream length %d, want %d", w, len(frefs), len(wantRefs))
+		}
+		for i := range frefs {
+			if frefs[i] != wantRefs[i] || fkinds[i] != wantKinds[i] {
+				t.Fatalf("%v: event %d = (%#x,%d), want (%#x,%d)", w, i, frefs[i], fkinds[i], wantRefs[i], wantKinds[i])
+			}
+		}
+		if chunked.Result() != perRef.Result() {
+			t.Errorf("%v: counters diverge", w)
+		}
+		// Structural checks on the stream itself.
+		misses := chunked.Result().Misses
+		var fills uint64
+		for i, k := range fkinds {
+			if k == KindRead {
+				fills++
+				if frefs[i]&lineMask != 0 {
+					t.Fatalf("%v: fill %#x not line aligned", w, frefs[i])
+				}
+			}
+		}
+		if fills != misses {
+			t.Errorf("%v: %d fills for %d misses", w, fills, misses)
+		}
+	}
+}
+
+// TestFilterChunkKindedNilKinds treats an address-only trace as all
+// reads: no write-through stores, no dirty victims.
+func TestFilterChunkKindedNilKinds(t *testing.T) {
+	refs, _ := hierKindedTrace(5000, 5)
+	c, _ := New(wcfg(1024, 16, 1, LRU, WriteThrough))
+	frefs, fkinds := c.FilterChunkKinded(refs, nil, nil, nil)
+	for i, k := range fkinds {
+		if k != KindRead {
+			t.Fatalf("event %d (%#x): kind %d on an address-only trace", i, frefs[i], k)
+		}
+	}
+	if uint64(len(frefs)) != c.Result().Misses {
+		t.Errorf("stream length %d, want one fill per miss (%d)", len(frefs), c.Result().Misses)
+	}
+}
+
+func TestInvalidateLine(t *testing.T) {
+	c, _ := New(wcfg(64, 16, 2, LRU, WriteBack))
+	c.AccessKindEv(0x00, KindWrite)
+	c.AccessKindEv(0x40, KindRead)
+	before := c.Result()
+
+	if present, dirty := c.InvalidateLine(0); !present || !dirty {
+		t.Errorf("line 0: present=%v dirty=%v, want true/true", present, dirty)
+	}
+	if present, dirty := c.InvalidateLine(4); !present || dirty {
+		t.Errorf("line 4: present=%v dirty=%v, want true/false", present, dirty)
+	}
+	if present, _ := c.InvalidateLine(9); present {
+		t.Error("absent line reported present")
+	}
+	if c.Result() != before {
+		t.Error("InvalidateLine moved counters")
+	}
+	// Both lines gone: re-access misses, and the old dirty bit must not
+	// leak into a writeback.
+	c.AccessKindEv(0x00, KindRead)
+	if c.Result().Misses != before.Misses+1 {
+		t.Error("invalidated line still resident")
+	}
+	if c.Result().Writebacks != 0 {
+		t.Error("stale dirty bit produced a writeback")
+	}
+	if len(c.Contents()) != 1 {
+		t.Errorf("Contents() = %v, want one line", c.Contents())
+	}
+}
+
+func TestProbeInvalidate(t *testing.T) {
+	c, _ := New(wcfg(64, 16, 2, LRU, WriteBack))
+	c.AccessKindEv(0x00, KindWrite)
+	base := c.Result()
+
+	hit, dirty := c.ProbeInvalidate(0x08) // same line, dirty
+	if !hit || !dirty {
+		t.Fatalf("probe hit=%v dirty=%v, want true/true", hit, dirty)
+	}
+	r := c.Result()
+	if r.Accesses != base.Accesses+1 || r.Misses != base.Misses {
+		t.Errorf("probe hit accounting: %+v", r)
+	}
+	// The line moved out: probing again misses and allocates nothing.
+	hit, _ = c.ProbeInvalidate(0x08)
+	if hit {
+		t.Fatal("probe hit a removed line")
+	}
+	r = c.Result()
+	if r.Misses != base.Misses+1 {
+		t.Errorf("probe miss accounting: %+v", r)
+	}
+	if len(c.Contents()) != 0 {
+		t.Errorf("probe miss allocated: %v", c.Contents())
+	}
+}
+
+func TestInsertLineAndMarkDirty(t *testing.T) {
+	c, _ := New(wcfg(32, 16, 2, LRU, WriteBack)) // one set, two ways
+	before := c.Result()
+	c.InsertLine(3, false)
+	c.InsertLine(5, true)
+	if c.Result() != before {
+		t.Error("InsertLine moved access counters")
+	}
+	// Set full; inserting displaces LRU line 3 (clean, no writeback).
+	c.InsertLine(7, false)
+	if c.Result().Writebacks != 0 {
+		t.Errorf("clean displacement wrote back: %+v", c.Result())
+	}
+	// Now displace dirty line 5: one writeback.
+	c.InsertLine(9, false)
+	if c.Result().Writebacks != 1 {
+		t.Errorf("dirty displacement: Writebacks = %d, want 1", c.Result().Writebacks)
+	}
+	// MarkLineDirty then evict via InsertLine: another writeback.
+	c.MarkLineDirty(7)
+	c.MarkLineDirty(999) // absent: no-op
+	c.InsertLine(11, false)
+	c.InsertLine(13, false)
+	if c.Result().Writebacks != 2 {
+		t.Errorf("after MarkLineDirty: Writebacks = %d, want 2", c.Result().Writebacks)
+	}
+	// Re-inserting a resident line refreshes recency instead of duplicating.
+	c.InsertLine(11, true)
+	if got := c.Contents(); len(got) != 2 {
+		t.Errorf("duplicate insert: Contents() = %v", got)
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	l1 := wcfg(1024, 16, 2, LRU, WriteBack)
+	l2 := wcfg(8192, 32, 4, LRU, WriteBack)
+	good := []Hierarchy{
+		Single(l1),
+		Single(wcfg(1024, 16, 1, OPT, WriteIgnore)), // OPT fine at one level
+		{Levels: []Config{l1, l2}},
+		{Levels: []Config{l1, l2}, Content: Inclusive},
+		{Levels: []Config{l1, wcfg(8192, 16, 4, LRU, WriteBack)}, Content: Exclusive},
+		{Levels: []Config{l1, wcfg(4096, 16, 2, LRU, WriteBack), wcfg(32768, 32, 8, LRU, WriteBack)}},
+	}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", h, err)
+		}
+	}
+	bad := []Hierarchy{
+		{},                                   // no levels
+		{Levels: []Config{cfg(1000, 16, 1)}}, // invalid level
+		{Levels: []Config{l1, wcfg(8192, 32, 4, OPT, WriteIgnore)}},                              // OPT below L1
+		{Levels: []Config{wcfg(1024, 16, 1, OPT, WriteIgnore), l2}},                              // OPT at L1 of a pair
+		{Levels: []Config{wcfg(1024, 32, 2, LRU, WriteBack), wcfg(8192, 16, 4, LRU, WriteBack)}}, // shrinking line
+		{Levels: []Config{l1, l2, l2}, Content: Inclusive},                                       // inclusive needs 2 levels
+		{Levels: []Config{l1}, Content: Exclusive},                                               // exclusive needs 2 levels
+		{Levels: []Config{l1, l2}, Content: Exclusive},                                           // exclusive needs equal lines
+		{Levels: []Config{l1, wcfg(8192, 16, 4, LRU, WriteThrough)}, Content: Exclusive},         // WB L1 over non-WB L2
+		{Levels: []Config{l1, l2}, Content: ContentPolicy(9)},                                    // unknown policy
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%v accepted", h)
+		}
+	}
+}
+
+func TestContentPolicyParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ContentPolicy
+	}{
+		{"", NonInclusive}, {"nine", NonInclusive}, {"non-inclusive", NonInclusive},
+		{"NINE", NonInclusive}, {"inclusive", Inclusive}, {"Incl", Inclusive},
+		{"exclusive", Exclusive}, {"EXCL", Exclusive},
+	}
+	for _, tc := range cases {
+		got, err := ParseContentPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseContentPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseContentPolicy("mostly-inclusive"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	for p := NonInclusive; p <= Exclusive; p++ {
+		rt, err := ParseContentPolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round trip %v: got %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	h := Hierarchy{Levels: []Config{wcfg(1024, 16, 2, LRU, WriteBack), wcfg(8192, 16, 4, LRU, WriteBack)}, Content: Exclusive}
+	s := h.String()
+	for _, want := range []string{"1KB", "8KB", "+", "exclusive"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if one := Single(wcfg(1024, 16, 2, LRU, WriteBack)).String(); containsStr(one, "nine") {
+		t.Errorf("single-level String() = %q should not name a content policy", one)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSingleLevelHierarchyResultIdentity requires a one-level
+// HierarchyResult's metrics to reduce exactly to the single-level
+// Result's formulas — the tentpole's bit-identity contract at the
+// metrics layer.
+func TestSingleLevelHierarchyResultIdentity(t *testing.T) {
+	refs, kinds := hierKindedTrace(30000, 9)
+	for _, w := range []WritePolicy{WriteIgnore, WriteThrough, WriteBack} {
+		cfg := wcfg(2048, 16, 2, LRU, w)
+		c, _ := New(cfg)
+		c.AccessAllKinded(refs, kinds)
+		res := c.Result()
+		hr := HierarchyResult{Hierarchy: Single(cfg), Levels: []Result{res}}
+
+		if got, want := hr.MissRate(), res.MissRate(); got != want {
+			t.Errorf("%v: MissRate %v != %v", w, got, want)
+		}
+		if got, want := hr.TeffExact(), res.TeffExact(); got != want {
+			t.Errorf("%v: TeffExact %v != %v", w, got, want)
+		}
+		if got, want := hr.TeffWriteAware(), res.TeffWriteAware(); got != want {
+			t.Errorf("%v: TeffWriteAware %v != %v", w, got, want)
+		}
+		if got, want := hr.MemoryWriteTrafficBytes(), res.WriteTrafficBytes(); got != want {
+			t.Errorf("%v: MemoryWriteTrafficBytes %v != %v", w, got, want)
+		}
+	}
+}
+
+func TestHierarchyResultEmpty(t *testing.T) {
+	hr := HierarchyResult{Hierarchy: Single(cfg(1024, 16, 1)), Levels: []Result{{}}}
+	if hr.MissRate() != 0 || hr.TeffExact() != 0 || hr.TeffWriteAware() != 0 {
+		t.Error("zero-access hierarchy must report zero metrics")
+	}
+}

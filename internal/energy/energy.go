@@ -23,7 +23,8 @@ import (
 type Model struct {
 	RAMAccessNJ   float64 // energy per RAM access
 	FlashAccessNJ float64 // energy per flash access (reads are expensive)
-	CacheAccessNJ float64 // energy per cache probe (hit or miss)
+	CacheAccessNJ float64 // energy per L1 cache probe (hit or miss)
+	L2AccessNJ    float64 // energy per lower-level cache probe (larger arrays)
 	WriteByteNJ   float64 // energy per byte of write traffic behind the cache
 	CPUCycleNJ    float64 // core energy per active cycle
 	DozeMW        float64 // doze-mode power draw
@@ -38,6 +39,7 @@ func Default() Model {
 		RAMAccessNJ:   2.0,
 		FlashAccessNJ: 9.0,
 		CacheAccessNJ: 0.4,
+		L2AccessNJ:    1.1, // larger array than the L1, still cheaper than RAM
 		WriteByteNJ:   1.0, // per byte: one RAM access moves 2 bytes for 2.0 nJ
 		CPUCycleNJ:    0.9,
 		DozeMW:        6.0,
@@ -95,6 +97,64 @@ func (m Model) MemoryPerAccessNJ(r cache.Result) float64 {
 		return 0
 	}
 	return m.WithCache(r, 0, 0).MemoryJ * 1e9 / float64(r.Accesses)
+}
+
+// WithHierarchy estimates a run behind a multi-level hierarchy. The
+// accounting follows the miss-stream structure, charging each transfer
+// exactly once at the boundary it crosses: every level-one access pays
+// an L1 probe, every deeper-level access (fills, write-backs arriving
+// from above, write-through stores — each already counted in that
+// level's Accesses) pays an L2-class probe, only the last level's
+// misses pay region access energy, and only the write traffic that
+// actually reaches memory (HierarchyResult.MemoryWriteTrafficBytes —
+// the last level's write policy plus inclusive back-invalidation
+// flushes) pays WriteByteNJ. An L1 write-back victim absorbed by the
+// L2 therefore costs one L2 probe, not a memory write — and is never
+// charged twice.
+//
+// A single-level hierarchy delegates to WithCache, so the two models
+// agree exactly where they overlap.
+func (m Model) WithHierarchy(hr cache.HierarchyResult, activeCycles uint64, dozeSeconds float64) Estimate {
+	if len(hr.Levels) == 1 {
+		return m.WithCache(hr.Levels[0], activeCycles, dozeSeconds)
+	}
+	mem := float64(hr.Levels[0].Accesses) * m.CacheAccessNJ
+	for _, lr := range hr.Levels[1:] {
+		mem += float64(lr.Accesses) * m.L2AccessNJ
+	}
+	last := hr.Last()
+	mem += float64(last.RAMMisses) * m.RAMAccessNJ
+	mem += float64(last.FlashMisses) * m.FlashAccessNJ
+	mem += float64(hr.MemoryWriteTrafficBytes()) * m.WriteByteNJ
+	return Estimate{
+		MemoryJ: mem * 1e-9,
+		CoreJ:   float64(activeCycles) * m.CPUCycleNJ * 1e-9,
+		DozeJ:   dozeSeconds * m.DozeMW * 1e-3,
+	}
+}
+
+// HierarchyMemoryPerAccessNJ returns the hierarchy-inclusive memory
+// energy per CPU reference in nanojoules — the energy axis of the
+// hierarchy Pareto front.
+func (m Model) HierarchyMemoryPerAccessNJ(hr cache.HierarchyResult) float64 {
+	l1 := hr.L1()
+	if l1.Accesses == 0 {
+		return 0
+	}
+	return m.WithHierarchy(hr, 0, 0).MemoryJ * 1e9 / float64(l1.Accesses)
+}
+
+// HierarchyMemorySaving returns the fraction of memory-system energy
+// the hierarchy saves relative to the cacheless system for the same
+// reference stream.
+func (m Model) HierarchyMemorySaving(hr cache.HierarchyResult) float64 {
+	l1 := hr.L1()
+	base := m.NoCache(l1.RAMRefs, l1.FlashRefs, 0, 0).MemoryJ
+	with := m.WithHierarchy(hr, 0, 0).MemoryJ
+	if base == 0 {
+		return 0
+	}
+	return 1 - with/base
 }
 
 // MemorySaving returns the fraction of memory-system energy a cache

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"palmsim/internal/cache"
+	"palmsim/internal/cache/hier"
+)
+
+// TestWritebackChargedOnceAtLevelBoundary is the golden-count test for
+// writeback accounting at the L1→L2 boundary. The trace alternates
+// writes between two lines that conflict in a one-line write-back L1
+// but coexist in the L2, so every reference after the first evicts a
+// dirty L1 victim. Each victim must surface as exactly one L2 write
+// access — an L2 probe in the energy model — and zero bytes of memory
+// write traffic, because the L2 absorbs it.
+func TestWritebackChargedOnceAtLevelBoundary(t *testing.T) {
+	h := cache.Hierarchy{Levels: []cache.Config{
+		{SizeBytes: 16, LineBytes: 16, Ways: 1, Policy: cache.LRU, Write: cache.WriteBack}, // one line
+		{SizeBytes: 64, LineBytes: 16, Ways: 2, Policy: cache.LRU, Write: cache.WriteBack}, // both lines fit
+	}}
+	sim, err := hier.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six writes ping-ponging between RAM lines 0x000 and 0x100: every
+	// reference misses the one-line L1; references 2..6 each evict a
+	// dirty victim.
+	const n = 6
+	for i := 0; i < n; i++ {
+		sim.Access(uint32(i%2)*0x100, cache.KindWrite)
+	}
+	hr := sim.Results()
+	l1, l2 := hr.Levels[0], hr.Levels[1]
+
+	// Golden counters.
+	if l1.Accesses != n || l1.Misses != n || l1.Writes != n || l1.Writebacks != n-1 {
+		t.Fatalf("L1 = %+v, want %d accesses/misses/writes and %d writebacks", l1, n, n-1)
+	}
+	// The L2 sees one write access per L1 writeback victim — exactly
+	// once — plus one fill read per L1 miss.
+	if l2.Writes != n-1 {
+		t.Errorf("L2.Writes = %d, want %d: each L1 write-back victim is one L2 write", l2.Writes, n-1)
+	}
+	if want := uint64(n + n - 1); l2.Accesses != want {
+		t.Errorf("L2.Accesses = %d, want %d (%d fills + %d victim writes)", l2.Accesses, want, n, n-1)
+	}
+	if l2.Misses != 2 {
+		t.Errorf("L2.Misses = %d, want 2 cold fills", l2.Misses)
+	}
+	// The L2 absorbed every victim: nothing reached memory as writes.
+	if got := hr.MemoryWriteTrafficBytes(); got != 0 {
+		t.Errorf("MemoryWriteTrafficBytes = %d, want 0: victims must not be double-charged as memory writes", got)
+	}
+
+	// Energy: the victims are charged as L2 probes (inside
+	// L2.Accesses), never via WriteByteNJ.
+	m := Default()
+	wantNJ := float64(l1.Accesses)*m.CacheAccessNJ +
+		float64(l2.Accesses)*m.L2AccessNJ +
+		float64(l2.RAMMisses)*m.RAMAccessNJ +
+		float64(l2.FlashMisses)*m.FlashAccessNJ // + 0 write bytes
+	gotNJ := m.WithHierarchy(hr, 0, 0).MemoryJ * 1e9
+	if math.Abs(gotNJ-wantNJ) > 1e-9 {
+		t.Errorf("WithHierarchy memory = %.3f nJ, want %.3f", gotNJ, wantNJ)
+	}
+}
+
+// TestWritebackReachesMemoryFromLastLevel is the complementary case:
+// when the L2 itself evicts dirty lines, that traffic — and only that
+// traffic — is charged as memory write bytes, at the last level's line
+// size.
+func TestWritebackReachesMemoryFromLastLevel(t *testing.T) {
+	h := cache.Hierarchy{Levels: []cache.Config{
+		{SizeBytes: 16, LineBytes: 16, Ways: 1, Policy: cache.LRU, Write: cache.WriteBack},
+		{SizeBytes: 16, LineBytes: 16, Ways: 1, Policy: cache.LRU, Write: cache.WriteBack}, // one line too
+	}}
+	sim, err := hier.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		sim.Access(uint32(i%2)*0x100, cache.KindWrite)
+	}
+	hr := sim.Results()
+	l2 := hr.Levels[1]
+	if l2.Writebacks == 0 {
+		t.Fatal("one-line L2 must evict dirty lines")
+	}
+	if got, want := hr.MemoryWriteTrafficBytes(), l2.Writebacks*16; got != want {
+		t.Errorf("MemoryWriteTrafficBytes = %d, want %d (L2 writebacks × 16B lines)", got, want)
+	}
+	m := Default()
+	est := m.WithHierarchy(hr, 0, 0).MemoryJ * 1e9
+	base := float64(hr.Levels[0].Accesses)*m.CacheAccessNJ + float64(l2.Accesses)*m.L2AccessNJ +
+		float64(l2.RAMMisses)*m.RAMAccessNJ + float64(l2.FlashMisses)*m.FlashAccessNJ
+	if got, want := est-base, float64(hr.MemoryWriteTrafficBytes())*m.WriteByteNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("memory-write energy share = %.3f nJ, want %.3f", got, want)
+	}
+}
+
+// TestWithHierarchySingleLevelDelegates pins the single-level identity:
+// a one-level hierarchy estimate equals WithCache on the same result.
+func TestWithHierarchySingleLevelDelegates(t *testing.T) {
+	r := cache.Result{
+		Config:   cache.Config{SizeBytes: 1024, LineBytes: 16, Ways: 2, Policy: cache.LRU, Write: cache.WriteBack},
+		Accesses: 1000, Misses: 100, RAMRefs: 800, FlashRefs: 200,
+		RAMMisses: 70, FlashMisses: 30, Writes: 150, Writebacks: 40,
+	}
+	hr := cache.HierarchyResult{Hierarchy: cache.Single(r.Config), Levels: []cache.Result{r}}
+	m := Default()
+	if got, want := m.WithHierarchy(hr, 123, 4.5), m.WithCache(r, 123, 4.5); got != want {
+		t.Errorf("WithHierarchy = %+v, WithCache = %+v", got, want)
+	}
+	if got, want := m.HierarchyMemoryPerAccessNJ(hr), m.MemoryPerAccessNJ(r); got != want {
+		t.Errorf("HierarchyMemoryPerAccessNJ = %v, MemoryPerAccessNJ = %v", got, want)
+	}
+	if got, want := m.HierarchyMemorySaving(hr), m.MemorySaving(r); got != want {
+		t.Errorf("HierarchyMemorySaving = %v, MemorySaving = %v", got, want)
+	}
+}

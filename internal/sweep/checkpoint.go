@@ -60,8 +60,8 @@ type checkpointer struct {
 	since int    // chunks consumed since the last save
 }
 
-func newCheckpointer(path string, every int, units []unit, cfgs []cache.Config, eng Engine) (*checkpointer, error) {
-	c := &checkpointer{path: path, every: every, hash: configHash(cfgs, eng)}
+func newCheckpointer(path string, every int, units []unit, hash uint64) (*checkpointer, error) {
+	c := &checkpointer{path: path, every: every, hash: hash}
 	c.units = make([]stateful, len(units))
 	for i, u := range units {
 		s, ok := u.(stateful)

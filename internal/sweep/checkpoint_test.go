@@ -394,7 +394,7 @@ func TestCheckpointResumeOptSweep(t *testing.T) {
 			}
 		}
 		path := filepath.Join(t.TempDir(), "opt.ckpt")
-		ck, err := newCheckpointer(path, 1, p.units, cfgs, eng)
+		ck, err := newCheckpointer(path, 1, p.units, configHash(cfgs, eng))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -89,6 +89,8 @@ func registerPlan(r *obs.Registry, info PlanInfo) {
 	r.Gauge("sweep.fallback_configs").Set(int64(info.FallbackConfigs))
 	r.Gauge("sweep.family_configs").Set(int64(info.FamilyConfigs))
 	r.Gauge("sweep.opt_configs").Set(int64(info.OptConfigs))
+	r.Gauge("sweep.shared_l1_groups").Set(int64(info.SharedL1Groups))
+	r.Gauge("sweep.fused_hierarchies").Set(int64(info.FusedHierarchies))
 }
 
 // registerResults publishes sweep-wide cache aggregates (accesses, misses,

@@ -21,10 +21,12 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"palmsim/internal/cache"
+	"palmsim/internal/simerr"
 )
 
 // RangeSource is one seekable range of a trace: a Source that owns its
@@ -222,7 +224,18 @@ func (s *PartitionedSource) Partitions() int { return len(s.parts) }
 // bit-identical to Run over a serial decode of the same trace — the
 // partitioning parallelizes decoding only. Checkpointing, resume and
 // cancellation behave exactly as in Run.
+//
+// OPT configurations are rejected with simerr.ErrUnsupportedPlan: OPT
+// materializes the whole trace for its backward next-use pass, which
+// defeats the point of partitioned streaming decode. Run the OPT
+// configurations through Run instead.
 func RunPartitioned(ctx context.Context, cfgs []cache.Config, t SeekableTrace, opts Options) ([]cache.Result, error) {
+	for _, cfg := range cfgs {
+		if cfg.Policy == cache.OPT {
+			return nil, simerr.UnsupportedPlan("sweep: partitioned", cfg.String(),
+				fmt.Errorf("OPT buffers the whole trace for its backward next-use pass; run it unpartitioned"))
+		}
+	}
 	k := opts.Partitions
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)

@@ -7,6 +7,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"palmsim/internal/cache/opt"
 	"palmsim/internal/dtrace"
 	"palmsim/internal/obs"
+	"palmsim/internal/simerr"
 )
 
 // kindedFixedTrace is a deterministic trace with access kinds: flash-side
@@ -198,27 +200,45 @@ func TestOptLowerBoundThroughSweep(t *testing.T) {
 	}
 }
 
-// TestPartitionedOptSweep: OPT over a partitioned indexed trace — the
-// materialization pass drains the multiplexed source, annotates, and the
-// results still match the serial oracle.
+// TestPartitionedOptSweep: OPT configurations are structurally
+// incompatible with partitioned decoding — OPT materializes the whole
+// trace, which defeats the partitioned streaming decode — so
+// RunPartitioned rejects them up front with simerr.ErrUnsupportedPlan
+// naming the offending configuration. The remaining (non-OPT)
+// configurations still sweep partitioned and match the serial oracle.
 func TestPartitionedOptSweep(t *testing.T) {
 	trace, data := packFixed(t, 100_000)
 	st := openSeekableBytes(t, data)
-	var cfgs []cache.Config
-	for _, pol := range []cache.Policy{cache.OPT, cache.LRU} {
-		for _, g := range diffGeometries() {
-			g.Policy = pol
-			cfgs = append(cfgs, g)
-		}
+	var optCfgs, lruCfgs []cache.Config
+	for _, g := range diffGeometries() {
+		o := g
+		o.Policy = cache.OPT
+		optCfgs = append(optCfgs, o)
+		lruCfgs = append(lruCfgs, g)
 	}
-	want := directKindedOracle(t, cfgs, trace, nil)
+
+	_, err := RunPartitioned(context.Background(), append(append([]cache.Config{}, optCfgs...), lruCfgs...), st,
+		Options{Workers: 2, Partitions: 4})
+	if !errors.Is(err, simerr.ErrUnsupportedPlan) {
+		t.Fatalf("partitioned OPT sweep: err = %v, want ErrUnsupportedPlan", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) || se.Config == "" {
+		t.Errorf("error does not carry the offending config: %v", err)
+	} else if !strings.Contains(se.Config, "OPT") {
+		t.Errorf("carried config %q does not name the OPT entry", se.Config)
+	}
+
+	// The rejection happens before any range decoder opens, so the same
+	// seekable trace still serves the remaining configurations.
+	want := directKindedOracle(t, lruCfgs, trace, nil)
 	for _, k := range []int{1, 4} {
-		got, err := RunPartitioned(context.Background(), cfgs, st,
+		got, err := RunPartitioned(context.Background(), lruCfgs, st,
 			Options{Workers: 2, Partitions: k})
 		if err != nil {
 			t.Fatal(err)
 		}
-		compareResults(t, fmt.Sprintf("partitions=%d", k), cfgs, got, want)
+		compareResults(t, fmt.Sprintf("partitions=%d", k), lruCfgs, got, want)
 	}
 }
 

@@ -284,6 +284,20 @@ type PlanInfo struct {
 	// BuffersTrace reports whether Run materializes the whole trace in
 	// memory first — required by OPT's backward next-use pass.
 	BuffersTrace bool
+
+	// Hierarchy-sweep structure (zero for single-level sweeps).
+	// SharedL1Groups counts groups of multi-level non-inclusive
+	// hierarchies whose identical first level is simulated once, its
+	// filtered miss stream fanned out to every candidate lower level.
+	SharedL1Groups int
+	// FusedHierarchies counts hierarchies served by one fused
+	// per-hierarchy simulator (inclusive/exclusive content policies,
+	// which need cross-level feedback, and everything under
+	// EngineDirect).
+	FusedHierarchies int
+	// MaxLevels is the deepest hierarchy in the sweep (1 for plain
+	// configuration sweeps).
+	MaxLevels int
 }
 
 // enginePlan is an instantiated engine: its units, their kinded faces
@@ -501,27 +515,44 @@ func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]
 	if err != nil {
 		return nil, err
 	}
+	if err := runEngine(ctx, p, src, ks, opts, configHash(cfgs, opts.engine())); err != nil {
+		return nil, err
+	}
+	results := p.collect()
+	registerResults(opts.Obs, results)
+	return results, nil
+}
+
+// runEngine drives an instantiated plan's units over the trace: the
+// kinded-capability check, checkpointer setup and resume skip, plan
+// observability, the serial or parallel fan-out, and sidecar removal on
+// success. It is shared by the configuration sweep (Run) and the
+// hierarchy sweep (RunHierarchies), which differ only in how units are
+// built and results collected; hash fingerprints whatever was built so
+// a sidecar never resumes a different sweep.
+func runEngine(ctx context.Context, p *enginePlan, src Source, ks KindedSource, opts Options, hash uint64) error {
 	if ks != nil {
 		for i, ku := range p.kinded {
 			if ku == nil {
-				return nil, fmt.Errorf("sweep: unit %d (%T) cannot consume kinded chunks", i, p.units[i])
+				return fmt.Errorf("sweep: unit %d (%T) cannot consume kinded chunks", i, p.units[i])
 			}
 		}
 	}
 	var ck *checkpointer
+	var err error
 	if opts.CheckpointPath != "" {
-		ck, err = newCheckpointer(opts.CheckpointPath, opts.checkpointEvery(), p.units, cfgs, opts.engine())
+		ck, err = newCheckpointer(opts.CheckpointPath, opts.checkpointEvery(), p.units, hash)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if opts.Resume {
 			skip, found, err := ck.load()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if found && skip > 0 {
 				if err := skipRefs(ctx, src, skip, opts.chunkRefs()); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
@@ -529,10 +560,7 @@ func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]
 	registerPlan(opts.Obs, p.info)
 	if len(p.units) == 0 {
 		// Still drain the source so an erroring trace is reported.
-		if err := drain(ctx, src, opts.chunkRefs()); err != nil {
-			return nil, err
-		}
-		return p.collect(), nil
+		return drain(ctx, src, opts.chunkRefs())
 	}
 
 	w := opts.workers(len(p.units))
@@ -543,14 +571,12 @@ func Run(ctx context.Context, cfgs []cache.Config, src Source, opts Options) ([]
 		err = runParallel(ctx, p, src, ks, w, opts.chunkRefs(), m, ck)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ck != nil {
 		ck.removeSidecar()
 	}
-	results := p.collect()
-	registerResults(opts.Obs, results)
-	return results, nil
+	return nil
 }
 
 // materialize drains src into memory, returning the full trace and —
